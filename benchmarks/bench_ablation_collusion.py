@@ -1,0 +1,55 @@
+"""Ablation: the collusion-tolerance knob c.
+
+The (2c-3)-secrecy of SecSumShare means larger c tolerates more colluding
+providers -- at the price of more shares, more ring messages and a bigger
+CountBelow circuit.  This bench sweeps c at fixed network size and reports
+the cost side of the trade-off.
+"""
+
+import random
+
+from repro.analysis.reporting import format_series
+from repro.core.policies import ChernoffPolicy
+from repro.mpc.betacalc import secure_beta_calculation
+from repro.protocol import run_distributed_construction
+
+M = 16
+N_IDS = 3
+C_VALUES = [2, 3, 4, 6, 8]
+
+
+def run_collusion_ablation(seed: int = 0):
+    rng = random.Random(seed)
+    bits = [[rng.randint(0, 1) for _ in range(N_IDS)] for _ in range(M)]
+    eps = [0.5] * N_IDS
+    series = {
+        "circuit-size": [],
+        "mpc-and-gates": [],
+        "execution-time-s": [],
+        "collusion-tolerance": [],
+    }
+    for c in C_VALUES:
+        res = secure_beta_calculation(
+            bits, eps, ChernoffPolicy(0.9), c=c, rng=random.Random(seed)
+        )
+        sim = run_distributed_construction(
+            bits, eps, ChernoffPolicy(0.9), c=c, rng=random.Random(seed)
+        )
+        series["circuit-size"].append(res.total_circuit_size)
+        series["mpc-and-gates"].append(res.total_and_gates)
+        series["execution-time-s"].append(sim.execution_time_s)
+        series["collusion-tolerance"].append(2 * c - 3)
+    return series
+
+
+def test_ablation_collusion_parameter(benchmark, report):
+    series = benchmark.pedantic(run_collusion_ablation, rounds=1, iterations=1)
+    report(
+        "Ablation: cost vs collusion parameter c (m=16, 3 identities)",
+        format_series("c", C_VALUES, series),
+    )
+    # More shares => strictly more secure-sum work in the circuit.
+    assert series["circuit-size"][-1] > series["circuit-size"][0]
+    assert series["mpc-and-gates"][-1] > series["mpc-and-gates"][0]
+    # Tolerance grows linearly by design.
+    assert series["collusion-tolerance"] == [2 * c - 3 for c in C_VALUES]

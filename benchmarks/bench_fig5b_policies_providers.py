@@ -1,0 +1,56 @@
+"""Fig. 5b reproduction: β-policy quality vs number of providers.
+
+Paper setup: fractional identity frequency σ = 0.1, ǫ = 0.5, Δ = 0.02,
+γ = 0.9; provider count swept 8 -> 8192.
+
+Expected shape: Chernoff ~1.0 for every network size; basic around 0.5;
+incremented expectation degraded for few providers (small-sample noise) and
+recovering as m grows.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import policy_success_ratio
+from repro.analysis.reporting import format_series
+from repro.core.policies import (
+    BasicPolicy,
+    ChernoffPolicy,
+    IncrementedExpectationPolicy,
+)
+
+SIGMA = 0.1
+EPSILON = 0.5
+PROVIDER_COUNTS = [8, 32, 128, 512, 2048, 8192]
+SAMPLES = 400
+
+POLICIES = {
+    "basic": BasicPolicy(),
+    "inc-exp-0.02": IncrementedExpectationPolicy(0.02),
+    "chernoff-0.9": ChernoffPolicy(0.9),
+}
+
+
+def run_fig5b(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    series = {name: [] for name in POLICIES}
+    for m in PROVIDER_COUNTS:
+        freq = max(1, round(SIGMA * m))
+        for name, policy in POLICIES.items():
+            series[name].append(
+                policy_success_ratio(m, freq, EPSILON, policy, rng, SAMPLES)
+            )
+    return series
+
+
+def test_fig5b_policies_vs_providers(benchmark, report):
+    series = benchmark.pedantic(run_fig5b, rounds=1, iterations=1)
+    report(
+        "Fig. 5b: policy success rate vs provider count (sigma=0.1, eps=0.5)",
+        format_series("providers", PROVIDER_COUNTS, series),
+    )
+    # Chernoff near-optimal at every network size, including tiny ones.
+    assert min(series["chernoff-0.9"]) >= 0.85
+    # Inc-exp weakest at the smallest network, recovering with size.
+    assert series["inc-exp-0.02"][0] < series["inc-exp-0.02"][-1]
+    # Basic stays far from 1.0 at scale (expectation-only guarantee).
+    assert series["basic"][-1] < 0.75

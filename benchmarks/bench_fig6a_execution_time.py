@@ -1,0 +1,52 @@
+"""Fig. 6a reproduction: construction execution time vs number of parties.
+
+Paper setup: single identity, c = 3, parties (providers) swept 3 -> 9 on an
+Emulab LAN; compared systems are the ǫ-PPI construction protocol
+(SecSumShare + c-party generic MPC) and the pure-MPC approach (all m parties
+inside the generic MPC).
+
+Expected shape: pure MPC grows super-linearly with m; the MPC-reduced ǫ-PPI
+protocol grows slowly (its generic-MPC stage is pinned to c parties).
+Absolute times come from the simulator's Emulab-like LAN cost model, not
+real hardware -- only the ratios/shape are meaningful (see DESIGN.md).
+"""
+
+import random
+
+from repro.analysis.reporting import format_series
+from repro.core.policies import ChernoffPolicy
+from repro.protocol import run_distributed_construction, run_pure_mpc_simulation
+
+PARTY_COUNTS = [3, 5, 7, 9]
+EPSILON = 0.5
+C = 3
+
+
+def run_fig6a(seed: int = 0):
+    series = {"e-ppi": [], "pure-mpc": []}
+    for m in PARTY_COUNTS:
+        rng = random.Random(seed + m)
+        bits = [[rng.randint(0, 1)] for _ in range(m)]
+        eppi = run_distributed_construction(
+            bits, [EPSILON], ChernoffPolicy(0.9), c=C, rng=random.Random(seed)
+        )
+        pure = run_pure_mpc_simulation(
+            bits, [EPSILON], ChernoffPolicy(0.9), rng=random.Random(seed)
+        )
+        series["e-ppi"].append(eppi.execution_time_s)
+        series["pure-mpc"].append(pure.execution_time_s)
+    return series
+
+
+def test_fig6a_execution_time_vs_parties(benchmark, report):
+    series = benchmark.pedantic(run_fig6a, rounds=1, iterations=1)
+    report(
+        "Fig. 6a: execution time (s) vs number of parties (single identity, c=3)",
+        format_series("parties", PARTY_COUNTS, series),
+    )
+    eppi, pure = series["e-ppi"], series["pure-mpc"]
+    # Pure MPC slower at the largest network and growing faster.
+    assert pure[-1] > eppi[-1]
+    pure_growth = pure[-1] / pure[0]
+    eppi_growth = eppi[-1] / eppi[0]
+    assert pure_growth > eppi_growth

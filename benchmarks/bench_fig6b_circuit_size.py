@@ -1,0 +1,71 @@
+"""Fig. 6b reproduction: compiled circuit size vs number of parties.
+
+Paper setup: single identity, scaling to 61 parties; the metric is the size
+of the compiled MPC program (circuit), which determines execution time in
+real runs (FairplayMP's observation, reused here).
+
+Expected shape: the pure-MPC circuit grows linearly-plus with the party
+count (in-circuit popcount over m secret bits + m coin contributions); the
+ǫ-PPI generic-MPC circuit stays nearly flat (c = 3 coordinators; only the
+share bit-width grows, logarithmically in m).
+"""
+
+from repro.analysis.reporting import format_series
+from repro.core.policies import ChernoffPolicy, frequency_threshold
+from repro.mpc.countbelow import (
+    build_count_circuit,
+    build_selection_circuit,
+    scale_epsilon,
+)
+from repro.mpc.field import default_modulus_for_sum
+from repro.mpc.pure import build_pure_circuit
+
+PARTY_COUNTS = [3, 11, 21, 31, 41, 51, 61]
+EPSILON = 0.5
+C = 3
+LAMBDA_SCALED = 0  # single identity, no mixing needed for the size metric
+
+
+def circuit_sizes_for(m: int) -> tuple[int, int]:
+    policy = ChernoffPolicy(0.9)
+    thresholds = [frequency_threshold(policy, EPSILON, m)]
+    eps_scaled = [scale_epsilon(EPSILON)]
+    width = (default_modulus_for_sum(m) - 1).bit_length()
+    high = (m + 1) // 2
+
+    eppi = (
+        build_count_circuit(C, thresholds, eps_scaled, width, high).stats().size
+        + build_selection_circuit(C, thresholds, LAMBDA_SCALED, width).stats().size
+    )
+    pure = (
+        build_pure_circuit(m, [EPSILON], policy, None, high).stats().size
+        + build_pure_circuit(m, [EPSILON], policy, LAMBDA_SCALED, high).stats().size
+    )
+    return eppi, pure
+
+
+def run_fig6b():
+    series = {"e-ppi": [], "pure-mpc": []}
+    for m in PARTY_COUNTS:
+        eppi, pure = circuit_sizes_for(m)
+        series["e-ppi"].append(eppi)
+        series["pure-mpc"].append(pure)
+    return series
+
+
+def test_fig6b_circuit_size_vs_parties(benchmark, report):
+    series = benchmark.pedantic(run_fig6b, rounds=1, iterations=1)
+    report(
+        "Fig. 6b: compiled circuit size (gates) vs number of parties "
+        "(single identity, c=3)",
+        format_series("parties", PARTY_COUNTS, series),
+    )
+    eppi, pure = series["e-ppi"], series["pure-mpc"]
+    # Pure grows monotonically (roughly linearly) with parties.
+    assert all(a < b for a, b in zip(pure, pure[1:]))
+    # e-PPI stays nearly flat: < 2x over a 20x party increase.
+    assert max(eppi) < 2 * min(eppi)
+    # Pure is far larger (in-circuit Eq. 8 arithmetic) and the absolute gap
+    # widens with the party count.
+    assert pure[0] > 10 * eppi[0]
+    assert (pure[-1] - eppi[-1]) > (pure[0] - eppi[0])

@@ -1,0 +1,52 @@
+"""Search-overhead bench (paper Sec. V-A2 / tech-report claim).
+
+Measures the per-query search cost (providers contacted) of ǫ-PPI with the
+Chernoff policy against the grouping baseline and the no-privacy floor, as
+the privacy degree grows.  The paper's claim: "the high-level privacy
+preservation of the Chernoff bound policy comes with reasonable search
+overhead" -- i.e. cost grows smoothly with ǫ and stays below both grouping
+(which tends toward query broadcast) and the m-provider broadcast ceiling.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import search_cost_grouping, search_cost_nongrouping
+from repro.analysis.reporting import format_series
+from repro.core.policies import ChernoffPolicy
+
+M = 2_000
+FREQUENCY = 20
+EPSILONS = [0.1, 0.3, 0.5, 0.7, 0.9]
+N_GROUPS = 40
+
+
+def run_search_overhead(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    series = {"e-ppi-chernoff": [], "grouping": [], "no-privacy": []}
+    for eps in EPSILONS:
+        series["e-ppi-chernoff"].append(
+            search_cost_nongrouping(M, FREQUENCY, eps, ChernoffPolicy(0.9), rng)
+        )
+        series["grouping"].append(
+            search_cost_grouping(M, FREQUENCY, N_GROUPS, rng)
+        )
+        series["no-privacy"].append(float(FREQUENCY))
+    return series
+
+
+def test_search_overhead_vs_epsilon(benchmark, report):
+    series = benchmark.pedantic(run_search_overhead, rounds=1, iterations=1)
+    report(
+        "Search overhead: providers contacted per query vs epsilon "
+        f"(m={M}, frequency={FREQUENCY})",
+        format_series("epsilon", EPSILONS, series),
+    )
+    eppi = series["e-ppi-chernoff"]
+    # Cost is the personalized knob: grows monotonically with epsilon...
+    assert all(a <= b for a, b in zip(eppi, eppi[1:]))
+    # ...never below the truthful floor, never at the broadcast ceiling
+    # until eps -> 1.
+    assert eppi[0] >= FREQUENCY
+    assert eppi[-2] < M
+    # Grouping pays a flat high cost regardless of privacy wishes.
+    assert min(series["grouping"]) > eppi[1]

@@ -1,0 +1,59 @@
+"""Service load: throughput and latency vs concurrent searchers.
+
+Beyond the paper's single-searcher evaluation: the PPI server is a shared
+third-party service, so a deployment question is how query latency degrades
+under load.  The single-threaded server model serializes index lookups;
+provider endpoints absorb AuthSearch fan-outs in parallel, so the server is
+the contention point.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_series
+from repro.core.construction import construct_epsilon_ppi
+from repro.core.model import InformationNetwork
+from repro.core.policies import ChernoffPolicy
+from repro.service import run_concurrent_searchers
+
+M = 80
+N_IDS = 120
+QUERIES_PER_SEARCHER = 15
+SEARCHER_COUNTS = [1, 8, 64, 512]
+
+
+def run_service_load(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    net = InformationNetwork(M)
+    for j in range(N_IDS):
+        owner = net.register_owner(f"o{j}", float(rng.uniform(0.2, 0.7)))
+        for pid in rng.choice(M, size=int(rng.integers(1, 5)), replace=False):
+            net.delegate(owner, int(pid))
+    index = construct_epsilon_ppi(net, ChernoffPolicy(0.9), rng).index
+
+    series = {"throughput-qps": [], "mean-latency-ms": []}
+    for k in SEARCHER_COUNTS:
+        query_lists = [
+            [int(q) for q in rng.integers(0, N_IDS, size=QUERIES_PER_SEARCHER)]
+            for _ in range(k)
+        ]
+        run = run_concurrent_searchers(net, index, query_lists)
+        series["throughput-qps"].append(run.throughput_qps)
+        series["mean-latency-ms"].append(run.mean_latency_s * 1e3)
+    return series
+
+
+def test_service_load(benchmark, report):
+    series = benchmark.pedantic(run_service_load, rounds=1, iterations=1)
+    report(
+        f"Service load: {QUERIES_PER_SEARCHER} queries/searcher (m={M})",
+        format_series("searchers", SEARCHER_COUNTS, series),
+    )
+    qps = series["throughput-qps"]
+    latency = series["mean-latency-ms"]
+    # Concurrency buys throughput (searchers overlap their own think time)...
+    assert qps[-1] > qps[0]
+    # ...but scaling turns sub-linear once the single-threaded server
+    # saturates, and queueing shows up as latency.
+    scale = SEARCHER_COUNTS[-1] / SEARCHER_COUNTS[0]
+    assert qps[-1] < scale * qps[0]
+    assert latency[-1] > latency[0]

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures and prints the
+rows/series (captured into the pytest output; see EXPERIMENTS.md for the
+recorded paper-vs-measured comparison).  Use::
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see the series inline.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capsys, request):
+    """Print a figure/table reproduction and persist it to
+    ``benchmarks/results/<test-name>.txt`` for EXPERIMENTS.md."""
+
+    def _report(title: str, body: str) -> None:
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            print(body)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = re.sub(r"[^a-zA-Z0-9_]+", "_", request.node.name)
+        (RESULTS_DIR / f"{name}.txt").write_text(f"{title}\n\n{body}\n")
+
+    return _report

@@ -1,0 +1,57 @@
+"""The common-identity attack and the identity-mixing defence (Sec. III-B-2).
+
+Builds a network with a few identities present at (almost) every provider,
+mounts the paper's common-identity attack against an index constructed with
+and without the mixing defence, and prints the attacker's confidence in each
+case.
+
+Run:  python examples/common_identity_defense.py
+"""
+
+import numpy as np
+
+from repro.attacks import AdversaryKnowledge, common_identity_attack
+from repro.core import ChernoffPolicy, mix_betas, publish_matrix
+from repro.datasets import exact_frequency_matrix
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    m = 400
+
+    # 3 common identities (frequent patients) + 300 ordinary ones.
+    frequencies = [400, 398, 395] + [
+        int(f) for f in np.random.default_rng(4).integers(1, 40, size=300)
+    ]
+    matrix = exact_frequency_matrix(m, frequencies, rng)
+    n = matrix.n_owners
+    epsilons = np.full(n, 0.8)
+
+    sigmas = np.array([matrix.sigma(j) for j in range(n)])
+    betas = ChernoffPolicy(0.9).beta_vector(sigmas, epsilons, m)
+
+    for enabled in (False, True):
+        label = "WITH identity mixing" if enabled else "WITHOUT identity mixing"
+        mixing = mix_betas(betas.copy(), epsilons, rng, enabled=enabled)
+        published = publish_matrix(matrix, mixing.betas, rng)
+        attack = common_identity_attack(
+            matrix, AdversaryKnowledge(published=published), rng
+        )
+        print(f"== {label} ==")
+        print(f"  identities published at ~100% frequency: "
+              f"{len(attack.claimed_common)} "
+              f"(true commons: {len(attack.truly_common)}, "
+              f"decoys mixed in: {len(mixing.decoy_ids)})")
+        print(f"  attacker confidence picking a true common: "
+              f"{attack.identification_confidence:.3f}")
+        print(f"  membership-claim success rate: "
+              f"{attack.membership_confidence:.3f}")
+        if enabled:
+            print(f"  mixing parameters: lambda={mixing.lambda_:.4f}, "
+                  f"xi={mixing.xi:.2f} "
+                  f"(guarantee: confidence <= {1 - mixing.xi:.2f})")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""A living locator service: incremental updates + repeated-attack safety.
+
+Real HIE networks see a stream of new patients and new delegations.  This
+example runs the :class:`~repro.core.incremental.IncrementalIndexManager`
+through an update stream, shows that only the affected column is
+republished, and then mounts the multi-version intersection attack against
+every snapshot the "attacker" collected along the way -- demonstrating that
+sticky noise keeps republication from eroding privacy.
+
+Run:  python examples/incremental_updates.py
+"""
+
+import numpy as np
+
+from repro.attacks.intersection import intersection_attack
+from repro.core import ChernoffPolicy, InformationNetwork
+from repro.core.incremental import IncrementalIndexManager
+
+
+def main() -> None:
+    m = 50
+    net = InformationNetwork(m)
+    keys = [f"hospital-{pid}-secret".encode() for pid in range(m)]
+    manager = IncrementalIndexManager(
+        net, keys, ChernoffPolicy(0.9), np.random.default_rng(4)
+    )
+
+    print("== update stream ==")
+    alice = manager.add_owner("alice", epsilon=0.8)
+    bob = manager.add_owner("bob", epsilon=0.4)
+    snapshots = []
+    for step, (owner, pid) in enumerate(
+        [(alice, 3), (bob, 7), (alice, 19), (bob, 11), (alice, 30)]
+    ):
+        result = manager.delegate(owner, pid)
+        index = manager.index()
+        snapshots.append(np.asarray(index.matrix).copy())
+        print(
+            f"  step {step}: {owner.name} -> provider {pid:2d}   "
+            f"beta {result.old_beta:.3f} -> {result.new_beta:.3f}, "
+            f"{result.republished_cells} new cells, "
+            f"list sizes: alice={index.result_size(alice.owner_id)}, "
+            f"bob={index.result_size(bob.owner_id)}"
+        )
+    print(f"  recall invariant holds: {manager.verify_recall()}")
+
+    print("\n== attacker intersects every snapshot ==")
+    matrix = net.membership_matrix()
+    single = intersection_attack(matrix, snapshots[-1:])
+    multi = intersection_attack(matrix, snapshots)
+    print(f"  confidence from the final snapshot alone: {single.mean_confidence:.3f}")
+    print(f"  confidence from intersecting all {len(snapshots)}: "
+          f"{multi.mean_confidence:.3f}")
+    print("  (sticky noise: republication adds information only about the\n"
+          "   genuinely new delegations, never strips existing noise)")
+
+
+if __name__ == "__main__":
+    main()

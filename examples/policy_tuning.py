@@ -1,0 +1,74 @@
+"""Choosing a β-calculation policy: quality vs search cost (Sec. III-B / V).
+
+Sweeps the three policies over a realistic Zipf network and reports, per
+policy, the privacy success ratio and the average query cost -- the
+trade-off an operator tunes with the Chernoff gamma parameter.
+
+Run:  python examples/policy_tuning.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import (
+    BasicPolicy,
+    ChernoffPolicy,
+    IncrementedExpectationPolicy,
+    evaluate_index,
+    mix_betas,
+    publish_matrix,
+)
+from repro.datasets import make_dataset
+
+
+def main() -> None:
+    dataset = make_dataset(m=500, n=400, seed=11)
+    matrix = dataset.matrix
+    epsilons = dataset.epsilons
+    sigmas = np.array([matrix.sigma(j) for j in range(matrix.n_owners)])
+
+    policies = [
+        BasicPolicy(),
+        IncrementedExpectationPolicy(delta=0.02),
+        ChernoffPolicy(gamma=0.8),
+        ChernoffPolicy(gamma=0.9),
+        ChernoffPolicy(gamma=0.99),
+    ]
+    rows = []
+    rng = np.random.default_rng(12)
+    for policy in policies:
+        betas = policy.beta_vector(sigmas, epsilons, matrix.n_providers)
+        mixing = mix_betas(betas, epsilons, rng, sigmas=sigmas)
+        published = publish_matrix(matrix, mixing.betas, rng)
+        report = evaluate_index(matrix, published, epsilons)
+        avg_cost = published.sum(axis=0).mean()
+        label = policy.name
+        if isinstance(policy, ChernoffPolicy):
+            label = f"{policy.name}-{policy.gamma}"
+        elif isinstance(policy, IncrementedExpectationPolicy):
+            label = f"{policy.name}-{policy.delta}"
+        rows.append(
+            [
+                label,
+                round(report.success_ratio, 3),
+                round(float(report.attacker_confidences.mean()), 3),
+                round(float(avg_cost), 1),
+            ]
+        )
+
+    print("Zipf network: m=500 providers, n=400 owners, eps ~ U[0,1]\n")
+    print(
+        format_table(
+            ["policy", "success-ratio", "mean-attack-confidence", "avg-query-cost"],
+            rows,
+        )
+    )
+    print(
+        "\nReading: Chernoff buys a configurable success ratio; the price is"
+        "\na moderately larger published list (query cost). Basic only hits"
+        "\n~50%, inc-exp sits in between without a tunable guarantee."
+    )
+
+
+if __name__ == "__main__":
+    main()

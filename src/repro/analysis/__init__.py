@@ -1,0 +1,36 @@
+"""Experiment harness and reporting used by the ``benchmarks/`` scripts."""
+
+from repro.analysis.appendix_b import (
+    CommonTermExposure,
+    GroupingSpread,
+    common_term_exposure,
+    grouping_fp_spread,
+)
+from repro.analysis.audit import IndexAudit, OwnerAudit, audit_index
+from repro.analysis.experiments import (
+    Table2Row,
+    grouping_success_ratio,
+    policy_success_ratio,
+    search_cost_grouping,
+    search_cost_nongrouping,
+    table2_experiment,
+)
+from repro.analysis.reporting import format_series, format_table
+
+__all__ = [
+    "CommonTermExposure",
+    "GroupingSpread",
+    "IndexAudit",
+    "OwnerAudit",
+    "Table2Row",
+    "audit_index",
+    "common_term_exposure",
+    "grouping_fp_spread",
+    "format_series",
+    "format_table",
+    "grouping_success_ratio",
+    "policy_success_ratio",
+    "search_cost_grouping",
+    "search_cost_nongrouping",
+    "table2_experiment",
+]

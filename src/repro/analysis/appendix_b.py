@@ -1,0 +1,119 @@
+"""Executable Appendix B: the grouping-PPI vulnerability analysis.
+
+The paper's Appendix B argues two weaknesses of grouping PPIs analytically;
+this module makes both arguments executable so the tests can check them on
+concrete instances:
+
+* **Primary attack / NO GUARANTEE** -- the false-positive rate of a group
+  list is an accident of the random assignment: two identical runs with
+  different group draws realize very different fp rates, and per-term
+  targets are unreachable because all terms share one assignment
+  (:func:`grouping_fp_spread`).
+* **Common-term attack** -- the paper's extreme example: one term with
+  100 % frequency while every other term is rare.  With ≥ 2 groups, rare
+  terms light up one group each but the common term lights up *all*
+  groups, so it is identifiable with certainty whatever the grouping
+  (:func:`common_term_exposure`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.grouping import GroupingPPI
+from repro.core.model import MembershipMatrix
+
+__all__ = [
+    "GroupingSpread",
+    "grouping_fp_spread",
+    "CommonTermExposure",
+    "common_term_exposure",
+]
+
+
+@dataclass
+class GroupingSpread:
+    """Realized fp-rate statistics of one term across repeated groupings."""
+
+    term: int
+    fp_rates: np.ndarray
+    spread: float  # max - min over runs
+
+    @property
+    def unstable(self) -> bool:
+        """True when the privacy level is materially assignment-dependent."""
+        return self.spread > 0.1
+
+
+def grouping_fp_spread(
+    matrix: MembershipMatrix,
+    term: int,
+    n_groups: int,
+    rng: np.random.Generator,
+    runs: int = 30,
+) -> GroupingSpread:
+    """Realized fp rate of ``term`` over ``runs`` independent groupings."""
+    fp_rates = []
+    for _ in range(runs):
+        result = GroupingPPI(n_groups).construct(matrix, rng)
+        published = result.published[:, term]
+        listed = int(published.sum())
+        true = matrix.frequency(term)
+        fp_rates.append(0.0 if listed == 0 else (listed - true) / listed)
+    fp_rates = np.array(fp_rates)
+    return GroupingSpread(
+        term=term,
+        fp_rates=fp_rates,
+        spread=float(fp_rates.max() - fp_rates.min()),
+    )
+
+
+@dataclass
+class CommonTermExposure:
+    """Outcome of the Appendix-B extreme-case common-term analysis."""
+
+    common_term: int
+    groups_lit_by_common: int
+    max_groups_lit_by_rare: int
+    n_groups: int
+
+    @property
+    def identifiable_with_certainty(self) -> bool:
+        """The common term is the unique all-groups term."""
+        return (
+            self.groups_lit_by_common == self.n_groups
+            and self.max_groups_lit_by_rare < self.n_groups
+        )
+
+
+def common_term_exposure(
+    m: int,
+    n_rare: int,
+    n_groups: int,
+    rng: np.random.Generator,
+) -> CommonTermExposure:
+    """Instantiate the extreme case and measure group-level exposure.
+
+    Term 0 appears at every provider; ``n_rare`` other terms appear at one
+    provider each.
+    """
+    if n_groups < 2:
+        raise ValueError("the argument needs at least 2 groups")
+    matrix = MembershipMatrix(m, n_rare + 1)
+    for pid in range(m):
+        matrix.set(pid, 0)
+    for j in range(1, n_rare + 1):
+        matrix.set(int(rng.integers(m)), j)
+
+    result = GroupingPPI(n_groups).construct(matrix, rng)
+    reports = result.group_reports
+    common_lit = int(reports[:, 0].sum())
+    rare_lit = int(reports[:, 1:].sum(axis=0).max()) if n_rare else 0
+    return CommonTermExposure(
+        common_term=0,
+        groups_lit_by_common=common_lit,
+        max_groups_lit_by_rare=rare_lit,
+        n_groups=n_groups,
+    )

@@ -1,0 +1,112 @@
+"""Owner-facing privacy audit.
+
+A deployed locator service owes its owners an answer to "am I getting the
+privacy I asked for?".  :func:`audit_index` produces a per-owner audit of a
+published index against the ground truth: requested degree, achieved
+false-positive rate, attacker-confidence bound, whether the personal
+guarantee holds, and the price paid (published list size).
+
+This is the operational counterpart of the paper's success-ratio metric:
+the same numbers, reported per owner instead of aggregated, plus the
+common-identity treatment (broadcast owners are flagged as protected by
+identity anonymity rather than false positives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.model import MembershipMatrix
+from repro.core.privacy import published_false_positive_rates
+
+__all__ = ["OwnerAudit", "IndexAudit", "audit_index"]
+
+
+@dataclass(frozen=True)
+class OwnerAudit:
+    """One owner's privacy audit entry."""
+
+    owner_id: int
+    name: str
+    epsilon: float
+    true_frequency: int
+    published_size: int
+    false_positive_rate: float
+    attacker_confidence: float
+    satisfied: bool  # fp >= epsilon (the personal guarantee)
+    broadcast: bool  # published everywhere: identity-anonymity regime
+
+
+@dataclass
+class IndexAudit:
+    """Aggregate + per-owner audit of one published index."""
+
+    owners: list[OwnerAudit]
+    success_ratio: float
+    broadcast_count: int
+    worst_violation: float  # max (epsilon - fp) over violators, 0 if none
+
+    def violators(self) -> list[OwnerAudit]:
+        return [o for o in self.owners if not o.satisfied and not o.broadcast]
+
+
+def audit_index(
+    matrix: MembershipMatrix,
+    published: np.ndarray,
+    epsilons: np.ndarray,
+    owner_names: list[str] | None = None,
+) -> IndexAudit:
+    """Audit ``published`` against ground truth and the owners' degrees.
+
+    Broadcast owners (published at every provider) are counted as satisfied
+    iff their requested rate is achievable at all; their protection is the
+    identity-mixing guarantee, which this per-column audit cannot see (use
+    :func:`repro.attacks.common_identity.common_identity_attack` for that).
+    """
+    published = np.asarray(published, dtype=np.uint8)
+    epsilons = np.asarray(epsilons, dtype=float)
+    if epsilons.shape != (matrix.n_owners,):
+        raise ModelError("need one epsilon per owner")
+    if owner_names is not None and len(owner_names) != matrix.n_owners:
+        raise ModelError("need one name per owner")
+
+    fp = published_false_positive_rates(matrix, published)
+    sizes = published.sum(axis=0)
+    m = matrix.n_providers
+
+    owners: list[OwnerAudit] = []
+    satisfied_count = 0
+    broadcast_count = 0
+    worst = 0.0
+    for j in range(matrix.n_owners):
+        freq = matrix.frequency(j)
+        broadcast = int(sizes[j]) == m
+        satisfied = bool(fp[j] >= epsilons[j])
+        if broadcast:
+            broadcast_count += 1
+        if satisfied:
+            satisfied_count += 1
+        elif not broadcast:
+            worst = max(worst, float(epsilons[j] - fp[j]))
+        owners.append(
+            OwnerAudit(
+                owner_id=j,
+                name=owner_names[j] if owner_names else f"owner-{j}",
+                epsilon=float(epsilons[j]),
+                true_frequency=freq,
+                published_size=int(sizes[j]),
+                false_positive_rate=float(fp[j]),
+                attacker_confidence=float(1.0 - fp[j]),
+                satisfied=satisfied,
+                broadcast=broadcast,
+            )
+        )
+    return IndexAudit(
+        owners=owners,
+        success_ratio=satisfied_count / max(1, matrix.n_owners),
+        broadcast_count=broadcast_count,
+        worst_violation=worst,
+    )

@@ -1,0 +1,43 @@
+"""Plain-text table/series formatting for benchmark output.
+
+Benchmarks print the same rows/series the paper's figures plot; these
+helpers keep the output aligned and diff-friendly (EXPERIMENTS.md embeds
+them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[object]],
+) -> str:
+    """One row per x value, one column per named series (a figure-as-text)."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series] for i, x in enumerate(xs)
+    ]
+    return format_table(headers, rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

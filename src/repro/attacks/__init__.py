@@ -1,0 +1,42 @@
+"""Attack implementations for the paper's threat model (Sec. II-B).
+
+Includes the two attacks of the paper (primary, common-identity), the
+colluding-provider variants analyzed in the tech report, and the
+multi-version intersection attack motivating the sticky-noise extension.
+"""
+
+from repro.attacks.adversary import AdversaryKnowledge
+from repro.attacks.collusion import (
+    ColludingAttackResult,
+    SecSumLeakage,
+    colluding_primary_attack,
+    secsum_collusion_leakage,
+)
+from repro.attacks.common_identity import (
+    CommonIdentityAttackResult,
+    common_identity_attack,
+)
+from repro.attacks.intersection import (
+    IntersectionAttackResult,
+    intersection_attack,
+)
+from repro.attacks.primary import (
+    PrimaryAttackResult,
+    primary_attack,
+    primary_attack_confidences,
+)
+
+__all__ = [
+    "AdversaryKnowledge",
+    "ColludingAttackResult",
+    "CommonIdentityAttackResult",
+    "IntersectionAttackResult",
+    "PrimaryAttackResult",
+    "SecSumLeakage",
+    "colluding_primary_attack",
+    "common_identity_attack",
+    "intersection_attack",
+    "primary_attack",
+    "primary_attack_confidences",
+    "secsum_collusion_leakage",
+]

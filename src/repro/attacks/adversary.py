@@ -1,0 +1,56 @@
+"""Attacker knowledge model (paper Sec. II-B threat model).
+
+An attacker observes the *public* index ``M'`` -- that channel is always
+open.  Optional extra channels model the scenarios the paper analyzes:
+
+* ``leaked_frequencies`` -- exact identity frequencies disclosed by a flawed
+  construction (SS-PPI's NO PROTECT failure mode);
+* ``colluding_rows`` -- private rows of providers the attacker controls
+  (the c-collusion scenario of the construction protocol analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["AdversaryKnowledge"]
+
+
+@dataclass
+class AdversaryKnowledge:
+    """Everything the attacker can read before mounting attacks."""
+
+    published: np.ndarray  # the public M'
+    leaked_frequencies: Optional[np.ndarray] = None  # exact counts, if leaked
+    colluding_rows: dict[int, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.published = np.asarray(self.published, dtype=np.uint8)
+        if self.published.ndim != 2:
+            raise ValueError("published index must be 2-D (providers x owners)")
+
+    @property
+    def n_providers(self) -> int:
+        return self.published.shape[0]
+
+    @property
+    def n_owners(self) -> int:
+        return self.published.shape[1]
+
+    def apparent_frequencies(self) -> np.ndarray:
+        """Per-identity frequency as visible in the public index."""
+        return self.published.sum(axis=0)
+
+    def best_frequency_estimate(self) -> np.ndarray:
+        """The attacker's sharpest frequency signal: leaked counts if any
+        channel disclosed them, otherwise the published (noisy) counts."""
+        if self.leaked_frequencies is not None:
+            return np.asarray(self.leaked_frequencies)
+        return self.apparent_frequencies()
+
+    def candidate_providers(self, owner_id: int) -> np.ndarray:
+        """Providers with ``M'(i, j) = 1`` -- the attack surface for owner j."""
+        return np.nonzero(self.published[:, owner_id])[0]

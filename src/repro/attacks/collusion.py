@@ -1,0 +1,129 @@
+"""Colluding-provider attacks (paper Sec. II-B; analysis in tech report [21]).
+
+Two distinct collusion channels exist in the system:
+
+* **Index-side collusion** -- ``k`` colluding providers pool their private
+  rows with the attacker.  Their rows let the attacker *subtract known
+  truth* from the public index: claims against colluding providers are
+  decided exactly, and for common-identity attacks the colluders' rows
+  sharpen the frequency estimate.  The per-owner ǫ guarantee degrades
+  gracefully: confidence against the *non-colluding* remainder is still
+  bounded by the false-positive mass that landed outside the coalition.
+
+* **Construction-side collusion** -- colluders record what they saw during
+  SecSumShare.  With fewer than ``c`` colluders this is provably nothing
+  (Thm. 4.1 / (2c−3)-secrecy); with ``c`` or more *coordinators* the
+  frequency sums open up.  :func:`secsum_collusion_leakage` quantifies both
+  regimes over the actual protocol transcripts, which is the empirical
+  counterpart of the paper's secrecy claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.adversary import AdversaryKnowledge
+from repro.core.model import MembershipMatrix
+from repro.mpc.field import Zq
+from repro.mpc.secsum import SecSumResult
+
+__all__ = [
+    "ColludingAttackResult",
+    "colluding_primary_attack",
+    "SecSumLeakage",
+    "secsum_collusion_leakage",
+]
+
+
+@dataclass
+class ColludingAttackResult:
+    """Outcome of the index-side colluding primary attack."""
+
+    owner_ids: np.ndarray
+    confidences: np.ndarray  # vs non-colluding candidates only
+    resolved_exactly: np.ndarray  # membership claims decided by colluder rows
+    coalition: frozenset[int]
+
+    @property
+    def mean_confidence(self) -> float:
+        return float(self.confidences.mean()) if len(self.confidences) else 0.0
+
+
+def colluding_primary_attack(
+    matrix: MembershipMatrix,
+    knowledge: AdversaryKnowledge,
+    coalition: set[int],
+    owner_ids: np.ndarray,
+) -> ColludingAttackResult:
+    """Primary attack with ``coalition`` providers' rows in hand.
+
+    For each owner: claims against coalition members are exact (their rows
+    are known); the reported confidence is the exact success probability of
+    claims against the remaining published candidates,
+    ``|true ∩ candidates \\ coalition| / |candidates \\ coalition|``.
+    """
+    owner_ids = np.asarray(owner_ids)
+    for pid in coalition:
+        if not 0 <= pid < matrix.n_providers:
+            raise ValueError(f"unknown colluding provider {pid}")
+    confidences = np.zeros(len(owner_ids), dtype=float)
+    resolved = np.zeros(len(owner_ids), dtype=np.int64)
+    for idx, j in enumerate(owner_ids):
+        j = int(j)
+        candidates = set(knowledge.candidate_providers(j).tolist())
+        inside = candidates & coalition
+        outside = candidates - coalition
+        resolved[idx] = sum(1 for pid in inside if matrix.get(pid, j))
+        if outside:
+            hits = sum(1 for pid in outside if matrix.get(pid, j))
+            confidences[idx] = hits / len(outside)
+        else:
+            confidences[idx] = 0.0
+    return ColludingAttackResult(
+        owner_ids=owner_ids,
+        confidences=confidences,
+        resolved_exactly=resolved,
+        coalition=frozenset(coalition),
+    )
+
+
+@dataclass
+class SecSumLeakage:
+    """What a coalition learns from SecSumShare transcripts."""
+
+    coalition: frozenset[int]
+    coordinator_members: frozenset[int]  # colluders that are coordinators
+    frequencies_recovered: dict[int, int]  # identity -> opened frequency
+    breached: bool  # True iff all c coordinators collude
+
+
+def secsum_collusion_leakage(
+    result: SecSumResult,
+    coalition: set[int],
+    c: int,
+    ring: Zq,
+    n_identities: int,
+) -> SecSumLeakage:
+    """Evaluate construction-side collusion against a SecSumShare run.
+
+    The coalition can reconstruct the per-identity frequency iff it contains
+    *all* ``c`` coordinators -- the (c, c)-sharing of the output (Thm. 4.1).
+    Any smaller coalition (even one containing many regular providers)
+    recovers nothing: its observed shares are uniformly distributed.
+    """
+    coordinator_members = frozenset(p for p in coalition if p < c)
+    breached = len(coordinator_members) == c
+    recovered: dict[int, int] = {}
+    if breached:
+        for j in range(n_identities):
+            recovered[j] = ring.sum(
+                result.coordinator_shares[k][j] for k in range(c)
+            )
+    return SecSumLeakage(
+        coalition=frozenset(coalition),
+        coordinator_members=coordinator_members,
+        frequencies_recovered=recovered,
+        breached=breached,
+    )

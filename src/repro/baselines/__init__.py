@@ -1,0 +1,21 @@
+"""Comparison systems: grouping PPI [12,13], SS-PPI [22], plain index.
+
+The pure-MPC construction baseline lives with the MPC code in
+:mod:`repro.mpc.pure`.
+"""
+
+from repro.baselines.grouping import GroupingPPI, GroupingResult
+from repro.baselines.no_privacy import PlainIndex
+from repro.baselines.ss_ppi import SSPPI, SSPPIResult
+from repro.baselines.sse import SSEIndex, SSEQueryStats, build_sse_index
+
+__all__ = [
+    "GroupingPPI",
+    "GroupingResult",
+    "PlainIndex",
+    "SSPPI",
+    "SSPPIResult",
+    "SSEIndex",
+    "SSEQueryStats",
+    "build_sse_index",
+]

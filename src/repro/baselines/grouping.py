@@ -1,0 +1,74 @@
+"""Grouping-based PPI baseline (paper refs [12], [13]; Appendix B).
+
+Inspired by k-anonymity: providers are randomly assigned to disjoint privacy
+groups; a group reports 1 for an identity iff *any* member holds it, and a
+query returns every provider of every positive group.  True positives hide
+among their group peers -- but the false-positive rate that results is an
+accident of the random assignment, not a controlled quantity, which is the
+paper's core criticism (NO GUARANTEE, Table II):
+
+* different identities share one group assignment, so per-identity (let
+  alone personalized) targets are unreachable;
+* small groups produce wildly unstable false-positive rates (the Fig. 4a
+  fluctuation);
+* common identities appear in *every* group, so grouping does not hide them
+  at all (Appendix B's common-term example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConstructionError
+from repro.core.model import MembershipMatrix
+
+__all__ = ["GroupingPPI", "GroupingResult"]
+
+
+@dataclass
+class GroupingResult:
+    """Published grouping index, expanded to provider granularity."""
+
+    published: np.ndarray  # provider-level M' implied by group reports
+    group_of: np.ndarray  # provider -> group id
+    group_reports: np.ndarray  # groups x owners Boolean reports
+
+    @property
+    def n_groups(self) -> int:
+        return self.group_reports.shape[0]
+
+
+class GroupingPPI:
+    """The randomized grouping construction of [12], [13]."""
+
+    def __init__(self, n_groups: int):
+        if n_groups < 1:
+            raise ConstructionError(f"need at least one group, got {n_groups}")
+        self.n_groups = n_groups
+
+    def construct(
+        self, matrix: MembershipMatrix, rng: np.random.Generator
+    ) -> GroupingResult:
+        """Randomly partition providers into groups and publish group reports."""
+        m, n = matrix.n_providers, matrix.n_owners
+        if self.n_groups > m:
+            raise ConstructionError(
+                f"{self.n_groups} groups exceed {m} providers"
+            )
+        # Random balanced-ish assignment: shuffle providers, deal round-robin.
+        order = rng.permutation(m)
+        group_of = np.empty(m, dtype=np.int64)
+        group_of[order] = np.arange(m) % self.n_groups
+
+        dense = matrix.to_dense()
+        reports = np.zeros((self.n_groups, n), dtype=np.uint8)
+        for g in range(self.n_groups):
+            members = group_of == g
+            if members.any():
+                reports[g] = dense[members].max(axis=0)
+        published = reports[group_of]
+        return GroupingResult(
+            published=published, group_of=group_of, group_reports=reports
+        )

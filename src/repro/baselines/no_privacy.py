@@ -1,0 +1,21 @@
+"""Plain (no-privacy) locator index: publishes the true matrix verbatim.
+
+The NO PROTECT end of the spectrum (paper Sec. II-C): every attack succeeds
+with certainty, but searches contact exactly the true-positive providers.
+Used as the search-cost floor in the overhead benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import MembershipMatrix
+
+__all__ = ["PlainIndex"]
+
+
+class PlainIndex:
+    """Truthful publication of ``M`` -- zero privacy, zero overhead."""
+
+    def construct(self, matrix: MembershipMatrix) -> np.ndarray:
+        return matrix.to_dense()

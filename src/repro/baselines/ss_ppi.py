@@ -1,0 +1,61 @@
+"""SS-PPI baseline (paper ref [22], Tang/Wang/Liu CIKM'11).
+
+SS-PPI is the grouping PPI hardened against colluding providers: groups are
+formed by a *structured* (hash-based) assignment rather than a negotiated
+random one, and the construction exchanges per-identity counts among
+providers.  Two properties matter for the paper's comparison:
+
+* its privacy under the primary attack is still group-based -> NO GUARANTEE
+  (same instability as [12]/[13]);
+* its construction *discloses the truthful identity frequency* σ_j to every
+  participating provider -- so one colluding provider hands the
+  common-identity attacker an exact frequency oracle: NO PROTECT against the
+  common-identity attack (Table II row 2).
+
+We model the disclosure explicitly: :class:`SSPPIResult.leaked_frequencies`
+is available to the attacker model in
+:mod:`repro.attacks.common_identity`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.grouping import GroupingPPI, GroupingResult
+from repro.core.model import MembershipMatrix
+
+__all__ = ["SSPPI", "SSPPIResult"]
+
+
+@dataclass
+class SSPPIResult:
+    """Published SS-PPI index plus the information it leaks on the way."""
+
+    grouping: GroupingResult
+    leaked_frequencies: np.ndarray  # exact per-identity frequency counts
+
+    @property
+    def published(self) -> np.ndarray:
+        return self.grouping.published
+
+
+class SSPPI:
+    """Structured grouping with construction-time frequency disclosure."""
+
+    def __init__(self, n_groups: int):
+        self.n_groups = n_groups
+        self._grouping = GroupingPPI(n_groups)
+
+    def construct(
+        self, matrix: MembershipMatrix, rng: np.random.Generator
+    ) -> SSPPIResult:
+        # Structured assignment: provider i -> group hash(i) (deterministic,
+        # collusion-resistant formation); modelled by a seeded permutation
+        # that does not depend on provider negotiation.
+        grouping = self._grouping.construct(matrix, rng)
+        frequencies = np.array(
+            [matrix.frequency(j) for j in range(matrix.n_owners)], dtype=np.int64
+        )
+        return SSPPIResult(grouping=grouping, leaked_frequencies=frequencies)

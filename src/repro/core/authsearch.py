@@ -1,0 +1,113 @@
+"""AuthSearch: phase 2 of the two-phase search (paper Sec. II-A).
+
+After ``QueryPPI`` returns the obscured provider list, the searcher contacts
+each provider, authenticates against the provider's local access-control
+subsystem, and -- only if authorized -- searches the local repository.
+
+The paper assumes each provider "has already set up its local access control
+subsystem"; we implement a simple capability-token ACL (see DESIGN.md
+substitution table) so the full flow is runnable end to end.  Noise providers
+are exactly the contacts that return no records: the searcher pays the cost
+but learns the obscured list contained false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import AccessDenied, ModelError
+from repro.core.model import InformationNetwork, Record
+
+__all__ = ["Searcher", "AuthSearchResult", "AccessControl", "auth_search"]
+
+
+@dataclass
+class AccessControl:
+    """Per-provider ACL: which searchers may query which owners' records.
+
+    ``grants`` maps searcher name to the set of owner ids it may read; a
+    searcher present in ``trusted`` may read everything (e.g. an emergency
+    room break-glass role in the HIE scenario).
+    """
+
+    grants: dict[str, set[int]] = field(default_factory=dict)
+    trusted: set[str] = field(default_factory=set)
+
+    def authorize(self, searcher: str, owner_id: int) -> bool:
+        if searcher in self.trusted:
+            return True
+        return owner_id in self.grants.get(searcher, set())
+
+    def grant(self, searcher: str, owner_id: int) -> None:
+        self.grants.setdefault(searcher, set()).add(owner_id)
+
+
+@dataclass(frozen=True)
+class Searcher:
+    """An authenticated search principal (e.g. an ER physician)."""
+
+    name: str
+
+
+@dataclass
+class AuthSearchResult:
+    """Outcome of contacting every provider in a QueryPPI result list."""
+
+    owner_id: int
+    records: list[Record]
+    positive_providers: list[int]  # providers that returned records
+    noise_providers: list[int]  # contacted but had nothing (false positives)
+    denied_providers: list[int]  # authorization failed
+    contacted: int  # total providers contacted (the search cost)
+
+    @property
+    def found(self) -> bool:
+        return bool(self.records)
+
+
+def auth_search(
+    network: InformationNetwork,
+    acls: dict[int, AccessControl],
+    searcher: Searcher,
+    provider_ids: list[int],
+    owner_id: int,
+    strict: bool = False,
+) -> AuthSearchResult:
+    """``AuthSearch(s, {p_i}, t_j)`` over the candidate list.
+
+    With ``strict=True`` an authorization failure raises
+    :class:`AccessDenied`; the default records the denial and continues,
+    which is how a real federated search degrades.
+    """
+    if not 0 <= owner_id < network.n_owners:
+        raise ModelError(f"unknown owner id {owner_id}")
+    records: list[Record] = []
+    positive: list[int] = []
+    noise: list[int] = []
+    denied: list[int] = []
+    for pid in provider_ids:
+        if not 0 <= pid < network.n_providers:
+            raise ModelError(f"unknown provider id {pid}")
+        acl = acls.get(pid, AccessControl())
+        if not acl.authorize(searcher.name, owner_id):
+            if strict:
+                raise AccessDenied(
+                    f"searcher {searcher.name!r} denied at provider {pid} "
+                    f"for owner {owner_id}"
+                )
+            denied.append(pid)
+            continue
+        found = network.providers[pid].records.get(owner_id, [])
+        if found:
+            records.extend(found)
+            positive.append(pid)
+        else:
+            noise.append(pid)
+    return AuthSearchResult(
+        owner_id=owner_id,
+        records=records,
+        positive_providers=positive,
+        noise_providers=noise,
+        denied_providers=denied,
+        contacted=len(provider_ids),
+    )

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "PolicyError",
+    "ConstructionError",
+    "AccessDenied",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ModelError(ReproError):
+    """Invalid use of the data model (unknown owner/provider, bad degree...)."""
+
+
+class PolicyError(ReproError):
+    """Invalid β-policy parameters (e.g. γ <= 0.5 for the Chernoff policy)."""
+
+
+class ConstructionError(ReproError):
+    """Index construction failed or was invoked on an inconsistent network."""
+
+
+class AccessDenied(ReproError):
+    """AuthSearch rejected the searcher at a provider's access-control check."""

@@ -1,0 +1,223 @@
+"""Incremental index maintenance: a living locator service.
+
+The paper constructs the index once over a static network; a real record
+locator service sees a stream of new delegations and new owners.  Naively
+re-running ConstructPPI has two problems:
+
+* cost -- reconstruction touches every identity, though only one changed;
+* privacy -- every reconstruction draws fresh noise, feeding the
+  multi-version intersection attack (:mod:`repro.attacks.intersection`).
+
+:class:`IncrementalIndexManager` fixes both:
+
+* only the *changed identity's column* is recomputed (its frequency, its β,
+  its published column);
+* publication uses sticky coins (:mod:`repro.core.sticky`), so an unchanged
+  (identity, β) pair republishes the identical column, and a β increase
+  only ever *adds* noise.  The intersection of all versions an attacker
+  ever saw therefore never drops below the single-version noise level for
+  unchanged identities.
+
+A true delegation does add one certain positive (the new true provider) --
+that is inherent: the owner genuinely is there now, and the paper's ǫ
+guarantee applies to the updated ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConstructionError, ModelError
+from repro.core.index import PPIIndex
+from repro.core.mixing import DEFAULT_COMMON_SIGMA, compute_lambda
+from repro.core.model import InformationNetwork, Owner
+from repro.core.policies import BetaPolicy, ChernoffPolicy
+from repro.core.sticky import StickyPublisher
+
+__all__ = ["IncrementalIndexManager", "UpdateResult"]
+
+
+@dataclass
+class UpdateResult:
+    """What one update changed."""
+
+    owner_id: int
+    old_beta: float
+    new_beta: float
+    republished_cells: int  # newly-published cells in the column
+
+    @property
+    def column_changed(self) -> bool:
+        return self.republished_cells > 0
+
+
+class IncrementalIndexManager:
+    """Maintains a published index under delegation/owner updates.
+
+    The manager plays the role of the (trusted-for-availability-only)
+    coordinator driving per-identity reconstruction; the noise coins remain
+    per-provider secrets, modeled by per-provider sticky keys.
+    """
+
+    def __init__(
+        self,
+        network: InformationNetwork,
+        provider_keys: list[bytes],
+        policy: BetaPolicy | None = None,
+        rng: np.random.Generator | None = None,
+        common_sigma_threshold: float = DEFAULT_COMMON_SIGMA,
+    ):
+        if len(provider_keys) != network.n_providers:
+            raise ConstructionError("need one sticky key per provider")
+        self.network = network
+        self.policy = policy if policy is not None else ChernoffPolicy(gamma=0.9)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._common_sigma = common_sigma_threshold
+        self._publishers = [
+            StickyPublisher(pid, key) for pid, key in enumerate(provider_keys)
+        ]
+        self.betas = np.zeros(network.n_owners, dtype=float)
+        self._decoy_coins = self._rng.random(network.n_owners)
+        self._published = np.zeros(
+            (network.n_providers, network.n_owners), dtype=np.uint8
+        )
+        for j in range(network.n_owners):
+            self._recompute_column(j)
+
+    # -- public API --------------------------------------------------------
+
+    def index(self) -> PPIIndex:
+        """The current published index (fresh immutable snapshot)."""
+        return PPIIndex(
+            self._published.copy(),
+            owner_names=[o.name for o in self.network.owners],
+        )
+
+    def add_owner(self, name: str, epsilon: float) -> Owner:
+        """Register a new owner; extends β/columns by one identity."""
+        owner = self.network.register_owner(name, epsilon)
+        self.betas = np.append(self.betas, 0.0)
+        self._decoy_coins = np.append(self._decoy_coins, self._rng.random())
+        self._published = np.hstack(
+            [
+                self._published,
+                np.zeros((self.network.n_providers, 1), dtype=np.uint8),
+            ]
+        )
+        self._recompute_column(owner.owner_id)
+        return owner
+
+    def delegate(self, owner: Owner, provider_id: int, payload: str = "") -> UpdateResult:
+        """Record a new delegation and republish only the affected column."""
+        self.network.delegate(owner, provider_id, payload=payload)
+        return self._recompute_column(owner.owner_id)
+
+    def update_epsilon(self, owner_id: int, epsilon: float) -> UpdateResult:
+        """An owner revises their privacy degree.
+
+        Raising ǫ raises β and adds noise to the column.  *Lowering* ǫ
+        cannot retract published cells (the sticky/monotone guarantee that
+        defeats intersection attacks), so the republished column keeps all
+        previously published noise; only future recomputations use the new
+        degree.  The returned β reflects the new policy value.
+        """
+        self.network.set_epsilon(owner_id, epsilon)
+        return self._recompute_column(owner_id)
+
+    def rotate_epoch(self, new_provider_keys: list[bytes]) -> int:
+        """Start a fresh noise epoch: new sticky keys, full republication.
+
+        Needed for *retraction*: sticky monotonicity means cells are never
+        unpublished within an epoch, so honoring a record deletion (e.g. a
+        right-to-be-forgotten request) requires rotating every provider's
+        key and republishing from scratch.  The privacy price is that an
+        attacker holding snapshots from *both* epochs can intersect them
+        (fresh noise across epochs is independent) -- rotate rarely, and
+        only when ground truth actually shrank.  Returns the number of
+        cells whose published value changed.
+        """
+        if len(new_provider_keys) != self.network.n_providers:
+            raise ConstructionError("need one key per provider")
+        self._publishers = [
+            StickyPublisher(pid, key)
+            for pid, key in enumerate(new_provider_keys)
+        ]
+        before = self._published.copy()
+        self._published = np.zeros_like(self._published)
+        self.betas = np.zeros_like(self.betas)
+        for j in range(self.network.n_owners):
+            self._recompute_column(j)
+        return int((self._published != before).sum())
+
+    def forget_delegation(self, owner: Owner, provider_id: int) -> None:
+        """Remove a delegation from the ground truth (records deleted at the
+        provider).  The published index keeps the now-stale positive until
+        the next :meth:`rotate_epoch` -- within an epoch it is
+        indistinguishable from noise, which is itself a privacy feature.
+        """
+        provider = self.network.providers[provider_id]
+        if owner.owner_id in provider.records:
+            del provider.records[owner.owner_id]
+
+    def verify_recall(self) -> bool:
+        """Sanity: every true membership is published (invariant check)."""
+        dense = self.network.membership_matrix().to_dense()
+        return bool(np.all(self._published[dense == 1] == 1))
+
+    # -- internals ------------------------------------------------------------
+
+    def _recompute_column(self, owner_id: int) -> UpdateResult:
+        if not 0 <= owner_id < self.network.n_owners:
+            raise ModelError(f"unknown owner id {owner_id}")
+        m = self.network.n_providers
+        matrix = self.network.membership_matrix()
+        owner = self.network.owners[owner_id]
+        sigma = matrix.sigma(owner_id)
+        old_beta = float(self.betas[owner_id])
+        beta = self.policy.beta(sigma, owner.epsilon, m)
+
+        # Mixing, incrementally: recompute lambda from the current beta
+        # vector (cheap public arithmetic) and apply this owner's sticky
+        # decoy coin.  The coin is drawn once per owner, so lambda drift
+        # only ever flips an owner from non-decoy to decoy (monotone).
+        trial = self.betas.copy()
+        trial[owner_id] = beta
+        lam, _ = self._lambda_for(trial, matrix)
+        if beta < 1.0 and self._decoy_coins[owner_id] < lam:
+            beta = 1.0
+        self.betas[owner_id] = beta
+
+        # Republish the column with sticky coins: deterministic given
+        # (provider key, owner, beta), so unchanged inputs change nothing.
+        column = np.empty(m, dtype=np.uint8)
+        for pid in range(m):
+            is_member = matrix.get(pid, owner_id)
+            if is_member:
+                column[pid] = 1
+            else:
+                column[pid] = 1 if self._publishers[pid].coin(owner_id) < beta else 0
+        before = self._published[:, owner_id].copy()
+        self._published[:, owner_id] = np.maximum(before, column)
+        republished = int((self._published[:, owner_id] != before).sum())
+        return UpdateResult(
+            owner_id=owner_id,
+            old_beta=old_beta,
+            new_beta=float(self.betas[owner_id]),
+            republished_cells=republished,
+        )
+
+    def _lambda_for(self, betas: np.ndarray, matrix) -> tuple[float, float]:
+        sigmas = np.array(
+            [matrix.sigma(j) for j in range(self.network.n_owners)], dtype=float
+        )
+        epsilons = self.network.epsilons()
+        broadcast = betas >= 1.0
+        common = broadcast & (sigmas >= self._common_sigma)
+        natural = broadcast & ~common
+        xi = float(epsilons[common].max()) if common.any() else 0.0
+        lam = compute_lambda(
+            int(common.sum()), len(betas), xi, n_natural_decoys=int(natural.sum())
+        )
+        return lam, xi

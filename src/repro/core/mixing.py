@@ -1,0 +1,166 @@
+"""Identity mixing against the common-identity attack (paper Sec. III-B-2).
+
+An identity whose policy β reaches 1 is published by every provider, so its
+row in ``M'`` shows ~100 % frequency.  Two distinct populations end up
+there:
+
+* **truly common identities** -- high *actual* frequency (σ at/above
+  ``common_sigma_threshold``).  For them the false-positive guarantee is
+  unattainable (``fp ≤ 1 − σ < ǫ``), so their protection must come from
+  *identity anonymity*: an attacker must not be able to tell which of the
+  100 %-frequency rows are truly common;
+* **natural decoys** -- low-frequency identities whose owners requested an
+  ǫ so high that only broadcast satisfies it.  They already hide the truly
+  common rows for free.
+
+The defence (Eq. 6) tops up the decoy population: each remaining identity's
+β is exaggerated to 1 with probability λ, chosen (Eq. 7) so the decoy
+fraction ξ among the mixed set is at least the largest privacy degree of any
+truly common identity:
+
+    decoys / (commons + decoys) ≥ ξ
+    ⇒ needed decoys ≥ ξ/(1 − ξ) · C;  natural decoys count toward the need.
+
+The attacker's confidence in picking a *true* common identity out of the
+mixed set is then ≤ 1 − ξ, restoring the per-identity ǫ-PRIVATE degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.errors import ConstructionError
+
+__all__ = [
+    "MixingResult",
+    "compute_lambda",
+    "mix_betas",
+    "DEFAULT_COMMON_SIGMA",
+]
+
+# An identity present at more than this fraction of providers is treated as
+# frequency-common (the population the common-identity attack targets).
+DEFAULT_COMMON_SIGMA = 0.5
+
+
+@dataclass
+class MixingResult:
+    """Outcome of the identity-mixing step."""
+
+    betas: np.ndarray  # final β vector after exaggeration (Eq. 6)
+    lambda_: float  # mixing probability applied to remaining identities
+    xi: float  # target decoy fraction (max ǫ over truly common)
+    common_ids: np.ndarray  # truly (frequency-)common identities
+    natural_decoy_ids: np.ndarray  # β* >= 1 but low-frequency identities
+    decoy_ids: np.ndarray  # identities exaggerated by the λ coin
+
+    @property
+    def mixed_ids(self) -> np.ndarray:
+        """All identities published with β = 1 (commons + both decoy kinds)."""
+        return np.sort(
+            np.concatenate([self.common_ids, self.natural_decoy_ids, self.decoy_ids])
+        )
+
+    @property
+    def achieved_decoy_fraction(self) -> float:
+        """Realized fraction of decoys among the mixed set."""
+        decoys = len(self.natural_decoy_ids) + len(self.decoy_ids)
+        total = len(self.common_ids) + decoys
+        if total == 0:
+            return 1.0
+        return decoys / total
+
+
+def compute_lambda(
+    n_common: int, n_total: int, xi: float, n_natural_decoys: int = 0
+) -> float:
+    """Mixing probability λ from Eq. 7, net of natural decoys.
+
+    ``n_common`` is the count of truly common identities C, ``xi`` the
+    required decoy fraction, ``n_natural_decoys`` the β* ≥ 1 low-frequency
+    identities that already serve as decoys.  λ applies to the remaining
+    ``n_total − C − n_natural_decoys`` identities.  Clamped to [0, 1]; a
+    demand that cannot be met (ξ = 1, or nearly everything common) yields
+    λ = 1 -- best effort, flagged via ``achieved_decoy_fraction``.
+    """
+    if not 0.0 <= xi <= 1.0:
+        raise ConstructionError(f"xi must be in [0, 1], got {xi}")
+    if n_common < 0 or n_natural_decoys < 0:
+        raise ConstructionError("counts must be non-negative")
+    if n_common + n_natural_decoys > n_total:
+        raise ConstructionError(
+            f"invalid counts: {n_common} common + {n_natural_decoys} natural "
+            f"of {n_total} total"
+        )
+    if n_common == 0 or xi == 0.0:
+        return 0.0
+    if xi == 1.0:
+        return 1.0
+    needed = (xi / (1.0 - xi)) * n_common - n_natural_decoys
+    if needed <= 0.0:
+        return 0.0
+    remaining = n_total - n_common - n_natural_decoys
+    if remaining == 0:
+        return 1.0
+    return min(1.0, needed / remaining)
+
+
+def mix_betas(
+    betas: np.ndarray,
+    epsilons: np.ndarray,
+    rng: np.random.Generator,
+    sigmas: Optional[np.ndarray] = None,
+    common_sigma_threshold: float = DEFAULT_COMMON_SIGMA,
+    enabled: bool = True,
+) -> MixingResult:
+    """Apply Eq. 6 to a policy-computed β vector.
+
+    With ``sigmas`` supplied, β ≥ 1 identities are split into truly common
+    (σ ≥ ``common_sigma_threshold``) and natural decoys; without it every
+    β ≥ 1 identity is treated as common (conservative).  ``enabled=False``
+    runs the bookkeeping without coin-flip exaggeration -- used by the
+    mixing ablation to quantify exactly what the defence buys.
+    """
+    betas = np.asarray(betas, dtype=float).copy()
+    epsilons = np.asarray(epsilons, dtype=float)
+    if betas.shape != epsilons.shape:
+        raise ConstructionError("betas/epsilons shapes must match")
+    if betas.ndim != 1:
+        raise ConstructionError("expected 1-D beta vector")
+
+    broadcast_mask = betas >= 1.0
+    if sigmas is not None:
+        sigmas = np.asarray(sigmas, dtype=float)
+        if sigmas.shape != betas.shape:
+            raise ConstructionError("sigmas shape must match betas")
+        common_mask = broadcast_mask & (sigmas >= common_sigma_threshold)
+    else:
+        common_mask = broadcast_mask
+    natural_mask = broadcast_mask & ~common_mask
+
+    common_ids = np.nonzero(common_mask)[0]
+    natural_ids = np.nonzero(natural_mask)[0]
+    xi = float(epsilons[common_mask].max()) if common_ids.size else 0.0
+    lam = compute_lambda(
+        len(common_ids), len(betas), xi, n_natural_decoys=len(natural_ids)
+    )
+
+    if enabled and lam > 0.0:
+        draws = rng.random(betas.shape)
+        decoy_mask = (~broadcast_mask) & (draws < lam)
+    else:
+        decoy_mask = np.zeros(betas.shape, dtype=bool)
+    decoy_ids = np.nonzero(decoy_mask)[0]
+    betas[decoy_mask] = 1.0
+    betas[broadcast_mask] = 1.0
+    return MixingResult(
+        betas=betas,
+        lambda_=lam,
+        xi=xi,
+        common_ids=common_ids,
+        natural_decoy_ids=natural_ids,
+        decoy_ids=decoy_ids,
+    )

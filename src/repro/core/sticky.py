@@ -1,0 +1,94 @@
+"""Sticky-noise publication: repeated-publication resistance.
+
+The paper's static-index argument (Sec. III-C) holds only until the index
+is reconstructed; with fresh flip coins each time, the multi-version
+intersection attack (:mod:`repro.attacks.intersection`) strips the noise at
+rate β^k.  Sticky noise fixes this without a trusted party:
+
+* each provider holds a long-lived local secret ``provider_key``;
+* the flip coin for (provider, owner) is derived from a PRF
+  ``H(provider_key, owner, beta_bucket)`` instead of fresh randomness, so
+  re-publishing with the same β reproduces the *same* false positives;
+* β changes only re-randomize the *marginal* cells: coins are monotone in
+  β (a cell published at β₁ stays published for every β₂ ≥ β₁), implemented
+  by comparing one PRF draw against β -- so raising an owner's privacy
+  degree only ever adds noise, never removes it.
+
+The intersection of any number of republications then equals the *first*
+publication, and the attacker's confidence stays at its single-version
+bound.  This is an extension beyond the paper (its future-work direction of
+handling index refresh), documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.core.errors import ConstructionError
+from repro.core.model import MembershipMatrix
+
+__all__ = ["StickyPublisher", "sticky_publish_matrix"]
+
+
+class StickyPublisher:
+    """Derandomized per-provider publication with PRF-derived coins."""
+
+    def __init__(self, provider_id: int, provider_key: bytes):
+        if not provider_key:
+            raise ConstructionError("provider key must be non-empty")
+        self.provider_id = provider_id
+        self._key = provider_key
+
+    def coin(self, owner_id: int) -> float:
+        """Deterministic uniform draw in [0, 1) for (provider, owner).
+
+        HMAC-style PRF: SHA-256 over key || provider || owner, mapped to a
+        53-bit mantissa.  The draw is *fixed for the lifetime of the key*,
+        which is exactly the sticky property.
+        """
+        digest = hashlib.sha256(
+            self._key
+            + self.provider_id.to_bytes(8, "big")
+            + owner_id.to_bytes(8, "big")
+        ).digest()
+        mantissa = int.from_bytes(digest[:8], "big") >> 11
+        return mantissa / (1 << 53)
+
+    def publish_row(self, private_row: np.ndarray, betas: np.ndarray) -> np.ndarray:
+        """Sticky analogue of Eq. 2: flip 0-cells where ``coin < beta``.
+
+        Monotone in β: the published set for β' ≥ β is a superset of the
+        published set for β.
+        """
+        private_row = np.asarray(private_row, dtype=np.uint8)
+        betas = np.asarray(betas, dtype=float)
+        if private_row.shape != betas.shape:
+            raise ConstructionError("row/betas shapes must match")
+        if np.any((betas < 0.0) | (betas > 1.0)):
+            raise ConstructionError("beta values must lie in [0, 1]")
+        coins = np.array([self.coin(j) for j in range(len(betas))])
+        flips = (coins < betas).astype(np.uint8)
+        return np.where(private_row == 1, 1, flips)
+
+
+def sticky_publish_matrix(
+    matrix: MembershipMatrix,
+    betas: np.ndarray,
+    provider_keys: list[bytes],
+) -> np.ndarray:
+    """Full sticky publication: one :class:`StickyPublisher` per provider."""
+    betas = np.asarray(betas, dtype=float)
+    if betas.shape != (matrix.n_owners,):
+        raise ConstructionError(
+            f"need one beta per owner ({matrix.n_owners}), got {betas.shape}"
+        )
+    if len(provider_keys) != matrix.n_providers:
+        raise ConstructionError("need one key per provider")
+    dense = matrix.to_dense()
+    published = np.empty_like(dense)
+    for pid in range(matrix.n_providers):
+        publisher = StickyPublisher(pid, provider_keys[pid])
+        published[pid] = publisher.publish_row(dense[pid], betas)
+    return published

@@ -1,0 +1,31 @@
+"""Dataset substrate: synthetic stand-ins for the paper's TREC-derived
+collection table (see the substitution table in DESIGN.md)."""
+
+from repro.datasets.synthetic import (
+    SyntheticDataset,
+    exact_frequency_matrix,
+    make_dataset,
+    tiered_epsilons,
+    uniform_epsilons,
+    zipf_matrix,
+)
+from repro.datasets.trec_like import TrecLikeConfig, build_trec_like_network
+from repro.datasets.workload import (
+    QueryWorkload,
+    popularity_workload,
+    uniform_workload,
+)
+
+__all__ = [
+    "QueryWorkload",
+    "SyntheticDataset",
+    "TrecLikeConfig",
+    "build_trec_like_network",
+    "exact_frequency_matrix",
+    "make_dataset",
+    "popularity_workload",
+    "tiered_epsilons",
+    "uniform_epsilons",
+    "uniform_workload",
+    "zipf_matrix",
+]

@@ -1,0 +1,118 @@
+"""Synthetic membership-matrix generators.
+
+The paper's experiments use a distributed document collection derived from
+TREC-WT10g [23, 24]: collections play providers, source URLs play owner
+identities.  We cannot ship that dataset, so these generators synthesize
+matrices with the same *consumed characteristics* (see DESIGN.md): a heavy-
+tailed (Zipf-like) identity-frequency spectrum over a configurable number of
+providers, plus exact-frequency construction for controlled sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import MembershipMatrix
+
+__all__ = [
+    "zipf_matrix",
+    "exact_frequency_matrix",
+    "uniform_epsilons",
+    "tiered_epsilons",
+    "make_dataset",
+    "SyntheticDataset",
+]
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated matrix plus its generation parameters."""
+
+    matrix: MembershipMatrix
+    frequencies: np.ndarray
+    epsilons: np.ndarray
+    seed: int
+
+
+def zipf_matrix(
+    m: int,
+    n: int,
+    rng: np.random.Generator,
+    zipf_a: float = 1.6,
+    max_fraction: float = 0.1,
+) -> MembershipMatrix:
+    """Matrix with Zipf-distributed identity frequencies.
+
+    Identity frequencies are drawn from a Zipf(``zipf_a``) law truncated at
+    ``max_fraction * m`` (the TREC-derived collection table shows the same
+    few-popular / many-rare skew).  Providers are chosen uniformly per
+    identity, matching the random document placement of [23].
+    """
+    if m < 1 or n < 0:
+        raise ValueError(f"invalid shape m={m}, n={n}")
+    cap = max(1, int(max_fraction * m))
+    freqs = np.minimum(rng.zipf(zipf_a, size=n), cap)
+    matrix = MembershipMatrix(m, n)
+    for j in range(n):
+        providers = rng.choice(m, size=int(freqs[j]), replace=False)
+        for pid in providers:
+            matrix.set(int(pid), j)
+    return matrix
+
+
+def exact_frequency_matrix(
+    m: int, frequencies: list[int], rng: np.random.Generator
+) -> MembershipMatrix:
+    """Matrix where identity ``j`` appears at exactly ``frequencies[j]``
+    uniformly chosen providers -- the controlled workload for the Fig. 4/5
+    frequency sweeps."""
+    matrix = MembershipMatrix(m, len(frequencies))
+    for j, f in enumerate(frequencies):
+        if not 0 <= f <= m:
+            raise ValueError(f"frequency {f} outside [0, {m}]")
+        providers = rng.choice(m, size=f, replace=False)
+        for pid in providers:
+            matrix.set(int(pid), j)
+    return matrix
+
+
+def uniform_epsilons(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Per-owner degrees uniform in [0, 1] (the paper's default: "we
+    randomly generate the privacy degree ǫ in the domain [0,1]")."""
+    return rng.random(n)
+
+
+def tiered_epsilons(
+    n: int,
+    rng: np.random.Generator,
+    vip_fraction: float = 0.05,
+    vip_epsilon: float = 0.95,
+    average_epsilon: float = 0.5,
+) -> np.ndarray:
+    """VIP/average tiering from the paper's motivation: a small celebrity
+    tier requests near-maximal privacy, everyone else a medium degree."""
+    if not 0.0 <= vip_fraction <= 1.0:
+        raise ValueError(f"vip_fraction must be in [0, 1], got {vip_fraction}")
+    eps = np.full(n, average_epsilon, dtype=float)
+    n_vip = int(round(vip_fraction * n))
+    if n_vip:
+        vip_ids = rng.choice(n, size=n_vip, replace=False)
+        eps[vip_ids] = vip_epsilon
+    return eps
+
+
+def make_dataset(
+    m: int,
+    n: int,
+    seed: int,
+    zipf_a: float = 1.6,
+    max_fraction: float = 0.1,
+) -> SyntheticDataset:
+    """One-call dataset: Zipf matrix + uniform ǫ, reproducible by seed."""
+    rng = np.random.default_rng(seed)
+    matrix = zipf_matrix(m, n, rng, zipf_a=zipf_a, max_fraction=max_fraction)
+    freqs = np.array([matrix.frequency(j) for j in range(n)], dtype=np.int64)
+    eps = uniform_epsilons(n, rng)
+    return SyntheticDataset(matrix=matrix, frequencies=freqs, epsilons=eps, seed=seed)

@@ -1,0 +1,49 @@
+"""Query workloads for search-cost experiments.
+
+The paper's search-overhead discussion (Sec. V-A2, detailed in the tech
+report) measures how many providers a searcher must contact per query.  A
+workload is a sequence of owner lookups; generators model the two natural
+shapes: uniform interest and popularity-skewed interest (searches correlate
+with identity frequency -- common patients are also commonly searched for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QueryWorkload", "uniform_workload", "popularity_workload"]
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A sequence of owner ids to look up."""
+
+    owner_ids: np.ndarray
+    name: str
+
+    def __len__(self) -> int:
+        return len(self.owner_ids)
+
+
+def uniform_workload(
+    n_owners: int, n_queries: int, rng: np.random.Generator
+) -> QueryWorkload:
+    """Every owner equally likely to be searched for."""
+    return QueryWorkload(
+        owner_ids=rng.integers(0, n_owners, size=n_queries), name="uniform"
+    )
+
+
+def popularity_workload(
+    frequencies: np.ndarray, n_queries: int, rng: np.random.Generator
+) -> QueryWorkload:
+    """Search probability proportional to identity frequency (+1 smoothing,
+    so absent owners can still be queried -- a realistic miss case)."""
+    weights = np.asarray(frequencies, dtype=float) + 1.0
+    probs = weights / weights.sum()
+    return QueryWorkload(
+        owner_ids=rng.choice(len(probs), size=n_queries, p=probs),
+        name="popularity",
+    )

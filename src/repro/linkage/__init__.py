@@ -1,0 +1,29 @@
+"""Privacy-preserving record linkage (PRL): the complementary system of
+paper Sec. VI-B -- Bloom-filter field encodings + weighted-Dice matching,
+linking per-patient records across hospitals after an ǫ-PPI search."""
+
+from repro.linkage.bloom import (
+    BloomEncoder,
+    BloomFilter,
+    bigrams,
+    dice_coefficient,
+)
+from repro.linkage.matcher import (
+    FieldWeights,
+    MatchDecision,
+    MatchResult,
+    RecordMatcher,
+    link_records,
+)
+
+__all__ = [
+    "BloomEncoder",
+    "BloomFilter",
+    "FieldWeights",
+    "MatchDecision",
+    "MatchResult",
+    "RecordMatcher",
+    "bigrams",
+    "dice_coefficient",
+    "link_records",
+]

@@ -1,0 +1,153 @@
+"""Secure β calculation: the complete phase-1 pipeline (paper Alg. 1).
+
+Orchestrates the MPC-reduced computation flow of Eq. 9 end to end:
+
+    provider bits --SecSumShare--> c coordinator shares
+                  --CountBelow (GMW)--> #common identities + ξ
+                  --λ (public, Eq. 7)-->
+                  --β-selection (GMW)--> per-identity "publish as 1" bits
+                  --open σ for unselected--> β* in the clear (Eq. 3/4/5)
+
+The returned β vector is what providers feed into randomized publication
+(phase 2).  The reference (trusted, centralized) computation of the same
+function is :func:`repro.core.construction.compute_betas`; tests assert the
+two agree.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mixing import compute_lambda
+from repro.core.policies import BetaPolicy, frequency_threshold
+from repro.mpc.countbelow import (
+    CountBelowResult,
+    SelectionResult,
+    run_beta_selection,
+    run_count_below,
+)
+from repro.mpc.field import Zq, default_modulus_for_sum
+from repro.mpc.secsum import SecSumResult, SecSumShare
+
+__all__ = ["SecureBetaResult", "secure_beta_calculation"]
+
+
+@dataclass
+class SecureBetaResult:
+    """Outputs and full accounting of one secure β calculation."""
+
+    betas: np.ndarray  # final per-identity publishing probabilities
+    n_common: int  # truly common count, revealed by CountBelow
+    n_natural_decoys: int  # broadcast-but-not-common count, ditto
+    xi: float  # revealed by CountBelow
+    lambda_: float  # public mixing probability (Eq. 7)
+    publish_as_one: list[int]  # per-identity selection bits (public)
+    opened_frequencies: dict[int, int]  # identity -> opened frequency
+    thresholds: list[int]  # public per-identity frequency thresholds
+    secsum: SecSumResult
+    count_result: CountBelowResult
+    selection_result: SelectionResult
+
+    @property
+    def total_and_gates(self) -> int:
+        return self.count_result.stats.and_gates + self.selection_result.stats.and_gates
+
+    @property
+    def total_circuit_size(self) -> int:
+        return (
+            self.count_result.circuit.stats().size
+            + self.selection_result.circuit.stats().size
+        )
+
+
+def secure_beta_calculation(
+    provider_bits: list[list[int]],
+    epsilons: list[float],
+    policy: BetaPolicy,
+    c: int,
+    rng: random.Random,
+    common_sigma_threshold: float = 0.5,
+) -> SecureBetaResult:
+    """Run Alg. 1 over ``m`` providers' private bits for ``n`` identities.
+
+    ``provider_bits[i][j]`` is provider ``i``'s membership bit for identity
+    ``j``.  ``c`` is the collusion-tolerance parameter (number of
+    coordinators / shares).  ``common_sigma_threshold`` is the public bound
+    separating truly common identities from natural decoys (see
+    :mod:`repro.core.mixing`).
+    """
+    m = len(provider_bits)
+    if m == 0:
+        raise ValueError("need at least one provider")
+    n_ids = len(provider_bits[0])
+    if len(epsilons) != n_ids:
+        raise ValueError(
+            f"need one epsilon per identity ({n_ids}), got {len(epsilons)}"
+        )
+    for i, row in enumerate(provider_bits):
+        for v in row:
+            if v not in (0, 1):
+                raise ValueError(f"provider {i} supplied non-bit value {v}")
+
+    ring = Zq(default_modulus_for_sum(m))
+
+    # Stage 1.1: SecSumShare (paper Fig. 3, phase 1.1).
+    secsum = SecSumShare(m=m, c=c, ring=ring, rng=rng)
+    sum_result = secsum.run(provider_bits)
+
+    # Public per-identity thresholds t_j = ceil(σ'_j · m) (Alg. 1, line 2).
+    thresholds = [frequency_threshold(policy, e, m) for e in epsilons]
+
+    # Stage 1.2a: CountBelow under generic MPC (Alg. 1, line 3).
+    high_threshold = max(1, math.ceil(common_sigma_threshold * m))
+    count_result = run_count_below(
+        sum_result.coordinator_shares,
+        thresholds,
+        list(epsilons),
+        ring,
+        rng,
+        high_threshold=high_threshold,
+    )
+
+    # λ is computed from public values only (Eq. 7, net of natural decoys).
+    lambda_ = compute_lambda(
+        count_result.n_common,
+        n_ids,
+        count_result.xi,
+        n_natural_decoys=count_result.n_natural_decoys,
+    )
+
+    # Stage 1.2b: per-identity β-selection under generic MPC.
+    selection_result = run_beta_selection(
+        sum_result.coordinator_shares, thresholds, lambda_, ring, rng
+    )
+
+    # Non-private end of the flow (Eq. 9): open σ only for identities that
+    # were *not* selected, then evaluate the heavy β* math in the clear.
+    betas = np.zeros(n_ids, dtype=float)
+    opened: dict[int, int] = {}
+    for j, bit in enumerate(selection_result.publish_as_one):
+        if bit:
+            betas[j] = 1.0
+        else:
+            freq = sum_result.reconstruct(ring, j)
+            opened[j] = freq
+            betas[j] = policy.beta(freq / m, epsilons[j], m)
+
+    return SecureBetaResult(
+        betas=betas,
+        n_common=count_result.n_common,
+        n_natural_decoys=count_result.n_natural_decoys,
+        xi=count_result.xi,
+        lambda_=lambda_,
+        publish_as_one=list(selection_result.publish_as_one),
+        opened_frequencies=opened,
+        thresholds=thresholds,
+        secsum=sum_result,
+        count_result=count_result,
+        selection_result=selection_result,
+    )

@@ -1,0 +1,160 @@
+"""BGW-style arithmetic MPC over Shamir shares.
+
+The paper's related-work survey (Sec. VI-B) contrasts Boolean-circuit
+engines (Fairplay/FairplayMP -- our :mod:`repro.mpc.gmw`) with
+arithmetic-circuit runtimes (VIFF [18]); TASTY [17] mixes the two because
+each model wins on different workloads.  This module provides the
+arithmetic side so the hybrid comparison can be reproduced: secure sums are
+*free* over Shamir shares (one local addition), while comparisons -- the
+operation CountBelow actually needs -- are notoriously expensive in the
+arithmetic model, which is exactly why the paper's CountBelow uses a
+Boolean engine.
+
+Semi-honest BGW:
+
+* inputs are (t, n) Shamir-shared; additions and public-constant operations
+  are local;
+* each multiplication raises the polynomial degree to 2t−2 and is repaired
+  by *degree reduction*: parties reshare their product points and linearly
+  recombine (implemented with a dealer-free resharing round);
+* requires ``n >= 2t - 1`` honest-majority parties.
+
+Accounting mirrors :class:`repro.mpc.gmw.GMWStats`: one round and
+``n (n-1)`` messages per multiplication layer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.mpc.shamir import ShamirShare, ShamirSharing
+
+__all__ = ["BGWEngine", "BGWStats", "SharedValue"]
+
+
+@dataclass
+class BGWStats:
+    """Cost accounting for one BGW session."""
+
+    parties: int = 0
+    multiplications: int = 0
+    additions: int = 0
+    rounds: int = 0
+    messages: int = 0
+    field_elements_sent: int = 0
+
+
+@dataclass(frozen=True)
+class SharedValue:
+    """A (t, n) Shamir-shared field element held across the parties."""
+
+    shares: tuple[ShamirShare, ...]
+
+    def __len__(self) -> int:
+        return len(self.shares)
+
+
+class BGWEngine:
+    """Semi-honest arithmetic MPC among ``parties`` simulated parties."""
+
+    def __init__(self, threshold: int, parties: int, rng: random.Random):
+        if parties < 2 * threshold - 1:
+            raise ValueError(
+                f"BGW needs n >= 2t-1 (honest majority): t={threshold}, n={parties}"
+            )
+        self.scheme = ShamirSharing(threshold, parties)
+        self.threshold = threshold
+        self.parties = parties
+        self._rng = rng
+        self.stats = BGWStats(parties=parties)
+
+    # -- I/O --------------------------------------------------------------
+
+    def share(self, value: int) -> SharedValue:
+        """A party inputs ``value`` by dealing Shamir shares to everyone."""
+        shares = self.scheme.share(value, self._rng)
+        # One message per receiving party.
+        self.stats.messages += self.parties - 1
+        self.stats.field_elements_sent += self.parties - 1
+        return SharedValue(shares=tuple(shares))
+
+    def open(self, value: SharedValue) -> int:
+        """Reconstruct a shared value (everyone broadcasts their share)."""
+        self.stats.rounds += 1
+        self.stats.messages += self.parties * (self.parties - 1)
+        self.stats.field_elements_sent += self.parties * (self.parties - 1)
+        return self.scheme.reconstruct(list(value.shares))
+
+    # -- linear operations (local, free) ----------------------------------------
+
+    def add(self, a: SharedValue, b: SharedValue) -> SharedValue:
+        self.stats.additions += 1
+        return SharedValue(shares=tuple(self.scheme.add(list(a.shares), list(b.shares))))
+
+    def add_constant(self, a: SharedValue, k: int) -> SharedValue:
+        return SharedValue(
+            shares=tuple(self.scheme.add_constant(list(a.shares), k))
+        )
+
+    def scale(self, a: SharedValue, k: int) -> SharedValue:
+        return SharedValue(shares=tuple(self.scheme.scale(list(a.shares), k)))
+
+    def sum(self, values: Sequence[SharedValue]) -> SharedValue:
+        """Secure sum: entirely local -- the arithmetic model's sweet spot."""
+        if not values:
+            raise ValueError("sum over zero shared values")
+        acc = values[0]
+        for v in values[1:]:
+            acc = self.add(acc, v)
+        return acc
+
+    # -- multiplication (interactive) ---------------------------------------
+
+    def multiply(self, a: SharedValue, b: SharedValue) -> SharedValue:
+        """One BGW multiplication with degree reduction.
+
+        Each party multiplies its two share points (degree doubles), then
+        reshares the product point with a fresh degree-(t−1) polynomial; the
+        new shares are recombined with the Lagrange coefficients of the
+        degree-(2t−2) interpolation at 0.  One communication round,
+        all-to-all resharing.
+        """
+        p = self.scheme.prime
+        n, t = self.parties, self.threshold
+        # Party i's local product point (x_i, a_i * b_i).
+        products = [
+            (a.shares[i].x, (a.shares[i].y * b.shares[i].y) % p) for i in range(n)
+        ]
+        # Lagrange coefficients to interpolate degree-(2t-2) poly at 0 from
+        # the first 2t-1 points.
+        use = products[: 2 * t - 1]
+        coeffs = _lagrange_coefficients([x for x, _ in use], p)
+        # Each contributing party reshares its product point.
+        new_shares = [0] * n
+        for (x_i, prod), lam in zip(use, coeffs):
+            resharing = self.scheme.share((prod * lam) % p, self._rng)
+            for j in range(n):
+                new_shares[j] = (new_shares[j] + resharing[j].y) % p
+        self.stats.multiplications += 1
+        self.stats.rounds += 1
+        self.stats.messages += (2 * t - 1) * (n - 1)
+        self.stats.field_elements_sent += (2 * t - 1) * (n - 1)
+        return SharedValue(
+            shares=tuple(ShamirShare(x=j + 1, y=new_shares[j]) for j in range(n))
+        )
+
+
+def _lagrange_coefficients(xs: list[int], p: int) -> list[int]:
+    """Coefficients λ_i with ``f(0) = Σ λ_i f(x_i)`` for distinct x_i."""
+    coeffs = []
+    for i, x_i in enumerate(xs):
+        num, den = 1, 1
+        for j, x_j in enumerate(xs):
+            if i == j:
+                continue
+            num = (num * (-x_j)) % p
+            den = (den * (x_i - x_j)) % p
+        coeffs.append((num * pow(den, p - 2, p)) % p)
+    return coeffs

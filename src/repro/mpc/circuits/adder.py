@@ -1,0 +1,109 @@
+"""Arithmetic sub-circuits: adders and popcount trees.
+
+All integers are little-endian bit vectors.  The key consumers are:
+
+* `CountBelow` (paper Alg. 2) -- sums ``c`` coordinator shares per identity
+  (modular ripple-carry addition) and counts thresholds (popcount of
+  comparator outputs);
+* the pure-MPC baseline -- sums ``m`` provider bits directly in-circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.mpc.circuits.builder import CircuitBuilder
+
+__all__ = [
+    "half_adder",
+    "full_adder",
+    "ripple_add",
+    "ripple_add_mod2k",
+    "add_many",
+    "popcount",
+]
+
+
+def half_adder(b: CircuitBuilder, x: int, y: int) -> tuple[int, int]:
+    """Return ``(sum, carry)`` for two bits."""
+    return b.xor(x, y), b.and_(x, y)
+
+
+def full_adder(b: CircuitBuilder, x: int, y: int, cin: int) -> tuple[int, int]:
+    """Return ``(sum, carry)`` for two bits plus carry-in.
+
+    Uses the 1-AND construction: carry = cin ^ ((x ^ cin) & (y ^ cin)).
+    """
+    x_c = b.xor(x, cin)
+    y_c = b.xor(y, cin)
+    s = b.xor(x_c, y)
+    carry = b.xor(cin, b.and_(x_c, y_c))
+    return s, carry
+
+
+def ripple_add(b: CircuitBuilder, xs: Sequence[int], ys: Sequence[int]) -> list[int]:
+    """Add two equal-width numbers, returning ``width + 1`` result bits."""
+    if len(xs) != len(ys):
+        raise ValueError("ripple_add operands must have equal width")
+    out: list[int] = []
+    carry = b.zero()
+    for x, y in zip(xs, ys):
+        s, carry = full_adder(b, x, y, carry)
+        out.append(s)
+    out.append(carry)
+    return out
+
+
+def ripple_add_mod2k(b: CircuitBuilder, xs: Sequence[int], ys: Sequence[int]) -> list[int]:
+    """Add two equal-width numbers modulo ``2^width`` (carry-out dropped).
+
+    This is how CountBelow sums additive shares over ``Z_q`` when ``q`` is a
+    power of two: modular wrap-around is exactly truncation of the carry.
+    """
+    return ripple_add(b, xs, ys)[: len(xs)]
+
+
+def add_many(b: CircuitBuilder, numbers: Sequence[Sequence[int]], modular: bool = False) -> list[int]:
+    """Balanced adder tree over >= 1 equal-width numbers.
+
+    Non-modular mode widens intermediate results so the exact sum is
+    preserved; modular mode keeps the input width and wraps mod ``2^width``.
+    """
+    if not numbers:
+        raise ValueError("add_many needs at least one number")
+    width = len(numbers[0])
+    for n in numbers:
+        if len(n) != width:
+            raise ValueError("add_many operands must share a width")
+    level = [list(n) for n in numbers]
+    while len(level) > 1:
+        nxt: list[list[int]] = []
+        for i in range(0, len(level) - 1, 2):
+            a, bb = level[i], level[i + 1]
+            if modular:
+                nxt.append(ripple_add_mod2k(b, a, bb))
+            else:
+                w = max(len(a), len(bb))
+                a = _pad(b, a, w)
+                bb = _pad(b, bb, w)
+                nxt.append(ripple_add(b, a, bb))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        if not modular:
+            w = max(len(n) for n in nxt)
+            nxt = [_pad(b, n, w) for n in nxt]
+        level = nxt
+    return level[0]
+
+
+def popcount(b: CircuitBuilder, bits: Sequence[int]) -> list[int]:
+    """Number of set bits among ``bits``, as an exact-width bit vector."""
+    if not bits:
+        raise ValueError("popcount over zero bits")
+    return add_many(b, [[bit] for bit in bits], modular=False)
+
+
+def _pad(b: CircuitBuilder, bits: list[int], width: int) -> list[int]:
+    if len(bits) >= width:
+        return bits
+    return bits + [b.zero()] * (width - len(bits))

@@ -1,0 +1,52 @@
+"""Comparison sub-circuits.
+
+`CountBelow` (paper Alg. 2, line 4: ``if S[j] < t``) needs an unsigned
+less-than over reconstructed frequency sums.  The circuits here follow the
+classic ripple construction: compute the borrow chain of ``a - b``; the final
+borrow is ``a < b``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.mpc.circuits.builder import CircuitBuilder
+
+__all__ = ["less_than", "less_than_const", "greater_equal", "equals_const"]
+
+
+def less_than(b: CircuitBuilder, xs: Sequence[int], ys: Sequence[int]) -> int:
+    """1 iff unsigned ``xs < ys`` (equal widths, little-endian).
+
+    Borrow recurrence, LSB to MSB:
+    ``borrow' = (~x & y) | (borrow & ~(x ^ y))``, realized with 1 AND per bit
+    via ``borrow' = borrow ^ ((x ^ borrow) & (y ^ borrow))`` -- the same trick
+    as the full adder, since borrow-out is the majority of (~x, y, borrow).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("less_than operands must have equal width")
+    borrow = b.zero()
+    for x, y in zip(xs, ys):
+        x_b = b.xor(x, borrow)
+        y_b = b.xor(y, borrow)
+        # majority(~x, y, borrow) == borrow ^ ((~x ^ borrow) & (y ^ borrow));
+        # fold the NOT into the XOR chain: (~x ^ borrow) = NOT(x ^ borrow).
+        borrow = b.xor(borrow, b.and_(b.not_(x_b), y_b))
+    return borrow
+
+
+def less_than_const(b: CircuitBuilder, xs: Sequence[int], value: int) -> int:
+    """1 iff unsigned ``xs < value`` for a public constant threshold."""
+    ys = b.constant_bits(value, len(xs))
+    return less_than(b, xs, ys)
+
+
+def greater_equal(b: CircuitBuilder, xs: Sequence[int], ys: Sequence[int]) -> int:
+    """1 iff unsigned ``xs >= ys``."""
+    return b.not_(less_than(b, xs, ys))
+
+
+def equals_const(b: CircuitBuilder, xs: Sequence[int], value: int) -> int:
+    """1 iff ``xs`` encodes exactly ``value``."""
+    ys = b.constant_bits(value, len(xs))
+    return b.equal_bits(xs, ys)

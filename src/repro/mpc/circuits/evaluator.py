@@ -1,0 +1,59 @@
+"""Plaintext circuit evaluation and bit-vector encode/decode helpers.
+
+The plaintext evaluator is the correctness oracle for the GMW engine: every
+secure evaluation in the test suite is cross-checked against
+:func:`evaluate`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.mpc.circuits.gates import Circuit, GateOp
+
+__all__ = ["evaluate", "int_to_bits", "bits_to_int"]
+
+
+def evaluate(circuit: Circuit, inputs: Sequence[int]) -> list[int]:
+    """Evaluate ``circuit`` on a flat bit vector, returning output bits."""
+    if len(inputs) != circuit.n_inputs:
+        raise ValueError(
+            f"circuit has {circuit.n_inputs} inputs, got {len(inputs)} values"
+        )
+    for v in inputs:
+        if v not in (0, 1):
+            raise ValueError(f"inputs must be bits, got {v}")
+    wires = [0] * circuit.n_wires
+    for gate in circuit.gates:
+        if gate.op is GateOp.INPUT:
+            wires[gate.out] = inputs[gate.input_index]
+        elif gate.op is GateOp.CONST:
+            wires[gate.out] = gate.const_value
+        elif gate.op is GateOp.XOR:
+            wires[gate.out] = wires[gate.args[0]] ^ wires[gate.args[1]]
+        elif gate.op is GateOp.AND:
+            wires[gate.out] = wires[gate.args[0]] & wires[gate.args[1]]
+        elif gate.op is GateOp.NOT:
+            wires[gate.out] = wires[gate.args[0]] ^ 1
+        else:  # pragma: no cover - exhaustive enum
+            raise AssertionError(f"unknown gate op {gate.op}")
+    return [wires[w] for w in circuit.outputs]
+
+
+def int_to_bits(value: int, width: int) -> list[int]:
+    """Little-endian binary expansion; raises if ``value`` does not fit."""
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if value >= (1 << width):
+        raise ValueError(f"{value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Inverse of :func:`int_to_bits`."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {bit}")
+        value |= bit << i
+    return value

@@ -1,0 +1,169 @@
+"""In-circuit fixed-point evaluation of the β formulas (Eq. 3/4/5).
+
+This is the heart of the *pure-MPC baseline*: the Eq. 8 computation flow
+evaluates the raw probability β* inside the secure computation, which means
+division, multiplication and square roots over secret values.  The ǫ-PPI
+reordering (Eq. 9) replaces all of this with a single comparison -- these
+circuits exist to measure exactly what that replacement saves.
+
+Representation: unsigned fixed point with ``FRAC_BITS`` fractional bits
+(β value 1.0 == ``ONE = 2^FRAC_BITS``).  All formulas take the secret
+frequency bit-vector ``f`` and public constants (m, ǫ, Δ, γ) and return the
+bits of ``β · ONE``, saturating rather than wrapping (a saturated β simply
+classifies the identity as common, which is the correct semantics).
+
+Formulas, derived from the paper:
+
+* basic (Eq. 3):      β_b = f·ǫ / ((m − f)(1 − ǫ))
+* incremented (Eq. 4): β_d = β_b + Δ
+* Chernoff (Eq. 5):   β_c = β_b + G + sqrt(G² + 2 β_b G),
+                       G = ln(1/(1−γ)) / (m − f)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.mpc.circuits.adder import ripple_add
+from repro.mpc.circuits.builder import CircuitBuilder
+from repro.mpc.circuits.divider import divide, isqrt
+from repro.mpc.circuits.multiplier import (
+    multiply,
+    multiply_const,
+    ripple_sub,
+    shift_left,
+    truncate,
+)
+
+__all__ = [
+    "FRAC_BITS",
+    "ONE",
+    "beta_basic_circuit",
+    "beta_incremented_circuit",
+    "beta_chernoff_circuit",
+    "beta_width",
+]
+
+FRAC_BITS = 8
+ONE = 1 << FRAC_BITS
+# Output width of every β circuit: integer part up to 2 bits (saturating at
+# just above 1.0 is enough -- larger values are clamped) + fraction.
+_BETA_INT_BITS = 2
+
+
+def beta_width() -> int:
+    """Bit width of the fixed-point β values produced here."""
+    return FRAC_BITS + _BETA_INT_BITS
+
+
+def beta_basic_circuit(
+    b: CircuitBuilder, freq: Sequence[int], m: int, epsilon: float
+) -> list[int]:
+    """β_b · ONE = (f · C1) / (m − f) with C1 = round(ǫ/(1−ǫ) · ONE).
+
+    ǫ = 0 short-circuits to the zero constant; ǫ = 1 to saturation (only
+    broadcast satisfies the degree) -- matching
+    :func:`repro.core.policies.basic_beta`'s edge cases.
+    """
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+    if epsilon == 0.0:
+        return [b.zero()] * beta_width()
+    if epsilon == 1.0:
+        return _saturated(b)
+    c1 = max(1, round(epsilon / (1.0 - epsilon) * ONE))
+    numerator = multiply_const(b, freq, c1)
+    denominator = _m_minus_f(b, freq, m, width=len(numerator))
+    quotient, _ = divide(b, numerator, denominator)
+    return _saturate(b, quotient)
+
+
+def beta_incremented_circuit(
+    b: CircuitBuilder, freq: Sequence[int], m: int, epsilon: float, delta: float
+) -> list[int]:
+    """β_d · ONE = β_b · ONE + round(Δ · ONE), gated so β_b = 0 stays 0."""
+    if delta < 0:
+        raise ValueError(f"delta must be >= 0, got {delta}")
+    base = beta_basic_circuit(b, freq, m, epsilon)
+    bump = round(delta * ONE)
+    if bump == 0:
+        return base
+    bumped = ripple_add(b, base, b.constant_bits(bump, len(base)))
+    # Keep absent identities (β_b = 0) at zero: Eq. 4's gate.
+    nonzero = b.or_many(base)
+    return _saturate(b, b.mux_bits(nonzero, bumped, [b.zero()] * len(bumped)))
+
+
+def beta_chernoff_circuit(
+    b: CircuitBuilder, freq: Sequence[int], m: int, epsilon: float, gamma: float
+) -> list[int]:
+    """β_c · ONE per Eq. 5, all arithmetic in-circuit.
+
+    ``G·ONE = C2 / (m − f)`` with the public constant
+    ``C2 = round(ln(1/(1−γ)) · ONE)``; the discriminant
+    ``G² + 2 β_b G`` is evaluated at ONE-scale via two multiplications and
+    the square root via :func:`isqrt` on the ONE²-scaled value.
+    """
+    import math
+
+    if not 0.5 < gamma < 1.0:
+        raise ValueError(f"gamma must be in (0.5, 1), got {gamma}")
+    if epsilon == 0.0:
+        return [b.zero()] * beta_width()
+    beta_b = beta_basic_circuit(b, freq, m, epsilon)
+
+    c2 = max(1, round(math.log(1.0 / (1.0 - gamma)) * ONE))
+    c2_bits = max(1, c2.bit_length())
+    numerator = b.constant_bits(c2, c2_bits)
+    denominator = _m_minus_f(b, freq, m, width=c2_bits)
+    g, _ = divide(b, numerator, denominator)
+    g = _saturate(b, g)
+
+    # Discriminant at ONE scale: (G·ONE)² / ONE + 2 (β_b·ONE)(G·ONE) / ONE.
+    g_sq = truncate(multiply(b, g, g), FRAC_BITS)
+    cross = truncate(multiply(b, beta_b, g), FRAC_BITS)
+    cross2 = shift_left(b, cross, 1)
+    width = max(len(g_sq), len(cross2))
+    disc = ripple_add(b, _pad(b, g_sq, width), _pad(b, cross2, width))
+
+    # sqrt(v)·ONE = isqrt(v·ONE · ONE) where disc = v·ONE.
+    root = isqrt(b, shift_left(b, disc, FRAC_BITS))
+    root = _saturate(b, root)
+
+    total = ripple_add(b, beta_b, g)
+    total = ripple_add(b, total, _pad(b, root, len(total)))
+    return _saturate(b, total)
+
+
+def _m_minus_f(b: CircuitBuilder, freq: Sequence[int], m: int, width: int) -> list[int]:
+    """``m − f`` widened to ``width`` bits (f ≤ m by construction)."""
+    w = max(width, max(1, m.bit_length()), len(freq))
+    m_bits = b.constant_bits(m, w)
+    f_bits = _pad(b, list(freq), w)
+    diff, _ = ripple_sub(b, m_bits, f_bits)
+    return diff[:width] if width <= len(diff) else _pad(b, diff, width)
+
+
+def _saturate(b: CircuitBuilder, bits: Sequence[int]) -> list[int]:
+    """Clamp a non-negative fixed-point value into the β output width.
+
+    Values with any bit set above the output width saturate to the maximum
+    representable β (which is > 1.0, i.e. "common").
+    """
+    width = beta_width()
+    bits = list(bits)
+    if len(bits) <= width:
+        return _pad(b, bits, width)
+    overflow = b.or_many(bits[width:])
+    max_bits = [b.one()] * width
+    return b.mux_bits(overflow, max_bits, bits[:width])
+
+
+def _saturated(b: CircuitBuilder) -> list[int]:
+    return [b.one()] * beta_width()
+
+
+def _pad(b: CircuitBuilder, bits: list[int], width: int) -> list[int]:
+    if len(bits) >= width:
+        return list(bits)
+    return list(bits) + [b.zero()] * (width - len(bits))

@@ -1,0 +1,89 @@
+"""Multiplication and subtraction sub-circuits.
+
+Used by the fixed-point β-formula circuits of the pure-MPC baseline
+(:mod:`repro.mpc.circuits.fixedpoint`): the paper's Eq. 8 flow evaluates the
+"raw probability β*" -- division, multiplication, square root -- inside the
+secure computation, which is precisely the cost the ǫ-PPI reordering
+(Eq. 9) eliminates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.mpc.circuits.adder import add_many
+from repro.mpc.circuits.builder import CircuitBuilder
+
+__all__ = ["multiply", "multiply_const", "ripple_sub", "shift_left", "truncate"]
+
+
+def multiply(b: CircuitBuilder, xs: Sequence[int], ys: Sequence[int]) -> list[int]:
+    """Schoolbook multiplication: ``len(xs) + len(ys)`` result bits.
+
+    Partial products are AND rows summed by the adder tree, so the AND cost
+    is ``len(xs) * len(ys)`` -- the quadratic blow-up that makes in-MPC
+    arithmetic expensive.
+    """
+    if not xs or not ys:
+        raise ValueError("multiply needs non-empty operands")
+    out_width = len(xs) + len(ys)
+    rows = []
+    for i, y_bit in enumerate(ys):
+        row = [b.zero()] * i
+        row.extend(b.and_(x_bit, y_bit) for x_bit in xs)
+        row.extend([b.zero()] * (out_width - len(row)))
+        rows.append(row)
+    return add_many(b, rows, modular=True)[:out_width]
+
+
+def multiply_const(b: CircuitBuilder, xs: Sequence[int], value: int) -> list[int]:
+    """Multiply by a public constant via shift-and-add (no AND per bit pair).
+
+    Result width: ``len(xs) + value.bit_length()``.
+    """
+    if value < 0:
+        raise ValueError(f"constant must be non-negative, got {value}")
+    out_width = len(xs) + max(1, value.bit_length())
+    if value == 0:
+        return [b.zero()] * out_width
+    rows = []
+    for i in range(value.bit_length()):
+        if (value >> i) & 1:
+            row = [b.zero()] * i + list(xs)
+            row.extend([b.zero()] * (out_width - len(row)))
+            rows.append(row)
+    return add_many(b, rows, modular=True)[:out_width]
+
+
+def ripple_sub(b: CircuitBuilder, xs: Sequence[int], ys: Sequence[int]) -> tuple[list[int], int]:
+    """Unsigned subtraction ``xs - ys``: returns (difference, borrow_out).
+
+    ``borrow_out = 1`` iff ``xs < ys`` (the difference then wraps mod
+    ``2^width``).  One AND per bit, like the adder.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("ripple_sub operands must have equal width")
+    diff: list[int] = []
+    borrow = b.zero()
+    for x, y in zip(xs, ys):
+        x_b = b.xor(x, borrow)
+        y_b = b.xor(y, borrow)
+        diff.append(b.xor(x_b, y))
+        borrow = b.xor(borrow, b.and_(b.not_(x_b), y_b))
+    return diff, borrow
+
+
+def shift_left(b: CircuitBuilder, xs: Sequence[int], amount: int) -> list[int]:
+    """Multiply by ``2^amount`` (free: wire relabeling plus zero bits)."""
+    if amount < 0:
+        raise ValueError(f"shift amount must be >= 0, got {amount}")
+    return [b.zero()] * amount + list(xs)
+
+
+def truncate(xs: Sequence[int], amount: int) -> list[int]:
+    """Divide by ``2^amount`` (free: drop low bits)."""
+    if amount < 0:
+        raise ValueError(f"truncate amount must be >= 0, got {amount}")
+    if amount >= len(xs):
+        raise ValueError("truncating away every bit")
+    return list(xs[amount:])

@@ -1,0 +1,168 @@
+"""Circuit optimization passes: constant folding, CSE, dead-gate removal.
+
+FairplayMP's SFDL compiler optimizes the circuits it emits; our builders
+likewise generate redundancies (e.g. padding zeros flowing into adders,
+repeated comparisons against the same threshold).  :func:`optimize` runs
+three classic passes to a fixed point:
+
+1. **constant folding** -- gates whose inputs are known constants are
+   replaced by constants (`0 AND x = 0`, `0 XOR x = x`, ...);
+2. **common-subexpression elimination** -- structurally identical gates
+   (same op, same canonicalized args) are merged;
+3. **dead-gate elimination** -- gates unreachable from any output wire are
+   dropped.
+
+Inputs are always preserved (their positions are part of the protocol
+interface), so an optimized circuit is plug-compatible: same input vector,
+same outputs, verified by the equivalence property test.  AND-gate savings
+translate one-to-one into saved Beaver triples and broadcast rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpc.circuits.gates import Circuit, GateOp
+
+__all__ = ["optimize", "OptimizationReport"]
+
+
+@dataclass
+class OptimizationReport:
+    """Gate-count deltas of one optimization run."""
+
+    before_total: int
+    after_total: int
+    before_and: int
+    after_and: int
+
+    @property
+    def gates_removed(self) -> int:
+        return self.before_total - self.after_total
+
+    @property
+    def and_gates_removed(self) -> int:
+        return self.before_and - self.after_and
+
+
+def optimize(circuit: Circuit) -> tuple[Circuit, OptimizationReport]:
+    """Return an equivalent, smaller circuit plus the savings report."""
+    circuit.validate()
+    before = circuit.stats()
+
+    # resolve[w] maps an original wire to its replacement in the new
+    # circuit; const[w] holds a known constant value when folding applies.
+    new = Circuit()
+    resolve: dict[int, int] = {}
+    const: dict[int, int] = {}
+    # CSE table: (op, canonical args / const value / input index) -> wire.
+    seen: dict[tuple, int] = {}
+
+    def intern_const(value: int) -> int:
+        key = (GateOp.CONST, value)
+        if key not in seen:
+            seen[key] = new.add_const(value)
+        return seen[key]
+
+    for gate in circuit.gates:
+        if gate.op is GateOp.INPUT:
+            # Inputs are the protocol interface: always emitted, in order.
+            wire = new.add_input()
+            resolve[gate.out] = wire
+            continue
+        if gate.op is GateOp.CONST:
+            resolve[gate.out] = intern_const(gate.const_value)
+            const[gate.out] = gate.const_value
+            continue
+
+        args = [resolve[a] for a in gate.args]
+        arg_consts = [const.get(a) for a in gate.args]
+
+        folded = _fold(gate.op, args, arg_consts)
+        if folded is not None:
+            kind, value = folded
+            if kind == "const":
+                resolve[gate.out] = intern_const(value)
+                const[gate.out] = value
+            else:  # forward to an existing wire
+                resolve[gate.out] = value
+            continue
+
+        # CSE: canonicalize commutative args.
+        canon = tuple(sorted(args)) if gate.op in (GateOp.XOR, GateOp.AND) else tuple(args)
+        key = (gate.op, canon)
+        if key in seen:
+            resolve[gate.out] = seen[key]
+            continue
+        wire = new.add_gate(gate.op, canon)
+        seen[key] = wire
+        resolve[gate.out] = wire
+
+    for out in circuit.outputs:
+        new.mark_output(resolve[out])
+
+    pruned = _prune_dead(new)
+    after = pruned.stats()
+    return pruned, OptimizationReport(
+        before_total=before.size,
+        after_total=after.size,
+        before_and=before.and_,
+        after_and=after.and_,
+    )
+
+
+def _fold(op: GateOp, args: list[int], consts: list) -> tuple | None:
+    """Constant-folding rules.  Returns ("const", v), ("wire", w) or None."""
+    if op is GateOp.NOT:
+        (c,) = consts
+        if c is not None:
+            return ("const", c ^ 1)
+        return None
+    a_const, b_const = consts
+    a_wire, b_wire = args
+    if op is GateOp.XOR:
+        if a_const is not None and b_const is not None:
+            return ("const", a_const ^ b_const)
+        if a_const == 0:
+            return ("wire", b_wire)
+        if b_const == 0:
+            return ("wire", a_wire)
+        if a_wire == b_wire:
+            return ("const", 0)
+        return None
+    if op is GateOp.AND:
+        if a_const is not None and b_const is not None:
+            return ("const", a_const & b_const)
+        if a_const == 0 or b_const == 0:
+            return ("const", 0)
+        if a_const == 1:
+            return ("wire", b_wire)
+        if b_const == 1:
+            return ("wire", a_wire)
+        if a_wire == b_wire:
+            return ("wire", a_wire)
+        return None
+    return None
+
+
+def _prune_dead(circuit: Circuit) -> Circuit:
+    """Drop gates not reachable from any output (inputs always kept)."""
+    live = set(circuit.outputs)
+    for gate in reversed(circuit.gates):
+        if gate.out in live:
+            live.update(gate.args)
+    pruned = Circuit()
+    mapping: dict[int, int] = {}
+    for gate in circuit.gates:
+        if gate.op is GateOp.INPUT:
+            mapping[gate.out] = pruned.add_input()
+        elif gate.out in live:
+            if gate.op is GateOp.CONST:
+                mapping[gate.out] = pruned.add_const(gate.const_value)
+            else:
+                mapping[gate.out] = pruned.add_gate(
+                    gate.op, tuple(mapping[a] for a in gate.args)
+                )
+    pruned.mark_outputs(mapping[w] for w in circuit.outputs)
+    pruned.validate()
+    return pruned

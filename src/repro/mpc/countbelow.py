@@ -1,0 +1,301 @@
+"""CountBelow and secure β-selection: the generic-MPC stage (paper Alg. 2).
+
+The ``c`` coordinators arrive here holding additive shares ``s(k, j)`` of
+each identity's frequency (SecSumShare outputs).  Two circuits are compiled
+and evaluated under GMW (:mod:`repro.mpc.gmw` -- our FairplayMP stand-in):
+
+1. **CountBelow** (Alg. 2) -- reconstruct each ``S[j] = Σ_k s(k, j)``
+   *inside the circuit* (modular adder over ``Z_{2^w}``), compare against the
+   public per-identity threshold ``t_j``, and reveal only
+
+   * the number of common identities (``S[j] >= t_j`` count), and
+   * ξ = max ǫ over common identities (needed to set λ, Sec. III-B-2) --
+     computed as a mux/max tree over the public ǫ values gated by the secret
+     common bits.
+
+2. **β-selection** -- after λ is public, a second circuit decides per
+   identity whether it is published with β = 1: ``common_j OR decoy_j``
+   where the decoy coin ``decoy_j = (r_j < λ·2^k)`` is drawn from jointly
+   random bits contributed by all coordinators (so no single party knows
+   which non-common identities are decoys -- required for the mixing defence
+   to survive collusion, see paper Sec. III-B-2).
+
+Identities whose selection bit is 0 are *opened*: their frequency shares are
+exchanged and β* is computed in the clear (cheap, non-secure end of the
+Eq. 9 computation flow).  This is exactly the paper's "push complex
+computation toward the non-private end" optimization.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.mpc.circuits import (
+    Circuit,
+    CircuitBuilder,
+    bits_to_int,
+    int_to_bits,
+    less_than,
+    less_than_const,
+    popcount,
+    ripple_add_mod2k,
+)
+from repro.mpc.field import Zq
+from repro.mpc.gmw import GMWProtocol, GMWStats
+
+__all__ = [
+    "CountBelowResult",
+    "SelectionResult",
+    "build_count_circuit",
+    "build_selection_circuit",
+    "run_count_below",
+    "run_beta_selection",
+    "EPSILON_SCALE_BITS",
+    "COIN_BITS",
+    "max_tree",
+    "scale_epsilon",
+]
+
+# Fixed-point resolution for public ǫ values inside the ξ-max circuit.
+EPSILON_SCALE_BITS = 10
+# Resolution of the Bernoulli(λ) decoy coins.
+COIN_BITS = 16
+
+
+@dataclass
+class CountBelowResult:
+    """Public outputs of the CountBelow MPC.
+
+    ``n_common`` counts *truly common* identities (frequency at/above the
+    public high threshold); ``n_natural_decoys`` counts identities whose β
+    forces broadcast (frequency ≥ t_j) but which are not frequency-common --
+    they already serve as decoys for the mixing defence (see
+    :mod:`repro.core.mixing`).
+    """
+
+    n_common: int
+    n_natural_decoys: int
+    xi_scaled: int  # max ǫ over truly commons, scaled by 2^EPSILON_SCALE_BITS
+    stats: GMWStats
+    circuit: Circuit
+
+    @property
+    def xi(self) -> float:
+        return self.xi_scaled / (1 << EPSILON_SCALE_BITS)
+
+
+@dataclass
+class SelectionResult:
+    """Public outputs of the β-selection MPC."""
+
+    publish_as_one: list[int]  # per-identity bit: β forced to 1
+    stats: GMWStats
+    circuit: Circuit
+
+
+def build_count_circuit(
+    c: int,
+    thresholds: list[int],
+    epsilons_scaled: list[int],
+    width: int,
+    high_threshold: int,
+) -> Circuit:
+    """Compile Alg. 2 (+ ξ computation) for ``len(thresholds)`` identities.
+
+    Input layout: party-major -- for coordinator ``k``, for identity ``j``,
+    ``width`` little-endian bits of share ``s(k, j)``.
+
+    Per identity the circuit derives ``broadcast_j = S_j ≥ t_j`` (β forced
+    to 1) and ``high_j = S_j ≥ high_threshold`` (frequency-common); it
+    reveals only three aggregates: the truly-common count
+    (broadcast ∧ high), the natural-decoy count (broadcast ∧ ¬high), and
+    ξ = max ǫ over the truly common.
+    """
+    if len(thresholds) != len(epsilons_scaled):
+        raise ValueError("thresholds/epsilons must align")
+    n_ids = len(thresholds)
+    b = CircuitBuilder()
+    # Declare all inputs first (party-major order).
+    share_bits = [
+        [b.input_bits(width) for _ in range(n_ids)] for _ in range(c)
+    ]
+    truly_bits = []
+    natural_bits = []
+    for j, t in enumerate(thresholds):
+        total = share_bits[0][j]
+        for k in range(1, c):
+            total = ripple_add_mod2k(b, total, share_bits[k][j])
+        if t > (1 << width) - 1:
+            broadcast = b.zero()  # threshold unreachable: never broadcast
+        else:
+            broadcast = b.not_(less_than_const(b, total, t))
+        if high_threshold > (1 << width) - 1:
+            high = b.zero()
+        else:
+            high = b.not_(less_than_const(b, total, high_threshold))
+        truly = b.and_(broadcast, high)
+        truly_bits.append(truly)
+        natural_bits.append(b.and_(broadcast, b.not_(high)))
+    count_truly = popcount(b, truly_bits)
+    count_natural = popcount(b, natural_bits)
+    # ξ = max over j of (truly_j ? ǫ_j : 0), as a mux/max tree.
+    zero_eps = b.constant_bits(0, EPSILON_SCALE_BITS)
+    gated = [
+        b.mux_bits(
+            truly_bits[j],
+            b.constant_bits(epsilons_scaled[j], EPSILON_SCALE_BITS),
+            zero_eps,
+        )
+        for j in range(n_ids)
+    ]
+    xi = max_tree(b, gated)
+    b.output_bits(count_truly)
+    b.output_bits(count_natural)
+    b.output_bits(xi)
+    return b.build()
+
+
+def build_selection_circuit(
+    c: int, thresholds: list[int], lambda_scaled: int, width: int
+) -> Circuit:
+    """Compile the per-identity β-selection: ``common_j OR (r_j < λ)``.
+
+    Input layout: for each coordinator, first its frequency-share bits
+    (identity-major), then its ``COIN_BITS`` random bits per identity.  The
+    XOR of all parties' random bits yields jointly uniform ``r_j``.
+    """
+    n_ids = len(thresholds)
+    if not 0 <= lambda_scaled <= (1 << COIN_BITS):
+        raise ValueError(f"lambda_scaled out of range: {lambda_scaled}")
+    b = CircuitBuilder()
+    share_bits = []
+    rand_bits = []
+    for _ in range(c):
+        share_bits.append([b.input_bits(width) for _ in range(n_ids)])
+        rand_bits.append([b.input_bits(COIN_BITS) for _ in range(n_ids)])
+    for j, t in enumerate(thresholds):
+        total = share_bits[0][j]
+        for k in range(1, c):
+            total = ripple_add_mod2k(b, total, share_bits[k][j])
+        if t > (1 << width) - 1:
+            common = b.zero()
+        else:
+            common = b.not_(less_than_const(b, total, t))
+        # Jointly random value r_j = XOR of all parties' contributions.
+        r = [
+            b.xor_many([rand_bits[k][j][i] for k in range(c)])
+            for i in range(COIN_BITS)
+        ]
+        if lambda_scaled >= (1 << COIN_BITS):
+            coin = b.one()
+        elif lambda_scaled == 0:
+            coin = b.zero()
+        else:
+            coin = less_than_const(b, r, lambda_scaled)
+        b.output(b.or_(common, coin))
+    return b.build()
+
+
+def run_count_below(
+    coordinator_shares: list[list[int]],
+    thresholds: list[int],
+    epsilons: list[float],
+    ring: Zq,
+    rng: random.Random,
+    high_threshold: int | None = None,
+) -> CountBelowResult:
+    """Execute CountBelow under GMW among the ``c`` coordinators.
+
+    ``high_threshold`` is the public frequency bound separating truly common
+    identities from natural decoys; by default every broadcast identity
+    counts as common (pass an explicit value -- typically ``ceil(0.5 m)`` --
+    to enable the natural-decoy accounting).
+    """
+    c = len(coordinator_shares)
+    n_ids = len(thresholds)
+    width = (ring.q - 1).bit_length()
+    if (1 << width) != ring.q:
+        raise ValueError("CountBelow requires a power-of-two modulus")
+    if high_threshold is None:
+        high_threshold = 0  # every broadcast identity is "high"
+    eps_scaled = [scale_epsilon(e) for e in epsilons]
+    circuit = build_count_circuit(c, thresholds, eps_scaled, width, high_threshold)
+    inputs = _flatten_share_inputs(coordinator_shares, n_ids, width)
+    protocol = GMWProtocol(circuit, parties=c, rng=rng)
+    result = protocol.run(inputs)
+    count_width = (len(result.outputs) - EPSILON_SCALE_BITS) // 2
+    n_common = bits_to_int(result.outputs[:count_width])
+    n_natural = bits_to_int(result.outputs[count_width : 2 * count_width])
+    xi_scaled = bits_to_int(result.outputs[2 * count_width :])
+    return CountBelowResult(
+        n_common=n_common,
+        n_natural_decoys=n_natural,
+        xi_scaled=xi_scaled,
+        stats=result.stats,
+        circuit=circuit,
+    )
+
+
+def run_beta_selection(
+    coordinator_shares: list[list[int]],
+    thresholds: list[int],
+    lambda_: float,
+    ring: Zq,
+    rng: random.Random,
+) -> SelectionResult:
+    """Execute the β-selection circuit under GMW among the coordinators."""
+    c = len(coordinator_shares)
+    n_ids = len(thresholds)
+    width = (ring.q - 1).bit_length()
+    if (1 << width) != ring.q:
+        raise ValueError("selection requires a power-of-two modulus")
+    if not 0.0 <= lambda_ <= 1.0:
+        raise ValueError(f"lambda must be in [0, 1], got {lambda_}")
+    lambda_scaled = round(lambda_ * (1 << COIN_BITS))
+    circuit = build_selection_circuit(c, thresholds, lambda_scaled, width)
+    inputs: list[int] = []
+    for k in range(c):
+        for j in range(n_ids):
+            inputs.extend(int_to_bits(coordinator_shares[k][j], width))
+        for _ in range(n_ids):
+            inputs.extend(rng.getrandbits(1) for _ in range(COIN_BITS))
+    protocol = GMWProtocol(circuit, parties=c, rng=rng)
+    result = protocol.run(inputs)
+    return SelectionResult(
+        publish_as_one=list(result.outputs), stats=result.stats, circuit=circuit
+    )
+
+
+def _flatten_share_inputs(
+    coordinator_shares: list[list[int]], n_ids: int, width: int
+) -> list[int]:
+    inputs: list[int] = []
+    for shares in coordinator_shares:
+        if len(shares) != n_ids:
+            raise ValueError("coordinator share vectors must align with thresholds")
+        for value in shares:
+            inputs.extend(int_to_bits(value, width))
+    return inputs
+
+
+def scale_epsilon(epsilon: float) -> int:
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+    return min((1 << EPSILON_SCALE_BITS) - 1, round(epsilon * (1 << EPSILON_SCALE_BITS)))
+
+
+def max_tree(b: CircuitBuilder, numbers: list[list[int]]) -> list[int]:
+    """Balanced unsigned-max reduction over equal-width bit vectors."""
+    if not numbers:
+        raise ValueError("max over zero numbers")
+    level = numbers
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            x, y = level[i], level[i + 1]
+            nxt.append(b.mux_bits(less_than(b, x, y), y, x))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

@@ -1,0 +1,219 @@
+"""GMW-style semi-honest Boolean MPC over XOR shares.
+
+This module plays the role of the FairplayMP runtime in the paper's
+prototype: it takes a compiled Boolean circuit and evaluates it among ``c``
+simulated parties such that no party (and no coalition smaller than ``c``)
+learns anything beyond the circuit outputs.
+
+Protocol recap (Goldreich-Micali-Wigderson, semi-honest variant):
+
+* every wire value is XOR-shared across the parties;
+* XOR and NOT gates are evaluated locally (NOT by flipping party 0's share);
+* each AND gate consumes one Beaver triple ``(a, b, c = a&b)``: parties open
+  the masked differences ``d = x ^ a`` and ``e = y ^ b`` (one broadcast
+  round), then set their share of ``z = x & y`` to
+  ``c_i ^ (d & b_i) ^ (e & a_i)`` with party 0 additionally XOR-ing ``d & e``;
+* output wires are opened at the end.
+
+AND gates at the same multiplicative depth are batched into a single round,
+matching how circuit-based MPC engines amortize communication; the recorded
+round/message/byte counts feed the network-cost model used for Fig. 6a/6c.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.mpc.circuits.gates import Circuit, GateOp
+from repro.mpc.triples import TripleDealer
+
+__all__ = ["GMWProtocol", "GMWResult", "GMWStats", "PartyTranscript"]
+
+
+@dataclass
+class GMWStats:
+    """Communication/computation accounting for one secure evaluation."""
+
+    parties: int = 0
+    and_gates: int = 0
+    rounds: int = 0
+    messages: int = 0
+    bits_sent: int = 0
+    triples_consumed: int = 0
+
+
+@dataclass
+class PartyTranscript:
+    """Everything one party observes: its shares and all opened bits.
+
+    Used by the secrecy tests -- under XOR sharing every recorded value is
+    either a uniformly random share or a uniformly masked opening, so the
+    transcript of any single party must be distribution-independent of other
+    parties' inputs.
+    """
+
+    party: int
+    input_shares: list[int] = field(default_factory=list)
+    opened_values: list[int] = field(default_factory=list)
+    output_bits: list[int] = field(default_factory=list)
+
+
+@dataclass
+class GMWResult:
+    """Outputs plus accounting and per-party transcripts."""
+
+    outputs: list[int]
+    stats: GMWStats
+    transcripts: list[PartyTranscript]
+
+
+class GMWProtocol:
+    """Evaluate one circuit among ``parties`` simulated semi-honest parties."""
+
+    def __init__(self, circuit: Circuit, parties: int, rng: random.Random):
+        if parties < 2:
+            raise ValueError(f"GMW needs >= 2 parties, got {parties}")
+        circuit.validate()
+        self.circuit = circuit
+        self.parties = parties
+        self._rng = rng
+        self.dealer = TripleDealer(parties, rng)
+
+    # -- input sharing ---------------------------------------------------------
+
+    def share_inputs(self, inputs: Sequence[int]) -> list[list[int]]:
+        """XOR-share a plaintext input vector; result indexed [party][input]."""
+        if len(inputs) != self.circuit.n_inputs:
+            raise ValueError(
+                f"circuit has {self.circuit.n_inputs} inputs, got {len(inputs)}"
+            )
+        shares = [[0] * len(inputs) for _ in range(self.parties)]
+        for j, bit in enumerate(inputs):
+            if bit not in (0, 1):
+                raise ValueError(f"inputs must be bits, got {bit}")
+            parity = 0
+            for p in range(self.parties - 1):
+                r = self._rng.getrandbits(1)
+                shares[p][j] = r
+                parity ^= r
+            shares[self.parties - 1][j] = parity ^ bit
+        return shares
+
+    # -- evaluation ---------------------------------------------------------
+
+    def run(self, inputs: Sequence[int]) -> GMWResult:
+        """Share ``inputs``, evaluate securely, open outputs."""
+        return self.run_shared(self.share_inputs(inputs))
+
+    def run_shared(self, input_shares: Sequence[Sequence[int]]) -> GMWResult:
+        """Evaluate from pre-shared inputs (indexed [party][input])."""
+        if len(input_shares) != self.parties:
+            raise ValueError(
+                f"expected shares for {self.parties} parties, got {len(input_shares)}"
+            )
+        n_in = self.circuit.n_inputs
+        for p, row in enumerate(input_shares):
+            if len(row) != n_in:
+                raise ValueError(f"party {p} supplied {len(row)} shares, need {n_in}")
+
+        stats = GMWStats(parties=self.parties)
+        transcripts = [PartyTranscript(party=p) for p in range(self.parties)]
+        for p in range(self.parties):
+            transcripts[p].input_shares = list(input_shares[p])
+
+        # wire_shares[p][w] = party p's XOR share of wire w
+        wire_shares = [[0] * self.circuit.n_wires for _ in range(self.parties)]
+
+        for layer in self._and_layers():
+            batch: list[tuple[int, int, int]] = []  # (wire, d, e) openings
+            for gate_idx in layer:
+                gate = self.circuit.gates[gate_idx]
+                if gate.op is GateOp.INPUT:
+                    for p in range(self.parties):
+                        wire_shares[p][gate.out] = input_shares[p][gate.input_index]
+                elif gate.op is GateOp.CONST:
+                    wire_shares[0][gate.out] = gate.const_value
+                elif gate.op is GateOp.XOR:
+                    a, b = gate.args
+                    for p in range(self.parties):
+                        wire_shares[p][gate.out] = (
+                            wire_shares[p][a] ^ wire_shares[p][b]
+                        )
+                elif gate.op is GateOp.NOT:
+                    (a,) = gate.args
+                    for p in range(self.parties):
+                        wire_shares[p][gate.out] = wire_shares[p][a]
+                    wire_shares[0][gate.out] ^= 1
+                elif gate.op is GateOp.AND:
+                    self._eval_and(gate, wire_shares, batch, transcripts, stats)
+            if batch:
+                # All ANDs in this layer opened their (d, e) masks together.
+                stats.rounds += 1
+                # Each party broadcasts 2 bits per AND to every other party.
+                opened = 2 * len(batch)
+                stats.messages += self.parties * (self.parties - 1)
+                stats.bits_sent += opened * self.parties * (self.parties - 1)
+
+        outputs = []
+        for w in self.circuit.outputs:
+            bit = 0
+            for p in range(self.parties):
+                bit ^= wire_shares[p][w]
+            outputs.append(bit)
+        if self.circuit.outputs:
+            stats.rounds += 1
+            stats.messages += self.parties * (self.parties - 1)
+            stats.bits_sent += len(self.circuit.outputs) * self.parties * (self.parties - 1)
+        for p in range(self.parties):
+            transcripts[p].output_bits = list(outputs)
+        stats.triples_consumed = stats.and_gates
+        return GMWResult(outputs=outputs, stats=stats, transcripts=transcripts)
+
+    # -- internals ------------------------------------------------------------
+
+    def _eval_and(
+        self,
+        gate,
+        wire_shares: list[list[int]],
+        batch: list[tuple[int, int, int]],
+        transcripts: list[PartyTranscript],
+        stats: GMWStats,
+    ) -> None:
+        a_wire, b_wire = gate.args
+        triple = self.dealer.deal()
+        # Masked openings d = x ^ a, e = y ^ b (public once broadcast).
+        d = 0
+        e = 0
+        for p in range(self.parties):
+            d ^= wire_shares[p][a_wire] ^ triple[p].a
+            e ^= wire_shares[p][b_wire] ^ triple[p].b
+        for p in range(self.parties):
+            z = triple[p].c ^ (d & triple[p].b) ^ (e & triple[p].a)
+            if p == 0:
+                z ^= d & e
+            wire_shares[p][gate.out] = z
+            transcripts[p].opened_values.extend((d, e))
+        batch.append((gate.out, d, e))
+        stats.and_gates += 1
+
+    def _and_layers(self) -> list[list[int]]:
+        """Group gates into layers with equal multiplicative depth.
+
+        Within a layer all AND gates are communication-independent, so their
+        openings share one broadcast round.  Linear gates ride along with the
+        layer in which their inputs become available.
+        """
+        depth = [0] * self.circuit.n_wires
+        layers: dict[int, list[int]] = {}
+        for i, gate in enumerate(self.circuit.gates):
+            if gate.op in (GateOp.INPUT, GateOp.CONST):
+                d = 0
+            elif gate.op is GateOp.AND:
+                d = max(depth[a] for a in gate.args) + 1
+            else:
+                d = max((depth[a] for a in gate.args), default=0)
+            depth[gate.out] = d
+            layers.setdefault(d, []).append(i)
+        return [layers[d] for d in sorted(layers)]

@@ -1,0 +1,259 @@
+"""Pure-MPC baseline: β calculation without the SecSumShare reduction.
+
+This is the comparison system of the paper's Fig. 6: all ``m`` providers
+feed their private bits *directly* into one generic-MPC computation that
+follows the Eq. 8 flow -- i.e. it evaluates the **raw probability β***
+(division / multiplication / square root, in fixed point) *inside* the
+secure computation, per identity.  Contrast with the ǫ-PPI pipeline
+(Eq. 9), which pushes that arithmetic to the public end and leaves only a
+comparison inside MPC.
+
+Three compounding costs make this baseline scale badly:
+
+* frequency is an in-circuit popcount over ``m`` secret bits;
+* β* needs a restoring divider (basic policy) plus multiplier and square
+  root (Chernoff) per identity -- hundreds to thousands of AND gates where
+  the reduced protocol spends ~``log m``;
+* the protocol runs among ``m`` parties, so every AND opening is an
+  ``m x (m-1)`` broadcast, and decoy coins come from all ``m`` parties.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mixing import compute_lambda
+from repro.core.policies import (
+    BasicPolicy,
+    BetaPolicy,
+    ChernoffPolicy,
+    IncrementedExpectationPolicy,
+)
+from repro.mpc.circuits import (
+    Circuit,
+    CircuitBuilder,
+    bits_to_int,
+    less_than_const,
+    popcount,
+)
+from repro.mpc.circuits.fixedpoint import (
+    ONE,
+    beta_basic_circuit,
+    beta_chernoff_circuit,
+    beta_incremented_circuit,
+    beta_width,
+)
+from repro.mpc.countbelow import COIN_BITS, EPSILON_SCALE_BITS, max_tree, scale_epsilon
+from repro.mpc.gmw import GMWProtocol, GMWStats
+
+__all__ = ["PureMPCResult", "build_pure_circuit", "run_pure_beta_calculation"]
+
+
+@dataclass
+class PureMPCResult:
+    """Outputs and accounting of the monolithic pure-MPC β calculation."""
+
+    betas: np.ndarray
+    n_common: int
+    n_natural_decoys: int
+    xi: float
+    lambda_: float
+    publish_as_one: list[int]
+    stats: GMWStats
+    count_circuit: Circuit
+    selection_circuit: Circuit
+
+    @property
+    def total_circuit_size(self) -> int:
+        return self.count_circuit.stats().size + self.selection_circuit.stats().size
+
+    @property
+    def total_and_gates(self) -> int:
+        return (
+            self.count_circuit.stats().multiplicative_size
+            + self.selection_circuit.stats().multiplicative_size
+        )
+
+
+def _beta_in_circuit(
+    b: CircuitBuilder,
+    policy: BetaPolicy,
+    freq_bits: list[int],
+    m: int,
+    epsilon: float,
+) -> list[int]:
+    """Compile the policy's β* formula over the secret frequency (Eq. 8)."""
+    if isinstance(policy, ChernoffPolicy):
+        return beta_chernoff_circuit(b, freq_bits, m, epsilon, policy.gamma)
+    if isinstance(policy, IncrementedExpectationPolicy):
+        return beta_incremented_circuit(b, freq_bits, m, epsilon, policy.delta)
+    if isinstance(policy, BasicPolicy):
+        return beta_basic_circuit(b, freq_bits, m, epsilon)
+    raise ValueError(f"no in-circuit compilation for policy {policy.name!r}")
+
+
+def build_pure_circuit(
+    m: int,
+    epsilons: list[float],
+    policy: BetaPolicy,
+    lambda_scaled: int | None,
+    high_threshold: int = 0,
+) -> Circuit:
+    """Compile the monolithic Eq. 8 circuit over ``m`` providers' raw bits.
+
+    With ``lambda_scaled is None`` the *count* variant is built (outputs:
+    truly-common count + natural-decoy count + ξ, split by the public
+    ``high_threshold``); otherwise the *selection* variant (outputs per
+    identity: the selection bit and the masked fixed-point β -- opened only
+    when the identity is not selected, keeping mixed identities' β secret).
+    """
+    n_ids = len(epsilons)
+    b = CircuitBuilder()
+    provider_bits = [[b.input_bit() for _ in range(n_ids)] for _ in range(m)]
+    coin_bits = None
+    if lambda_scaled is not None:
+        coin_bits = [
+            [b.input_bits(COIN_BITS) for _ in range(n_ids)] for _ in range(m)
+        ]
+
+    broadcast_bits = []
+    high_bits = []
+    beta_bits_per_id = []
+    for j, eps in enumerate(epsilons):
+        freq = popcount(b, [provider_bits[i][j] for i in range(m)])
+        beta = _beta_in_circuit(b, policy, freq, m, eps)
+        beta_bits_per_id.append(beta)
+        # Eq. 8's test: the raw probability crossed 1.0.
+        broadcast_bits.append(b.not_(less_than_const(b, beta, ONE)))
+        if high_threshold > (1 << len(freq)) - 1:
+            high_bits.append(b.zero())
+        else:
+            high_bits.append(b.not_(less_than_const(b, freq, high_threshold)))
+
+    if lambda_scaled is None:
+        truly = [b.and_(broadcast_bits[j], high_bits[j]) for j in range(n_ids)]
+        natural = [
+            b.and_(broadcast_bits[j], b.not_(high_bits[j])) for j in range(n_ids)
+        ]
+        zero_eps = b.constant_bits(0, EPSILON_SCALE_BITS)
+        gated = [
+            b.mux_bits(
+                truly[j],
+                b.constant_bits(scale_epsilon(epsilons[j]), EPSILON_SCALE_BITS),
+                zero_eps,
+            )
+            for j in range(n_ids)
+        ]
+        xi = max_tree(b, gated)
+        b.output_bits(popcount(b, truly))
+        b.output_bits(popcount(b, natural))
+        b.output_bits(xi)
+        return b.build()
+
+    for j in range(n_ids):
+        r = [
+            b.xor_many([coin_bits[i][j][bit] for i in range(m)])
+            for bit in range(COIN_BITS)
+        ]
+        if lambda_scaled >= (1 << COIN_BITS):
+            coin = b.one()
+        elif lambda_scaled == 0:
+            coin = b.zero()
+        else:
+            coin = less_than_const(b, r, lambda_scaled)
+        select = b.or_(broadcast_bits[j], coin)
+        b.output(select)
+        # Masked β: opened only when the identity is not selected.
+        zero = b.constant_bits(0, beta_width())
+        masked = b.mux_bits(select, zero, beta_bits_per_id[j])
+        b.output_bits(masked)
+    return b.build()
+
+
+def run_pure_beta_calculation(
+    provider_bits: list[list[int]],
+    epsilons: list[float],
+    policy: BetaPolicy,
+    rng: random.Random,
+    common_sigma_threshold: float = 0.5,
+) -> PureMPCResult:
+    """Execute the two-stage pure-MPC β calculation among all ``m`` parties.
+
+    Returned β values for unselected identities carry the fixed-point
+    precision of the in-circuit arithmetic (``1 / 2^FRAC_BITS``).
+    """
+    m = len(provider_bits)
+    if m < 2:
+        raise ValueError("pure MPC needs at least 2 providers")
+    n_ids = len(provider_bits[0])
+    if len(epsilons) != n_ids:
+        raise ValueError("need one epsilon per identity")
+
+    high_threshold = max(1, math.ceil(common_sigma_threshold * m))
+
+    # Stage 1: truly-common / natural-decoy counts + ξ.
+    count_circuit = build_pure_circuit(
+        m, list(epsilons), policy, None, high_threshold
+    )
+    count_inputs = [bit for row in provider_bits for bit in row]
+    count_proto = GMWProtocol(count_circuit, parties=m, rng=rng)
+    count_run = count_proto.run(count_inputs)
+    count_width = (len(count_run.outputs) - EPSILON_SCALE_BITS) // 2
+    n_common = bits_to_int(count_run.outputs[:count_width])
+    n_natural = bits_to_int(count_run.outputs[count_width : 2 * count_width])
+    xi = bits_to_int(count_run.outputs[2 * count_width :]) / (1 << EPSILON_SCALE_BITS)
+    lambda_ = compute_lambda(n_common, n_ids, xi, n_natural_decoys=n_natural)
+
+    # Stage 2: selection + masked β opening.
+    lambda_scaled = round(lambda_ * (1 << COIN_BITS))
+    sel_circuit = build_pure_circuit(
+        m, list(epsilons), policy, lambda_scaled, high_threshold
+    )
+    # Input order mirrors the circuit declaration: every provider's
+    # membership bits first, then every provider's coin bits.
+    sel_inputs: list[int] = [bit for row in provider_bits for bit in row]
+    for _ in range(m):
+        for _ in range(n_ids):
+            sel_inputs.extend(rng.getrandbits(1) for _ in range(COIN_BITS))
+    sel_proto = GMWProtocol(sel_circuit, parties=m, rng=rng)
+    sel_run = sel_proto.run(sel_inputs)
+
+    w_beta = beta_width()
+    betas = np.zeros(n_ids, dtype=float)
+    publish_as_one: list[int] = []
+    pos = 0
+    for j in range(n_ids):
+        select = sel_run.outputs[pos]
+        pos += 1
+        beta_fixed = bits_to_int(sel_run.outputs[pos : pos + w_beta])
+        pos += w_beta
+        publish_as_one.append(select)
+        if select:
+            betas[j] = 1.0
+        else:
+            betas[j] = min(1.0, beta_fixed / ONE)
+
+    stats = GMWStats(
+        parties=m,
+        and_gates=count_run.stats.and_gates + sel_run.stats.and_gates,
+        rounds=count_run.stats.rounds + sel_run.stats.rounds,
+        messages=count_run.stats.messages + sel_run.stats.messages,
+        bits_sent=count_run.stats.bits_sent + sel_run.stats.bits_sent,
+        triples_consumed=count_run.stats.triples_consumed
+        + sel_run.stats.triples_consumed,
+    )
+    return PureMPCResult(
+        betas=betas,
+        n_common=n_common,
+        n_natural_decoys=n_natural,
+        xi=xi,
+        lambda_=lambda_,
+        publish_as_one=publish_as_one,
+        stats=stats,
+        count_circuit=count_circuit,
+        selection_circuit=sel_circuit,
+    )

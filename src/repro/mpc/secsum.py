@@ -1,0 +1,134 @@
+"""SecSumShare: the parallel secure-sum protocol (paper Sec. IV-B-1, Fig. 3).
+
+Given ``m`` providers each holding a private Boolean per identity, the
+protocol outputs ``c`` coordinator-held shares whose sum (mod q) equals the
+identity's frequency -- *without* any party learning the frequency or any
+other party's input.  It runs in four steps:
+
+1. **Generating shares** -- provider ``p_i`` splits its bit ``M(i, j)`` into
+   ``c`` additive shares ``S(i, j, k)``;
+2. **Distributing shares** -- share ``k`` goes to the ``k``-th ring successor
+   ``p_{(i+k) mod m}`` (share 0 stays local);
+3. **Summing shares** -- each provider sums everything it received into a
+   *super-share*;
+4. **Aggregating super-shares** -- provider ``i`` ships its super-share to
+   coordinator ``i mod c``; coordinator sums arrivals into ``s(k, j)``.
+
+Guarantees (Sec. IV-C): (2c−3)-secrecy of inputs and c-secrecy of the output
+sum (Thm. 4.1 -- the coordinator shares form a (c, c) additive sharing).
+
+This module is the *computation* of the protocol: deterministic data-flow
+with per-party transcripts for the secrecy tests.  The message-level version
+timed by the Fig. 6 benchmarks runs on the network simulator in
+:mod:`repro.protocol.secsum_nodes`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.mpc.additive import AdditiveSharing
+from repro.mpc.field import Zq
+
+__all__ = ["SecSumShare", "SecSumResult", "ProviderView"]
+
+
+@dataclass
+class ProviderView:
+    """Everything provider ``i`` observes during one run (for secrecy tests)."""
+
+    provider: int
+    received_shares: list[int] = field(default_factory=list)
+    super_share: int = 0
+
+
+@dataclass
+class SecSumResult:
+    """Coordinator shares plus per-party observability data."""
+
+    coordinator_shares: list[list[int]]  # [coordinator k][identity j]
+    provider_views: list[ProviderView]
+    coordinator_received: list[list[int]]  # super-shares seen by coordinator k
+
+    def reconstruct(self, ring: Zq, identity: int) -> int:
+        """Open the frequency of one identity (requires all c shares)."""
+        return ring.sum(shares[identity] for shares in self.coordinator_shares)
+
+
+class SecSumShare:
+    """One SecSumShare instance over ``m`` providers with ``c`` shares."""
+
+    def __init__(self, m: int, c: int, ring: Zq, rng: random.Random):
+        if c < 2:
+            raise ValueError(f"collusion parameter c must be >= 2, got {c}")
+        if m < c:
+            raise ValueError(f"need at least c={c} providers, got {m}")
+        self.m = m
+        self.c = c
+        self.ring = ring
+        self._rng = rng
+        self._sharing = AdditiveSharing(ring, c)
+
+    def run(self, inputs: list[list[int]]) -> SecSumResult:
+        """Execute the protocol for all identities at once.
+
+        ``inputs[i][j]`` is provider ``i``'s private value for identity ``j``
+        (a membership bit in the paper, but any ring element sums correctly).
+        """
+        m, c = self.m, self.c
+        if len(inputs) != m:
+            raise ValueError(f"expected inputs from {m} providers, got {len(inputs)}")
+        n_ids = len(inputs[0])
+        for i, row in enumerate(inputs):
+            if len(row) != n_ids:
+                raise ValueError(
+                    f"provider {i} supplied {len(row)} values, expected {n_ids}"
+                )
+
+        # Step 1: every provider shares every input value into c pieces.
+        # shares[i][j] = list of c share values of M(i, j).
+        shares = [
+            [self._sharing.share(value, self._rng) for value in row]
+            for row in inputs
+        ]
+
+        # Step 2: ring distribution -- share k of provider i lands at
+        # provider (i + k) mod m.  received[i][j] collects what p_i holds.
+        received: list[list[list[int]]] = [
+            [[] for _ in range(n_ids)] for _ in range(m)
+        ]
+        views = [ProviderView(provider=i) for i in range(m)]
+        for i in range(m):
+            for j in range(n_ids):
+                for k in range(c):
+                    dest = (i + k) % m
+                    value = shares[i][j][k]
+                    received[dest][j].append(value)
+                    if dest != i:
+                        views[dest].received_shares.append(value)
+
+        # Step 3: super-shares.
+        supers = [
+            [self.ring.sum(received[i][j]) for j in range(n_ids)] for i in range(m)
+        ]
+        for i in range(m):
+            # Record the (single-identity-summed) super share for inspection.
+            views[i].super_share = supers[i][0] if n_ids else 0
+
+        # Step 4: aggregate at c coordinators (providers 0 .. c-1 by
+        # convention); provider i reports to coordinator i mod c.
+        coordinator_shares = [[0] * n_ids for _ in range(c)]
+        coordinator_received: list[list[int]] = [[] for _ in range(c)]
+        for i in range(m):
+            k = i % c
+            for j in range(n_ids):
+                coordinator_shares[k][j] = self.ring.add(
+                    coordinator_shares[k][j], supers[i][j]
+                )
+            coordinator_received[k].extend(supers[i])
+        return SecSumResult(
+            coordinator_shares=coordinator_shares,
+            provider_views=views,
+            coordinator_received=coordinator_received,
+        )

@@ -1,0 +1,116 @@
+"""(t, n) Shamir secret sharing over a prime field.
+
+The paper's pure-MPC baseline and the floating-point MPC line of work it cites
+([35], Aliasgari et al.) build on Shamir sharing; we provide a full
+implementation so the arithmetic pure-MPC comparator has a faithful substrate
+and so the collusion-tolerance ablation can compare threshold schemes against
+the (c, c) additive scheme used by SecSumShare.
+
+A secret ``v`` is embedded as the constant term of a random degree-``t - 1``
+polynomial over ``GF(p)``; party ``i`` receives the evaluation at ``x = i + 1``.
+Any ``t`` shares reconstruct via Lagrange interpolation; fewer reveal nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["ShamirSharing", "ShamirShare", "DEFAULT_PRIME"]
+
+# A Mersenne prime comfortably larger than any frequency sum we shard
+# (2^61 - 1); fits in a machine word on 64-bit CPython for fast arithmetic.
+DEFAULT_PRIME = (1 << 61) - 1
+
+
+@dataclass(frozen=True)
+class ShamirShare:
+    """A point ``(x, y)`` on the sharing polynomial."""
+
+    x: int
+    y: int
+
+
+class ShamirSharing:
+    """A (threshold, parties) Shamir scheme over ``GF(prime)``."""
+
+    def __init__(self, threshold: int, parties: int, prime: int = DEFAULT_PRIME):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if parties < threshold:
+            raise ValueError(
+                f"need at least threshold={threshold} parties, got {parties}"
+            )
+        if prime <= parties:
+            raise ValueError("prime must exceed the number of parties")
+        self.threshold = threshold
+        self.parties = parties
+        self.prime = prime
+
+    def share(self, secret: int, rng: random.Random) -> list[ShamirShare]:
+        """Produce one share per party for ``secret``."""
+        p = self.prime
+        secret = secret % p
+        coeffs = [secret] + [rng.randrange(p) for _ in range(self.threshold - 1)]
+        return [
+            ShamirShare(x=i + 1, y=_poly_eval(coeffs, i + 1, p))
+            for i in range(self.parties)
+        ]
+
+    def reconstruct(self, shares: Sequence[ShamirShare]) -> int:
+        """Recover the secret from any ``threshold`` distinct shares."""
+        if len(shares) < self.threshold:
+            raise ValueError(
+                f"need at least {self.threshold} shares, got {len(shares)}"
+            )
+        pts = shares[: self.threshold]
+        xs = [s.x for s in pts]
+        if len(set(xs)) != len(xs):
+            raise ValueError("shares must have distinct x coordinates")
+        return _lagrange_at_zero(pts, self.prime)
+
+    def add(self, a: Sequence[ShamirShare], b: Sequence[ShamirShare]) -> list[ShamirShare]:
+        """Share-wise addition (valid sharing of the sum; degree preserved)."""
+        self._check_aligned(a, b)
+        p = self.prime
+        return [ShamirShare(x=s.x, y=(s.y + t.y) % p) for s, t in zip(a, b)]
+
+    def add_constant(self, a: Sequence[ShamirShare], k: int) -> list[ShamirShare]:
+        """Add a public constant to every share (shifts the polynomial)."""
+        p = self.prime
+        return [ShamirShare(x=s.x, y=(s.y + k) % p) for s in a]
+
+    def scale(self, a: Sequence[ShamirShare], k: int) -> list[ShamirShare]:
+        """Multiply by a public constant."""
+        p = self.prime
+        return [ShamirShare(x=s.x, y=(s.y * k) % p) for s in a]
+
+    def _check_aligned(self, a: Sequence[ShamirShare], b: Sequence[ShamirShare]) -> None:
+        if len(a) != len(b):
+            raise ValueError("share vectors have different lengths")
+        for s, t in zip(a, b):
+            if s.x != t.x:
+                raise ValueError("share vectors are not party-aligned")
+
+
+def _poly_eval(coeffs: Sequence[int], x: int, p: int) -> int:
+    """Horner evaluation of the polynomial with ``coeffs[0]`` constant term."""
+    acc = 0
+    for c in reversed(coeffs):
+        acc = (acc * x + c) % p
+    return acc
+
+
+def _lagrange_at_zero(points: Sequence[ShamirShare], p: int) -> int:
+    """Lagrange interpolation of the polynomial through ``points`` at x=0."""
+    total = 0
+    for i, pi in enumerate(points):
+        num, den = 1, 1
+        for j, pj in enumerate(points):
+            if i == j:
+                continue
+            num = (num * (-pj.x)) % p
+            den = (den * (pi.x - pj.x)) % p
+        total = (total + pi.y * num * pow(den, p - 2, p)) % p
+    return total

@@ -1,0 +1,25 @@
+"""Discrete-event network simulation substrate.
+
+Stands in for the Emulab testbed of the paper's evaluation: protocol actors
+(:class:`Node`) exchange sized messages through a :class:`Simulator` whose
+latency model is configurable (LAN profile matching the paper's deployment,
+plus a WAN profile for ablations).  The simulator reports the same
+start-to-end execution-time metric as Fig. 6a/6c.
+"""
+
+from repro.net.latency import EMULAB_LAN, WAN, LatencyModel
+from repro.net.metrics import NetworkMetrics
+from repro.net.simulator import Node, Simulator
+from repro.net.transport import HEADER_BITS, Message, ring_elements_bits
+
+__all__ = [
+    "EMULAB_LAN",
+    "HEADER_BITS",
+    "LatencyModel",
+    "Message",
+    "NetworkMetrics",
+    "Node",
+    "Simulator",
+    "WAN",
+    "ring_elements_bits",
+]

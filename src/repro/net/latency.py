@@ -1,0 +1,48 @@
+"""Latency / cost models for the simulated network.
+
+The default parameters approximate the paper's Emulab testbed (LAN of Quad
+Core Xeon machines): sub-millisecond propagation, ~1 Gbps links, and a CPU
+cost per MPC gate calibrated so that FairplayMP-scale circuits land in the
+seconds-to-minutes range of Fig. 6a.  Absolute values need not match the
+paper (their hardware, not ours); only ratios and scaling shape matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.transport import Message
+
+__all__ = ["LatencyModel", "EMULAB_LAN", "WAN"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Transmission cost model: ``latency + bits / bandwidth``."""
+
+    base_latency_s: float
+    bandwidth_bps: float
+    # CPU cost charged by the MPC cost replayer per Boolean gate evaluated.
+    gate_compute_s: float = 1e-4
+    # CPU cost per AND gate *per peer* on top of gate_compute_s: each AND
+    # opening is an all-to-all exchange whose crypto/serialization work
+    # scales with the number of protocol peers (this is what makes
+    # many-party generic MPC super-linear, as in FairplayMP).
+    and_extra_compute_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.base_latency_s < 0:
+            raise ValueError("base latency must be >= 0")
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be > 0")
+
+    def transit_time(self, message: Message) -> float:
+        """Seconds for ``message`` to reach its recipient."""
+        return self.base_latency_s + message.total_bits / self.bandwidth_bps
+
+
+# Parameters chosen to echo the paper's Emulab LAN deployment.
+EMULAB_LAN = LatencyModel(base_latency_s=0.0002, bandwidth_bps=1e9)
+
+# A wide-area profile for the geo-distributed ablations.
+WAN = LatencyModel(base_latency_s=0.040, bandwidth_bps=1e8)

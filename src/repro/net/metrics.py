@@ -1,0 +1,39 @@
+"""Aggregate network/execution metrics collected by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NetworkMetrics"]
+
+
+@dataclass
+class NetworkMetrics:
+    """Counters accumulated over one simulation run.
+
+    ``finish_time_s`` is the start-to-end execution time metric of the paper
+    (Fig. 6a/6c): the simulated wall-clock instant at which the last node
+    finished its last action.
+    """
+
+    messages: int = 0
+    bits_sent: int = 0
+    finish_time_s: float = 0.0
+    per_node_bits: dict[int, int] = field(default_factory=dict)
+    per_node_messages: dict[int, int] = field(default_factory=dict)
+    per_kind_messages: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def bytes_sent(self) -> float:
+        return self.bits_sent / 8
+
+    def record_send(self, sender: int, kind: str, bits: int) -> None:
+        self.messages += 1
+        self.bits_sent += bits
+        self.per_node_bits[sender] = self.per_node_bits.get(sender, 0) + bits
+        self.per_node_messages[sender] = self.per_node_messages.get(sender, 0) + 1
+        self.per_kind_messages[kind] = self.per_kind_messages.get(kind, 0) + 1
+
+    def observe_time(self, t: float) -> None:
+        if t > self.finish_time_s:
+            self.finish_time_s = t

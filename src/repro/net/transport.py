@@ -1,0 +1,55 @@
+"""Message model and wire-size accounting for the network simulator.
+
+The paper's prototype serialized protocol objects with Google protocol
+buffers over Netty; we model wire cost as a fixed per-message header plus a
+payload size that callers state explicitly (protocol code knows exactly how
+many ring elements / bits it ships, so sizes are exact rather than guessed
+from Python object graphs).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message", "HEADER_BITS", "ring_elements_bits"]
+
+# TCP/IP + framing overhead per message, in bits (40-byte header equivalent).
+HEADER_BITS = 40 * 8
+
+_message_counter = itertools.count()
+
+
+def ring_elements_bits(count: int, modulus: int) -> int:
+    """Wire size of ``count`` ring elements of ``Z_modulus``."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if modulus < 2:
+        raise ValueError(f"modulus must be >= 2, got {modulus}")
+    return count * max(1, (modulus - 1).bit_length())
+
+
+@dataclass
+class Message:
+    """A point-to-point protocol message.
+
+    ``payload`` is an arbitrary Python object consumed by the receiving
+    node's handler; ``payload_bits`` is its declared wire size.  ``kind`` is a
+    routing tag so node handlers can dispatch without isinstance checks.
+    """
+
+    sender: int
+    recipient: int
+    kind: str
+    payload: Any
+    payload_bits: int
+    uid: int = field(default_factory=lambda: next(_message_counter))
+
+    def __post_init__(self) -> None:
+        if self.payload_bits < 0:
+            raise ValueError(f"payload_bits must be >= 0, got {self.payload_bits}")
+
+    @property
+    def total_bits(self) -> int:
+        return self.payload_bits + HEADER_BITS

@@ -1,0 +1,20 @@
+"""Distributed realization of ǫ-PPI construction over the network simulator.
+
+Wires the SecSumShare ring protocol, the coordinator-side generic-MPC stage
+and the β broadcast into timed actors; used by the Fig. 6 benchmarks to
+measure start-to-end execution time against the pure-MPC baseline.
+"""
+
+from repro.protocol.construction import (
+    DistributedConstructionResult,
+    run_distributed_construction,
+    run_pure_mpc_simulation,
+)
+from repro.protocol.secsum_nodes import SecSumNode
+
+__all__ = [
+    "DistributedConstructionResult",
+    "SecSumNode",
+    "run_distributed_construction",
+    "run_pure_mpc_simulation",
+]

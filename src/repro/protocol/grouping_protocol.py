@@ -1,0 +1,182 @@
+"""Distributed construction of the grouping-PPI baseline — with its leak.
+
+The paper's criticism of existing PPI constructions is not only about
+privacy *quality* but about the construction's trust assumption: "many
+existing approaches [12], [13], [30] assume providers are willing to
+disclose their private local indexes, an unrealistic assumption when there
+is a lack of mutual trust between providers."
+
+This module realizes that construction as simulator actors so the
+assumption is *observable*: each provider ships its plaintext membership
+vector to its group leader, the leaders OR the vectors and publish group
+reports.  Every leader's transcript therefore contains its members' raw
+private vectors — the disclosure the ǫ-PPI construction protocol exists to
+avoid (contrast: SecSumShare transcripts are uniformly random, see
+`tests/attacks/test_collusion.py`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.latency import EMULAB_LAN, LatencyModel
+from repro.net.metrics import NetworkMetrics
+from repro.net.simulator import Node, Simulator
+from repro.net.transport import Message
+
+__all__ = ["GroupingConstructionResult", "run_grouping_construction"]
+
+LOCAL_VECTOR = "grouping/local-vector"
+GROUP_REPORT = "grouping/group-report"
+
+VECTOR_COMPUTE_S = 1e-6  # per-entry OR at the leader
+
+
+@dataclass
+class GroupingConstructionResult:
+    """Published index plus the construction-time disclosure record."""
+
+    published: np.ndarray  # provider-level expansion of group reports
+    group_of: np.ndarray
+    leader_transcripts: dict[int, dict[int, list[int]]]  # leader -> member -> raw vector
+    metrics: NetworkMetrics
+
+    def disclosed_vectors(self) -> int:
+        """How many private vectors were revealed in plaintext."""
+        return sum(len(v) for v in self.leader_transcripts.values())
+
+
+class _GroupMemberNode(Node):
+    """A provider: sends its raw membership vector to the group leader."""
+
+    def __init__(self, node_id: int, leader_id: int, vector: list[int]):
+        super().__init__(node_id)
+        self.leader_id = leader_id
+        self.vector = list(vector)
+
+    def on_start(self) -> None:
+        self.send(
+            self.leader_id,
+            LOCAL_VECTOR,
+            (self.node_id, self.vector),
+            payload_bits=len(self.vector),
+        )
+
+
+class _GroupLeaderNode(_GroupMemberNode):
+    """A leader: collects members' raw vectors, ORs them, publishes.
+
+    The transcript (``received``) is the leak: the leader sees every
+    member's private vector in the clear.
+    """
+
+    def __init__(self, node_id: int, vector: list[int], expected_members: int,
+                 server_id: int, group_id: int):
+        super().__init__(node_id, node_id, vector)
+        self.expected = expected_members
+        self.server_id = server_id
+        self.group_id = group_id
+        self.received: dict[int, list[int]] = {}
+
+    def on_start(self) -> None:
+        # The leader "receives" its own vector locally.
+        self._absorb(self.node_id, self.vector)
+
+    def on_message(self, message: Message) -> None:
+        if message.kind != LOCAL_VECTOR:
+            raise RuntimeError(f"unexpected message kind {message.kind}")
+        member, vector = message.payload
+        self.compute(VECTOR_COMPUTE_S * len(vector))
+        self._absorb(member, vector)
+
+    def _absorb(self, member: int, vector: list[int]) -> None:
+        self.received[member] = list(vector)
+        if len(self.received) == self.expected:
+            report = [0] * len(self.vector)
+            for vec in self.received.values():
+                for j, bit in enumerate(vec):
+                    report[j] |= bit
+            self.send(
+                self.server_id,
+                GROUP_REPORT,
+                (self.group_id, report),
+                payload_bits=len(report),
+            )
+
+
+class _IndexServerNode(Node):
+    """The third-party server assembling group reports."""
+
+    def __init__(self, node_id: int, n_groups: int, n_ids: int):
+        super().__init__(node_id)
+        self.reports: dict[int, list[int]] = {}
+        self.n_groups = n_groups
+        self.n_ids = n_ids
+
+    def on_message(self, message: Message) -> None:
+        if message.kind != GROUP_REPORT:
+            raise RuntimeError(f"unexpected message kind {message.kind}")
+        group_id, report = message.payload
+        self.reports[group_id] = report
+
+
+def run_grouping_construction(
+    provider_bits: list[list[int]],
+    n_groups: int,
+    rng: random.Random,
+    latency: LatencyModel = EMULAB_LAN,
+) -> GroupingConstructionResult:
+    """Run the grouping construction as timed actors and expose the leak."""
+    m = len(provider_bits)
+    if n_groups < 1 or n_groups > m:
+        raise ValueError(f"need 1 <= groups <= {m}, got {n_groups}")
+    n_ids = len(provider_bits[0])
+
+    order = list(range(m))
+    rng.shuffle(order)
+    group_of = np.empty(m, dtype=np.int64)
+    for position, pid in enumerate(order):
+        group_of[pid] = position % n_groups
+    members: dict[int, list[int]] = {}
+    for pid in range(m):
+        members.setdefault(int(group_of[pid]), []).append(pid)
+    leaders = {g: mem[0] for g, mem in members.items()}
+
+    sim = Simulator(latency=latency)
+    server_id = m
+    for g, mem in members.items():
+        leader = leaders[g]
+        sim.add_node(
+            _GroupLeaderNode(
+                leader, provider_bits[leader], expected_members=len(mem),
+                server_id=server_id, group_id=g,
+            )
+        )
+        for pid in mem:
+            if pid != leader:
+                sim.add_node(
+                    _GroupMemberNode(pid, leader, provider_bits[pid])
+                )
+    server = sim.add_node(_IndexServerNode(server_id, n_groups, n_ids))
+    metrics = sim.run()
+
+    published = np.zeros((m, n_ids), dtype=np.uint8)
+    for pid in range(m):
+        report = server.reports[int(group_of[pid])]
+        published[pid] = np.array(report, dtype=np.uint8)
+    transcripts = {
+        leaders[g]: {
+            member: vec
+            for member, vec in sim.nodes[leaders[g]].received.items()
+        }
+        for g in members
+    }
+    return GroupingConstructionResult(
+        published=published,
+        group_of=group_of,
+        leader_transcripts=transcripts,
+        metrics=metrics,
+    )

@@ -1,0 +1,25 @@
+"""Protocol message kinds (routing tags used by the simulator nodes)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SHARE",
+    "SUPER_SHARE",
+    "MPC_ROUND",
+    "BETA_BROADCAST",
+    "INPUT_SHARE",
+    "OPEN_FREQ",
+]
+
+# SecSumShare step 2: one additive share vector to a ring successor.
+SHARE = "secsum/share"
+# SecSumShare step 4: a super-share vector to a coordinator.
+SUPER_SHARE = "secsum/super-share"
+# One round of the generic-MPC stage among coordinators (cost replay).
+MPC_ROUND = "mpc/round"
+# Coordinator 0 broadcasts the final β vector to every provider.
+BETA_BROADCAST = "beta/broadcast"
+# Pure-MPC baseline: provider ships its input shares to every MPC party.
+INPUT_SHARE = "mpc/input-share"
+# Opening of σ for unselected identities (coordinator share exchange).
+OPEN_FREQ = "beta/open-frequency"

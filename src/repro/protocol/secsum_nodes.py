@@ -1,0 +1,133 @@
+"""SecSumShare as network-simulator actors (paper Fig. 3, phase 1.1).
+
+These nodes execute the same four protocol steps as the computational
+:class:`repro.mpc.secsum.SecSumShare`, but as timed messages over the
+discrete-event simulator, so the Fig. 6 benchmarks can measure realistic
+start-to-end execution time including transport cost.
+
+Message complexity per provider: ``c - 1`` share vectors to ring successors
+plus one super-share vector to its coordinator -- constant in ``m``, which is
+why SecSumShare scales (paper Sec. V-B).  Providers ``0 .. c-1`` double as
+the coordinators that aggregate super-shares (the paper's convention).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.mpc.additive import AdditiveSharing
+from repro.mpc.field import Zq
+from repro.net.simulator import Node
+from repro.net.transport import Message, ring_elements_bits
+from repro.protocol import messages as mk
+
+__all__ = ["SecSumNode", "SHARE_COMPUTE_S"]
+
+# CPU cost (seconds) per share-value generation/addition; calibrated to
+# cheap modular arithmetic on the paper's Xeon-class testbed.
+SHARE_COMPUTE_S = 1e-7
+
+
+class SecSumNode(Node):
+    """One provider in the SecSumShare ring; ids < c also coordinate.
+
+    ``on_complete(coordinator_id, shares)`` fires on coordinator nodes once
+    their provider group fully reported, handing the aggregated share vector
+    ``s(k, ·)`` to the next protocol stage (CountBelow).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        m: int,
+        c: int,
+        ring: Zq,
+        inputs: list[int],
+        rng: random.Random,
+        on_complete: Optional[Callable[[int, list[int]], None]] = None,
+    ):
+        super().__init__(node_id)
+        if not 0 <= node_id < m:
+            raise ValueError(f"node id {node_id} outside provider range [0, {m})")
+        self.m = m
+        self.c = c
+        self.ring = ring
+        self.inputs = list(inputs)
+        self._rng = rng
+        self._sharing = AdditiveSharing(ring, c)
+        self._accumulated = [0] * len(inputs)
+        self._pending_share_msgs = c - 1  # one from each of c-1 predecessors
+        self._reported = False
+        # Coordinator role (only for ids < c).
+        self.is_coordinator = node_id < c
+        self.coordinator_shares = [0] * len(inputs) if self.is_coordinator else None
+        self._expected_reports = len(range(node_id, m, c)) if self.is_coordinator else 0
+        self._received_reports = 0
+        self._on_complete = on_complete
+
+    # -- provider role ------------------------------------------------------
+
+    def on_start(self) -> None:
+        n_ids = len(self.inputs)
+        self.compute(SHARE_COMPUTE_S * n_ids * self.c)
+        # Step 1: split every input into c shares; collect per-destination
+        # vectors so step 2 sends one message per ring successor.
+        per_dest: list[list[int]] = [[] for _ in range(self.c)]
+        for value in self.inputs:
+            shares = self._sharing.share(value, self._rng)
+            for k in range(self.c):
+                per_dest[k].append(shares[k])
+        # Share 0 stays local (the paper's "keeps the first share locally").
+        self._accumulate(per_dest[0])
+        for k in range(1, self.c):
+            dest = (self.node_id + k) % self.m
+            self.send(
+                dest,
+                mk.SHARE,
+                per_dest[k],
+                ring_elements_bits(n_ids, self.ring.q),
+            )
+        self._maybe_report()
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == mk.SHARE:
+            self.compute(SHARE_COMPUTE_S * len(message.payload))
+            self._accumulate(message.payload)
+            self._pending_share_msgs -= 1
+            self._maybe_report()
+        elif message.kind == mk.SUPER_SHARE:
+            self._on_super_share(message)
+        else:
+            raise RuntimeError(f"unexpected message kind {message.kind}")
+
+    def _accumulate(self, values: list[int]) -> None:
+        for j, v in enumerate(values):
+            self._accumulated[j] = self.ring.add(self._accumulated[j], v)
+
+    def _maybe_report(self) -> None:
+        # Step 3 done once all predecessors delivered; step 4: report the
+        # super-share vector to coordinator (node_id mod c).
+        if self._pending_share_msgs == 0 and not self._reported:
+            self._reported = True
+            coordinator = self.node_id % self.c
+            self.send(
+                coordinator,
+                mk.SUPER_SHARE,
+                list(self._accumulated),
+                ring_elements_bits(len(self._accumulated), self.ring.q),
+            )
+
+    # -- coordinator role -----------------------------------------------------
+
+    def _on_super_share(self, message: Message) -> None:
+        if not self.is_coordinator:
+            raise RuntimeError(
+                f"non-coordinator node {self.node_id} got a super-share"
+            )
+        self.compute(SHARE_COMPUTE_S * len(message.payload))
+        for j, v in enumerate(message.payload):
+            self.coordinator_shares[j] = self.ring.add(self.coordinator_shares[j], v)
+        self._received_reports += 1
+        if self._received_reports == self._expected_reports and self._on_complete:
+            self._on_complete(self.node_id, list(self.coordinator_shares))

@@ -1,0 +1,193 @@
+"""Searcher anonymity: mix-chain query routing (paper Sec. II-B, ref [20]).
+
+The paper's threat model names *searcher anonymity* -- hiding which owner a
+searcher queried for, and who is searching -- as a privacy goal handled by
+"various anonymity protocols [20]" (Wright et al.'s analysis of anonymous
+protocol degradation).  This module provides that layer over the network
+simulator:
+
+* :class:`RelayNode` -- a mix relay: unwraps one onion layer, remembers the
+  return path for the flow, forwards after a batching delay;
+* :class:`AnonymousQueryClient` -- wraps a PPI query in an onion over a
+  chosen relay chain and routes the reply back through it;
+* :func:`predecessor_attack_probability` -- the [20] degradation result:
+  with a fraction ``f`` of relays compromised, repeated rounds deanonymize
+  the initiator with probability ``1 − (1 − f²)^rounds`` for 2+-hop chains
+  (the attacker needs the first relay *and* an observation point).
+
+Layered encryption is *modeled*, not implemented: payloads are nested
+tuples only the intended relay inspects (the simulator is single-process;
+what we measure is anonymity-set behaviour, hop latency and the
+degradation curve, not cryptographic strength -- consistent with how the
+substitution table in DESIGN.md treats crypto substrates).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.simulator import Node
+from repro.net.transport import Message
+
+__all__ = [
+    "ONION",
+    "ONION_REPLY",
+    "OnionLayer",
+    "RelayNode",
+    "AnonymousQueryClient",
+    "predecessor_attack_probability",
+]
+
+ONION = "anon/onion"
+ONION_REPLY = "anon/onion-reply"
+
+# Batching delay per relay (mixes traffic, costs latency).
+RELAY_DELAY_S = 0.002
+LAYER_BITS = 256  # wire overhead per onion layer
+
+
+@dataclass(frozen=True)
+class OnionLayer:
+    """One layer: the next hop and the (opaque) inner payload."""
+
+    next_hop: int
+    inner: object
+
+
+class RelayNode(Node):
+    """A mix relay.
+
+    Forward path: strip one layer, remember ``flow_id -> previous hop``,
+    forward inward after the batching delay.  Reply path: look the flow up
+    and send the reply back outward.  A compromised relay additionally
+    logs (previous hop, flow) pairs -- the observations the predecessor
+    attack aggregates.
+    """
+
+    def __init__(self, node_id: int, compromised: bool = False):
+        super().__init__(node_id)
+        self.compromised = compromised
+        self._flows: dict[int, int] = {}  # flow id -> previous hop
+        self.observations: list[tuple[int, int]] = []  # (prev hop, flow id)
+        self.forwarded = 0
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == ONION:
+            flow_id, layer = message.payload
+            if not isinstance(layer, OnionLayer):
+                raise RuntimeError("malformed onion")
+            self.compute(RELAY_DELAY_S)
+            self._flows[flow_id] = message.sender
+            if self.compromised:
+                self.observations.append((message.sender, flow_id))
+            self.forwarded += 1
+            self.send(
+                layer.next_hop,
+                ONION if isinstance(layer.inner, OnionLayer) else layer.inner[0],
+                (flow_id, layer.inner)
+                if isinstance(layer.inner, OnionLayer)
+                else (flow_id, layer.inner[1]),
+                payload_bits=message.payload_bits - LAYER_BITS,
+            )
+        elif message.kind == ONION_REPLY:
+            flow_id, payload = message.payload
+            prev = self._flows.get(flow_id)
+            if prev is None:
+                return  # unknown flow: drop (defensive)
+            self.compute(RELAY_DELAY_S)
+            self.send(prev, ONION_REPLY, (flow_id, payload), message.payload_bits)
+        else:
+            raise RuntimeError(f"unexpected message kind {message.kind}")
+
+
+class AnonymousQueryClient(Node):
+    """A searcher that tunnels PPI queries through a relay chain.
+
+    The PPI server receives the query from the exit relay and learns
+    nothing about the initiator; replies retrace the chain.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        relay_chain: list[int],
+        server_id: int,
+        queries: list[int],
+        rng: random.Random,
+    ):
+        super().__init__(node_id)
+        if not relay_chain:
+            raise ValueError("need at least one relay in the chain")
+        self.relay_chain = relay_chain
+        self.server_id = server_id
+        self._queue = list(queries)
+        self._rng = rng
+        self.replies: list[tuple[int, list[int]]] = []  # (owner, providers)
+        self._flow_of_owner: dict[int, int] = {}
+
+    def on_start(self) -> None:
+        self._send_next()
+
+    def _send_next(self) -> None:
+        if not self._queue:
+            return
+        owner_id = self._queue.pop(0)
+        flow_id = self._rng.getrandbits(48)
+        self._flow_of_owner[flow_id] = owner_id
+        # Build the onion inside-out: innermost is the real query message
+        # addressed to the server ("kind", payload).
+        inner: object = ("service/query", owner_id)
+        layer = OnionLayer(next_hop=self.server_id, inner=inner)
+        for hop in reversed(self.relay_chain[1:]):
+            layer = OnionLayer(next_hop=hop, inner=layer)
+        bits = 64 + LAYER_BITS * (len(self.relay_chain) + 1)
+        self.send(self.relay_chain[0], ONION, (flow_id, layer), payload_bits=bits)
+
+    def on_message(self, message: Message) -> None:
+        if message.kind != ONION_REPLY:
+            raise RuntimeError(f"unexpected message kind {message.kind}")
+        flow_id, payload = message.payload
+        owner_id, providers = payload
+        self.replies.append((owner_id, providers))
+        self._send_next()
+
+
+class AnonymityAwarePPIServer(Node):
+    """A PPI server variant that answers flow-tagged onion queries and logs
+    the *apparent* querier (what an honest-but-curious server learns)."""
+
+    def __init__(self, node_id: int, index):
+        super().__init__(node_id)
+        self.index = index
+        self.apparent_senders: list[int] = []
+
+    def on_message(self, message: Message) -> None:
+        if message.kind != "service/query":
+            raise RuntimeError(f"unexpected message kind {message.kind}")
+        flow_id, owner_id = message.payload
+        self.apparent_senders.append(message.sender)
+        providers = self.index.query(owner_id)
+        self.send(
+            message.sender,
+            ONION_REPLY,
+            (flow_id, (owner_id, providers)),
+            payload_bits=32 * max(1, len(providers)),
+        )
+
+
+def predecessor_attack_probability(
+    compromised_fraction: float, rounds: int
+) -> float:
+    """Deanonymization probability after ``rounds`` chain reformations [20].
+
+    Per round the initiator is exposed when the adversary controls both the
+    first relay (sees the initiator address) and the exit (links the flow
+    to the server): probability ``f²`` with independent relay choice.
+    """
+    if not 0.0 <= compromised_fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if rounds < 0:
+        raise ValueError("rounds must be >= 0")
+    per_round = compromised_fraction ** 2
+    return 1.0 - (1.0 - per_round) ** rounds

@@ -1,0 +1,127 @@
+"""Tests for the experiment harness and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    grouping_success_ratio,
+    policy_success_ratio,
+    search_cost_grouping,
+    search_cost_nongrouping,
+    table2_experiment,
+)
+from repro.analysis.reporting import format_series, format_table
+from repro.core.policies import BasicPolicy, ChernoffPolicy
+from repro.core.privacy import PrivacyDegree
+from repro.datasets.synthetic import exact_frequency_matrix
+
+
+class TestPolicySuccessRatio:
+    def test_chernoff_near_one(self, np_rng):
+        pp = policy_success_ratio(
+            5000, 50, 0.5, ChernoffPolicy(0.9), np_rng, samples=300
+        )
+        assert pp >= 0.9
+
+    def test_basic_near_half(self, np_rng):
+        pp = policy_success_ratio(5000, 50, 0.5, BasicPolicy(), np_rng, samples=500)
+        assert 0.3 < pp < 0.7
+
+    def test_zero_frequency_trivially_succeeds(self, np_rng):
+        pp = policy_success_ratio(100, 0, 0.5, BasicPolicy(), np_rng)
+        assert pp == 1.0
+
+    def test_frequency_validation(self, np_rng):
+        with pytest.raises(ValueError):
+            policy_success_ratio(10, 11, 0.5, BasicPolicy(), np_rng)
+
+
+class TestGroupingSuccessRatio:
+    def test_large_groups_high_fp(self, np_rng):
+        """Few groups => huge lists => high fp => success at moderate eps."""
+        pp = grouping_success_ratio(1000, 10, 0.5, 10, np_rng, samples=50)
+        assert pp == 1.0
+
+    def test_small_groups_fail_high_eps(self, np_rng):
+        """Many groups => small lists => fp too low for strict eps."""
+        pp = grouping_success_ratio(1000, 100, 0.95, 500, np_rng, samples=50)
+        assert pp < 0.5
+
+    def test_zero_frequency(self, np_rng):
+        assert grouping_success_ratio(100, 0, 0.5, 10, np_rng) == 1.0
+
+
+class TestSearchCost:
+    def test_nongrouping_cost_scales_with_epsilon(self, np_rng):
+        low = search_cost_nongrouping(1000, 10, 0.2, BasicPolicy(), np_rng)
+        high = search_cost_nongrouping(1000, 10, 0.9, BasicPolicy(), np_rng)
+        assert high > low
+
+    def test_nongrouping_cost_at_least_frequency(self, np_rng):
+        cost = search_cost_nongrouping(1000, 50, 0.5, BasicPolicy(), np_rng)
+        assert cost >= 50
+
+    def test_grouping_cost_multiple_of_group_size(self, np_rng):
+        cost = search_cost_grouping(1000, 1, 100, np_rng)
+        assert cost == pytest.approx(10.0)  # single positive group of size 10
+
+    def test_grouping_zero_frequency(self, np_rng):
+        assert search_cost_grouping(100, 0, 10, np_rng) == 0.0
+
+
+class TestTable2:
+    def test_degrees_match_paper(self):
+        """Table II: grouping NO-GUARANTEE/NO-GUARANTEE, SS-PPI
+        NO-GUARANTEE/NO-PROTECT, ǫ-PPI ǫ-PRIVATE/ǫ-PRIVATE."""
+        rng = np.random.default_rng(5)
+        m = 500
+        freqs = list(np.random.default_rng(1).integers(1, 50, size=395)) + [
+            480, 490, 495, 500, 485,
+        ]
+        matrix = exact_frequency_matrix(m, [int(f) for f in freqs], rng)
+        eps = np.random.default_rng(2).uniform(0.55, 0.95, size=400)
+        rows = table2_experiment(
+            matrix, eps, ChernoffPolicy(0.9), n_groups=100, rng=rng
+        )
+        by_system = {r.system: r for r in rows}
+        assert by_system["grouping-ppi"].primary_degree is PrivacyDegree.NO_GUARANTEE
+        assert by_system["grouping-ppi"].common_degree is PrivacyDegree.NO_GUARANTEE
+        assert by_system["ss-ppi"].common_degree is PrivacyDegree.NO_PROTECT
+        assert by_system["eps-ppi"].primary_degree is PrivacyDegree.EPS_PRIVATE
+        assert by_system["eps-ppi"].common_degree is PrivacyDegree.EPS_PRIVATE
+
+    def test_confidence_ordering(self):
+        """ǫ-PPI's attacker confidence must be far below the baselines'."""
+        rng = np.random.default_rng(7)
+        m = 300
+        freqs = list(np.random.default_rng(3).integers(1, 30, size=195)) + [
+            290, 295, 300, 285, 298,
+        ]
+        matrix = exact_frequency_matrix(m, [int(f) for f in freqs], rng)
+        eps = np.random.default_rng(4).uniform(0.6, 0.9, size=200)
+        rows = table2_experiment(
+            matrix, eps, ChernoffPolicy(0.9), n_groups=60, rng=rng
+        )
+        by_system = {r.system: r for r in rows}
+        assert (
+            by_system["eps-ppi"].primary_mean_confidence
+            < by_system["grouping-ppi"].primary_mean_confidence
+        )
+        assert (
+            by_system["eps-ppi"].common_identification_confidence
+            < by_system["ss-ppi"].common_identification_confidence
+        )
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.34567], [10, 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert lines[0].startswith("a")
+        assert "2.346" in text
+
+    def test_format_series(self):
+        text = format_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]})
+        assert "s1" in text and "s2" in text
+        assert len(text.splitlines()) == 4

@@ -1,0 +1,76 @@
+"""Tests for the executable Appendix-B analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.appendix_b import common_term_exposure, grouping_fp_spread
+from repro.datasets.synthetic import exact_frequency_matrix
+
+
+class TestGroupingSpread:
+    def test_fp_rate_is_assignment_dependent(self, np_rng):
+        """NO GUARANTEE, executably: the same term's realized fp rate swings
+        across random group assignments."""
+        # Group size 2 with f comparable to the group count: the number of
+        # collision-free groups (and hence the list size) varies run to run.
+        matrix = exact_frequency_matrix(40, [10], np_rng)
+        spread = grouping_fp_spread(matrix, term=0, n_groups=20, rng=np_rng)
+        assert spread.unstable
+        assert spread.fp_rates.min() < spread.fp_rates.max()
+
+    def test_single_group_perfectly_stable(self, np_rng):
+        """Degenerate case: one group = broadcast, fp identical every run."""
+        matrix = exact_frequency_matrix(100, [5], np_rng)
+        spread = grouping_fp_spread(matrix, term=0, n_groups=1, rng=np_rng)
+        assert spread.spread == pytest.approx(0.0)
+        assert not spread.unstable
+
+    def test_absent_term_zero_rates(self, np_rng):
+        matrix = exact_frequency_matrix(50, [0], np_rng)
+        spread = grouping_fp_spread(matrix, term=0, n_groups=5, rng=np_rng)
+        assert np.all(spread.fp_rates == 0.0)
+
+
+class TestCommonTermExposure:
+    @pytest.mark.parametrize("n_groups", [2, 5, 20])
+    def test_extreme_case_always_identifies_common(self, n_groups, np_rng):
+        """Appendix B: 'as long as there are more than two groups, the rare
+        terms can only show up in one group ... the attacker [identifies]
+        the true common terms ... with 100% confidence'."""
+        exposure = common_term_exposure(
+            m=100, n_rare=50, n_groups=n_groups, rng=np_rng
+        )
+        assert exposure.groups_lit_by_common == n_groups
+        assert exposure.max_groups_lit_by_rare == 1
+        assert exposure.identifiable_with_certainty
+
+    def test_needs_two_groups(self, np_rng):
+        with pytest.raises(ValueError):
+            common_term_exposure(m=10, n_rare=5, n_groups=1, rng=np_rng)
+
+    def test_epsilon_ppi_counterpoint(self, np_rng):
+        """The same extreme case under ǫ-PPI: mixing publishes decoys at
+        100 % apparent frequency, so the common term is no longer unique."""
+        from repro.attacks.adversary import AdversaryKnowledge
+        from repro.attacks.common_identity import common_identity_attack
+        from repro.core.mixing import mix_betas
+        from repro.core.policies import ChernoffPolicy
+        from repro.core.publication import publish_matrix
+        from repro.core.model import MembershipMatrix
+
+        m, n_rare = 100, 200
+        matrix = MembershipMatrix(m, n_rare + 1)
+        for pid in range(m):
+            matrix.set(pid, 0)
+        rng = np.random.default_rng(8)
+        for j in range(1, n_rare + 1):
+            matrix.set(int(rng.integers(m)), j)
+        eps = np.full(n_rare + 1, 0.8)
+        sigmas = np.array([matrix.sigma(j) for j in range(n_rare + 1)])
+        betas = ChernoffPolicy(0.9).beta_vector(sigmas, eps, m)
+        mixing = mix_betas(betas, eps, rng, sigmas=sigmas)
+        published = publish_matrix(matrix, mixing.betas, rng)
+        attack = common_identity_attack(
+            matrix, AdversaryKnowledge(published=published), rng
+        )
+        assert attack.identification_confidence <= 0.2 + 0.15

@@ -1,0 +1,129 @@
+"""Tests for the primary and common-identity attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.adversary import AdversaryKnowledge
+from repro.attacks.common_identity import common_identity_attack
+from repro.attacks.primary import primary_attack, primary_attack_confidences
+from repro.core.model import MembershipMatrix
+
+
+@pytest.fixture
+def matrix():
+    m = MembershipMatrix(10, 3)
+    for pid in (0, 1):
+        m.set(pid, 0)  # owner 0: frequency 2
+    for pid in range(10):
+        m.set(pid, 1)  # owner 1: common
+    m.set(5, 2)  # owner 2: rare
+    return m
+
+
+class TestAdversaryKnowledge:
+    def test_apparent_frequencies(self, matrix):
+        knowledge = AdversaryKnowledge(published=matrix.to_dense())
+        assert knowledge.apparent_frequencies().tolist() == [2, 10, 1]
+
+    def test_leak_preferred_when_present(self, matrix):
+        noisy = np.ones((10, 3), dtype=np.uint8)
+        knowledge = AdversaryKnowledge(
+            published=noisy, leaked_frequencies=np.array([2, 10, 1])
+        )
+        assert knowledge.best_frequency_estimate().tolist() == [2, 10, 1]
+
+    def test_candidates(self, matrix):
+        knowledge = AdversaryKnowledge(published=matrix.to_dense())
+        assert knowledge.candidate_providers(0).tolist() == [0, 1]
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            AdversaryKnowledge(published=np.zeros(3))
+
+
+class TestPrimaryAttack:
+    def test_exact_confidence_no_noise(self, matrix):
+        """Truthful index: every claim succeeds (confidence 1)."""
+        knowledge = AdversaryKnowledge(published=matrix.to_dense())
+        conf = primary_attack_confidences(matrix, knowledge)
+        assert conf.tolist() == [1.0, 1.0, 1.0]
+
+    def test_exact_confidence_with_noise(self, matrix):
+        published = matrix.to_dense().copy()
+        published[2, 0] = 1  # one false positive for owner 0
+        published[3, 0] = 1  # another
+        knowledge = AdversaryKnowledge(published=published)
+        conf = primary_attack_confidences(matrix, knowledge)
+        assert conf[0] == pytest.approx(0.5)  # 2 true / 4 published
+
+    def test_unattackable_owner_zero_confidence(self):
+        matrix = MembershipMatrix(4, 1)
+        knowledge = AdversaryKnowledge(published=np.zeros((4, 1), dtype=np.uint8))
+        conf = primary_attack_confidences(matrix, knowledge)
+        assert conf[0] == 0.0
+
+    def test_monte_carlo_matches_exact(self, matrix, np_rng):
+        published = matrix.to_dense().copy()
+        published[2, 0] = 1
+        published[3, 0] = 1
+        knowledge = AdversaryKnowledge(published=published)
+        result = primary_attack(
+            matrix, knowledge, np.array([0]), np_rng, trials=3000
+        )
+        assert result.confidences[0] == pytest.approx(0.5, abs=0.05)
+
+    def test_mean_confidence(self, matrix, np_rng):
+        knowledge = AdversaryKnowledge(published=matrix.to_dense())
+        result = primary_attack(matrix, knowledge, np.array([0, 1]), np_rng)
+        assert result.mean_confidence == 1.0
+
+
+class TestCommonIdentityAttack:
+    def test_identifies_common_without_protection(self, matrix, np_rng):
+        knowledge = AdversaryKnowledge(published=matrix.to_dense())
+        result = common_identity_attack(matrix, knowledge, np_rng)
+        assert result.claimed_common.tolist() == [1]
+        assert result.identification_confidence == 1.0
+        assert result.membership_confidence == 1.0
+
+    def test_decoys_reduce_identification(self, matrix, np_rng):
+        """Mixing defence: publish a decoy at full frequency; identification
+        confidence drops to 1/2."""
+        published = matrix.to_dense().copy()
+        published[:, 0] = 1  # owner 0 mixed in as decoy
+        knowledge = AdversaryKnowledge(published=published)
+        result = common_identity_attack(matrix, knowledge, np_rng)
+        assert set(result.claimed_common.tolist()) == {0, 1}
+        assert result.identification_confidence == pytest.approx(0.5)
+        # Membership claims against the decoy mostly fail.
+        assert result.membership_confidence < 1.0
+
+    def test_leak_overrides_mixing(self, matrix, np_rng):
+        """If the construction leaks true frequencies, mixing is useless
+        (the SS-PPI failure)."""
+        published = matrix.to_dense().copy()
+        published[:, 0] = 1  # decoy published
+        knowledge = AdversaryKnowledge(
+            published=published,
+            leaked_frequencies=np.array([2, 10, 1]),
+        )
+        result = common_identity_attack(matrix, knowledge, np_rng)
+        assert result.claimed_common.tolist() == [1]
+        assert result.identification_confidence == 1.0
+
+    def test_no_commons_no_attack(self, np_rng):
+        matrix = MembershipMatrix(10, 2)
+        matrix.set(0, 0)
+        matrix.set(1, 1)
+        knowledge = AdversaryKnowledge(published=matrix.to_dense())
+        result = common_identity_attack(matrix, knowledge, np_rng)
+        assert not result.attacked
+        assert result.identification_confidence == 0.0
+
+    def test_threshold_configurable(self, matrix, np_rng):
+        knowledge = AdversaryKnowledge(published=matrix.to_dense())
+        result = common_identity_attack(
+            matrix, knowledge, np_rng, commonness_threshold=0.15
+        )
+        # owner 0 (freq 0.2) now also counts as common.
+        assert 0 in result.claimed_common.tolist()

@@ -1,0 +1,103 @@
+"""Tests for colluding-provider attacks (index-side and construction-side)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.attacks.adversary import AdversaryKnowledge
+from repro.attacks.collusion import (
+    colluding_primary_attack,
+    secsum_collusion_leakage,
+)
+from repro.core.model import MembershipMatrix
+from repro.mpc.field import Zq, default_modulus_for_sum
+from repro.mpc.secsum import SecSumShare
+
+
+@pytest.fixture
+def matrix():
+    m = MembershipMatrix(10, 2)
+    for pid in (0, 1, 2, 3):
+        m.set(pid, 0)  # owner 0 at 4 providers
+    m.set(5, 1)
+    return m
+
+
+class TestColludingPrimaryAttack:
+    def test_outside_confidence_with_noise(self, matrix):
+        published = matrix.to_dense().copy()
+        published[6, 0] = 1  # noise
+        published[7, 0] = 1  # noise
+        knowledge = AdversaryKnowledge(published=published)
+        result = colluding_primary_attack(
+            matrix, knowledge, coalition={0, 1}, owner_ids=np.array([0])
+        )
+        # Candidates outside the coalition: {2, 3, 6, 7}; true: {2, 3}.
+        assert result.confidences[0] == pytest.approx(0.5)
+        # Claims against coalition members resolved exactly: both true.
+        assert result.resolved_exactly[0] == 2
+
+    def test_collusion_never_decreases_knowledge(self, matrix, np_rng):
+        """With more colluders the unresolved candidate set shrinks; the
+        resolved count grows monotonically."""
+        published = matrix.to_dense().copy()
+        published[6, 0] = 1
+        knowledge = AdversaryKnowledge(published=published)
+        resolved = []
+        for k in (0, 2, 4):
+            result = colluding_primary_attack(
+                matrix, knowledge, coalition=set(range(k)), owner_ids=np.array([0])
+            )
+            resolved.append(int(result.resolved_exactly[0]))
+        assert resolved == sorted(resolved)
+
+    def test_all_candidates_colluding(self, matrix):
+        knowledge = AdversaryKnowledge(published=matrix.to_dense())
+        result = colluding_primary_attack(
+            matrix, knowledge, coalition={0, 1, 2, 3}, owner_ids=np.array([0])
+        )
+        assert result.confidences[0] == 0.0  # nothing left to guess
+        assert result.resolved_exactly[0] == 4
+
+    def test_unknown_colluder_rejected(self, matrix):
+        knowledge = AdversaryKnowledge(published=matrix.to_dense())
+        with pytest.raises(ValueError):
+            colluding_primary_attack(
+                matrix, knowledge, coalition={99}, owner_ids=np.array([0])
+            )
+
+
+class TestSecSumCollusion:
+    def run_secsum(self, m=8, c=3):
+        inputs = [[1 if i < 5 else 0] for i in range(m)]
+        ring = Zq(default_modulus_for_sum(m))
+        result = SecSumShare(m, c, ring, random.Random(11)).run(inputs)
+        return result, ring
+
+    def test_below_c_coordinators_learn_nothing(self):
+        result, ring = self.run_secsum()
+        leak = secsum_collusion_leakage(
+            result, coalition={0, 1, 5, 6, 7}, c=3, ring=ring, n_identities=1
+        )
+        assert not leak.breached
+        assert leak.frequencies_recovered == {}
+        assert leak.coordinator_members == {0, 1}
+
+    def test_all_coordinators_breach(self):
+        result, ring = self.run_secsum()
+        leak = secsum_collusion_leakage(
+            result, coalition={0, 1, 2}, c=3, ring=ring, n_identities=1
+        )
+        assert leak.breached
+        assert leak.frequencies_recovered == {0: 5}
+
+    def test_many_regular_providers_insufficient(self):
+        """Even m-1 colluders cannot open the sum if one coordinator is
+        honest (the (c, c) output sharing)."""
+        result, ring = self.run_secsum(m=8, c=3)
+        coalition = set(range(8)) - {2}  # coordinator 2 honest
+        leak = secsum_collusion_leakage(
+            result, coalition=coalition, c=3, ring=ring, n_identities=1
+        )
+        assert not leak.breached

@@ -1,0 +1,111 @@
+"""Tests for the multi-version intersection attack and sticky noise."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.intersection import intersection_attack
+from repro.core.model import MembershipMatrix
+from repro.core.publication import publish_matrix
+from repro.core.sticky import StickyPublisher, sticky_publish_matrix
+
+
+@pytest.fixture
+def matrix():
+    m = MembershipMatrix(60, 5)
+    rng = np.random.default_rng(1)
+    for j in range(5):
+        for pid in rng.choice(60, size=4, replace=False):
+            m.set(int(pid), j)
+    return m
+
+
+BETAS = np.full(5, 0.5)
+
+
+class TestIntersectionAttack:
+    def test_single_version_equals_published(self, matrix, np_rng):
+        published = publish_matrix(matrix, BETAS, np_rng)
+        result = intersection_attack(matrix, [published])
+        assert np.array_equal(result.intersection, published)
+
+    def test_fresh_noise_erodes_under_intersection(self, matrix):
+        """Independent republication: noise survives k versions with
+        probability beta^k, so attacker confidence climbs toward 1."""
+        rng = np.random.default_rng(3)
+        versions = [publish_matrix(matrix, BETAS, rng) for _ in range(10)]
+        one = intersection_attack(matrix, versions[:1])
+        many = intersection_attack(matrix, versions)
+        assert many.mean_confidence > one.mean_confidence
+        assert many.mean_confidence > 0.9
+
+    def test_true_positives_always_survive(self, matrix):
+        rng = np.random.default_rng(4)
+        versions = [publish_matrix(matrix, BETAS, rng) for _ in range(5)]
+        result = intersection_attack(matrix, versions)
+        dense = matrix.to_dense()
+        assert np.all(result.intersection[dense == 1] == 1)
+
+    def test_sticky_noise_defeats_intersection(self, matrix):
+        """Sticky republication: every version is identical, so the
+        intersection is exactly one version and confidence stays put."""
+        keys = [bytes([pid]) * 16 for pid in range(matrix.n_providers)]
+        versions = [
+            sticky_publish_matrix(matrix, BETAS, keys) for _ in range(6)
+        ]
+        one = intersection_attack(matrix, versions[:1])
+        many = intersection_attack(matrix, versions)
+        assert np.array_equal(many.intersection, versions[0])
+        assert many.mean_confidence == pytest.approx(one.mean_confidence)
+
+    def test_shape_mismatch_rejected(self, matrix):
+        with pytest.raises(ValueError):
+            intersection_attack(matrix, [np.zeros((2, 2), dtype=np.uint8)])
+
+    def test_empty_versions_rejected(self, matrix):
+        with pytest.raises(ValueError):
+            intersection_attack(matrix, [])
+
+
+class TestStickyPublisher:
+    def test_coins_deterministic(self):
+        p = StickyPublisher(3, b"key")
+        assert p.coin(7) == p.coin(7)
+
+    def test_coins_differ_across_owners_and_providers(self):
+        a, b = StickyPublisher(3, b"key"), StickyPublisher(4, b"key")
+        coins_a = {a.coin(j) for j in range(50)}
+        assert len(coins_a) == 50  # no collisions in practice
+        assert a.coin(0) != b.coin(0)
+
+    def test_coins_uniformish(self):
+        p = StickyPublisher(0, b"seed")
+        coins = [p.coin(j) for j in range(2000)]
+        assert 0.45 < float(np.mean(coins)) < 0.55
+
+    def test_monotone_in_beta(self):
+        """Raising beta only ever adds published cells (never removes)."""
+        p = StickyPublisher(1, b"key")
+        row = np.zeros(200, dtype=np.uint8)
+        low = p.publish_row(row, np.full(200, 0.3))
+        high = p.publish_row(row, np.full(200, 0.7))
+        assert np.all(high[low == 1] == 1)
+
+    def test_recall_preserved(self):
+        p = StickyPublisher(1, b"key")
+        row = np.ones(20, dtype=np.uint8)
+        out = p.publish_row(row, np.zeros(20))
+        assert np.all(out == 1)
+
+    def test_flip_rate_close_to_beta(self):
+        p = StickyPublisher(2, b"key")
+        row = np.zeros(5000, dtype=np.uint8)
+        out = p.publish_row(row, np.full(5000, 0.3))
+        assert 0.27 < out.mean() < 0.33
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(Exception):
+            StickyPublisher(0, b"")
+
+    def test_matrix_requires_key_per_provider(self, matrix):
+        with pytest.raises(Exception):
+            sticky_publish_matrix(matrix, BETAS, [b"only-one"])

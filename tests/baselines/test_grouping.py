@@ -1,0 +1,96 @@
+"""Tests for the grouping PPI and SS-PPI baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.grouping import GroupingPPI
+from repro.baselines.no_privacy import PlainIndex
+from repro.baselines.ss_ppi import SSPPI
+from repro.core.errors import ConstructionError
+from repro.core.model import MembershipMatrix
+
+
+@pytest.fixture
+def matrix():
+    m = MembershipMatrix(8, 3)
+    # owner 0 at providers 0, 4; owner 1 at 1; owner 2 everywhere (common).
+    m.set(0, 0)
+    m.set(4, 0)
+    m.set(1, 1)
+    for pid in range(8):
+        m.set(pid, 2)
+    return m
+
+
+class TestGroupingPPI:
+    def test_groups_partition_providers(self, matrix, np_rng):
+        result = GroupingPPI(4).construct(matrix, np_rng)
+        assert len(result.group_of) == 8
+        assert set(result.group_of) == set(range(4))
+        # Balanced deal: group sizes all equal for 8 providers / 4 groups.
+        sizes = np.bincount(result.group_of)
+        assert sizes.tolist() == [2, 2, 2, 2]
+
+    def test_group_reports_or_of_members(self, matrix, np_rng):
+        result = GroupingPPI(4).construct(matrix, np_rng)
+        dense = matrix.to_dense()
+        for g in range(4):
+            members = result.group_of == g
+            expected = dense[members].max(axis=0)
+            assert np.array_equal(result.group_reports[g], expected)
+
+    def test_published_expands_group_reports(self, matrix, np_rng):
+        result = GroupingPPI(4).construct(matrix, np_rng)
+        for pid in range(8):
+            assert np.array_equal(
+                result.published[pid], result.group_reports[result.group_of[pid]]
+            )
+
+    def test_recall_preserved(self, matrix, np_rng):
+        """Group reporting never loses a true positive."""
+        result = GroupingPPI(4).construct(matrix, np_rng)
+        dense = matrix.to_dense()
+        assert np.all(result.published[dense == 1] == 1)
+
+    def test_common_identity_visible_in_every_group(self, matrix, np_rng):
+        """The Appendix-B weakness: a 100% identity is positive in all
+        groups, so grouping hides nothing about it."""
+        result = GroupingPPI(4).construct(matrix, np_rng)
+        assert np.all(result.group_reports[:, 2] == 1)
+        assert result.published[:, 2].sum() == 8
+
+    def test_single_group_is_broadcast(self, matrix, np_rng):
+        result = GroupingPPI(1).construct(matrix, np_rng)
+        # One group: every owner with any provider is published everywhere.
+        assert np.all(result.published[:, 0] == 1)
+
+    def test_more_groups_than_providers_rejected(self, matrix, np_rng):
+        with pytest.raises(ConstructionError):
+            GroupingPPI(9).construct(matrix, np_rng)
+
+    def test_zero_groups_rejected(self):
+        with pytest.raises(ConstructionError):
+            GroupingPPI(0)
+
+    def test_randomized_assignment_varies(self, matrix):
+        a = GroupingPPI(4).construct(matrix, np.random.default_rng(1))
+        b = GroupingPPI(4).construct(matrix, np.random.default_rng(2))
+        assert not np.array_equal(a.group_of, b.group_of)
+
+
+class TestSSPPI:
+    def test_leaks_exact_frequencies(self, matrix, np_rng):
+        result = SSPPI(4).construct(matrix, np_rng)
+        assert result.leaked_frequencies.tolist() == [2, 1, 8]
+
+    def test_published_is_grouping_index(self, matrix, np_rng):
+        result = SSPPI(4).construct(matrix, np_rng)
+        assert result.published.shape == (8, 3)
+        dense = matrix.to_dense()
+        assert np.all(result.published[dense == 1] == 1)
+
+
+class TestPlainIndex:
+    def test_publishes_truth(self, matrix):
+        published = PlainIndex().construct(matrix)
+        assert np.array_equal(published, matrix.to_dense())

@@ -1,0 +1,84 @@
+"""Tests for the searchable-encryption index baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.sse import build_sse_index
+from repro.core.model import MembershipMatrix
+
+
+@pytest.fixture
+def setup():
+    matrix = MembershipMatrix(6, 4)
+    matrix.set(0, 0)
+    matrix.set(2, 0)
+    matrix.set(1, 1)
+    matrix.set(3, 2)
+    matrix.set(4, 2)
+    matrix.set(5, 2)
+    keys = {pid: bytes([pid + 1]) * 16 for pid in range(6)}
+    index = build_sse_index(matrix, keys, random.Random(3))
+    return matrix, keys, index
+
+
+class TestSearch:
+    def test_full_keys_find_all_providers(self, setup):
+        matrix, keys, index = setup
+        for owner in range(4):
+            matches, _ = index.search(owner, keys)
+            assert set(matches) == matrix.providers_of(owner)
+
+    def test_missing_key_hides_provider(self, setup):
+        """The architectural coupling: without provider 2's key, owner 0's
+        records there are invisible -- the searcher had to already know."""
+        matrix, keys, index = setup
+        partial = {pid: k for pid, k in keys.items() if pid != 2}
+        matches, _ = index.search(0, partial)
+        assert matches == [0]
+
+    def test_wrong_key_finds_nothing(self, setup):
+        _, keys, index = setup
+        bad = {pid: b"wrong-key-000000" for pid in keys}
+        matches, _ = index.search(0, bad)
+        assert matches == []
+
+    def test_absent_owner(self, setup):
+        matrix, keys, index = setup
+        matches, _ = index.search(3, keys)
+        assert matches == []
+
+
+class TestLeakageShape:
+    def test_entries_unlinkable_across_providers(self, setup):
+        """Same owner at two providers yields unrelated digests (per-provider
+        keys + per-entry salts)."""
+        matrix, keys, index = setup
+        digests = [d for pid in (0, 2) for _, d in index._entries[pid]]
+        assert len(set(digests)) == len(digests)
+
+    def test_entry_count_matches_memberships(self, setup):
+        matrix, _, index = setup
+        assert index.total_entries == matrix.total_memberships
+
+
+class TestCostModel:
+    def test_scan_cost_grows_with_keys_held(self, setup):
+        _, keys, index = setup
+        _, few = index.search(0, {0: keys[0]})
+        _, many = index.search(0, keys)
+        assert many.entries_scanned > few.entries_scanned
+        assert many.trapdoors_derived == 6
+
+    def test_prf_work_counted(self, setup):
+        _, keys, index = setup
+        _, stats = index.search(2, keys)
+        # one PRF per trapdoor plus one per scanned entry.
+        assert stats.prf_evaluations == stats.trapdoors_derived + stats.entries_scanned
+
+
+class TestValidation:
+    def test_key_per_provider_required(self):
+        matrix = MembershipMatrix(3, 1)
+        with pytest.raises(ValueError):
+            build_sse_index(matrix, {0: b"k"}, random.Random(1))

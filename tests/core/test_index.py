@@ -1,0 +1,95 @@
+"""Tests for the published PPI index and QueryPPI."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.index import PPIIndex
+
+
+@pytest.fixture
+def index():
+    published = np.array(
+        [
+            [1, 0, 1],
+            [1, 1, 0],
+            [0, 0, 0],
+            [1, 0, 1],
+        ],
+        dtype=np.uint8,
+    )
+    return PPIIndex(published, owner_names=["alice", "bob", "carol"])
+
+
+class TestQuery:
+    def test_query_returns_positive_providers(self, index):
+        assert index.query(0) == [0, 1, 3]
+        assert index.query(1) == [1]
+        assert index.query(2) == [0, 3]
+
+    def test_query_by_name(self, index):
+        assert index.query_by_name("bob") == [1]
+
+    def test_unknown_name_rejected(self, index):
+        with pytest.raises(ModelError):
+            index.query_by_name("dave")
+
+    def test_unknown_owner_rejected(self, index):
+        with pytest.raises(ModelError):
+            index.query(5)
+
+    def test_result_size(self, index):
+        assert index.result_size(0) == 3
+        assert index.result_size(1) == 1
+
+    def test_repeated_queries_identical(self, index):
+        """The index is static: repeated attacks/queries see the same list
+        (Sec. III-C repeated-attack resistance)."""
+        assert index.query(0) == index.query(0)
+
+
+class TestPublicViews:
+    def test_matrix_readonly(self, index):
+        with pytest.raises(ValueError):
+            index.matrix[0, 0] = 0
+
+    def test_published_frequency(self, index):
+        assert index.published_frequency(0) == pytest.approx(3 / 4)
+
+    def test_stats(self, index):
+        stats = index.stats()
+        assert stats.n_providers == 4
+        assert stats.n_owners == 3
+        assert stats.published_positives == 6
+        assert stats.avg_result_size == pytest.approx(2.0)
+        assert stats.broadcast_owners == 0
+
+    def test_broadcast_owner_counted(self):
+        published = np.ones((3, 1), dtype=np.uint8)
+        assert PPIIndex(published).stats().broadcast_owners == 1
+
+
+class TestConstruction:
+    def test_requires_2d(self):
+        with pytest.raises(ModelError):
+            PPIIndex(np.zeros(3, dtype=np.uint8))
+
+    def test_requires_boolean(self):
+        with pytest.raises(ModelError):
+            PPIIndex(np.full((2, 2), 2, dtype=np.uint8))
+
+    def test_owner_names_length_checked(self):
+        with pytest.raises(ModelError):
+            PPIIndex(np.zeros((2, 2), dtype=np.uint8), owner_names=["a"])
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, index):
+        loaded = PPIIndex.from_json(index.to_json())
+        assert np.array_equal(loaded.matrix, index.matrix)
+        assert loaded.query_by_name("alice") == index.query_by_name("alice")
+
+    def test_json_without_names(self):
+        idx = PPIIndex(np.eye(3, dtype=np.uint8))
+        loaded = PPIIndex.from_json(idx.to_json())
+        assert np.array_equal(loaded.matrix, idx.matrix)

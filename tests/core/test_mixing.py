@@ -1,0 +1,116 @@
+"""Tests for identity mixing (Eq. 6/7, common-identity defence)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConstructionError
+from repro.core.mixing import compute_lambda, mix_betas
+
+
+class TestComputeLambda:
+    def test_equation7_formula(self):
+        # lambda >= xi/(1-xi) * C/(n-C)
+        xi, c, n = 0.5, 10, 1000
+        assert compute_lambda(c, n, xi) == pytest.approx(
+            (xi / (1 - xi)) * (c / (n - c))
+        )
+
+    def test_no_commons_no_mixing(self):
+        assert compute_lambda(0, 100, 0.8) == 0.0
+
+    def test_zero_xi_no_mixing(self):
+        assert compute_lambda(10, 100, 0.0) == 0.0
+
+    def test_clamped_to_one(self):
+        assert compute_lambda(90, 100, 0.9) == 1.0
+
+    def test_all_common_forces_one(self):
+        assert compute_lambda(100, 100, 0.5) == 1.0
+
+    def test_higher_xi_higher_lambda(self):
+        lams = [compute_lambda(5, 1000, xi) for xi in (0.2, 0.5, 0.8)]
+        assert lams == sorted(lams)
+        assert lams[0] < lams[-1]
+
+    def test_xi_one_forces_full_mixing(self):
+        assert compute_lambda(1, 10, 1.0) == 1.0
+
+    def test_invalid_xi_rejected(self):
+        with pytest.raises(ConstructionError):
+            compute_lambda(1, 10, 1.1)
+        with pytest.raises(ConstructionError):
+            compute_lambda(1, 10, -0.1)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConstructionError):
+            compute_lambda(11, 10, 0.5)
+
+
+class TestMixBetas:
+    def test_commons_forced_to_one(self, np_rng):
+        betas = np.array([1.0, 0.3, 0.2])
+        eps = np.array([0.8, 0.5, 0.4])
+        result = mix_betas(betas, eps, np_rng)
+        assert result.betas[0] == 1.0
+        assert result.common_ids.tolist() == [0]
+
+    def test_xi_is_max_common_epsilon(self, np_rng):
+        betas = np.array([1.0, 1.0, 0.2])
+        eps = np.array([0.6, 0.9, 0.99])
+        result = mix_betas(betas, eps, np_rng)
+        assert result.xi == pytest.approx(0.9)
+
+    def test_no_commons_no_decoys(self, np_rng):
+        betas = np.array([0.5, 0.3])
+        result = mix_betas(betas, np.array([0.5, 0.5]), np_rng)
+        assert result.lambda_ == 0.0
+        assert len(result.decoy_ids) == 0
+        assert np.array_equal(result.betas, betas)
+
+    def test_decoy_rate_close_to_lambda(self):
+        rng = np.random.default_rng(7)
+        n = 5000
+        betas = np.concatenate([[1.0] * 50, np.full(n - 50, 0.1)])
+        eps = np.full(n, 0.5)
+        result = mix_betas(betas, eps, rng)
+        expected_lambda = compute_lambda(50, n, 0.5)
+        rate = len(result.decoy_ids) / (n - 50)
+        assert rate == pytest.approx(expected_lambda, rel=0.3)
+
+    def test_decoys_get_beta_one(self, np_rng):
+        betas = np.concatenate([[1.0] * 20, np.full(200, 0.1)])
+        eps = np.full(220, 0.8)
+        result = mix_betas(betas, eps, np_rng)
+        assert np.all(result.betas[result.decoy_ids] == 1.0)
+
+    def test_disabled_mixing_keeps_betas(self, np_rng):
+        betas = np.concatenate([[1.0] * 20, np.full(200, 0.1)])
+        eps = np.full(220, 0.8)
+        result = mix_betas(betas, eps, np_rng, enabled=False)
+        assert len(result.decoy_ids) == 0
+        assert np.all(result.betas[20:] == 0.1)
+        # lambda still reported for diagnostics.
+        assert result.lambda_ > 0
+
+    def test_achieved_decoy_fraction(self, np_rng):
+        rng = np.random.default_rng(3)
+        betas = np.concatenate([[1.0] * 10, np.full(2000, 0.1)])
+        eps = np.full(2010, 0.7)
+        result = mix_betas(betas, eps, rng)
+        # Enough non-commons: achieved fraction should approach xi=0.7.
+        assert result.achieved_decoy_fraction == pytest.approx(0.7, abs=0.15)
+
+    def test_mixed_ids_union(self, np_rng):
+        betas = np.concatenate([[1.0] * 5, np.full(100, 0.2)])
+        eps = np.full(105, 0.9)
+        result = mix_betas(betas, eps, np_rng)
+        assert set(result.mixed_ids) == set(result.common_ids) | set(result.decoy_ids)
+
+    def test_shape_mismatch_rejected(self, np_rng):
+        with pytest.raises(ConstructionError):
+            mix_betas(np.zeros(3), np.zeros(4), np_rng)
+
+    def test_empty_vector(self, np_rng):
+        result = mix_betas(np.zeros(0), np.zeros(0), np_rng)
+        assert result.lambda_ == 0.0
+        assert result.achieved_decoy_fraction == 1.0

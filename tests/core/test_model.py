@@ -1,0 +1,156 @@
+"""Tests for the data model (owners, providers, matrix, network)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.model import (
+    InformationNetwork,
+    MembershipMatrix,
+    Owner,
+    Provider,
+    Record,
+)
+
+
+class TestOwner:
+    def test_valid_epsilon_range(self):
+        Owner(owner_id=0, name="a", epsilon=0.0)
+        Owner(owner_id=0, name="a", epsilon=1.0)
+
+    @pytest.mark.parametrize("eps", [-0.1, 1.1, 2.0])
+    def test_invalid_epsilon_rejected(self, eps):
+        with pytest.raises(ModelError):
+            Owner(owner_id=0, name="a", epsilon=eps)
+
+
+class TestProvider:
+    def test_store_and_lookup(self):
+        p = Provider(provider_id=0, name="h0")
+        p.store(Record(owner_id=3, payload="x"))
+        assert p.has_owner(3)
+        assert not p.has_owner(4)
+        assert p.owner_ids == {3}
+
+    def test_multiple_records_same_owner(self):
+        p = Provider(provider_id=0, name="h0")
+        p.store(Record(owner_id=3, payload="x"))
+        p.store(Record(owner_id=3, payload="y"))
+        assert len(p.records[3]) == 2
+
+    def test_membership_vector(self):
+        p = Provider(provider_id=0, name="h0")
+        p.store(Record(owner_id=1))
+        p.store(Record(owner_id=3))
+        vec = p.membership_vector(5)
+        assert vec.tolist() == [0, 1, 0, 1, 0]
+
+
+class TestMembershipMatrix:
+    def test_set_get(self, small_matrix):
+        assert small_matrix.get(0, 0)
+        assert not small_matrix.get(1, 0)
+
+    def test_providers_of(self, small_matrix):
+        assert small_matrix.providers_of(0) == {0, 2}
+        assert small_matrix.providers_of(1) == {0, 1}
+        assert small_matrix.providers_of(2) == {2}
+
+    def test_owners_of(self, small_matrix):
+        assert small_matrix.owners_of(0) == {0, 1}
+        assert small_matrix.owners_of(1) == {1}
+
+    def test_frequency_and_sigma(self, small_matrix):
+        assert small_matrix.frequency(0) == 2
+        assert small_matrix.sigma(0) == pytest.approx(2 / 3)
+
+    def test_total_memberships(self, small_matrix):
+        assert small_matrix.total_memberships == 5
+
+    def test_dense_roundtrip(self, small_matrix):
+        dense = small_matrix.to_dense()
+        rebuilt = MembershipMatrix.from_dense(dense)
+        assert np.array_equal(rebuilt.to_dense(), dense)
+
+    def test_dense_shape_and_values(self, small_matrix):
+        dense = small_matrix.to_dense()
+        assert dense.shape == (3, 3)
+        assert dense[0, 0] == 1 and dense[1, 0] == 0
+
+    def test_iter_cells(self, small_matrix):
+        cells = set(small_matrix.iter_cells())
+        assert cells == {(0, 0), (0, 1), (1, 1), (2, 0), (2, 2)}
+
+    def test_out_of_range_rejected(self, small_matrix):
+        with pytest.raises(ModelError):
+            small_matrix.set(3, 0)
+        with pytest.raises(ModelError):
+            small_matrix.get(0, 3)
+        with pytest.raises(ModelError):
+            small_matrix.providers_of(-1)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ModelError):
+            MembershipMatrix(0, 5)
+
+    def test_from_dense_requires_2d(self):
+        with pytest.raises(ModelError):
+            MembershipMatrix.from_dense(np.zeros(3))
+
+    def test_idempotent_set(self):
+        m = MembershipMatrix(2, 2)
+        m.set(0, 0)
+        m.set(0, 0)
+        assert m.total_memberships == 1
+
+
+class TestInformationNetwork:
+    def test_register_and_lookup(self):
+        net = InformationNetwork(3)
+        alice = net.register_owner("alice", 0.5)
+        assert net.owner_by_name("alice") is alice
+        assert alice.owner_id == 0
+
+    def test_duplicate_name_rejected(self):
+        net = InformationNetwork(3)
+        net.register_owner("alice", 0.5)
+        with pytest.raises(ModelError):
+            net.register_owner("alice", 0.6)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ModelError):
+            InformationNetwork(3).owner_by_name("nobody")
+
+    def test_delegate_builds_matrix(self, hospital_network):
+        matrix = hospital_network.membership_matrix()
+        celebrity = hospital_network.owner_by_name("celebrity")
+        frequent = hospital_network.owner_by_name("frequent-flyer")
+        assert matrix.providers_of(celebrity.owner_id) == {2}
+        assert matrix.frequency(frequent.owner_id) == 5
+
+    def test_delegate_unknown_provider_rejected(self, hospital_network):
+        owner = hospital_network.owner_by_name("celebrity")
+        with pytest.raises(ModelError):
+            hospital_network.delegate(owner, 99)
+
+    def test_delegate_foreign_owner_rejected(self, hospital_network):
+        stranger = Owner(owner_id=0, name="stranger", epsilon=0.5)
+        with pytest.raises(ModelError):
+            hospital_network.delegate(stranger, 0)
+
+    def test_epsilons_vector(self, hospital_network):
+        eps = hospital_network.epsilons()
+        assert eps.tolist() == [0.9, 0.4, 0.6]
+
+    def test_provider_names(self):
+        net = InformationNetwork(2, provider_names=["a", "b"])
+        assert [p.name for p in net.providers] == ["a", "b"]
+
+    def test_name_count_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            InformationNetwork(2, provider_names=["a"])
+
+    def test_records_stored_at_provider(self, hospital_network):
+        celeb = hospital_network.owner_by_name("celebrity")
+        records = hospital_network.providers[2].records[celeb.owner_id]
+        assert records[0].payload == "oncology record"

@@ -1,0 +1,191 @@
+"""Tests for the β-calculation policies (Eq. 3/4/5, Thm. 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import PolicyError
+from repro.core.policies import (
+    BasicPolicy,
+    ChernoffPolicy,
+    IncrementedExpectationPolicy,
+    basic_beta,
+    chernoff_beta,
+    frequency_threshold,
+    sigma_threshold,
+)
+
+
+class TestBasicBeta:
+    def test_equation3_formula(self):
+        # beta_b = [(sigma^-1 - 1)(eps^-1 - 1)]^-1
+        sigma, eps = 0.01, 0.5
+        expected = 1.0 / ((1 / sigma - 1) * (1 / eps - 1))
+        assert basic_beta(sigma, eps) == pytest.approx(expected)
+
+    def test_paper_closed_form_identity(self):
+        """beta_b expressed via Eq. 3's derivation: eps = (1-s)b / ((1-s)b + s)."""
+        sigma, eps = 0.05, 0.7
+        beta = basic_beta(sigma, eps)
+        achieved = ((1 - sigma) * beta) / ((1 - sigma) * beta + sigma)
+        assert achieved == pytest.approx(eps)
+
+    def test_zero_sigma_gives_zero(self):
+        assert basic_beta(0.0, 0.5) == 0.0
+
+    def test_zero_epsilon_gives_zero(self):
+        assert basic_beta(0.5, 0.0) == 0.0
+
+    def test_full_sigma_gives_one(self):
+        assert basic_beta(1.0, 0.5) == 1.0
+
+    def test_full_epsilon_gives_one(self):
+        assert basic_beta(0.5, 1.0) == 1.0
+
+    def test_clamped_to_one(self):
+        assert basic_beta(0.9, 0.9) == 1.0
+
+    def test_monotone_in_sigma(self):
+        betas = [basic_beta(s, 0.5) for s in (0.01, 0.1, 0.3, 0.6)]
+        assert betas == sorted(betas)
+
+    def test_monotone_in_epsilon(self):
+        betas = [basic_beta(0.1, e) for e in (0.1, 0.4, 0.7, 0.95)]
+        assert betas == sorted(betas)
+
+    @pytest.mark.parametrize("sigma,eps", [(-0.1, 0.5), (1.1, 0.5), (0.5, -1), (0.5, 2)])
+    def test_range_validation(self, sigma, eps):
+        with pytest.raises(PolicyError):
+            basic_beta(sigma, eps)
+
+
+class TestChernoffBeta:
+    def test_equation5_formula(self):
+        import math
+
+        sigma, eps, gamma, m = 0.01, 0.5, 0.9, 10000
+        beta_b = basic_beta(sigma, eps)
+        g = math.log(1 / (1 - gamma)) / ((1 - sigma) * m)
+        expected = beta_b + g + math.sqrt(g * g + 2 * beta_b * g)
+        assert chernoff_beta(sigma, eps, gamma, m) == pytest.approx(expected)
+
+    def test_exceeds_basic(self):
+        assert chernoff_beta(0.01, 0.5, 0.9, 1000) > basic_beta(0.01, 0.5)
+
+    def test_higher_gamma_higher_beta(self):
+        b1 = chernoff_beta(0.01, 0.5, 0.8, 1000)
+        b2 = chernoff_beta(0.01, 0.5, 0.99, 1000)
+        assert b2 > b1
+
+    def test_more_providers_tighter(self):
+        """With more providers the concentration is tighter, so the bump over
+        beta_b shrinks."""
+        bump_small = chernoff_beta(0.01, 0.5, 0.9, 100) - basic_beta(0.01, 0.5)
+        bump_large = chernoff_beta(0.01, 0.5, 0.9, 100000) - basic_beta(0.01, 0.5)
+        assert bump_large < bump_small
+
+    def test_gamma_must_exceed_half(self):
+        with pytest.raises(PolicyError):
+            chernoff_beta(0.1, 0.5, 0.5, 100)
+        with pytest.raises(PolicyError):
+            chernoff_beta(0.1, 0.5, 1.0, 100)
+
+    def test_zero_cases(self):
+        assert chernoff_beta(0.0, 0.5, 0.9, 100) == 0.0
+        assert chernoff_beta(0.1, 0.0, 0.9, 100) == 0.0
+
+    def test_clamped_to_one(self):
+        assert chernoff_beta(0.99, 0.99, 0.9, 10) == 1.0
+
+
+class TestPolicyClasses:
+    def test_basic_policy_matches_function(self):
+        p = BasicPolicy()
+        assert p.beta(0.05, 0.6, 100) == basic_beta(0.05, 0.6)
+
+    def test_incremented_policy_adds_delta(self):
+        p = IncrementedExpectationPolicy(delta=0.02)
+        assert p.beta(0.05, 0.6, 100) == pytest.approx(basic_beta(0.05, 0.6) + 0.02)
+
+    def test_incremented_policy_keeps_zero_at_zero(self):
+        """Absent identities must not get noise published for them."""
+        p = IncrementedExpectationPolicy(delta=0.02)
+        assert p.beta(0.0, 0.6, 100) == 0.0
+
+    def test_incremented_negative_delta_rejected(self):
+        with pytest.raises(PolicyError):
+            IncrementedExpectationPolicy(delta=-0.01)
+
+    def test_chernoff_policy_matches_function(self):
+        p = ChernoffPolicy(gamma=0.9)
+        assert p.beta(0.05, 0.6, 100) == chernoff_beta(0.05, 0.6, 0.9, 100)
+
+    def test_chernoff_gamma_validated(self):
+        with pytest.raises(PolicyError):
+            ChernoffPolicy(gamma=0.3)
+
+    def test_policy_names(self):
+        assert BasicPolicy().name == "basic"
+        assert IncrementedExpectationPolicy().name == "inc-exp"
+        assert ChernoffPolicy().name == "chernoff"
+
+
+class TestVectorized:
+    @pytest.mark.parametrize(
+        "policy",
+        [BasicPolicy(), IncrementedExpectationPolicy(0.03), ChernoffPolicy(0.95)],
+    )
+    def test_vector_matches_scalar(self, policy):
+        sigmas = np.array([0.0, 0.001, 0.01, 0.1, 0.5, 0.99, 1.0])
+        epsilons = np.array([0.5, 0.0, 0.3, 0.8, 1.0, 0.9, 0.4])
+        vec = policy.beta_vector(sigmas, epsilons, 1000)
+        for i in range(len(sigmas)):
+            assert vec[i] == pytest.approx(
+                policy.beta(float(sigmas[i]), float(epsilons[i]), 1000)
+            ), (sigmas[i], epsilons[i])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PolicyError):
+            BasicPolicy().beta_vector(np.zeros(3), np.zeros(4), 100)
+
+    def test_vector_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        sigmas, epsilons = rng.random(100), rng.random(100)
+        for policy in (BasicPolicy(), ChernoffPolicy(0.9)):
+            vec = policy.beta_vector(sigmas, epsilons, 500)
+            assert np.all((vec >= 0) & (vec <= 1))
+
+
+class TestThresholds:
+    def test_basic_threshold_closed_form(self):
+        """For the basic policy beta >= 1 iff sigma >= 1 - eps."""
+        for eps in (0.2, 0.5, 0.8):
+            assert sigma_threshold(BasicPolicy(), eps, 1000) == pytest.approx(
+                1 - eps, abs=1e-9
+            )
+
+    def test_chernoff_threshold_below_basic(self):
+        """Chernoff beta is larger, so it crosses 1 at a smaller sigma."""
+        basic_t = sigma_threshold(BasicPolicy(), 0.5, 1000)
+        chernoff_t = sigma_threshold(ChernoffPolicy(0.9), 0.5, 1000)
+        assert chernoff_t < basic_t
+
+    def test_epsilon_zero_never_common(self):
+        assert sigma_threshold(BasicPolicy(), 0.0, 100) == 1.0
+
+    def test_frequency_threshold_integer(self):
+        t = frequency_threshold(BasicPolicy(), 0.5, 100)
+        assert t == 50
+
+    def test_frequency_threshold_at_least_one(self):
+        assert frequency_threshold(BasicPolicy(), 1.0, 100) >= 1
+
+    def test_threshold_consistent_with_beta(self):
+        """Frequencies at/above the threshold must yield beta >= 1 (within
+        rounding), below must be < 1."""
+        policy = ChernoffPolicy(0.9)
+        m, eps = 200, 0.6
+        t = frequency_threshold(policy, eps, m)
+        if t <= m:
+            assert policy.beta(t / m, eps, m) >= 1.0 - 1e-6
+        if t - 1 >= 1:
+            assert policy.beta((t - 1) / m, eps, m) < 1.0 + 1e-9

@@ -1,0 +1,130 @@
+"""Tests for privacy metrics and degree classification (Sec. II-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.model import MembershipMatrix
+from repro.core.privacy import (
+    PrivacyDegree,
+    attacker_confidences,
+    classify_degree,
+    evaluate_index,
+    published_false_positive_rates,
+    success_ratio,
+)
+
+
+def published_with_noise(matrix, extra_cells):
+    published = matrix.to_dense().copy()
+    for pid, oid in extra_cells:
+        published[pid, oid] = 1
+    return published
+
+
+class TestFalsePositiveRates:
+    def test_no_noise_zero_fp(self, small_matrix):
+        fp = published_false_positive_rates(small_matrix, small_matrix.to_dense())
+        assert np.all(fp == 0.0)
+
+    def test_noise_counted(self, small_matrix):
+        published = published_with_noise(small_matrix, [(1, 0)])
+        fp = published_false_positive_rates(small_matrix, published)
+        # owner 0: 2 true + 1 false -> fp = 1/3
+        assert fp[0] == pytest.approx(1 / 3)
+
+    def test_recall_violation_detected(self, small_matrix):
+        published = small_matrix.to_dense().copy()
+        published[0, 0] = 0  # drop a true positive
+        with pytest.raises(ModelError):
+            published_false_positive_rates(small_matrix, published)
+
+    def test_empty_column_full_privacy(self):
+        matrix = MembershipMatrix(2, 1)  # owner with no providers
+        fp = published_false_positive_rates(matrix, np.zeros((2, 1), dtype=np.uint8))
+        assert fp[0] == 1.0
+
+    def test_shape_checked(self, small_matrix):
+        with pytest.raises(ModelError):
+            published_false_positive_rates(small_matrix, np.zeros((2, 2)))
+
+
+class TestConfidenceAndSuccess:
+    def test_confidence_complement(self):
+        fp = np.array([0.0, 0.25, 1.0])
+        assert attacker_confidences(fp).tolist() == [1.0, 0.75, 0.0]
+
+    def test_success_ratio_counts_satisfied(self):
+        fp = np.array([0.5, 0.8, 0.2])
+        eps = np.array([0.5, 0.5, 0.5])
+        assert success_ratio(fp, eps) == pytest.approx(2 / 3)
+
+    def test_success_ratio_empty(self):
+        assert success_ratio(np.zeros(0), np.zeros(0)) == 1.0
+
+    def test_success_ratio_shape_checked(self):
+        with pytest.raises(ModelError):
+            success_ratio(np.zeros(2), np.zeros(3))
+
+
+class TestEvaluateIndex:
+    def test_report_fields(self, small_matrix, np_rng):
+        published = published_with_noise(small_matrix, [(1, 0), (1, 2)])
+        eps = np.array([0.3, 0.0, 0.4])
+        report = evaluate_index(small_matrix, published, eps)
+        assert report.n_owners == 3
+        assert report.false_positive_rates[0] == pytest.approx(1 / 3)
+        assert report.attacker_confidences[0] == pytest.approx(2 / 3)
+        assert 0.0 <= report.success_ratio <= 1.0
+
+    def test_violations_listed(self, small_matrix):
+        published = small_matrix.to_dense()  # no noise at all
+        eps = np.array([0.5, 0.0, 0.5])
+        report = evaluate_index(small_matrix, published, eps)
+        assert set(report.violations().tolist()) == {0, 2}
+
+
+class TestClassifyDegree:
+    def test_no_protect_when_all_certain(self):
+        conf = np.ones(5)
+        eps = np.full(5, 0.5)
+        assert classify_degree(conf, eps) is PrivacyDegree.NO_PROTECT
+
+    def test_eps_private_when_bounded(self):
+        eps = np.array([0.3, 0.8])
+        conf = np.array([0.65, 0.15])  # <= 1 - eps
+        assert classify_degree(conf, eps) is PrivacyDegree.EPS_PRIVATE
+
+    def test_no_guarantee_when_some_violate(self):
+        eps = np.array([0.3, 0.8])
+        conf = np.array([0.65, 0.5])  # second violates
+        assert classify_degree(conf, eps) is PrivacyDegree.NO_GUARANTEE
+
+    def test_required_fraction_relaxation(self):
+        eps = np.full(10, 0.5)
+        conf = np.concatenate([np.full(9, 0.4), [0.9]])
+        assert classify_degree(conf, eps) is PrivacyDegree.NO_GUARANTEE
+        assert (
+            classify_degree(conf, eps, required_fraction=0.9)
+            is PrivacyDegree.EPS_PRIVATE
+        )
+
+    def test_empty_is_unleaked(self):
+        assert classify_degree(np.zeros(0), np.zeros(0)) is PrivacyDegree.UNLEAKED
+
+    def test_tolerance_respected(self):
+        eps = np.array([0.5])
+        conf = np.array([0.515])
+        assert classify_degree(conf, eps, tolerance=0.02) is PrivacyDegree.EPS_PRIVATE
+        assert (
+            classify_degree(conf, eps, tolerance=0.001)
+            is PrivacyDegree.NO_GUARANTEE
+        )
+
+    def test_shape_checked(self):
+        with pytest.raises(ModelError):
+            classify_degree(np.zeros(2), np.zeros(3))
+
+    def test_required_fraction_validated(self):
+        with pytest.raises(ModelError):
+            classify_degree(np.zeros(2), np.zeros(2), required_fraction=0.0)

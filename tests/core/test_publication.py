@@ -1,0 +1,122 @@
+"""Tests for randomized publication (Eq. 2) and its Binomial fast path."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConstructionError
+from repro.core.model import MembershipMatrix
+from repro.core.publication import (
+    false_positive_rates,
+    publish_matrix,
+    publish_provider_row,
+    sample_false_positive_counts,
+)
+
+
+class TestProviderRow:
+    def test_truthful_rule_ones_survive(self, np_rng):
+        row = np.array([1, 1, 1, 1], dtype=np.uint8)
+        out = publish_provider_row(row, [0.0, 0.5, 1.0, 0.3], np_rng)
+        assert out.tolist() == [1, 1, 1, 1]
+
+    def test_beta_zero_publishes_nothing_false(self, np_rng):
+        row = np.zeros(100, dtype=np.uint8)
+        out = publish_provider_row(row, np.zeros(100), np_rng)
+        assert out.sum() == 0
+
+    def test_beta_one_flips_everything(self, np_rng):
+        row = np.zeros(100, dtype=np.uint8)
+        out = publish_provider_row(row, np.ones(100), np_rng)
+        assert out.sum() == 100
+
+    def test_flip_rate_close_to_beta(self, np_rng):
+        row = np.zeros(20000, dtype=np.uint8)
+        out = publish_provider_row(row, np.full(20000, 0.3), np_rng)
+        assert 0.27 < out.mean() < 0.33
+
+    def test_shape_mismatch_rejected(self, np_rng):
+        with pytest.raises(ConstructionError):
+            publish_provider_row(np.zeros(3), [0.5, 0.5], np_rng)
+
+    def test_beta_out_of_range_rejected(self, np_rng):
+        with pytest.raises(ConstructionError):
+            publish_provider_row(np.zeros(2), [0.5, 1.5], np_rng)
+
+
+class TestPublishMatrix:
+    def test_recall_invariant(self, small_matrix, np_rng):
+        """Every true positive must survive (the 1 -> 1 rule)."""
+        published = publish_matrix(small_matrix, [0.5, 0.5, 0.5], np_rng)
+        dense = small_matrix.to_dense()
+        assert np.all(published[dense == 1] == 1)
+
+    def test_beta_per_owner_applied(self, small_matrix, np_rng):
+        published = publish_matrix(small_matrix, [1.0, 0.0, 0.0], np_rng)
+        # Owner 0 has beta 1: all providers publish it.
+        assert published[:, 0].sum() == 3
+        # Owner 1 beta 0: only true positives (p0, p1).
+        assert published[:, 1].tolist() == [1, 1, 0]
+
+    def test_wrong_beta_count_rejected(self, small_matrix, np_rng):
+        with pytest.raises(ConstructionError):
+            publish_matrix(small_matrix, [0.5, 0.5], np_rng)
+
+    def test_output_dtype_and_shape(self, small_matrix, np_rng):
+        published = publish_matrix(small_matrix, [0.2, 0.2, 0.2], np_rng)
+        assert published.shape == (3, 3)
+        assert set(np.unique(published)) <= {0, 1}
+
+
+class TestBinomialFastPath:
+    def test_distribution_matches_exact_publication(self):
+        """The Binomial shortcut must match per-cell flipping statistically:
+        compare mean/std of false-positive counts over many runs."""
+        m, f, beta = 200, 20, 0.3
+        matrix = MembershipMatrix(m, 1)
+        for i in range(f):
+            matrix.set(i, 0)
+
+        exact_counts = []
+        rng = np.random.default_rng(42)
+        for _ in range(300):
+            published = publish_matrix(matrix, [beta], rng)
+            exact_counts.append(published[:, 0].sum() - f)
+        fast_counts = sample_false_positive_counts(
+            np.full(300, f), np.full(300, beta), m, np.random.default_rng(43)
+        )
+        assert abs(np.mean(exact_counts) - np.mean(fast_counts)) < 3.0
+        assert abs(np.std(exact_counts) - np.std(fast_counts)) < 2.0
+
+    def test_expected_count(self, np_rng):
+        counts = sample_false_positive_counts(
+            np.full(5000, 10), np.full(5000, 0.5), 100, np_rng
+        )
+        assert abs(counts.mean() - 45.0) < 1.0  # (100-10) * 0.5
+
+    def test_frequency_bounds_checked(self, np_rng):
+        with pytest.raises(ConstructionError):
+            sample_false_positive_counts(np.array([101]), np.array([0.5]), 100, np_rng)
+
+    def test_shape_mismatch_rejected(self, np_rng):
+        with pytest.raises(ConstructionError):
+            sample_false_positive_counts(np.array([1, 2]), np.array([0.5]), 100, np_rng)
+
+
+class TestFalsePositiveRates:
+    def test_formula(self):
+        fp = false_positive_rates(np.array([10.0]), np.array([30.0]))
+        assert fp[0] == pytest.approx(0.75)
+
+    def test_no_false_positives(self):
+        fp = false_positive_rates(np.array([10.0]), np.array([0.0]))
+        assert fp[0] == 0.0
+
+    def test_empty_list_means_full_privacy(self):
+        fp = false_positive_rates(np.array([0.0]), np.array([0.0]))
+        assert fp[0] == 1.0
+
+    def test_vectorized(self):
+        fp = false_positive_rates(
+            np.array([10.0, 0.0, 5.0]), np.array([10.0, 0.0, 0.0])
+        )
+        assert fp.tolist() == [0.5, 1.0, 0.0]

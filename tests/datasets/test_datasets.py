@@ -1,0 +1,131 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    exact_frequency_matrix,
+    make_dataset,
+    tiered_epsilons,
+    uniform_epsilons,
+    zipf_matrix,
+)
+from repro.datasets.trec_like import TrecLikeConfig, build_trec_like_network
+from repro.datasets.workload import popularity_workload, uniform_workload
+
+
+class TestZipfMatrix:
+    def test_shape(self, np_rng):
+        matrix = zipf_matrix(50, 200, np_rng)
+        assert matrix.n_providers == 50
+        assert matrix.n_owners == 200
+
+    def test_frequencies_capped(self, np_rng):
+        matrix = zipf_matrix(100, 300, np_rng, max_fraction=0.1)
+        freqs = [matrix.frequency(j) for j in range(300)]
+        assert max(freqs) <= 10
+        assert min(freqs) >= 1
+
+    def test_heavy_tail(self, np_rng):
+        """Zipf skew: most identities rare, a few popular."""
+        matrix = zipf_matrix(100, 1000, np_rng, max_fraction=0.2)
+        freqs = np.array([matrix.frequency(j) for j in range(1000)])
+        assert np.median(freqs) <= 2
+        assert freqs.max() >= 5
+
+    def test_invalid_shape_rejected(self, np_rng):
+        with pytest.raises(ValueError):
+            zipf_matrix(0, 10, np_rng)
+
+
+class TestExactFrequencyMatrix:
+    def test_exact_frequencies(self, np_rng):
+        matrix = exact_frequency_matrix(20, [0, 1, 5, 20], np_rng)
+        assert [matrix.frequency(j) for j in range(4)] == [0, 1, 5, 20]
+
+    def test_out_of_range_rejected(self, np_rng):
+        with pytest.raises(ValueError):
+            exact_frequency_matrix(5, [6], np_rng)
+
+    def test_providers_distinct(self, np_rng):
+        matrix = exact_frequency_matrix(10, [7], np_rng)
+        assert len(matrix.providers_of(0)) == 7
+
+
+class TestEpsilonGenerators:
+    def test_uniform_in_range(self, np_rng):
+        eps = uniform_epsilons(500, np_rng)
+        assert np.all((eps >= 0) & (eps <= 1))
+
+    def test_tiered_counts(self, np_rng):
+        eps = tiered_epsilons(1000, np_rng, vip_fraction=0.1)
+        assert np.sum(eps == 0.95) == 100
+        assert np.sum(eps == 0.5) == 900
+
+    def test_tiered_validation(self, np_rng):
+        with pytest.raises(ValueError):
+            tiered_epsilons(10, np_rng, vip_fraction=1.5)
+
+    def test_make_dataset_reproducible(self):
+        a = make_dataset(30, 100, seed=7)
+        b = make_dataset(30, 100, seed=7)
+        assert np.array_equal(a.matrix.to_dense(), b.matrix.to_dense())
+        assert np.array_equal(a.epsilons, b.epsilons)
+
+
+class TestTrecLike:
+    def test_network_structure(self):
+        config = TrecLikeConfig(n_providers=20, n_owners=50)
+        net = build_trec_like_network(config, seed=1)
+        assert net.n_providers == 20
+        assert net.n_owners == 50
+        assert net.providers[0].name.startswith("collection-")
+        assert net.owners[0].name.endswith(".example.org")
+
+    def test_records_delegated(self):
+        config = TrecLikeConfig(n_providers=10, n_owners=30)
+        net = build_trec_like_network(config, seed=2)
+        matrix = net.membership_matrix()
+        assert matrix.total_memberships > 0
+
+    def test_heavy_tailed_hosts(self):
+        config = TrecLikeConfig(n_providers=40, n_owners=100, attachment=0.8)
+        net = build_trec_like_network(config, seed=3)
+        matrix = net.membership_matrix()
+        freqs = sorted(
+            (matrix.frequency(j) for j in range(100)), reverse=True
+        )
+        # preferential attachment: head clearly heavier than the median.
+        assert freqs[0] >= 2 * max(1, freqs[50])
+
+    def test_epsilon_range_respected(self):
+        config = TrecLikeConfig(
+            n_providers=5, n_owners=20, epsilon_low=0.4, epsilon_high=0.6
+        )
+        net = build_trec_like_network(config, seed=4)
+        eps = net.epsilons()
+        assert np.all((eps >= 0.4) & (eps <= 0.6))
+
+    def test_reproducible(self):
+        config = TrecLikeConfig(n_providers=10, n_owners=20)
+        a = build_trec_like_network(config, seed=5).membership_matrix()
+        b = build_trec_like_network(config, seed=5).membership_matrix()
+        assert np.array_equal(a.to_dense(), b.to_dense())
+
+
+class TestWorkloads:
+    def test_uniform_ids_in_range(self, np_rng):
+        w = uniform_workload(50, 200, np_rng)
+        assert len(w) == 200
+        assert w.owner_ids.min() >= 0 and w.owner_ids.max() < 50
+
+    def test_popularity_skews_to_frequent(self, np_rng):
+        freqs = np.array([100, 0, 0, 0])
+        w = popularity_workload(freqs, 1000, np_rng)
+        counts = np.bincount(w.owner_ids, minlength=4)
+        assert counts[0] > 0.9 * 1000
+
+    def test_popularity_smoothing_allows_absent(self, np_rng):
+        freqs = np.array([0, 0])
+        w = popularity_workload(freqs, 100, np_rng)
+        assert len(w) == 100

@@ -1,0 +1,163 @@
+"""Tests for the privacy-preserving record-linkage module."""
+
+import pytest
+
+from repro.linkage.bloom import BloomEncoder, bigrams, dice_coefficient
+from repro.linkage.matcher import (
+    FieldWeights,
+    MatchDecision,
+    RecordMatcher,
+    link_records,
+)
+
+
+class TestBigrams:
+    def test_basic_extraction(self):
+        assert bigrams("ab") == {"_a", "ab", "b_"}
+
+    def test_normalization(self):
+        assert bigrams("José") == bigrams("jose")
+        assert bigrams("O'Brien") == bigrams("obrien")
+        assert bigrams("  SMITH ") == bigrams("smith")
+
+    def test_empty(self):
+        assert bigrams("") == set()
+        assert bigrams("!!!") == set()
+
+    def test_similar_strings_share_grams(self):
+        a, b = bigrams("jonathan"), bigrams("johnathan")
+        assert len(a & b) >= len(a) - 2
+
+
+class TestBloomEncoder:
+    def test_deterministic(self):
+        enc = BloomEncoder(key=b"k")
+        assert enc.encode("smith") == enc.encode("smith")
+
+    def test_different_keys_incomparable(self):
+        a = BloomEncoder(key=b"k1").encode("smith")
+        b = BloomEncoder(key=b"k2").encode("smith")
+        assert dice_coefficient(a, b) < 0.5  # keys decorrelate the filters
+
+    def test_similarity_tracks_string_similarity(self):
+        enc = BloomEncoder(key=b"k")
+        same = dice_coefficient(enc.encode("katherine"), enc.encode("catherine"))
+        diff = dice_coefficient(enc.encode("katherine"), enc.encode("zbigniew"))
+        assert same > 0.6
+        assert diff < 0.4
+        assert same > diff
+
+    def test_encode_record(self):
+        enc = BloomEncoder(key=b"k")
+        rec = enc.encode_record({"first_name": "anna", "city": "atlanta"})
+        assert set(rec) == {"first_name", "city"}
+
+    def test_size_mismatch_rejected(self):
+        a = BloomEncoder(size=256, key=b"k").encode("x")
+        b = BloomEncoder(size=512, key=b"k").encode("x")
+        with pytest.raises(ValueError):
+            dice_coefficient(a, b)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BloomEncoder(size=4)
+        with pytest.raises(ValueError):
+            BloomEncoder(hashes=0)
+
+    def test_empty_filters_similar(self):
+        enc = BloomEncoder(key=b"k")
+        assert dice_coefficient(enc.encode(""), enc.encode("")) == 1.0
+
+
+class TestRecordMatcher:
+    @pytest.fixture
+    def encoder(self):
+        return BloomEncoder(key=b"linkage-key")
+
+    @pytest.fixture
+    def matcher(self):
+        return RecordMatcher()
+
+    def test_identical_records_match(self, encoder, matcher):
+        rec = encoder.encode_record(
+            {"first_name": "maria", "last_name": "garcia",
+             "date_of_birth": "1980-02-14", "city": "atlanta"}
+        )
+        result = matcher.compare(rec, rec)
+        assert result.decision is MatchDecision.MATCH
+        assert result.score == pytest.approx(1.0)
+
+    def test_typo_still_matches(self, encoder, matcher):
+        a = encoder.encode_record(
+            {"first_name": "maria", "last_name": "garcia",
+             "date_of_birth": "1980-02-14", "city": "atlanta"}
+        )
+        b = encoder.encode_record(
+            {"first_name": "mariah", "last_name": "garcia",
+             "date_of_birth": "1980-02-14", "city": "atlanta"}
+        )
+        assert matcher.compare(a, b).decision is MatchDecision.MATCH
+
+    def test_different_patients_non_match(self, encoder, matcher):
+        a = encoder.encode_record(
+            {"first_name": "maria", "last_name": "garcia",
+             "date_of_birth": "1980-02-14", "city": "atlanta"}
+        )
+        b = encoder.encode_record(
+            {"first_name": "wei", "last_name": "zhang",
+             "date_of_birth": "1993-11-02", "city": "seattle"}
+        )
+        assert matcher.compare(a, b).decision is MatchDecision.NON_MATCH
+
+    def test_missing_field_neutral(self, encoder, matcher):
+        a = encoder.encode_record(
+            {"first_name": "maria", "last_name": "garcia",
+             "date_of_birth": "1980-02-14"}
+        )
+        b = encoder.encode_record(
+            {"first_name": "maria", "last_name": "garcia",
+             "date_of_birth": "1980-02-14", "city": "atlanta"}
+        )
+        result = matcher.compare(a, b)
+        assert result.per_field["city"] == 0.5
+        assert result.decision is not MatchDecision.NON_MATCH
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            RecordMatcher(match_threshold=0.5, possible_threshold=0.8)
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            FieldWeights(weights=(("a", 0.0),)).normalized()
+
+
+class TestLinkRecords:
+    def test_clusters_same_patient_across_hospitals(self):
+        enc = BloomEncoder(key=b"hie-key")
+        records = [
+            # patient A at two hospitals, slightly different spellings
+            {"first_name": "katherine", "last_name": "oconnor",
+             "date_of_birth": "1975-06-01", "city": "boston"},
+            {"first_name": "catherine", "last_name": "o'connor",
+             "date_of_birth": "1975-06-01", "city": "boston"},
+            # patient B
+            {"first_name": "james", "last_name": "lee",
+             "date_of_birth": "1990-01-20", "city": "denver"},
+        ]
+        encoded = [enc.encode_record(r) for r in records]
+        clusters = link_records(encoded, RecordMatcher())
+        assert [0, 1] in clusters
+        assert [2] in clusters
+
+    def test_transitive_linking(self):
+        enc = BloomEncoder(key=b"k")
+        base = {"first_name": "alexander", "last_name": "petrov",
+                "date_of_birth": "1982-09-09", "city": "chicago"}
+        variant1 = dict(base, first_name="alexandr")
+        variant2 = dict(base, first_name="aleksander")
+        encoded = [enc.encode_record(r) for r in (base, variant1, variant2)]
+        clusters = link_records(encoded, RecordMatcher())
+        assert len(clusters) == 1
+
+    def test_empty_input(self):
+        assert link_records([], RecordMatcher()) == []

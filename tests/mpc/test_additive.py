@@ -1,0 +1,134 @@
+"""Tests for (c, c) additive secret sharing (paper Thm. 4.1)."""
+
+import random
+
+import pytest
+
+from repro.mpc.additive import AdditiveSharing, Share
+from repro.mpc.field import Zq
+
+
+@pytest.fixture
+def scheme():
+    return AdditiveSharing(Zq(64), count=3)
+
+
+class TestShareReconstruct:
+    def test_roundtrip(self, scheme, rng):
+        for secret in (0, 1, 17, 63):
+            shares = scheme.share(secret, rng)
+            assert scheme.reconstruct(shares) == secret
+
+    def test_share_count(self, scheme, rng):
+        assert len(scheme.share(5, rng)) == 3
+
+    def test_shares_canonical(self, scheme, rng):
+        for v in scheme.share(42, rng):
+            assert 0 <= v < 64
+
+    def test_secret_reduced_first(self, scheme, rng):
+        shares = scheme.share(64 + 5, rng)
+        assert scheme.reconstruct(shares) == 5
+
+    def test_wrong_share_count_rejected(self, scheme, rng):
+        shares = scheme.share(5, rng)
+        with pytest.raises(ValueError):
+            scheme.reconstruct(shares[:2])
+
+    def test_minimum_two_shares(self):
+        with pytest.raises(ValueError):
+            AdditiveSharing(Zq(8), count=1)
+
+
+class TestTaggedShares:
+    def test_tagged_roundtrip(self, scheme, rng):
+        shares = scheme.share_tagged(33, rng)
+        assert scheme.reconstruct_tagged(shares) == 33
+
+    def test_tags_are_indexed(self, scheme, rng):
+        shares = scheme.share_tagged(33, rng)
+        assert [s.index for s in shares] == [0, 1, 2]
+        assert all(s.count == 3 for s in shares)
+
+    def test_duplicate_index_rejected(self, scheme, rng):
+        shares = scheme.share_tagged(33, rng)
+        with pytest.raises(ValueError):
+            scheme.reconstruct_tagged([shares[0], shares[0], shares[2]])
+
+    def test_foreign_tag_rejected(self, scheme, rng):
+        shares = scheme.share_tagged(33, rng)
+        alien = Share(index=1, count=5, value=0)
+        with pytest.raises(ValueError):
+            scheme.reconstruct_tagged([shares[0], alien, shares[2]])
+
+    def test_share_validates_index(self):
+        with pytest.raises(ValueError):
+            Share(index=3, count=3, value=0)
+
+    def test_share_validates_value(self):
+        with pytest.raises(ValueError):
+            Share(index=0, count=3, value=-1)
+
+
+class TestHomomorphism:
+    """Additive homomorphism is what makes SecSumShare communication-free
+    during aggregation."""
+
+    def test_share_wise_addition(self, scheme, rng):
+        a = scheme.share(20, rng)
+        b = scheme.share(30, rng)
+        assert scheme.reconstruct(scheme.add(a, b)) == 50
+
+    def test_addition_wraps(self, scheme, rng):
+        a = scheme.share(40, rng)
+        b = scheme.share(40, rng)
+        assert scheme.reconstruct(scheme.add(a, b)) == (80 % 64)
+
+    def test_add_constant(self, scheme, rng):
+        a = scheme.share(10, rng)
+        assert scheme.reconstruct(scheme.add_constant(a, 7)) == 17
+
+    def test_scale(self, scheme, rng):
+        a = scheme.share(10, rng)
+        assert scheme.reconstruct(scheme.scale(a, 3)) == 30
+
+    def test_zero_sharing(self, scheme, rng):
+        assert scheme.reconstruct(scheme.zero_sharing(rng)) == 0
+
+    def test_rerandomize_preserves_secret(self, scheme, rng):
+        a = scheme.share(25, rng)
+        b = scheme.rerandomize(a, rng)
+        assert scheme.reconstruct(b) == 25
+
+    def test_rerandomize_changes_shares(self, scheme, rng):
+        a = scheme.share(25, rng)
+        b = scheme.rerandomize(a, rng)
+        assert a != b  # overwhelmingly likely with a 6-bit ring x3 shares
+
+    def test_mismatched_lengths_rejected(self, scheme, rng):
+        a = scheme.share(1, rng)
+        with pytest.raises(ValueError):
+            scheme.add(a, a[:2])
+
+
+class TestSecrecy:
+    """Thm. 4.1 secrecy: any c-1 shares are jointly uniform."""
+
+    def test_partial_shares_uniform(self):
+        """Distribution of (share_0, share_1) must not depend on the secret."""
+        ring = Zq(4)
+        scheme = AdditiveSharing(ring, count=3)
+        trials = 20_000
+        counts = {0: {}, 3: {}}
+        for secret in counts:
+            rng = random.Random(99)
+            for _ in range(trials):
+                s = scheme.share(secret, rng)
+                key = (s[0], s[1])
+                counts[secret][key] = counts[secret].get(key, 0) + 1
+        # Same RNG stream => identical first c-1 shares regardless of secret.
+        assert counts[0] == counts[3]
+
+    def test_first_shares_cover_whole_ring(self, scheme, rng):
+        seen = {scheme.share(7, rng)[0] for _ in range(2000)}
+        assert seen == set(range(64))

@@ -1,0 +1,163 @@
+"""Tests for adder / comparator / popcount circuits against int semantics."""
+
+import pytest
+
+from repro.mpc.circuits import (
+    CircuitBuilder,
+    add_many,
+    bits_to_int,
+    equals_const,
+    evaluate,
+    greater_equal,
+    int_to_bits,
+    less_than,
+    less_than_const,
+    popcount,
+    ripple_add,
+    ripple_add_mod2k,
+)
+
+
+class TestRippleAdd:
+    @pytest.mark.parametrize("width", [1, 2, 4, 6])
+    def test_exhaustive_small_widths(self, width):
+        b = CircuitBuilder()
+        xs, ys = b.input_bits(width), b.input_bits(width)
+        b.output_bits(ripple_add(b, xs, ys))
+        circuit = b.build()
+        step = max(1, (1 << width) // 8)
+        for x in range(0, 1 << width, step):
+            for y in range(0, 1 << width, step):
+                out = evaluate(circuit, int_to_bits(x, width) + int_to_bits(y, width))
+                assert bits_to_int(out) == x + y
+
+    def test_output_one_bit_wider(self):
+        b = CircuitBuilder()
+        out = ripple_add(b, b.input_bits(5), b.input_bits(5))
+        assert len(out) == 6
+
+    def test_width_mismatch_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            ripple_add(b, b.input_bits(3), b.input_bits(4))
+
+
+class TestModularAdd:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_wraps_mod_2k(self, width):
+        b = CircuitBuilder()
+        xs, ys = b.input_bits(width), b.input_bits(width)
+        b.output_bits(ripple_add_mod2k(b, xs, ys))
+        circuit = b.build()
+        for x in range(1 << width):
+            for y in range(1 << width):
+                out = evaluate(circuit, int_to_bits(x, width) + int_to_bits(y, width))
+                assert bits_to_int(out) == (x + y) % (1 << width)
+
+
+class TestAddMany:
+    def test_exact_sum_of_many(self):
+        b = CircuitBuilder()
+        numbers = [b.input_bits(3) for _ in range(5)]
+        b.output_bits(add_many(b, numbers))
+        circuit = b.build()
+        vals = [7, 3, 0, 5, 6]
+        inputs = [bit for v in vals for bit in int_to_bits(v, 3)]
+        assert bits_to_int(evaluate(circuit, inputs)) == sum(vals)
+
+    def test_modular_sum_of_many(self):
+        b = CircuitBuilder()
+        numbers = [b.input_bits(3) for _ in range(4)]
+        b.output_bits(add_many(b, numbers, modular=True))
+        circuit = b.build()
+        vals = [7, 7, 7, 5]
+        inputs = [bit for v in vals for bit in int_to_bits(v, 3)]
+        assert bits_to_int(evaluate(circuit, inputs)) == sum(vals) % 8
+
+    def test_single_number_passthrough(self):
+        b = CircuitBuilder()
+        n = b.input_bits(4)
+        b.output_bits(add_many(b, [n]))
+        assert bits_to_int(evaluate(b.build(), int_to_bits(11, 4))) == 11
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            add_many(CircuitBuilder(), [])
+
+    def test_width_mismatch_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            add_many(b, [b.input_bits(2), b.input_bits(3)])
+
+
+class TestPopcount:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13])
+    def test_counts_set_bits(self, n):
+        b = CircuitBuilder()
+        bits = b.input_bits(n)
+        b.output_bits(popcount(b, bits))
+        circuit = b.build()
+        for pattern in range(0, 1 << n, max(1, (1 << n) // 32)):
+            inputs = int_to_bits(pattern, n)
+            assert bits_to_int(evaluate(circuit, inputs)) == sum(inputs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(CircuitBuilder(), [])
+
+
+class TestComparators:
+    @pytest.mark.parametrize("width", [1, 3, 5])
+    def test_less_than_exhaustive(self, width):
+        b = CircuitBuilder()
+        xs, ys = b.input_bits(width), b.input_bits(width)
+        b.output(less_than(b, xs, ys))
+        circuit = b.build()
+        step = max(1, (1 << width) // 8)
+        for x in range(0, 1 << width, step):
+            for y in range(0, 1 << width, step):
+                out = evaluate(circuit, int_to_bits(x, width) + int_to_bits(y, width))
+                assert out == [1 if x < y else 0], (x, y)
+
+    def test_less_than_const(self):
+        b = CircuitBuilder()
+        xs = b.input_bits(4)
+        b.output(less_than_const(b, xs, 9))
+        circuit = b.build()
+        for x in range(16):
+            assert evaluate(circuit, int_to_bits(x, 4)) == [1 if x < 9 else 0]
+
+    def test_greater_equal(self):
+        b = CircuitBuilder()
+        xs, ys = b.input_bits(3), b.input_bits(3)
+        b.output(greater_equal(b, xs, ys))
+        circuit = b.build()
+        for x in range(8):
+            for y in range(8):
+                out = evaluate(circuit, int_to_bits(x, 3) + int_to_bits(y, 3))
+                assert out == [1 if x >= y else 0]
+
+    def test_equals_const(self):
+        b = CircuitBuilder()
+        xs = b.input_bits(4)
+        b.output(equals_const(b, xs, 6))
+        circuit = b.build()
+        for x in range(16):
+            assert evaluate(circuit, int_to_bits(x, 4)) == [1 if x == 6 else 0]
+
+    def test_width_mismatch_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            less_than(b, b.input_bits(2), b.input_bits(3))
+
+
+class TestCircuitCost:
+    def test_less_than_uses_one_and_per_bit(self):
+        b = CircuitBuilder()
+        less_than(b, b.input_bits(8), b.input_bits(8))
+        assert b.circuit.stats().and_ == 8
+
+    def test_full_adder_uses_one_and_per_bit(self):
+        b = CircuitBuilder()
+        ripple_add(b, b.input_bits(8), b.input_bits(8))
+        assert b.circuit.stats().and_ == 8

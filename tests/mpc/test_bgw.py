@@ -1,0 +1,108 @@
+"""Tests for the BGW arithmetic MPC engine."""
+
+import random
+
+import pytest
+
+from repro.mpc.bgw import BGWEngine
+from repro.mpc.shamir import DEFAULT_PRIME
+
+
+@pytest.fixture
+def engine():
+    return BGWEngine(threshold=2, parties=3, rng=random.Random(7))
+
+
+class TestLinearOps:
+    def test_share_open_roundtrip(self, engine):
+        for v in (0, 1, 123456, DEFAULT_PRIME - 1):
+            assert engine.open(engine.share(v)) == v
+
+    def test_addition(self, engine):
+        a, b = engine.share(100), engine.share(23)
+        assert engine.open(engine.add(a, b)) == 123
+
+    def test_add_constant(self, engine):
+        a = engine.share(100)
+        assert engine.open(engine.add_constant(a, 7)) == 107
+
+    def test_scale(self, engine):
+        a = engine.share(100)
+        assert engine.open(engine.scale(a, 5)) == 500
+
+    def test_sum_many_is_free(self, engine):
+        values = [engine.share(v) for v in (1, 2, 3, 4, 5)]
+        before = engine.stats.rounds
+        total = engine.sum(values)
+        assert engine.stats.rounds == before  # no interaction
+        assert engine.open(total) == 15
+
+    def test_sum_empty_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.sum([])
+
+
+class TestMultiplication:
+    @pytest.mark.parametrize("t,n", [(2, 3), (2, 5), (3, 5)])
+    def test_product_correct(self, t, n):
+        engine = BGWEngine(threshold=t, parties=n, rng=random.Random(3))
+        for a, b in ((0, 5), (7, 9), (12345, 67890)):
+            pa, pb = engine.share(a), engine.share(b)
+            assert engine.open(engine.multiply(pa, pb)) == a * b
+
+    def test_degree_reduction_enables_chaining(self, engine):
+        """After degree reduction the product can be multiplied again --
+        the whole point of the resharing step."""
+        a, b, c = engine.share(3), engine.share(4), engine.share(5)
+        prod = engine.multiply(engine.multiply(a, b), c)
+        assert engine.open(prod) == 60
+
+    def test_multiplication_costs_a_round(self, engine):
+        a, b = engine.share(2), engine.share(3)
+        before = engine.stats.rounds
+        engine.multiply(a, b)
+        assert engine.stats.rounds == before + 1
+        assert engine.stats.multiplications == 1
+
+    def test_product_linear_combination(self, engine):
+        """(a*b) + 2c: mixing interactive and free operations."""
+        a, b, c = engine.share(6), engine.share(7), engine.share(10)
+        expr = engine.add(engine.multiply(a, b), engine.scale(c, 2))
+        assert engine.open(expr) == 62
+
+
+class TestValidation:
+    def test_honest_majority_required(self):
+        with pytest.raises(ValueError):
+            BGWEngine(threshold=3, parties=4, rng=random.Random(1))
+
+    def test_stats_parties(self, engine):
+        assert engine.stats.parties == 3
+
+
+class TestModelComparison:
+    """The related-work trade-off: sums are free in arithmetic MPC but cost
+    AND-gates in the Boolean model -- and vice versa for comparisons."""
+
+    def test_arithmetic_sum_beats_boolean_popcount(self):
+        from repro.mpc.circuits import CircuitBuilder, popcount
+        from repro.mpc.gmw import GMWProtocol
+
+        m = 16
+        # Boolean: popcount of m shared bits under GMW.
+        b = CircuitBuilder()
+        bits = b.input_bits(m)
+        b.output_bits(popcount(b, bits))
+        gmw = GMWProtocol(b.build(), parties=3, rng=random.Random(5))
+        gmw_result = gmw.run([1] * m)
+
+        # Arithmetic: sum of m shared values under BGW.
+        engine = BGWEngine(threshold=2, parties=3, rng=random.Random(5))
+        values = [engine.share(1) for _ in range(m)]
+        rounds_before = engine.stats.rounds
+        total = engine.sum(values)
+        sum_rounds = engine.stats.rounds - rounds_before
+        assert engine.open(total) == m
+
+        assert sum_rounds == 0  # free
+        assert gmw_result.stats.and_gates > 0  # Boolean pays per bit

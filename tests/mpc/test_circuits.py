@@ -1,0 +1,197 @@
+"""Tests for the Boolean-circuit framework (gates, builder, evaluator)."""
+
+import pytest
+
+from repro.mpc.circuits import (
+    Circuit,
+    CircuitBuilder,
+    GateOp,
+    bits_to_int,
+    evaluate,
+    int_to_bits,
+)
+
+
+class TestCircuitPrimitives:
+    def test_input_wire_indices(self):
+        c = Circuit()
+        w0, w1 = c.add_input(), c.add_input()
+        assert (w0, w1) == (0, 1)
+        assert c.n_inputs == 2
+
+    def test_const_values(self):
+        c = Circuit()
+        z, o = c.add_const(0), c.add_const(1)
+        assert evaluate_single(c, [z, o], []) == [0, 1]
+
+    def test_const_must_be_bit(self):
+        with pytest.raises(ValueError):
+            Circuit().add_const(2)
+
+    def test_gate_arity_enforced(self):
+        c = Circuit()
+        a = c.add_input()
+        with pytest.raises(ValueError):
+            c.add_gate(GateOp.XOR, (a,))
+        with pytest.raises(ValueError):
+            c.add_gate(GateOp.NOT, (a, a))
+
+    def test_gate_cannot_reference_future_wire(self):
+        c = Circuit()
+        a = c.add_input()
+        with pytest.raises(ValueError):
+            c.add_gate(GateOp.XOR, (a, a + 5))
+
+    def test_cannot_add_input_gate_manually(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.add_gate(GateOp.INPUT, ())
+
+    def test_output_must_exist(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.mark_output(3)
+
+    def test_validate_passes_on_wellformed(self):
+        b = CircuitBuilder()
+        x, y = b.input_bit(), b.input_bit()
+        b.output(b.and_(x, y))
+        b.build()  # validates internally
+
+
+class TestEvaluator:
+    @pytest.mark.parametrize("x", [0, 1])
+    @pytest.mark.parametrize("y", [0, 1])
+    def test_primitive_truth_tables(self, x, y):
+        b = CircuitBuilder()
+        a, c = b.input_bit(), b.input_bit()
+        b.output(b.xor(a, c))
+        b.output(b.and_(a, c))
+        b.output(b.or_(a, c))
+        b.output(b.not_(a))
+        b.output(b.xnor(a, c))
+        out = evaluate(b.build(), [x, y])
+        assert out == [x ^ y, x & y, x | y, x ^ 1, (x ^ y) ^ 1]
+
+    @pytest.mark.parametrize("sel", [0, 1])
+    def test_mux(self, sel):
+        b = CircuitBuilder()
+        s, t, f = b.input_bit(), b.input_bit(), b.input_bit()
+        b.output(b.mux(s, t, f))
+        assert evaluate(b.build(), [sel, 1, 0]) == [1 if sel else 0]
+
+    def test_input_count_checked(self):
+        b = CircuitBuilder()
+        b.output(b.input_bit())
+        with pytest.raises(ValueError):
+            evaluate(b.build(), [])
+
+    def test_inputs_must_be_bits(self):
+        b = CircuitBuilder()
+        b.output(b.input_bit())
+        with pytest.raises(ValueError):
+            evaluate(b.build(), [2])
+
+
+class TestBuilderHelpers:
+    def test_constant_bits_roundtrip(self):
+        b = CircuitBuilder()
+        bits = b.constant_bits(42, 8)
+        b.output_bits(bits)
+        assert bits_to_int(evaluate(b.build(), [])) == 42
+
+    def test_constant_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBuilder().constant_bits(42, 3)
+
+    def test_constants_are_shared_wires(self):
+        b = CircuitBuilder()
+        assert b.zero() == b.zero()
+        assert b.one() == b.one()
+
+    @pytest.mark.parametrize("n_bits", [1, 2, 3, 7])
+    def test_and_or_xor_many(self, n_bits):
+        b = CircuitBuilder()
+        ins = b.input_bits(n_bits)
+        b.output(b.and_many(ins))
+        b.output(b.or_many(ins))
+        b.output(b.xor_many(ins))
+        circuit = b.build()
+        for value in range(1 << n_bits):
+            bits = int_to_bits(value, n_bits)
+            and_, or_, xor_ = evaluate(circuit, bits)
+            assert and_ == (1 if all(bits) else 0)
+            assert or_ == (1 if any(bits) else 0)
+            assert xor_ == (sum(bits) % 2)
+
+    def test_equal_bits(self):
+        b = CircuitBuilder()
+        xs, ys = b.input_bits(4), b.input_bits(4)
+        b.output(b.equal_bits(xs, ys))
+        circuit = b.build()
+        for x in (0, 5, 15):
+            for y in (0, 5, 9):
+                out = evaluate(circuit, int_to_bits(x, 4) + int_to_bits(y, 4))
+                assert out == [1 if x == y else 0]
+
+    def test_is_zero(self):
+        b = CircuitBuilder()
+        xs = b.input_bits(3)
+        b.output(b.is_zero(xs))
+        circuit = b.build()
+        for x in range(8):
+            assert evaluate(circuit, int_to_bits(x, 3)) == [1 if x == 0 else 0]
+
+    def test_mux_bits_width_check(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            b.mux_bits(b.input_bit(), b.input_bits(2), b.input_bits(3))
+
+
+class TestStats:
+    def test_gate_counts(self):
+        b = CircuitBuilder()
+        x, y = b.input_bit(), b.input_bit()
+        b.output(b.or_(x, y))  # or_ = 2 XOR + 1 AND
+        stats = b.build().stats()
+        assert stats.inputs == 2
+        assert stats.and_ == 1
+        assert stats.xor == 2
+        assert stats.size == 3
+        assert stats.multiplicative_size == 1
+
+    def test_total_includes_everything(self):
+        b = CircuitBuilder()
+        x = b.input_bit()
+        b.output(b.not_(x))
+        stats = b.build().stats()
+        assert stats.total == 2  # input + not
+
+
+class TestBitConversions:
+    @pytest.mark.parametrize("value", [0, 1, 5, 255])
+    def test_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 8)) == value
+
+    def test_little_endian(self):
+        assert int_to_bits(1, 3) == [1, 0, 0]
+        assert int_to_bits(4, 3) == [0, 0, 1]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 3)
+
+    def test_non_bit_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2])
+
+
+def evaluate_single(circuit: Circuit, wires: list[int], inputs: list[int]):
+    """Mark wires as outputs and evaluate (helper for low-level tests)."""
+    for w in wires:
+        circuit.mark_output(w)
+    return evaluate(circuit, inputs)

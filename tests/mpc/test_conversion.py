@@ -1,0 +1,96 @@
+"""Tests for the A2B (arithmetic-to-Boolean) share conversion."""
+
+import random
+
+import pytest
+
+from repro.mpc.additive import AdditiveSharing
+from repro.mpc.conversion import A2BDealer, a2b_convert
+from repro.mpc.field import Zq
+
+
+@pytest.fixture
+def setup():
+    ring = Zq(64)
+    rng = random.Random(5)
+    dealer = A2BDealer(parties=3, ring=ring, rng=rng)
+    sharing = AdditiveSharing(ring, 3)
+    return ring, rng, dealer, sharing
+
+
+class TestDealer:
+    def test_correlation_is_consistent(self, setup):
+        """Arithmetic shares and Boolean shares encode the same r."""
+        ring, rng, dealer, _ = setup
+        for _ in range(50):
+            corr = dealer.deal()
+            r_arith = ring.sum(c.arith_share for c in corr)
+            r_bits = 0
+            for i in range(dealer.width):
+                bit = 0
+                for c in corr:
+                    bit ^= c.bool_shares[i]
+                r_bits |= bit << i
+            assert r_arith == r_bits
+
+    def test_width_from_modulus(self, setup):
+        _, _, dealer, _ = setup
+        assert dealer.width == 6
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            A2BDealer(parties=2, ring=Zq(10), rng=random.Random(1))
+
+    def test_issued_counter(self, setup):
+        _, _, dealer, _ = setup
+        dealer.deal()
+        dealer.deal()
+        assert dealer.issued == 2
+
+
+class TestConversion:
+    @pytest.mark.parametrize("secret", [0, 1, 17, 42, 63])
+    def test_roundtrip(self, setup, secret):
+        ring, rng, dealer, sharing = setup
+        arith = sharing.share(secret, rng)
+        result = a2b_convert(arith, ring, dealer, rng)
+        assert result.reconstruct() == secret
+
+    def test_mask_is_uniformish(self):
+        """The only opened value z = x + r must look uniform, whatever x."""
+        ring = Zq(16)
+        seen = set()
+        for seed in range(200):
+            rng = random.Random(seed)
+            dealer = A2BDealer(parties=2, ring=ring, rng=rng)
+            sharing = AdditiveSharing(ring, 2)
+            arith = sharing.share(5, rng)  # constant secret
+            result = a2b_convert(arith, ring, dealer, rng)
+            seen.add(result.opened_mask)
+        assert len(seen) == 16  # mask covers the whole ring
+
+    def test_share_count_checked(self, setup):
+        ring, rng, dealer, sharing = setup
+        arith = sharing.share(7, rng)
+        with pytest.raises(ValueError):
+            a2b_convert(arith[:2], ring, dealer, rng)
+
+    def test_cheaper_than_in_circuit_addition(self, setup):
+        """The hybrid trade-off: A2B + subtractor uses fewer AND gates than
+        summing c share vectors inside the comparison circuit."""
+        from repro.mpc.circuits import CircuitBuilder, ripple_add_mod2k
+
+        ring, rng, dealer, sharing = setup
+        arith = sharing.share(20, rng)
+        result = a2b_convert(arith, ring, dealer, rng)
+        a2b_ands = result.stats.and_gates
+
+        b = CircuitBuilder()
+        w = dealer.width
+        shares = [b.input_bits(w) for _ in range(3)]
+        total = shares[0]
+        for s in shares[1:]:
+            total = ripple_add_mod2k(b, total, s)
+        b.output_bits(total)
+        in_circuit_ands = b.build().stats().and_
+        assert a2b_ands < in_circuit_ands

@@ -1,0 +1,174 @@
+"""Tests for multiplier / subtractor / divider / isqrt circuits."""
+
+import math
+
+import pytest
+
+from repro.mpc.circuits import CircuitBuilder, bits_to_int, evaluate, int_to_bits
+from repro.mpc.circuits.divider import divide, isqrt
+from repro.mpc.circuits.multiplier import (
+    multiply,
+    multiply_const,
+    ripple_sub,
+    shift_left,
+    truncate,
+)
+
+
+def run1(build):
+    """Build a circuit with ``build(b)`` returning output bit lists."""
+    b = CircuitBuilder()
+    inputs_spec, outputs = build(b)
+    for bits in outputs:
+        b.output_bits(bits)
+    return b.build(), inputs_spec
+
+
+class TestMultiply:
+    @pytest.mark.parametrize("wx,wy", [(1, 1), (3, 3), (4, 6), (8, 8)])
+    def test_matches_int_multiplication(self, wx, wy):
+        b = CircuitBuilder()
+        xs, ys = b.input_bits(wx), b.input_bits(wy)
+        b.output_bits(multiply(b, xs, ys))
+        circuit = b.build()
+        step_x = max(1, (1 << wx) // 8)
+        step_y = max(1, (1 << wy) // 8)
+        for x in range(0, 1 << wx, step_x):
+            for y in range(0, 1 << wy, step_y):
+                out = evaluate(circuit, int_to_bits(x, wx) + int_to_bits(y, wy))
+                assert bits_to_int(out) == x * y, (x, y)
+
+    def test_and_cost_quadratic(self):
+        b = CircuitBuilder()
+        multiply(b, b.input_bits(8), b.input_bits(8))
+        # 64 partial-product ANDs plus adder-tree ANDs.
+        assert b.circuit.stats().and_ >= 64
+
+    def test_empty_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            multiply(b, [], b.input_bits(2))
+
+
+class TestMultiplyConst:
+    @pytest.mark.parametrize("const", [0, 1, 2, 5, 13, 255])
+    def test_matches_int(self, const):
+        b = CircuitBuilder()
+        xs = b.input_bits(6)
+        b.output_bits(multiply_const(b, xs, const))
+        circuit = b.build()
+        for x in range(0, 64, 7):
+            out = evaluate(circuit, int_to_bits(x, 6))
+            assert bits_to_int(out) == x * const, (x, const)
+
+    def test_cheaper_than_general_multiply(self):
+        b1 = CircuitBuilder()
+        multiply_const(b1, b1.input_bits(8), 200)
+        b2 = CircuitBuilder()
+        multiply(b2, b2.input_bits(8), b2.constant_bits(200, 8))
+        assert b1.circuit.stats().and_ < b2.circuit.stats().and_
+
+    def test_negative_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            multiply_const(b, b.input_bits(2), -1)
+
+
+class TestRippleSub:
+    @pytest.mark.parametrize("width", [1, 3, 5])
+    def test_difference_and_borrow(self, width):
+        b = CircuitBuilder()
+        xs, ys = b.input_bits(width), b.input_bits(width)
+        diff, borrow = ripple_sub(b, xs, ys)
+        b.output_bits(diff)
+        b.output_bits([borrow])
+        circuit = b.build()
+        for x in range(1 << width):
+            for y in range(1 << width):
+                out = evaluate(circuit, int_to_bits(x, width) + int_to_bits(y, width))
+                got_diff = bits_to_int(out[:width])
+                got_borrow = out[width]
+                assert got_diff == (x - y) % (1 << width)
+                assert got_borrow == (1 if x < y else 0)
+
+    def test_width_mismatch_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            ripple_sub(b, b.input_bits(2), b.input_bits(3))
+
+
+class TestShifts:
+    def test_shift_left(self):
+        b = CircuitBuilder()
+        xs = b.input_bits(4)
+        b.output_bits(shift_left(b, xs, 3))
+        out = evaluate(b.build(), int_to_bits(5, 4))
+        assert bits_to_int(out) == 5 << 3
+
+    def test_truncate(self):
+        b = CircuitBuilder()
+        xs = b.input_bits(6)
+        b.output_bits(truncate(xs, 2))
+        out = evaluate(b.build(), int_to_bits(45, 6))
+        assert bits_to_int(out) == 45 >> 2
+
+    def test_truncate_everything_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            truncate(b.input_bits(2), 2)
+
+
+class TestDivide:
+    @pytest.mark.parametrize("wn,wd", [(4, 4), (6, 4), (8, 5)])
+    def test_quotient_and_remainder(self, wn, wd):
+        b = CircuitBuilder()
+        num, den = b.input_bits(wn), b.input_bits(wd)
+        q, r = divide(b, num, den)
+        b.output_bits(q)
+        b.output_bits(r)
+        circuit = b.build()
+        step_n = max(1, (1 << wn) // 16)
+        for n in range(0, 1 << wn, step_n):
+            for d in range(1, 1 << wd, 3):
+                out = evaluate(circuit, int_to_bits(n, wn) + int_to_bits(d, wd))
+                assert bits_to_int(out[:wn]) == n // d, (n, d)
+                assert bits_to_int(out[wn:]) == n % d, (n, d)
+
+    def test_division_by_zero_saturates(self):
+        b = CircuitBuilder()
+        num, den = b.input_bits(4), b.input_bits(4)
+        q, _ = divide(b, num, den)
+        b.output_bits(q)
+        out = evaluate(b.build(), int_to_bits(9, 4) + int_to_bits(0, 4))
+        assert bits_to_int(out) == 15  # all-ones quotient
+
+    def test_empty_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            divide(b, [], b.input_bits(2))
+
+
+class TestIsqrt:
+    @pytest.mark.parametrize("width", [2, 4, 6, 8, 10])
+    def test_matches_math_isqrt(self, width):
+        b = CircuitBuilder()
+        xs = b.input_bits(width)
+        b.output_bits(isqrt(b, xs))
+        circuit = b.build()
+        for x in range(0, 1 << width, max(1, (1 << width) // 64)):
+            out = evaluate(circuit, int_to_bits(x, width))
+            assert bits_to_int(out) == math.isqrt(x), x
+
+    def test_odd_width_padded(self):
+        b = CircuitBuilder()
+        xs = b.input_bits(5)
+        b.output_bits(isqrt(b, xs))
+        circuit = b.build()
+        for x in range(32):
+            out = evaluate(circuit, int_to_bits(x, 5))
+            assert bits_to_int(out) == math.isqrt(x), x
+
+    def test_empty_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            isqrt(b, [])

@@ -1,0 +1,94 @@
+"""Tests for Z_q ring arithmetic."""
+
+import random
+
+import pytest
+
+from repro.mpc.field import Zq, default_modulus_for_sum
+
+
+class TestDefaultModulus:
+    def test_exceeds_max_sum(self):
+        for max_sum in (0, 1, 5, 127, 128, 1000):
+            assert default_modulus_for_sum(max_sum) > max_sum
+
+    def test_power_of_two(self):
+        for max_sum in (0, 3, 100, 4096):
+            q = default_modulus_for_sum(max_sum)
+            assert q & (q - 1) == 0
+
+    def test_tight(self):
+        assert default_modulus_for_sum(7) == 8
+        assert default_modulus_for_sum(8) == 16
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            default_modulus_for_sum(-1)
+
+
+class TestZq:
+    def setup_method(self):
+        self.ring = Zq(97)
+
+    def test_reduce_canonical(self):
+        assert self.ring.reduce(97) == 0
+        assert self.ring.reduce(-1) == 96
+        assert self.ring.reduce(100) == 3
+
+    def test_add_sub_inverse(self):
+        for a in (0, 1, 50, 96):
+            for b in (0, 13, 96):
+                assert self.ring.sub(self.ring.add(a, b), b) == a
+
+    def test_neg(self):
+        assert self.ring.add(5, self.ring.neg(5)) == 0
+        assert self.ring.neg(0) == 0
+
+    def test_mul_matches_python(self):
+        assert self.ring.mul(13, 17) == (13 * 17) % 97
+
+    def test_sum(self):
+        xs = [10, 20, 30, 96]
+        assert self.ring.sum(xs) == sum(xs) % 97
+
+    def test_sum_empty(self):
+        assert self.ring.sum([]) == 0
+
+    def test_inverse(self):
+        for a in (1, 2, 50, 96):
+            assert self.ring.mul(a, self.ring.inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            self.ring.inv(0)
+
+    def test_non_invertible_raises(self):
+        ring = Zq(12)
+        with pytest.raises(ZeroDivisionError):
+            ring.inv(4)  # gcd(4, 12) = 4
+
+    def test_pow(self):
+        assert self.ring.pow(3, 5) == pow(3, 5, 97)
+
+    def test_random_element_in_range(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            assert self.ring.contains(self.ring.random_element(rng))
+
+    def test_random_elements_count(self):
+        rng = random.Random(1)
+        assert len(self.ring.random_elements(rng, 17)) == 17
+
+    def test_check_all(self):
+        self.ring.check_all([0, 1, 96])
+        with pytest.raises(ValueError):
+            self.ring.check_all([0, 97])
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            Zq(1)
+
+    def test_deterministic_given_seed(self):
+        a = Zq(64).random_elements(random.Random(42), 10)
+        b = Zq(64).random_elements(random.Random(42), 10)
+        assert a == b

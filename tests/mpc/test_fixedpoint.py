@@ -1,0 +1,139 @@
+"""Tests for the in-circuit fixed-point β formulas against the float oracle."""
+
+import pytest
+
+from repro.core.policies import basic_beta, chernoff_beta
+from repro.mpc.circuits import CircuitBuilder, bits_to_int, evaluate, int_to_bits
+from repro.mpc.circuits.fixedpoint import (
+    FRAC_BITS,
+    ONE,
+    beta_basic_circuit,
+    beta_chernoff_circuit,
+    beta_incremented_circuit,
+    beta_width,
+)
+
+
+def eval_beta(build, m, freq):
+    """Build a β circuit over a frequency input and evaluate it."""
+    b = CircuitBuilder()
+    wf = max(1, m.bit_length())
+    f_bits = b.input_bits(wf)
+    out = build(b, f_bits)
+    b.output_bits(out)
+    circuit = b.build()
+    raw = bits_to_int(evaluate(circuit, int_to_bits(freq, wf)))
+    return raw / ONE
+
+
+# Fixed-point truncation in the divider can lose up to ~2 ULP per division,
+# plus the saturation ceiling; allow a tolerance of a few ULP.
+TOL = 6 / ONE
+
+
+class TestBetaBasic:
+    @pytest.mark.parametrize("m", [8, 50, 200])
+    @pytest.mark.parametrize("eps", [0.2, 0.5, 0.8])
+    def test_matches_float_formula(self, m, eps):
+        for freq in (0, 1, m // 4, m // 2, m - 1, m):
+            got = eval_beta(
+                lambda b, f: beta_basic_circuit(b, f, m, eps), m, freq
+            )
+            want = basic_beta(freq / m, eps)
+            if want >= 1.0:
+                assert got >= 1.0 - TOL, (m, eps, freq)
+            else:
+                assert got == pytest.approx(want, abs=TOL), (m, eps, freq)
+
+    def test_epsilon_zero_is_zero(self):
+        got = eval_beta(lambda b, f: beta_basic_circuit(b, f, 16, 0.0), 16, 8)
+        assert got == 0.0
+
+    def test_epsilon_one_saturates(self):
+        got = eval_beta(lambda b, f: beta_basic_circuit(b, f, 16, 1.0), 16, 1)
+        assert got >= 1.0
+
+    def test_full_frequency_saturates(self):
+        """f = m makes the denominator zero: divider saturation must land
+        the identity in the common class."""
+        got = eval_beta(lambda b, f: beta_basic_circuit(b, f, 16, 0.5), 16, 16)
+        assert got >= 1.0
+
+    def test_invalid_epsilon_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            beta_basic_circuit(b, b.input_bits(4), 10, 1.5)
+
+
+class TestBetaIncremented:
+    def test_adds_delta(self):
+        m, eps, delta = 64, 0.5, 0.05
+        freq = 8
+        got = eval_beta(
+            lambda b, f: beta_incremented_circuit(b, f, m, eps, delta), m, freq
+        )
+        want = min(1.0, basic_beta(freq / m, eps) + delta)
+        assert got == pytest.approx(want, abs=TOL)
+
+    def test_zero_base_stays_zero(self):
+        got = eval_beta(
+            lambda b, f: beta_incremented_circuit(b, f, 64, 0.5, 0.05), 64, 0
+        )
+        assert got == 0.0
+
+    def test_negative_delta_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            beta_incremented_circuit(b, b.input_bits(4), 10, 0.5, -0.1)
+
+
+class TestBetaChernoff:
+    @pytest.mark.parametrize("m", [16, 64])
+    @pytest.mark.parametrize("eps", [0.3, 0.6])
+    def test_matches_float_formula(self, m, eps):
+        gamma = 0.9
+        for freq in (1, m // 8, m // 4):
+            got = eval_beta(
+                lambda b, f: beta_chernoff_circuit(b, f, m, eps, gamma), m, freq
+            )
+            want = chernoff_beta(freq / m, eps, gamma, m)
+            if want >= 1.0:
+                assert got >= 1.0 - 4 * TOL
+            else:
+                # sqrt + two divisions accumulate a bit more error.
+                assert got == pytest.approx(want, abs=5 * TOL), (m, eps, freq)
+
+    def test_dominates_basic(self):
+        m, eps = 64, 0.5
+        for freq in (1, 8, 16):
+            b_c = eval_beta(
+                lambda b, f: beta_chernoff_circuit(b, f, m, eps, 0.9), m, freq
+            )
+            b_b = eval_beta(
+                lambda b, f: beta_basic_circuit(b, f, m, eps), m, freq
+            )
+            assert b_c >= b_b - TOL
+
+    def test_invalid_gamma_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            beta_chernoff_circuit(b, b.input_bits(4), 10, 0.5, 0.4)
+
+
+class TestCost:
+    def test_beta_circuit_is_expensive(self):
+        """The point of Eq. 9: in-circuit β* costs orders of magnitude more
+        AND gates than the single comparison it replaces."""
+        from repro.mpc.circuits.comparator import less_than_const
+
+        m = 64
+        b1 = CircuitBuilder()
+        beta_chernoff_circuit(b1, b1.input_bits(7), m, 0.5, 0.9)
+        b2 = CircuitBuilder()
+        less_than_const(b2, b2.input_bits(7), 32)
+        assert b1.circuit.stats().and_ > 20 * b2.circuit.stats().and_
+
+    def test_output_width_fixed(self):
+        b = CircuitBuilder()
+        out = beta_basic_circuit(b, b.input_bits(5), 20, 0.5)
+        assert len(out) == beta_width()

@@ -1,0 +1,81 @@
+"""Round/layering behaviour of the GMW engine (communication structure)."""
+
+import random
+
+import pytest
+
+from repro.mpc.circuits import CircuitBuilder
+from repro.mpc.gmw import GMWProtocol
+
+
+def and_chain(depth: int):
+    """x0 & x1 & ... sequentially: multiplicative depth == chain length."""
+    b = CircuitBuilder()
+    acc = b.input_bit()
+    for _ in range(depth):
+        acc = b.and_(acc, b.input_bit())
+    b.output(acc)
+    return b.build()
+
+
+def and_fanout(width: int):
+    """width independent ANDs: depth 1 regardless of width."""
+    b = CircuitBuilder()
+    outs = [b.and_(b.input_bit(), b.input_bit()) for _ in range(width)]
+    for o in outs:
+        b.output(o)
+    return b.build()
+
+
+class TestRoundStructure:
+    @pytest.mark.parametrize("depth", [1, 3, 7])
+    def test_sequential_ands_cost_one_round_each(self, depth):
+        circuit = and_chain(depth)
+        res = GMWProtocol(circuit, 3, random.Random(1)).run([1] * (depth + 1))
+        # depth AND layers + 1 output-opening round.
+        assert res.stats.rounds == depth + 1
+
+    @pytest.mark.parametrize("width", [1, 8, 32])
+    def test_parallel_ands_share_one_round(self, width):
+        circuit = and_fanout(width)
+        res = GMWProtocol(circuit, 3, random.Random(2)).run([1, 0] * width)
+        assert res.stats.and_gates == width
+        assert res.stats.rounds == 2  # one AND layer + output opening
+
+    def test_bits_scale_with_batched_ands(self):
+        """All ANDs in a layer open together: bits grow with width, rounds
+        do not."""
+        narrow = GMWProtocol(and_fanout(2), 3, random.Random(3)).run([1, 0] * 2)
+        wide = GMWProtocol(and_fanout(20), 3, random.Random(3)).run([1, 0] * 20)
+        assert wide.stats.rounds == narrow.stats.rounds
+        assert wide.stats.bits_sent > narrow.stats.bits_sent
+
+    def test_mixed_depth_layers(self):
+        """Linear gates ride along their producing layer; only AND depth
+        adds rounds."""
+        b = CircuitBuilder()
+        x, y, z = b.input_bit(), b.input_bit(), b.input_bit()
+        first = b.and_(x, y)          # depth 1
+        linear = b.xor(first, z)       # still depth 1
+        second = b.and_(linear, x)     # depth 2
+        b.output(second)
+        res = GMWProtocol(b.build(), 2, random.Random(4)).run([1, 1, 0])
+        assert res.stats.rounds == 3  # two AND layers + opening
+        assert res.outputs == [(1 & 1) ^ 0 & 1]
+
+    def test_output_only_circuit_single_round(self):
+        b = CircuitBuilder()
+        x = b.input_bit()
+        b.output(x)
+        res = GMWProtocol(b.build(), 3, random.Random(5)).run([1])
+        assert res.stats.rounds == 1
+        assert res.outputs == [1]
+
+    def test_no_output_circuit_no_opening_round(self):
+        b = CircuitBuilder()
+        x, y = b.input_bit(), b.input_bit()
+        b.and_(x, y)  # computed but never opened
+        circuit = b.build()
+        res = GMWProtocol(circuit, 3, random.Random(6)).run([1, 1])
+        assert res.outputs == []
+        assert res.stats.rounds == 1  # only the AND layer

@@ -1,0 +1,178 @@
+"""Tests for the circuit optimizer (folding, CSE, dead-gate elimination)."""
+
+import random
+
+import pytest
+
+from repro.mpc.circuits import (
+    CircuitBuilder,
+    evaluate,
+    int_to_bits,
+    less_than_const,
+    popcount,
+    ripple_add,
+)
+from repro.mpc.circuits.optimize import optimize
+from repro.mpc.gmw import GMWProtocol
+
+
+class TestConstantFolding:
+    def test_and_with_zero_folds(self):
+        b = CircuitBuilder()
+        x = b.input_bit()
+        b.output(b.and_(x, b.zero()))
+        opt, report = optimize(b.build())
+        assert opt.stats().and_ == 0
+        assert evaluate(opt, [1]) == [0]
+
+    def test_and_with_one_forwards(self):
+        b = CircuitBuilder()
+        x = b.input_bit()
+        b.output(b.and_(x, b.one()))
+        opt, _ = optimize(b.build())
+        assert opt.stats().and_ == 0
+        for v in (0, 1):
+            assert evaluate(opt, [v]) == [v]
+
+    def test_xor_with_zero_forwards(self):
+        b = CircuitBuilder()
+        x = b.input_bit()
+        b.output(b.xor(x, b.zero()))
+        opt, _ = optimize(b.build())
+        assert opt.stats().xor == 0
+
+    def test_xor_self_cancels(self):
+        b = CircuitBuilder()
+        x = b.input_bit()
+        b.output(b.xor(x, x))
+        opt, _ = optimize(b.build())
+        assert evaluate(opt, [0]) == [0]
+        assert evaluate(opt, [1]) == [0]
+        assert opt.stats().xor == 0
+
+    def test_and_self_idempotent(self):
+        b = CircuitBuilder()
+        x = b.input_bit()
+        b.output(b.and_(x, x))
+        opt, _ = optimize(b.build())
+        assert opt.stats().and_ == 0
+        assert evaluate(opt, [1]) == [1]
+
+    def test_not_of_constant(self):
+        b = CircuitBuilder()
+        b.input_bit()  # unused input kept for interface
+        b.output(b.not_(b.zero()))
+        opt, _ = optimize(b.build())
+        assert evaluate(opt, [0]) == [1]
+        assert opt.stats().not_ == 0
+
+    def test_folding_cascades(self):
+        """Constants propagate through chains of gates."""
+        b = CircuitBuilder()
+        x = b.input_bit()
+        dead = b.and_(b.zero(), x)       # folds to 0
+        still = b.xor(dead, b.one())     # folds to 1
+        b.output(b.and_(x, still))       # folds to x
+        opt, _ = optimize(b.build())
+        assert opt.stats().size == 0
+        for v in (0, 1):
+            assert evaluate(opt, [v]) == [v]
+
+
+class TestCSE:
+    def test_duplicate_gates_merged(self):
+        b = CircuitBuilder()
+        x, y = b.input_bit(), b.input_bit()
+        b.output(b.and_(x, y))
+        b.output(b.and_(x, y))
+        opt, _ = optimize(b.build())
+        assert opt.stats().and_ == 1
+
+    def test_commutative_merge(self):
+        b = CircuitBuilder()
+        x, y = b.input_bit(), b.input_bit()
+        b.output(b.and_(x, y))
+        b.output(b.and_(y, x))
+        opt, _ = optimize(b.build())
+        assert opt.stats().and_ == 1
+
+    def test_not_gates_merged(self):
+        b = CircuitBuilder()
+        x = b.input_bit()
+        b.output(b.not_(x))
+        b.output(b.not_(x))
+        opt, _ = optimize(b.build())
+        assert opt.stats().not_ == 1
+
+
+class TestDeadGateElimination:
+    def test_unused_gates_dropped(self):
+        b = CircuitBuilder()
+        x, y = b.input_bit(), b.input_bit()
+        b.and_(x, y)  # never used
+        b.output(b.xor(x, y))
+        opt, _ = optimize(b.build())
+        assert opt.stats().and_ == 0
+
+    def test_inputs_always_kept(self):
+        b = CircuitBuilder()
+        b.input_bits(5)
+        x = b.input_bit()
+        b.output(x)
+        opt, _ = optimize(b.build())
+        assert opt.n_inputs == 6
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_optimized_adder_equivalent(self, seed):
+        b = CircuitBuilder()
+        xs, ys = b.input_bits(6), b.input_bits(6)
+        b.output_bits(ripple_add(b, xs, ys))
+        b.output(less_than_const(b, xs, 20))
+        circuit = b.build()
+        opt, report = optimize(circuit)
+        rng = random.Random(seed)
+        for _ in range(20):
+            x, y = rng.randrange(64), rng.randrange(64)
+            inputs = int_to_bits(x, 6) + int_to_bits(y, 6)
+            assert evaluate(opt, inputs) == evaluate(circuit, inputs)
+        assert report.gates_removed >= 0
+
+    def test_optimized_runs_under_gmw(self):
+        b = CircuitBuilder()
+        bits = b.input_bits(8)
+        b.output_bits(popcount(b, bits))
+        circuit = b.build()
+        opt, _ = optimize(circuit)
+        inputs = [1, 0, 1, 1, 0, 0, 1, 0]
+        expected = evaluate(circuit, inputs)
+        result = GMWProtocol(opt, 3, random.Random(3)).run(inputs)
+        assert result.outputs == expected
+
+    def test_savings_on_real_countbelow_circuit(self):
+        """Builder-generated CountBelow circuits contain padding constants;
+        the optimizer must find real savings."""
+        from repro.mpc.countbelow import build_count_circuit
+
+        circuit = build_count_circuit(
+            c=3, thresholds=[5, 5, 5], epsilons_scaled=[100, 200, 300],
+            width=4, high_threshold=4,
+        )
+        opt, report = optimize(circuit)
+        assert report.gates_removed > 0
+        # Spot-check equivalence on a few inputs.
+        rng = random.Random(9)
+        for _ in range(10):
+            inputs = [rng.getrandbits(1) for _ in range(circuit.n_inputs)]
+            assert evaluate(opt, inputs) == evaluate(circuit, inputs)
+
+    def test_report_counts(self):
+        b = CircuitBuilder()
+        x = b.input_bit()
+        b.output(b.and_(x, b.zero()))
+        circuit = b.build()
+        _, report = optimize(circuit)
+        assert report.before_and == 1
+        assert report.after_and == 0
+        assert report.and_gates_removed == 1

@@ -1,0 +1,99 @@
+"""Tests for the pure-MPC baseline and its cost relationship to ǫ-PPI."""
+
+import random
+
+import pytest
+
+from repro.core.policies import BasicPolicy, ChernoffPolicy, frequency_threshold
+from repro.mpc.betacalc import secure_beta_calculation
+from repro.mpc.pure import run_pure_beta_calculation
+
+
+def provider_bits_for(frequencies, m, rng):
+    bits = [[0] * len(frequencies) for _ in range(m)]
+    for j, f in enumerate(frequencies):
+        for i in rng.sample(range(m), f):
+            bits[i][j] = 1
+    return bits
+
+
+class TestCorrectness:
+    def test_non_selected_betas_match_policy(self):
+        """Opened β values match the float formula up to the fixed-point
+        precision of the in-circuit arithmetic (1/2^FRAC_BITS per op)."""
+        rng = random.Random(1)
+        m = 8
+        freqs = [2, 5, 0]
+        eps = [0.3, 0.4, 0.5]
+        policy = BasicPolicy()
+        bits = provider_bits_for(freqs, m, rng)
+        res = run_pure_beta_calculation(bits, eps, policy, rng)
+        for j, f in enumerate(freqs):
+            if res.publish_as_one[j]:
+                assert res.betas[j] == 1.0
+            else:
+                assert res.betas[j] == pytest.approx(
+                    policy.beta(f / m, eps[j], m), abs=0.02
+                )
+
+    def test_common_count(self):
+        rng = random.Random(2)
+        m = 8
+        freqs = [8, 7, 1]
+        eps = [0.5] * 3
+        policy = BasicPolicy()
+        bits = provider_bits_for(freqs, m, rng)
+        res = run_pure_beta_calculation(bits, eps, policy, rng)
+        t = frequency_threshold(policy, 0.5, m)
+        assert res.n_common == sum(1 for f in freqs if f >= t)
+
+    def test_agrees_with_reduced_protocol_on_commons(self):
+        """Pure MPC and the SecSumShare-reduced pipeline must agree on the
+        (deterministic) common classification and lambda."""
+        rng = random.Random(3)
+        m = 8
+        freqs = [8, 2, 3]
+        eps = [0.6, 0.4, 0.5]
+        policy = BasicPolicy()
+        bits = provider_bits_for(freqs, m, rng)
+        pure = run_pure_beta_calculation(bits, eps, policy, random.Random(10))
+        reduced = secure_beta_calculation(bits, eps, policy, c=3, rng=random.Random(11))
+        assert pure.n_common == reduced.n_common
+        assert pure.lambda_ == pytest.approx(reduced.lambda_, abs=0.01)
+
+    def test_minimum_two_providers(self):
+        with pytest.raises(ValueError):
+            run_pure_beta_calculation([[1]], [0.5], BasicPolicy(), random.Random(1))
+
+
+class TestCostComparison:
+    """The headline of Fig. 6: pure MPC costs grow with m, ǫ-PPI's MPC does not."""
+
+    def test_pure_circuit_grows_with_m(self):
+        sizes = []
+        for m in (4, 8, 16):
+            rng = random.Random(4)
+            bits = provider_bits_for([2, 2], m, rng)
+            res = run_pure_beta_calculation(bits, [0.4, 0.6], BasicPolicy(), rng)
+            sizes.append(res.total_circuit_size)
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_pure_messages_exceed_reduced(self):
+        m = 9
+        rng = random.Random(5)
+        bits = provider_bits_for([3, 4], m, rng)
+        pure = run_pure_beta_calculation(bits, [0.4, 0.6], BasicPolicy(), random.Random(6))
+        reduced = secure_beta_calculation(
+            bits, [0.4, 0.6], BasicPolicy(), c=3, rng=random.Random(7)
+        )
+        reduced_msgs = (
+            reduced.count_result.stats.messages + reduced.selection_result.stats.messages
+        )
+        assert pure.stats.messages > reduced_msgs
+
+    def test_pure_parties_equals_m(self):
+        m = 6
+        rng = random.Random(8)
+        bits = provider_bits_for([2], m, rng)
+        res = run_pure_beta_calculation(bits, [0.5], ChernoffPolicy(0.9), rng)
+        assert res.stats.parties == m

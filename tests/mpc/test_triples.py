@@ -1,0 +1,71 @@
+"""Tests for Beaver-triple dealing."""
+
+import random
+
+import pytest
+
+from repro.mpc.triples import BitTriple, SharedBitTriple, TripleDealer
+
+
+class TestBitTriple:
+    def test_valid_triples(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                BitTriple(a=a, b=b, c=a & b)
+
+    def test_invalid_product_rejected(self):
+        with pytest.raises(ValueError):
+            BitTriple(a=1, b=1, c=0)
+
+    def test_non_bit_rejected(self):
+        with pytest.raises(ValueError):
+            BitTriple(a=2, b=0, c=0)
+
+
+class TestTripleDealer:
+    def test_shares_reconstruct_valid_triple(self):
+        dealer = TripleDealer(parties=3, rng=random.Random(1))
+        for _ in range(200):
+            shares = dealer.deal()
+            a = b = c = 0
+            for s in shares:
+                a ^= s.a
+                b ^= s.b
+                c ^= s.c
+            assert c == (a & b)
+
+    def test_one_share_set_per_party(self):
+        dealer = TripleDealer(parties=4, rng=random.Random(1))
+        assert len(dealer.deal()) == 4
+
+    def test_issued_counter(self):
+        dealer = TripleDealer(parties=2, rng=random.Random(1))
+        dealer.deal_many(7)
+        dealer.deal()
+        assert dealer.issued == 8
+
+    def test_deal_many_shape(self):
+        dealer = TripleDealer(parties=3, rng=random.Random(1))
+        batch = dealer.deal_many(5)
+        assert len(batch) == 5
+        assert all(len(t) == 3 for t in batch)
+
+    def test_two_parties_minimum(self):
+        with pytest.raises(ValueError):
+            TripleDealer(parties=1, rng=random.Random(1))
+
+    def test_triple_values_look_uniform(self):
+        """The underlying (a, b) pairs must cover all four combinations."""
+        dealer = TripleDealer(parties=2, rng=random.Random(5))
+        seen = set()
+        for _ in range(200):
+            shares = dealer.deal()
+            a = shares[0].a ^ shares[1].a
+            b = shares[0].b ^ shares[1].b
+            seen.add((a, b))
+        assert seen == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_single_party_shares_are_bits(self):
+        dealer = TripleDealer(parties=3, rng=random.Random(2))
+        for s in dealer.deal():
+            assert s.a in (0, 1) and s.b in (0, 1) and s.c in (0, 1)

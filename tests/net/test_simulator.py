@@ -1,0 +1,167 @@
+"""Tests for the discrete-event network simulator."""
+
+import pytest
+
+from repro.net.latency import EMULAB_LAN, WAN, LatencyModel
+from repro.net.simulator import Node, Simulator
+from repro.net.transport import Message
+
+
+class PingNode(Node):
+    """Sends one ping to a target at start; replies once to any ping."""
+
+    def __init__(self, node_id, target=None):
+        super().__init__(node_id)
+        self.target = target
+        self.received = []
+
+    def on_start(self):
+        if self.target is not None:
+            self.send(self.target, "ping", "hello", payload_bits=80)
+
+    def on_message(self, message: Message):
+        self.received.append((message.kind, self.now))
+        if message.kind == "ping":
+            self.send(message.sender, "pong", "world", payload_bits=80)
+
+
+class ComputeNode(Node):
+    def __init__(self, node_id, seconds):
+        super().__init__(node_id)
+        self.seconds = seconds
+
+    def on_start(self):
+        self.compute(self.seconds)
+
+
+class TestBasics:
+    def test_ping_pong_delivery(self):
+        sim = Simulator()
+        a = sim.add_node(PingNode(0, target=1))
+        b = sim.add_node(PingNode(1))
+        metrics = sim.run()
+        assert b.received and b.received[0][0] == "ping"
+        assert a.received and a.received[0][0] == "pong"
+        assert metrics.messages == 2
+
+    def test_transit_time_applied(self):
+        latency = LatencyModel(base_latency_s=1.0, bandwidth_bps=1e9)
+        sim = Simulator(latency=latency)
+        sim.add_node(PingNode(0, target=1))
+        b = sim.add_node(PingNode(1))
+        sim.run()
+        # Ping arrives after >= 1s of base latency.
+        assert b.received[0][1] >= 1.0
+
+    def test_finish_time_covers_round_trip(self):
+        latency = LatencyModel(base_latency_s=0.5, bandwidth_bps=1e9)
+        sim = Simulator(latency=latency)
+        sim.add_node(PingNode(0, target=1))
+        sim.add_node(PingNode(1))
+        metrics = sim.run()
+        assert metrics.finish_time_s >= 1.0  # two hops
+
+    def test_compute_time_counts_toward_finish(self):
+        sim = Simulator()
+        sim.add_node(ComputeNode(0, 2.5))
+        metrics = sim.run()
+        assert metrics.finish_time_s == pytest.approx(2.5)
+
+    def test_delivery_queues_behind_compute(self):
+        sim = Simulator(latency=LatencyModel(base_latency_s=0.001, bandwidth_bps=1e9))
+        sim.add_node(PingNode(0, target=1))
+        busy = ComputeNode(1, 5.0)
+        busy.received = []
+        busy.on_message = lambda msg: busy.received.append(busy.now)
+        sim.add_node(busy)
+        sim.run()
+        assert busy.received[0] >= 5.0
+
+
+class TestValidation:
+    def test_duplicate_node_rejected(self):
+        sim = Simulator()
+        sim.add_node(PingNode(0))
+        with pytest.raises(ValueError):
+            sim.add_node(PingNode(0))
+
+    def test_unknown_recipient_rejected(self):
+        sim = Simulator()
+        sim.add_node(PingNode(0, target=9))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_negative_compute_rejected(self):
+        sim = Simulator()
+        node = sim.add_node(PingNode(0))
+        sim.run()
+        with pytest.raises(ValueError):
+            node.compute(-1)
+
+    def test_detached_node_has_no_sim(self):
+        node = PingNode(0)
+        with pytest.raises(RuntimeError):
+            _ = node.sim
+
+    def test_livelock_guard(self):
+        class Chatter(Node):
+            def on_start(self):
+                self.send(1 - self.node_id, "spam", None, 8)
+
+            def on_message(self, message):
+                self.send(message.sender, "spam", None, 8)
+
+        sim = Simulator()
+        sim.add_node(Chatter(0))
+        sim.add_node(Chatter(1))
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+
+class TestDeterminism:
+    def test_same_topology_same_trace(self):
+        def build_and_run():
+            sim = Simulator()
+            for i in range(5):
+                sim.add_node(PingNode(i, target=(i + 1) % 5))
+            return sim.run()
+
+        m1, m2 = build_and_run(), build_and_run()
+        assert m1.messages == m2.messages
+        assert m1.finish_time_s == m2.finish_time_s
+        assert m1.bits_sent == m2.bits_sent
+
+
+class TestMetrics:
+    def test_per_node_accounting(self):
+        sim = Simulator()
+        sim.add_node(PingNode(0, target=1))
+        sim.add_node(PingNode(1))
+        metrics = sim.run()
+        assert metrics.per_node_messages[0] == 1
+        assert metrics.per_node_messages[1] == 1
+        assert metrics.per_kind_messages == {"ping": 1, "pong": 1}
+
+    def test_bytes_property(self):
+        sim = Simulator()
+        sim.add_node(PingNode(0, target=1))
+        sim.add_node(PingNode(1))
+        metrics = sim.run()
+        assert metrics.bytes_sent == metrics.bits_sent / 8
+
+
+class TestLatencyModels:
+    def test_wan_slower_than_lan(self):
+        msg = Message(sender=0, recipient=1, kind="x", payload=None, payload_bits=1000)
+        assert WAN.transit_time(msg) > EMULAB_LAN.transit_time(msg)
+
+    def test_bandwidth_term(self):
+        model = LatencyModel(base_latency_s=0.0, bandwidth_bps=1000.0)
+        msg = Message(sender=0, recipient=1, kind="x", payload=None, payload_bits=1000)
+        assert model.transit_time(msg) == pytest.approx(msg.total_bits / 1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyModel(base_latency_s=-1, bandwidth_bps=1e9)
+        with pytest.raises(ValueError):
+            LatencyModel(base_latency_s=0, bandwidth_bps=0)

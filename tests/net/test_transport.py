@@ -1,0 +1,38 @@
+"""Tests for message model and wire-size accounting."""
+
+import pytest
+
+from repro.net.transport import HEADER_BITS, Message, ring_elements_bits
+
+
+class TestMessage:
+    def test_total_includes_header(self):
+        msg = Message(sender=0, recipient=1, kind="x", payload=None, payload_bits=100)
+        assert msg.total_bits == 100 + HEADER_BITS
+
+    def test_unique_uids(self):
+        a = Message(sender=0, recipient=1, kind="x", payload=None, payload_bits=0)
+        b = Message(sender=0, recipient=1, kind="x", payload=None, payload_bits=0)
+        assert a.uid != b.uid
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Message(sender=0, recipient=1, kind="x", payload=None, payload_bits=-1)
+
+
+class TestRingElementsBits:
+    def test_bit_width_of_modulus(self):
+        assert ring_elements_bits(10, 256) == 10 * 8
+        assert ring_elements_bits(10, 257) == 10 * 9
+
+    def test_binary_modulus(self):
+        assert ring_elements_bits(4, 2) == 4  # 1 bit per element
+
+    def test_zero_count(self):
+        assert ring_elements_bits(0, 64) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring_elements_bits(-1, 64)
+        with pytest.raises(ValueError):
+            ring_elements_bits(1, 1)

@@ -1,0 +1,108 @@
+"""Property-based tests: circuits vs Python-int semantics, GMW vs plaintext."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc.circuits import (
+    CircuitBuilder,
+    add_many,
+    bits_to_int,
+    evaluate,
+    int_to_bits,
+    less_than,
+    popcount,
+    ripple_add,
+    ripple_add_mod2k,
+)
+from repro.mpc.gmw import GMWProtocol
+
+
+@given(
+    width=st.integers(min_value=1, max_value=12),
+    x=st.integers(min_value=0),
+    y=st.integers(min_value=0),
+)
+@settings(max_examples=150)
+def test_ripple_add_matches_int_addition(width, x, y):
+    x %= 1 << width
+    y %= 1 << width
+    b = CircuitBuilder()
+    xs, ys = b.input_bits(width), b.input_bits(width)
+    b.output_bits(ripple_add(b, xs, ys))
+    out = evaluate(b.build(), int_to_bits(x, width) + int_to_bits(y, width))
+    assert bits_to_int(out) == x + y
+
+
+@given(
+    width=st.integers(min_value=1, max_value=10),
+    x=st.integers(min_value=0),
+    y=st.integers(min_value=0),
+)
+@settings(max_examples=150)
+def test_modular_add_matches_int_mod(width, x, y):
+    x %= 1 << width
+    y %= 1 << width
+    b = CircuitBuilder()
+    xs, ys = b.input_bits(width), b.input_bits(width)
+    b.output_bits(ripple_add_mod2k(b, xs, ys))
+    out = evaluate(b.build(), int_to_bits(x, width) + int_to_bits(y, width))
+    assert bits_to_int(out) == (x + y) % (1 << width)
+
+
+@given(
+    width=st.integers(min_value=1, max_value=10),
+    x=st.integers(min_value=0),
+    y=st.integers(min_value=0),
+)
+@settings(max_examples=150)
+def test_less_than_matches_int_comparison(width, x, y):
+    x %= 1 << width
+    y %= 1 << width
+    b = CircuitBuilder()
+    xs, ys = b.input_bits(width), b.input_bits(width)
+    b.output(less_than(b, xs, ys))
+    out = evaluate(b.build(), int_to_bits(x, width) + int_to_bits(y, width))
+    assert out == [1 if x < y else 0]
+
+
+@given(bits=st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=24))
+@settings(max_examples=100)
+def test_popcount_matches_sum(bits):
+    b = CircuitBuilder()
+    ins = b.input_bits(len(bits))
+    b.output_bits(popcount(b, ins))
+    assert bits_to_int(evaluate(b.build(), bits)) == sum(bits)
+
+
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=8)
+)
+@settings(max_examples=100)
+def test_add_many_matches_sum(values):
+    b = CircuitBuilder()
+    numbers = [b.input_bits(4) for _ in values]
+    b.output_bits(add_many(b, numbers))
+    inputs = [bit for v in values for bit in int_to_bits(v, 4)]
+    assert bits_to_int(evaluate(b.build(), inputs)) == sum(values)
+
+
+@given(
+    x=st.integers(min_value=0, max_value=255),
+    y=st.integers(min_value=0, max_value=255),
+    parties=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_gmw_equals_plaintext_on_adder_comparator(x, y, parties, seed):
+    """DESIGN.md invariant 6: GMW over shares == plaintext evaluation."""
+    b = CircuitBuilder()
+    xs, ys = b.input_bits(8), b.input_bits(8)
+    b.output_bits(ripple_add(b, xs, ys))
+    b.output(less_than(b, xs, ys))
+    circuit = b.build()
+    inputs = int_to_bits(x, 8) + int_to_bits(y, 8)
+    expected = evaluate(circuit, inputs)
+    secure = GMWProtocol(circuit, parties, random.Random(seed)).run(inputs)
+    assert secure.outputs == expected

@@ -1,0 +1,106 @@
+"""Property-based tests for the core ǫ-PPI invariants (DESIGN.md list)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mixing import compute_lambda, mix_betas
+from repro.core.model import MembershipMatrix
+from repro.core.policies import (
+    BasicPolicy,
+    ChernoffPolicy,
+    IncrementedExpectationPolicy,
+    basic_beta,
+    chernoff_beta,
+)
+from repro.core.publication import publish_matrix
+
+
+@given(
+    sigma=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    epsilon=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+@settings(max_examples=300)
+def test_basic_beta_always_in_unit_interval(sigma, epsilon):
+    assert 0.0 <= basic_beta(sigma, epsilon) <= 1.0
+
+
+@given(
+    sigma=st.floats(min_value=0.0, max_value=0.999, allow_nan=False),
+    epsilon=st.floats(min_value=0.001, max_value=0.999, allow_nan=False),
+    gamma=st.floats(min_value=0.51, max_value=0.99, allow_nan=False),
+    m=st.integers(min_value=1, max_value=100000),
+)
+@settings(max_examples=300)
+def test_chernoff_dominates_basic(sigma, epsilon, gamma, m):
+    """DESIGN.md invariant 5: β_c >= β_b everywhere, both clamped to [0,1]."""
+    b = basic_beta(sigma, epsilon)
+    c = chernoff_beta(sigma, epsilon, gamma, m)
+    assert 0.0 <= c <= 1.0
+    assert c >= b - 1e-12
+
+
+@given(
+    sigmas=st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=30
+    ),
+    epsilon=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    m=st.integers(min_value=2, max_value=5000),
+)
+@settings(max_examples=100)
+def test_policies_monotone_in_sigma(sigmas, epsilon, m):
+    for policy in (BasicPolicy(), IncrementedExpectationPolicy(0.02), ChernoffPolicy(0.9)):
+        betas = [policy.beta(s, epsilon, m) for s in sorted(sigmas)]
+        assert all(b2 >= b1 - 1e-12 for b1, b2 in zip(betas, betas[1:]))
+
+
+@given(
+    cells=st.sets(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=30,
+    ),
+    betas=st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=6,
+        max_size=6,
+    ),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=150)
+def test_publication_recall_invariant(cells, betas, seed):
+    """DESIGN.md invariant 1: every true positive survives publication."""
+    matrix = MembershipMatrix(8, 6)
+    for pid, oid in cells:
+        matrix.set(pid, oid)
+    published = publish_matrix(matrix, betas, np.random.default_rng(seed))
+    dense = matrix.to_dense()
+    assert np.all(published[dense == 1] == 1)
+
+
+@given(
+    n_common=st.integers(min_value=0, max_value=100),
+    extra=st.integers(min_value=0, max_value=1000),
+    xi=st.floats(min_value=0.0, max_value=0.99, allow_nan=False),
+)
+@settings(max_examples=200)
+def test_lambda_in_unit_interval(n_common, extra, xi):
+    lam = compute_lambda(n_common, n_common + extra, xi)
+    assert 0.0 <= lam <= 1.0
+
+
+@given(
+    n_rare=st.integers(min_value=50, max_value=300),
+    n_common=st.integers(min_value=1, max_value=10),
+    xi=st.floats(min_value=0.1, max_value=0.9, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=100)
+def test_mixing_never_lowers_betas(n_rare, n_common, xi, seed):
+    betas = np.concatenate([np.full(n_common, 1.0), np.full(n_rare, 0.1)])
+    eps = np.full(n_common + n_rare, xi)
+    result = mix_betas(betas, eps, np.random.default_rng(seed))
+    assert np.all(result.betas >= betas - 1e-12)
+    assert np.all((result.betas == 1.0) | (result.betas == betas))

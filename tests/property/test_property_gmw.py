@@ -1,0 +1,111 @@
+"""Property-based tests for the GMW engine over randomly generated circuits."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc.circuits import Circuit, CircuitBuilder, GateOp, evaluate
+from repro.mpc.gmw import GMWProtocol
+
+
+def random_circuit(n_inputs: int, n_gates: int, seed: int) -> Circuit:
+    """A random well-formed circuit mixing all gate kinds."""
+    rng = random.Random(seed)
+    b = CircuitBuilder()
+    wires = [b.input_bit() for _ in range(n_inputs)]
+    wires.append(b.zero())
+    wires.append(b.one())
+    for _ in range(n_gates):
+        op = rng.choice(["xor", "and", "or", "not", "mux"])
+        if op == "not":
+            wires.append(b.not_(rng.choice(wires)))
+        elif op == "mux":
+            wires.append(b.mux(rng.choice(wires), rng.choice(wires), rng.choice(wires)))
+        else:
+            x, y = rng.choice(wires), rng.choice(wires)
+            fn = {"xor": b.xor, "and": b.and_, "or": b.or_}[op]
+            wires.append(fn(x, y))
+    # A handful of outputs from the deepest wires.
+    for w in wires[-min(4, len(wires)):]:
+        b.output(w)
+    return b.build()
+
+
+@given(
+    n_inputs=st.integers(min_value=1, max_value=8),
+    n_gates=st.integers(min_value=1, max_value=40),
+    circuit_seed=st.integers(min_value=0, max_value=10**6),
+    input_seed=st.integers(min_value=0, max_value=10**6),
+    parties=st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=80, deadline=None)
+def test_gmw_matches_plaintext_on_random_circuits(
+    n_inputs, n_gates, circuit_seed, input_seed, parties
+):
+    """DESIGN.md invariant 6 over the whole circuit space, not just the
+    arithmetic building blocks."""
+    circuit = random_circuit(n_inputs, n_gates, circuit_seed)
+    rng = random.Random(input_seed)
+    inputs = [rng.getrandbits(1) for _ in range(n_inputs)]
+    expected = evaluate(circuit, inputs)
+    result = GMWProtocol(circuit, parties, random.Random(input_seed + 1)).run(inputs)
+    assert result.outputs == expected
+
+
+@given(
+    n_inputs=st.integers(min_value=1, max_value=6),
+    n_gates=st.integers(min_value=1, max_value=30),
+    circuit_seed=st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=60, deadline=None)
+def test_gmw_stats_consistent(n_inputs, n_gates, circuit_seed):
+    """Triples consumed == AND gates; rounds bounded by AND count + 1."""
+    circuit = random_circuit(n_inputs, n_gates, circuit_seed)
+    result = GMWProtocol(circuit, 3, random.Random(7)).run([0] * n_inputs)
+    and_count = circuit.stats().and_
+    assert result.stats.and_gates == and_count
+    assert result.stats.triples_consumed == and_count
+    assert result.stats.rounds <= and_count + 1
+
+
+@given(
+    n_inputs=st.integers(min_value=1, max_value=6),
+    n_gates=st.integers(min_value=1, max_value=25),
+    circuit_seed=st.integers(min_value=0, max_value=10**6),
+    seed_a=st.integers(min_value=0, max_value=10**6),
+    seed_b=st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=40, deadline=None)
+def test_gmw_output_independent_of_randomness(
+    n_inputs, n_gates, circuit_seed, seed_a, seed_b
+):
+    """Different protocol randomness must never change the outputs."""
+    circuit = random_circuit(n_inputs, n_gates, circuit_seed)
+    inputs = [1] * n_inputs
+    out_a = GMWProtocol(circuit, 3, random.Random(seed_a)).run(inputs).outputs
+    out_b = GMWProtocol(circuit, 3, random.Random(seed_b)).run(inputs).outputs
+    assert out_a == out_b
+
+
+@given(
+    n_inputs=st.integers(min_value=1, max_value=8),
+    n_gates=st.integers(min_value=1, max_value=50),
+    circuit_seed=st.integers(min_value=0, max_value=10**6),
+    input_seed=st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=100, deadline=None)
+def test_optimizer_preserves_semantics(n_inputs, n_gates, circuit_seed, input_seed):
+    """The optimizer must be a semantics-preserving transformation on any
+    circuit, with never-increasing gate counts."""
+    from repro.mpc.circuits.optimize import optimize
+
+    circuit = random_circuit(n_inputs, n_gates, circuit_seed)
+    optimized, report = optimize(circuit)
+    assert report.after_total <= report.before_total
+    assert report.after_and <= report.before_and
+    assert optimized.n_inputs == circuit.n_inputs
+    rng = random.Random(input_seed)
+    for _ in range(8):
+        inputs = [rng.getrandbits(1) for _ in range(n_inputs)]
+        assert evaluate(optimized, inputs) == evaluate(circuit, inputs)

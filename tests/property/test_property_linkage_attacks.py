@@ -1,0 +1,106 @@
+"""Property-based tests: linkage similarity and attack invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.adversary import AdversaryKnowledge
+from repro.attacks.primary import primary_attack_confidences
+from repro.core.model import MembershipMatrix
+from repro.linkage.bloom import BloomEncoder, dice_coefficient
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(a=names, b=names, key=st.binary(min_size=1, max_size=8))
+@settings(max_examples=150)
+def test_dice_symmetric_and_bounded(a, b, key):
+    enc = BloomEncoder(key=key)
+    fa, fb = enc.encode(a), enc.encode(b)
+    d_ab = dice_coefficient(fa, fb)
+    d_ba = dice_coefficient(fb, fa)
+    assert d_ab == d_ba
+    assert 0.0 <= d_ab <= 1.0
+
+
+@given(a=names, key=st.binary(min_size=1, max_size=8))
+@settings(max_examples=100)
+def test_dice_identity(a, key):
+    enc = BloomEncoder(key=key)
+    assert dice_coefficient(enc.encode(a), enc.encode(a)) == 1.0
+
+
+@given(
+    cells=st.sets(
+        st.tuples(
+            st.integers(min_value=0, max_value=11),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=40,
+    ),
+    noise=st.sets(
+        st.tuples(
+            st.integers(min_value=0, max_value=11),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=40,
+    ),
+)
+@settings(max_examples=150)
+def test_primary_confidence_bounds(cells, noise):
+    """Exact primary-attack confidence is always a valid probability, is 1.0
+    on a noise-free index and decreases (weakly) as noise is added."""
+    matrix = MembershipMatrix(12, 6)
+    for pid, oid in cells:
+        matrix.set(pid, oid)
+    clean = matrix.to_dense()
+    noisy = clean.copy()
+    for pid, oid in noise:
+        noisy[pid, oid] = 1
+
+    conf_clean = primary_attack_confidences(
+        matrix, AdversaryKnowledge(published=clean)
+    )
+    conf_noisy = primary_attack_confidences(
+        matrix, AdversaryKnowledge(published=noisy)
+    )
+    assert np.all((conf_clean >= 0) & (conf_clean <= 1))
+    assert np.all((conf_noisy >= 0) & (conf_noisy <= 1))
+    for j in range(6):
+        if matrix.frequency(j) > 0:
+            assert conf_clean[j] == 1.0
+            assert conf_noisy[j] <= conf_clean[j] + 1e-12
+
+
+@given(
+    freqs=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=8),
+    eps=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=100)
+def test_publication_confidence_respects_complement(freqs, eps, seed):
+    """For any published index, attacker confidence + fp rate == 1 on every
+    attackable owner (the paper's core identity)."""
+    from repro.core.policies import BasicPolicy
+    from repro.core.privacy import published_false_positive_rates
+    from repro.core.publication import publish_matrix
+    from repro.datasets.synthetic import exact_frequency_matrix
+
+    m = 15
+    rng = np.random.default_rng(seed)
+    matrix = exact_frequency_matrix(m, freqs, rng)
+    sigmas = np.array([matrix.sigma(j) for j in range(len(freqs))])
+    betas = BasicPolicy().beta_vector(sigmas, np.full(len(freqs), eps), m)
+    published = publish_matrix(matrix, betas, rng)
+    fp = published_false_positive_rates(matrix, published)
+    conf = primary_attack_confidences(
+        matrix, AdversaryKnowledge(published=published)
+    )
+    counts = published.sum(axis=0)
+    for j in range(len(freqs)):
+        if counts[j] > 0:
+            assert conf[j] + fp[j] == 1.0

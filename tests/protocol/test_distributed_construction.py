@@ -1,0 +1,126 @@
+"""Tests for the end-to-end distributed construction and pure-MPC simulation."""
+
+import random
+
+import pytest
+
+from repro.core.policies import BasicPolicy, ChernoffPolicy
+from repro.protocol import (
+    run_distributed_construction,
+    run_pure_mpc_simulation,
+)
+
+
+def random_bits(m, n, seed):
+    rng = random.Random(seed)
+    return [[rng.randint(0, 1) for _ in range(n)] for _ in range(m)]
+
+
+class TestDistributedConstruction:
+    def test_produces_betas_for_all_identities(self):
+        bits = random_bits(9, 5, 1)
+        res = run_distributed_construction(
+            bits, [0.4] * 5, ChernoffPolicy(0.9), c=3, rng=random.Random(2)
+        )
+        assert len(res.betas) == 5
+        assert all(0.0 <= b <= 1.0 for b in res.betas)
+
+    def test_execution_time_positive(self):
+        bits = random_bits(6, 3, 3)
+        res = run_distributed_construction(
+            bits, [0.5] * 3, BasicPolicy(), c=3, rng=random.Random(4)
+        )
+        assert res.execution_time_s > 0
+
+    def test_all_message_kinds_present(self):
+        bits = random_bits(9, 3, 5)
+        res = run_distributed_construction(
+            bits, [0.5] * 3, BasicPolicy(), c=3, rng=random.Random(6)
+        )
+        kinds = res.metrics.per_kind_messages
+        assert "secsum/share" in kinds
+        assert "secsum/super-share" in kinds
+        assert "mpc/round" in kinds
+        assert "beta/broadcast" in kinds
+
+    def test_beta_broadcast_reaches_all_providers(self):
+        m = 8
+        bits = random_bits(m, 2, 7)
+        res = run_distributed_construction(
+            bits, [0.5, 0.5], BasicPolicy(), c=3, rng=random.Random(8)
+        )
+        assert res.metrics.per_kind_messages["beta/broadcast"] == m - 1
+
+    def test_scales_slowly_with_m(self):
+        """Fig. 6a shape: execution time grows slowly with m for the
+        MPC-reduced protocol (the MPC part is pinned to c parties)."""
+        times = {}
+        for m in (5, 20):
+            bits = random_bits(m, 2, 9)
+            res = run_distributed_construction(
+                bits, [0.5, 0.5], BasicPolicy(), c=3, rng=random.Random(10)
+            )
+            times[m] = res.execution_time_s
+        assert times[20] < times[5] * 3  # sub-linear-ish growth
+
+
+class TestPureMPCSimulation:
+    def test_produces_betas(self):
+        bits = random_bits(5, 3, 11)
+        res = run_pure_mpc_simulation(
+            bits, [0.4] * 3, BasicPolicy(), rng=random.Random(12)
+        )
+        assert len(res.betas) == 3
+
+    def test_superlinear_growth_in_m(self):
+        """Fig. 6a shape: pure MPC time grows super-linearly with m (every
+        AND opening is an all-to-all among m parties), while the reduced
+        protocol's generic-MPC stage is pinned to c parties."""
+        pure_times, reduced_times = [], []
+        for m in (3, 6, 12):
+            bits = random_bits(m, 2, 13)
+            pure = run_pure_mpc_simulation(
+                bits, [0.5, 0.5], BasicPolicy(), rng=random.Random(14)
+            )
+            reduced = run_distributed_construction(
+                bits, [0.5, 0.5], BasicPolicy(), c=3, rng=random.Random(15)
+            )
+            pure_times.append(pure.execution_time_s)
+            reduced_times.append(reduced.execution_time_s)
+        # More-than-linear: quadrupling m grows time by far more than 4x.
+        assert pure_times[2] > 4.5 * pure_times[0]
+        # The gap to the reduced protocol widens with network size.
+        gaps = [p / r for p, r in zip(pure_times, reduced_times)]
+        assert gaps[2] > gaps[0]
+
+    def test_pure_slower_than_reduced_at_scale(self):
+        m = 12
+        bits = random_bits(m, 3, 15)
+        pure = run_pure_mpc_simulation(
+            bits, [0.5] * 3, BasicPolicy(), rng=random.Random(16)
+        )
+        reduced = run_distributed_construction(
+            bits, [0.5] * 3, BasicPolicy(), c=3, rng=random.Random(17)
+        )
+        assert pure.execution_time_s > reduced.execution_time_s
+
+    def test_scales_with_identities(self):
+        """Fig. 6c shape: both grow with n, but pure MPC pays a far larger
+        per-identity cost (the in-circuit β* arithmetic), so the absolute
+        separation widens with the identity count."""
+        pure_times, reduced_times = [], []
+        for n in (2, 8):
+            bits = random_bits(4, n, 18)
+            pure = run_pure_mpc_simulation(
+                bits, [0.5] * n, BasicPolicy(), rng=random.Random(19)
+            )
+            reduced = run_distributed_construction(
+                bits, [0.5] * n, BasicPolicy(), c=3, rng=random.Random(20)
+            )
+            pure_times.append(pure.execution_time_s)
+            reduced_times.append(reduced.execution_time_s)
+        assert pure_times[1] > pure_times[0]
+        assert pure_times[1] > reduced_times[1]
+        gap_small = pure_times[0] - reduced_times[0]
+        gap_large = pure_times[1] - reduced_times[1]
+        assert gap_large > gap_small

@@ -1,0 +1,82 @@
+"""Tests for the grouping-baseline construction protocol and its leak."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.protocol.grouping_protocol import run_grouping_construction
+
+
+def random_bits(m, n, seed):
+    rng = random.Random(seed)
+    return [[rng.randint(0, 1) for _ in range(n)] for _ in range(m)]
+
+
+class TestConstruction:
+    def test_group_reports_are_or_of_members(self):
+        bits = random_bits(9, 4, 1)
+        result = run_grouping_construction(bits, n_groups=3, rng=random.Random(2))
+        for pid in range(9):
+            g = result.group_of[pid]
+            member_ids = [q for q in range(9) if result.group_of[q] == g]
+            expected = np.zeros(4, dtype=np.uint8)
+            for q in member_ids:
+                expected |= np.array(bits[q], dtype=np.uint8)
+            assert np.array_equal(result.published[pid], expected)
+
+    def test_recall_preserved(self):
+        bits = random_bits(8, 3, 3)
+        result = run_grouping_construction(bits, n_groups=4, rng=random.Random(4))
+        truth = np.array(bits, dtype=np.uint8)
+        assert np.all(result.published[truth == 1] == 1)
+
+    def test_single_group_is_broadcast(self):
+        bits = random_bits(5, 2, 5)
+        result = run_grouping_construction(bits, n_groups=1, rng=random.Random(6))
+        union = np.array(bits, dtype=np.uint8).max(axis=0)
+        for pid in range(5):
+            assert np.array_equal(result.published[pid], union)
+
+    def test_group_count_validated(self):
+        bits = random_bits(3, 1, 7)
+        with pytest.raises(ValueError):
+            run_grouping_construction(bits, n_groups=4, rng=random.Random(8))
+
+
+class TestDisclosureLeak:
+    def test_every_private_vector_disclosed(self):
+        """The paper's criticism, observable: each provider's raw vector
+        lands in some leader's transcript."""
+        bits = random_bits(10, 3, 9)
+        result = run_grouping_construction(bits, n_groups=3, rng=random.Random(10))
+        assert result.disclosed_vectors() == 10
+        seen = {}
+        for transcript in result.leader_transcripts.values():
+            seen.update(transcript)
+        for pid in range(10):
+            assert seen[pid] == bits[pid]
+
+    def test_contrast_with_secsumshare(self):
+        """ǫ-PPI's construction never moves a plaintext vector: the same
+        inputs through SecSumShare leave every non-owner view uniform."""
+        from repro.mpc.field import Zq, default_modulus_for_sum
+        from repro.mpc.secsum import SecSumShare
+
+        bits = random_bits(10, 3, 11)
+        ring = Zq(default_modulus_for_sum(10))
+        result = SecSumShare(10, 3, ring, random.Random(12)).run(bits)
+        # No view contains any provider's raw vector.
+        for view in result.provider_views:
+            for pid in range(10):
+                if pid == view.provider:
+                    continue
+                # received_shares are individual ring elements, never a
+                # recognizable 0/1 vector of another provider.
+                assert view.received_shares != bits[pid]
+
+    def test_metrics_show_vector_shipment(self):
+        bits = random_bits(6, 8, 13)
+        result = run_grouping_construction(bits, n_groups=2, rng=random.Random(14))
+        assert result.metrics.per_kind_messages["grouping/local-vector"] == 4
+        assert result.metrics.per_kind_messages["grouping/group-report"] == 2

@@ -1,0 +1,100 @@
+"""Edge-case tests for the distributed construction protocol."""
+
+import random
+
+import pytest
+
+from repro.core.policies import BasicPolicy
+from repro.mpc.betacalc import secure_beta_calculation
+from repro.protocol import run_distributed_construction, run_pure_mpc_simulation
+from repro.net.latency import WAN
+
+
+def random_bits(m, n, seed):
+    rng = random.Random(seed)
+    return [[rng.randint(0, 1) for _ in range(n)] for _ in range(m)]
+
+
+class TestDegenerateTopologies:
+    def test_m_equals_c(self):
+        """Every provider is a coordinator: the protocol still terminates
+        and produces a full beta vector."""
+        bits = random_bits(3, 2, 1)
+        res = run_distributed_construction(
+            bits, [0.5, 0.5], BasicPolicy(), c=3, rng=random.Random(2)
+        )
+        assert len(res.betas) == 2
+        assert res.execution_time_s > 0
+
+    def test_c_two_minimum(self):
+        bits = random_bits(5, 2, 3)
+        res = run_distributed_construction(
+            bits, [0.4, 0.6], BasicPolicy(), c=2, rng=random.Random(4)
+        )
+        assert len(res.betas) == 2
+
+    def test_single_identity(self):
+        bits = random_bits(6, 1, 5)
+        res = run_distributed_construction(
+            bits, [0.5], BasicPolicy(), c=3, rng=random.Random(6)
+        )
+        assert len(res.betas) == 1
+
+    def test_all_zero_inputs(self):
+        """No owner anywhere: every beta is 0 and nothing broadcasts."""
+        bits = [[0, 0] for _ in range(5)]
+        res = run_distributed_construction(
+            bits, [0.5, 0.9], BasicPolicy(), c=3, rng=random.Random(7)
+        )
+        assert list(res.betas) == [0.0, 0.0]
+
+    def test_all_one_inputs(self):
+        """Every owner everywhere: all common, all broadcast."""
+        bits = [[1, 1] for _ in range(5)]
+        res = run_distributed_construction(
+            bits, [0.5, 0.9], BasicPolicy(), c=3, rng=random.Random(8)
+        )
+        assert list(res.betas) == [1.0, 1.0]
+
+
+class TestLatencyProfiles:
+    def test_wan_profile_slower(self):
+        bits = random_bits(6, 2, 9)
+        lan = run_distributed_construction(
+            bits, [0.5, 0.5], BasicPolicy(), c=3, rng=random.Random(10)
+        )
+        wan = run_distributed_construction(
+            bits, [0.5, 0.5], BasicPolicy(), c=3, rng=random.Random(10),
+            latency=WAN,
+        )
+        assert wan.execution_time_s > lan.execution_time_s
+
+
+class TestResultConsistency:
+    def test_betas_match_computational_pipeline_distribution(self):
+        """The sim wraps secure_beta_calculation: identical (bits, policy,
+        seed) must yield the identical beta vector."""
+        bits = random_bits(8, 3, 11)
+        eps = [0.3, 0.5, 0.7]
+        sim_res = run_distributed_construction(
+            bits, eps, BasicPolicy(), c=3, rng=random.Random(12)
+        )
+        comp_res = secure_beta_calculation(
+            bits, eps, BasicPolicy(), c=3, rng=random.Random(12)
+        )
+        assert list(sim_res.betas) == list(comp_res.betas)
+
+    def test_metrics_observe_all_traffic(self):
+        bits = random_bits(8, 2, 13)
+        res = run_distributed_construction(
+            bits, [0.5, 0.5], BasicPolicy(), c=3, rng=random.Random(14)
+        )
+        total_by_kind = sum(res.metrics.per_kind_messages.values())
+        assert total_by_kind == res.metrics.messages
+        assert res.metrics.bits_sent > 0
+
+    def test_pure_simulation_rejects_single_provider(self):
+        with pytest.raises(ValueError):
+            run_pure_mpc_simulation(
+                [[1]], [0.5], BasicPolicy(), rng=random.Random(1)
+            )

@@ -1,0 +1,123 @@
+"""Tests for the mix-chain searcher-anonymity layer."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import ChernoffPolicy, construct_epsilon_ppi
+from repro.net.simulator import Simulator
+from repro.service.anonymity import (
+    AnonymousQueryClient,
+    AnonymityAwarePPIServer,
+    RelayNode,
+    predecessor_attack_probability,
+)
+
+
+def deploy(hospital_network, np_rng, n_relays=3, queries=None, compromised=()):
+    result = construct_epsilon_ppi(hospital_network, ChernoffPolicy(0.9), np_rng)
+    sim = Simulator()
+    relays = [
+        sim.add_node(RelayNode(100 + i, compromised=(i in compromised)))
+        for i in range(n_relays)
+    ]
+    server = sim.add_node(AnonymityAwarePPIServer(200, result.index))
+    client = sim.add_node(
+        AnonymousQueryClient(
+            300,
+            relay_chain=[r.node_id for r in relays],
+            server_id=200,
+            queries=queries or [0],
+            rng=random.Random(1),
+        )
+    )
+    sim.run()
+    return result, relays, server, client
+
+
+class TestAnonymousQueries:
+    def test_reply_reaches_client_with_correct_result(
+        self, hospital_network, np_rng
+    ):
+        result, _, _, client = deploy(hospital_network, np_rng)
+        assert len(client.replies) == 1
+        owner_id, providers = client.replies[0]
+        assert owner_id == 0
+        assert providers == result.index.query(0)
+
+    def test_server_never_sees_client_address(self, hospital_network, np_rng):
+        _, relays, server, client = deploy(hospital_network, np_rng, queries=[0, 1, 2])
+        assert len(server.apparent_senders) == 3
+        exit_relay = relays[-1].node_id
+        assert all(s == exit_relay for s in server.apparent_senders)
+        assert client.node_id not in server.apparent_senders
+
+    def test_every_relay_forwards(self, hospital_network, np_rng):
+        _, relays, _, _ = deploy(hospital_network, np_rng, queries=[0, 1])
+        assert all(r.forwarded == 2 for r in relays)
+
+    def test_single_relay_chain(self, hospital_network, np_rng):
+        _, _, server, client = deploy(hospital_network, np_rng, n_relays=1)
+        assert len(client.replies) == 1
+        assert server.apparent_senders == [100]
+
+    def test_honest_relays_record_nothing(self, hospital_network, np_rng):
+        _, relays, _, _ = deploy(hospital_network, np_rng)
+        assert all(r.observations == [] for r in relays)
+
+    def test_compromised_first_relay_sees_initiator(
+        self, hospital_network, np_rng
+    ):
+        _, relays, _, client = deploy(
+            hospital_network, np_rng, queries=[0], compromised={0}
+        )
+        assert relays[0].observations
+        prev_hops = {obs[0] for obs in relays[0].observations}
+        assert client.node_id in prev_hops
+
+    def test_empty_chain_rejected(self, hospital_network, np_rng):
+        with pytest.raises(ValueError):
+            AnonymousQueryClient(1, [], 2, [0], random.Random(1))
+
+    def test_anonymity_costs_latency(self, hospital_network, np_rng):
+        """Each relay hop adds transit + batching delay."""
+        times = {}
+        for n_relays in (1, 4):
+            result = construct_epsilon_ppi(
+                hospital_network, ChernoffPolicy(0.9), np.random.default_rng(2)
+            )
+            sim = Simulator()
+            for i in range(n_relays):
+                sim.add_node(RelayNode(100 + i))
+            sim.add_node(AnonymityAwarePPIServer(200, result.index))
+            sim.add_node(
+                AnonymousQueryClient(
+                    300, [100 + i for i in range(n_relays)], 200, [0],
+                    random.Random(1),
+                )
+            )
+            metrics = sim.run()
+            times[n_relays] = metrics.finish_time_s
+        assert times[4] > times[1]
+
+
+class TestPredecessorAttack:
+    def test_zero_compromise_never_deanonymizes(self):
+        assert predecessor_attack_probability(0.0, 1000) == 0.0
+
+    def test_full_compromise_immediate(self):
+        assert predecessor_attack_probability(1.0, 1) == 1.0
+
+    def test_degrades_with_rounds(self):
+        """The [20] result: anonymity degrades as chains are reformed."""
+        probs = [predecessor_attack_probability(0.2, r) for r in (1, 10, 100)]
+        assert probs == sorted(probs)
+        assert probs[0] == pytest.approx(0.04)
+        assert probs[2] > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predecessor_attack_probability(1.5, 1)
+        with pytest.raises(ValueError):
+            predecessor_attack_probability(0.5, -1)

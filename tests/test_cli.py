@@ -1,0 +1,99 @@
+"""Tests for the command-line interface (full pipeline on temp files)."""
+
+import json
+
+import pytest
+
+from repro.cli import load_dataset, main, save_dataset
+from repro.core.model import InformationNetwork
+
+
+@pytest.fixture
+def dataset_path(tmp_path):
+    path = tmp_path / "net.json"
+    assert main([
+        "generate", "--kind", "trec", "--providers", "20", "--owners", "40",
+        "--seed", "3", "--output", str(path),
+    ]) == 0
+    return path
+
+
+@pytest.fixture
+def index_path(tmp_path, dataset_path):
+    path = tmp_path / "index.json"
+    assert main([
+        "construct", "--dataset", str(dataset_path), "--output", str(path),
+        "--policy", "chernoff", "--gamma", "0.9", "--seed", "1",
+    ]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_dataset_file_valid(self, dataset_path):
+        payload = json.loads(dataset_path.read_text())
+        assert payload["n_providers"] == 20
+        assert len(payload["owners"]) == 40
+        assert payload["memberships"]
+
+    def test_zipf_kind(self, tmp_path):
+        path = tmp_path / "zipf.json"
+        assert main([
+            "generate", "--kind", "zipf", "--providers", "30", "--owners", "50",
+            "--output", str(path),
+        ]) == 0
+        net = load_dataset(str(path))
+        assert net.n_providers == 30
+        assert net.n_owners == 50
+
+    def test_roundtrip_preserves_network(self, tmp_path):
+        net = InformationNetwork(5)
+        a = net.register_owner("a", 0.5)
+        net.delegate(a, 2)
+        path = tmp_path / "x.json"
+        save_dataset(str(path), net)
+        loaded = load_dataset(str(path))
+        assert loaded.n_providers == 5
+        assert loaded.owner_by_name("a").epsilon == 0.5
+        assert loaded.membership_matrix().providers_of(0) == {2}
+
+
+class TestConstructQueryAttack:
+    def test_construct_writes_index(self, index_path):
+        payload = json.loads(index_path.read_text())
+        assert payload["n_providers"] == 20
+
+    def test_query_by_name(self, index_path, capsys):
+        assert main([
+            "query", "--index", str(index_path), "--owner", "host-000000.example.org",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "candidate providers" in out
+
+    def test_query_by_id(self, index_path, capsys):
+        assert main(["query", "--index", str(index_path), "--owner", "0"]) == 0
+        assert "candidate providers" in capsys.readouterr().out
+
+    def test_attack_reports_degree(self, dataset_path, index_path, capsys):
+        assert main([
+            "attack", "--dataset", str(dataset_path), "--index", str(index_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "primary attack" in out
+        assert "degree:" in out
+
+    def test_inspect(self, index_path, capsys):
+        assert main(["inspect", "--index", str(index_path)]) == 0
+        out = capsys.readouterr().out
+        assert "providers: 20" in out
+        assert "owners: 40" in out
+
+    def test_basic_policy_flag(self, tmp_path, dataset_path):
+        path = tmp_path / "basic.json"
+        assert main([
+            "construct", "--dataset", str(dataset_path), "--output", str(path),
+            "--policy", "basic",
+        ]) == 0
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
