@@ -21,16 +21,13 @@ secure stage.
 import random
 
 from repro.analysis.reporting import format_table
-from repro.mpc.additive import AdditiveSharing
 from repro.mpc.circuits import (
     CircuitBuilder,
-    bits_to_int,
     int_to_bits,
     less_than_const,
     popcount,
     ripple_add_mod2k,
 )
-from repro.mpc.circuits.multiplier import ripple_sub
 from repro.mpc.conversion import A2BDealer, a2b_convert
 from repro.mpc.field import Zq, default_modulus_for_sum
 from repro.mpc.gmw import GMWProtocol

@@ -20,7 +20,7 @@ from repro.core import (
     auth_search,
     construct_epsilon_ppi,
 )
-from repro.linkage import BloomEncoder, MatchDecision, RecordMatcher, link_records
+from repro.linkage import BloomEncoder, RecordMatcher, link_records
 
 
 def main() -> None:

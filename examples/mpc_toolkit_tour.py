@@ -29,7 +29,6 @@ from repro.mpc.circuits import (
     evaluate,
     int_to_bits,
     less_than_const,
-    popcount,
     ripple_add,
 )
 from repro.mpc.circuits.fixedpoint import ONE, beta_basic_circuit

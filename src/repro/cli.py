@@ -11,9 +11,15 @@ Gives the library a usable operational surface:
   stored index/dataset pair and report attacker confidence;
 * ``audit``     -- per-owner privacy audit of a stored index against the
   dataset's ground truth;
-* ``inspect``   -- summarize a stored index (size, broadcast rows, cost).
+* ``inspect``   -- summarize a stored index (size, broadcast rows, cost);
+* ``serve``     -- host a stored index as a live TCP locator service
+  (one shard of an owner-sharded fleet);
+* ``provider``  -- run one provider's AuthSearch endpoint over a dataset;
+* ``loadgen``   -- drive a closed-loop load test against a running fleet
+  and print QPS / p50 / p95 / p99 / error-rate.
 
-All randomness is seedable for reproducible pipelines.
+All randomness is seedable for reproducible pipelines.  Installed as the
+``eppi`` console script (``pip install -e .``), or run as ``python -m repro``.
 """
 
 from __future__ import annotations
@@ -215,6 +221,138 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- serving commands --------------------------------------------------------
+
+
+def _parse_address(text: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"address must be host:port, got {text!r}"
+        )
+    return host, int(port)
+
+
+def _parse_provider_address(text: str) -> tuple[int, tuple[str, int]]:
+    pid, _, addr = text.partition("=")
+    if not pid.isdigit() or not addr:
+        raise argparse.ArgumentTypeError(
+            f"provider address must be <id>=host:port, got {text!r}"
+        )
+    return int(pid), _parse_address(addr)
+
+
+def _run_node_forever(node) -> int:
+    import asyncio
+
+    async def _main() -> None:
+        await node.start()
+        print(f"{node.role} listening on {node.host}:{node.port}", flush=True)
+        try:
+            await node.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print(f"\n{node.role}: shutting down")
+    except OSError as exc:
+        print(f"{node.role}: cannot listen on {node.host}:{node.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import PPIServer, ShardSpec
+
+    with open(args.index) as f:
+        index = PPIIndex.from_json(f.read())
+    server = PPIServer(
+        index,
+        shard=ShardSpec(args.shard, args.shards),
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+    )
+    print(
+        f"serving shard {args.shard}/{args.shards} of index "
+        f"({index.n_providers} providers, {index.n_owners} owners)"
+    )
+    return _run_node_forever(server)
+
+
+def cmd_provider(args: argparse.Namespace) -> int:
+    from repro.core.authsearch import AccessControl
+    from repro.serving import ProviderEndpoint
+
+    network = load_dataset(args.dataset)
+    if not 0 <= args.provider_id < network.n_providers:
+        print(
+            f"provider id {args.provider_id} out of range "
+            f"(dataset has {network.n_providers} providers)",
+            file=sys.stderr,
+        )
+        return 2
+    endpoint = ProviderEndpoint(
+        network.providers[args.provider_id],
+        AccessControl(trusted=set(args.trust)),
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+    )
+    return _run_node_forever(endpoint)
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serving import LocatorClient, RetryPolicy, run_load
+
+    async def _main() -> int:
+        client = LocatorClient(
+            servers=args.server,
+            providers=dict(args.provider or []),
+            name=args.searcher,
+            retry=RetryPolicy(
+                max_retries=args.max_retries, timeout_s=args.timeout
+            ),
+            cache_size=args.cache_size,
+            rng_seed=args.seed,
+        )
+        try:
+            if args.owners is not None:
+                owner_ids = list(range(args.owners))
+            else:
+                info = await client.info(args.server[0])
+                owner_ids = list(range(int(info["n_owners"])))
+            if args.mode == "search" and not client.providers:
+                print(
+                    "loadgen: search mode needs --provider <id>=host:port "
+                    "for every reachable provider",
+                    file=sys.stderr,
+                )
+                return 2
+            report = await run_load(
+                client,
+                owner_ids,
+                n_workers=args.workers,
+                requests_per_worker=args.requests,
+                mode=args.mode,
+                think_time_s=args.think_time,
+            )
+            print(report.format())
+            stats = await client.stats(args.server[0])
+            served = stats["counters"].get("queries_served", 0)
+            print(f"server[0] queries_served  {served}")
+            return 0
+        finally:
+            await client.close()
+
+    return asyncio.run(_main())
+
+
 # -- parser ------------------------------------------------------------------
 
 
@@ -264,6 +402,48 @@ def _build_parser() -> argparse.ArgumentParser:
     i = sub.add_parser("inspect", help="summarize a stored index")
     i.add_argument("--index", required=True)
     i.set_defaults(func=cmd_inspect)
+
+    s = sub.add_parser("serve", help="host a stored index as a TCP locator service")
+    s.add_argument("--index", required=True)
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=7331)
+    s.add_argument("--shard", type=int, default=0, help="this process's shard id")
+    s.add_argument("--shards", type=int, default=1, help="total shard count")
+    s.add_argument("--max-inflight", type=int, default=64,
+                   help="backpressure bound on concurrently served requests")
+    s.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("provider", help="run one provider's AuthSearch endpoint")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--provider-id", type=int, required=True)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="0 picks an ephemeral port (printed at startup)")
+    p.add_argument("--trust", action="append", default=["searcher"],
+                   help="searcher name to trust for all owners (repeatable)")
+    p.add_argument("--max-inflight", type=int, default=64)
+    p.set_defaults(func=cmd_provider)
+
+    lg = sub.add_parser("loadgen", help="closed-loop load test against a fleet")
+    lg.add_argument("--server", action="append", type=_parse_address,
+                    required=True, metavar="HOST:PORT",
+                    help="locator server address, once per shard in shard order")
+    lg.add_argument("--provider", action="append",
+                    type=_parse_provider_address, metavar="ID=HOST:PORT",
+                    help="provider endpoint address (repeatable; enables search mode)")
+    lg.add_argument("--mode", choices=["query", "search"], default="query")
+    lg.add_argument("--workers", type=int, default=4)
+    lg.add_argument("--requests", type=int, default=50,
+                    help="requests per worker")
+    lg.add_argument("--owners", type=int, default=None,
+                    help="owner-id space to draw from (default: ask the server)")
+    lg.add_argument("--searcher", default="searcher")
+    lg.add_argument("--think-time", type=float, default=0.0)
+    lg.add_argument("--timeout", type=float, default=2.0)
+    lg.add_argument("--max-retries", type=int, default=3)
+    lg.add_argument("--cache-size", type=int, default=1024)
+    lg.add_argument("--seed", type=int, default=0)
+    lg.set_defaults(func=cmd_loadgen)
     return parser
 
 

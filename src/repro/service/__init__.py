@@ -10,6 +10,7 @@ from repro.service.anonymity import (
 from repro.service.deployment import (
     ConcurrentRun,
     ServiceRun,
+    compute_recall,
     run_concurrent_searchers,
     run_locator_service,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "SearcherNode",
     "SearchOutcome",
     "ServiceRun",
+    "compute_recall",
     "predecessor_attack_probability",
     "run_concurrent_searchers",
     "run_locator_service",

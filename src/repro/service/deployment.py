@@ -17,6 +17,7 @@ from repro.core.model import InformationNetwork
 from repro.net.latency import EMULAB_LAN, LatencyModel
 from repro.net.metrics import NetworkMetrics
 from repro.net.simulator import Simulator
+from repro.core.model import MembershipMatrix
 from repro.service.nodes import (
     PPIServerNode,
     ProviderServiceNode,
@@ -24,7 +25,36 @@ from repro.service.nodes import (
     SearchOutcome,
 )
 
-__all__ = ["ConcurrentRun", "ServiceRun", "run_concurrent_searchers", "run_locator_service"]
+__all__ = [
+    "ConcurrentRun",
+    "ServiceRun",
+    "compute_recall",
+    "run_concurrent_searchers",
+    "run_locator_service",
+]
+
+
+def compute_recall(
+    outcomes: list[SearchOutcome], matrix: MembershipMatrix
+) -> float:
+    """Fraction of searches that reached every reachable true provider.
+
+    A search counts as recalled when its positive providers cover the
+    owner's true provider set minus the providers the searcher was denied
+    at or that failed outright (those are availability/authorization
+    losses, not index losses).  Empty outcome lists score 1.0.
+    """
+    if not outcomes:
+        return 1.0
+    hits = [
+        set(o.positive_providers) >= (
+            matrix.providers_of(o.owner_id)
+            - set(o.denied_providers)
+            - set(o.failed_providers)
+        )
+        for o in outcomes
+    ]
+    return float(np.mean(hits))
 
 
 @dataclass
@@ -93,24 +123,11 @@ def run_locator_service(
     # Recall check against the true matrix: every query must have reached
     # every provider that truly holds the owner's records, except those the
     # searcher was denied at or that failed outright.
-    matrix = network.membership_matrix()
-    if searcher.outcomes:
-        hits = [
-            set(o.positive_providers) >= (
-                matrix.providers_of(o.owner_id)
-                - set(o.denied_providers)
-                - set(o.failed_providers)
-            )
-            for o in searcher.outcomes
-        ]
-        recall = float(np.mean(hits))
-    else:
-        recall = 1.0
     return ServiceRun(
         outcomes=searcher.outcomes,
         metrics=metrics,
         queries_served=server.queries_served,
-        recall=recall,
+        recall=compute_recall(searcher.outcomes, network.membership_matrix()),
     )
 
 
@@ -176,12 +193,13 @@ def run_concurrent_searchers(
             )
         )
     metrics = sim.run()
+    matrix = network.membership_matrix()
     runs = [
         ServiceRun(
             outcomes=s.outcomes,
             metrics=metrics,
             queries_served=len(s.outcomes),
-            recall=1.0,
+            recall=compute_recall(s.outcomes, matrix),
         )
         for s in searchers
     ]

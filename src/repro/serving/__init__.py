@@ -1,0 +1,82 @@
+"""The serving runtime: the Fig. 1 system as a real asyncio network service.
+
+Where :mod:`repro.service` deploys the locator service on the discrete-event
+simulator (virtual time, predicted latency), this package hosts a
+constructed :class:`~repro.core.index.PPIIndex` behind real TCP sockets:
+
+* :class:`PPIServer` -- the untrusted locator server (``query`` /
+  ``query-batch`` / ``stats``), owner-sharded via :class:`ShardSpec`;
+* :class:`ProviderEndpoint` -- a provider's AuthSearch endpoint with the
+  existing :class:`~repro.core.authsearch.AccessControl`;
+* :class:`LocatorClient` -- the searcher: pooled connections, timeouts,
+  capped-backoff retries, batching, LRU result cache;
+* :func:`run_load` -- closed-loop load generation with percentile reports;
+* :mod:`repro.serving.protocol` -- the length-prefixed JSON wire format.
+
+``python -m repro serve / provider / loadgen`` (or the ``eppi`` console
+script) exposes the same pieces operationally.
+"""
+
+from repro.serving.client import (
+    ConnectionPool,
+    LocatorClient,
+    LRUCache,
+    RetryPolicy,
+    SearchReport,
+    TransportError,
+)
+from repro.serving.loadgen import LoadReport, run_load, run_load_sync
+from repro.serving.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from repro.serving.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    FrameTooLarge,
+    ProtocolError,
+    RemoteError,
+)
+from repro.serving.provider import ProviderEndpoint
+from repro.serving.server import (
+    IndexShardStore,
+    PPIServer,
+    ServingNode,
+    ShardSpec,
+    WrongShard,
+    shard_of,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ConnectionClosed",
+    "ConnectionPool",
+    "Counter",
+    "FrameTooLarge",
+    "Gauge",
+    "Histogram",
+    "IndexShardStore",
+    "LRUCache",
+    "LoadReport",
+    "LocatorClient",
+    "MetricsRegistry",
+    "PPIServer",
+    "ProtocolError",
+    "ProviderEndpoint",
+    "RemoteError",
+    "RetryPolicy",
+    "SearchReport",
+    "ServingNode",
+    "ShardSpec",
+    "TransportError",
+    "WrongShard",
+    "percentile",
+    "run_load",
+    "run_load_sync",
+    "shard_of",
+]

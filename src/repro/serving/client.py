@@ -1,0 +1,382 @@
+"""The searcher's client library for the serving runtime.
+
+Drives the paper's two-phase search over real TCP:
+
+1. ``QueryPPI``: ask the (sharded) PPI server fleet for the obscured
+   provider list of an owner;
+2. ``AuthSearch``: fan out to every candidate provider concurrently,
+   authenticate, collect records.
+
+Operational machinery the simulator never needed:
+
+* **connection pooling** -- per-address pools of open connections, so a
+  closed-loop worker reuses one socket instead of paying connect() per
+  request;
+* **timeouts + retries** -- every request has a deadline; transport
+  failures are retried with capped exponential backoff and full jitter
+  (:class:`RetryPolicy`), safe because the service side is idempotent;
+* **batching** -- ``query_batch`` groups owners by shard and resolves each
+  shard's batch in one round trip;
+* **result caching** -- a bounded LRU over ``QueryPPI`` results.  The
+  published index is static (paper Sec. III-C: repeated queries return the
+  identical list), which is precisely what makes this cache sound.
+
+A provider that stays unreachable after retries is *recorded* in
+``SearchReport.failed_providers`` rather than failing the search: partial
+availability degrades coverage, not liveness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.model import Record
+from repro.serving.protocol import (
+    VERB_INFO,
+    VERB_PING,
+    VERB_QUERY,
+    VERB_QUERY_BATCH,
+    VERB_SEARCH,
+    VERB_STATS,
+    ProtocolError,
+    RemoteError,
+    raise_for_response,
+    read_frame,
+    request,
+    write_frame,
+)
+from repro.serving.provider import record_from_wire
+from repro.serving.server import shard_of
+
+__all__ = [
+    "Address",
+    "ConnectionPool",
+    "LocatorClient",
+    "LRUCache",
+    "RetryPolicy",
+    "SearchReport",
+    "TransportError",
+]
+
+Address = tuple  # (host, port)
+
+
+class TransportError(Exception):
+    """Request failed at the transport layer after exhausting retries."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with full jitter.
+
+    Attempt ``k`` (0-based) sleeps ``uniform(0, min(max_delay, base_delay *
+    2**k))`` before retrying -- the AWS "full jitter" scheme, which avoids
+    synchronized retry storms across a worker fleet.
+    """
+
+    max_retries: int = 3
+    timeout_s: float = 2.0
+    base_delay_s: float = 0.02
+    max_delay_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0 or self.timeout_s <= 0:
+            raise ValueError("max_retries must be >= 0 and timeout_s > 0")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        cap = min(self.max_delay_s, self.base_delay_s * (2**attempt))
+        return rng.uniform(0.0, cap)
+
+
+class LRUCache:
+    """Bounded least-recently-used map; ``capacity=0`` disables caching."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Any) -> Optional[Any]:
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: Any, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+
+class ConnectionPool:
+    """Per-address pools of open ``(reader, writer)`` stream pairs."""
+
+    def __init__(self, max_idle_per_host: int = 8):
+        self.max_idle_per_host = max_idle_per_host
+        self._idle: dict[Address, list] = {}
+
+    async def acquire(self, addr: Address):
+        idle = self._idle.get(addr)
+        while idle:
+            reader, writer = idle.pop()
+            if not writer.is_closing():
+                return reader, writer
+            writer.close()
+        host, port = addr
+        return await asyncio.open_connection(host, port)
+
+    def release(self, addr: Address, conn) -> None:
+        reader, writer = conn
+        idle = self._idle.setdefault(addr, [])
+        if writer.is_closing() or len(idle) >= self.max_idle_per_host:
+            writer.close()
+            return
+        idle.append(conn)
+
+    def discard(self, conn) -> None:
+        _, writer = conn
+        writer.close()
+
+    async def close(self) -> None:
+        for idle in self._idle.values():
+            for _, writer in idle:
+                writer.close()
+        self._idle.clear()
+
+
+@dataclass
+class SearchReport:
+    """Outcome of one two-phase search over the real network.
+
+    Mirrors :class:`repro.service.nodes.SearchOutcome` so simulator and
+    serving results are comparable side by side.
+    """
+
+    owner_id: int
+    records: list[Record] = field(default_factory=list)
+    positive_providers: list[int] = field(default_factory=list)
+    noise_providers: list[int] = field(default_factory=list)
+    denied_providers: list[int] = field(default_factory=list)
+    failed_providers: list[int] = field(default_factory=list)
+    retries: int = 0
+    latency_s: float = 0.0
+
+    @property
+    def contacted(self) -> int:
+        return (
+            len(self.positive_providers)
+            + len(self.noise_providers)
+            + len(self.denied_providers)
+            + len(self.failed_providers)
+        )
+
+    @property
+    def found(self) -> bool:
+        return bool(self.records)
+
+
+class LocatorClient:
+    """A searcher: pooled, retrying, caching client of the serving fleet.
+
+    ``servers`` lists one address per shard, *in shard order* (owner ``j``
+    is served by ``servers[j % len(servers)]``).  ``providers`` maps
+    provider id to that provider's endpoint address; it may cover only the
+    providers this searcher can reach.
+    """
+
+    def __init__(
+        self,
+        servers: list[Address],
+        providers: Optional[dict[int, Address]] = None,
+        name: str = "searcher",
+        retry: RetryPolicy = RetryPolicy(),
+        cache_size: int = 1024,
+        max_idle_per_host: int = 8,
+        rng_seed: int = 0,
+    ):
+        if not servers:
+            raise ValueError("need at least one server address")
+        self.servers = [tuple(a) for a in servers]
+        self.providers = {int(k): tuple(v) for k, v in (providers or {}).items()}
+        self.name = name
+        self.retry = retry
+        self.cache = LRUCache(cache_size)
+        self.pool = ConnectionPool(max_idle_per_host=max_idle_per_host)
+        self.retries_total = 0
+        self._rng = random.Random(rng_seed)
+        self._request_ids = itertools.count(1)
+
+    # -- transport ------------------------------------------------------------
+
+    async def _request_once(self, addr: Address, message: dict) -> dict:
+        conn = await self.pool.acquire(addr)
+        reader, writer = conn
+        try:
+            await write_frame(writer, message)
+            response = await read_frame(reader)
+        except BaseException:
+            # Includes CancelledError from wait_for timeout: the connection
+            # has an orphaned in-flight request, never reuse it.
+            self.pool.discard(conn)
+            raise
+        if response.get("id") != message["id"]:
+            self.pool.discard(conn)
+            raise ProtocolError(
+                f"response id {response.get('id')!r} != request id {message['id']}"
+            )
+        self.pool.release(addr, conn)
+        return response
+
+    async def call(self, addr: Address, verb: str, **fields: Any) -> dict:
+        """One verb against one endpoint, with timeout + backoff retries.
+
+        Transport-level failures (refused/reset connections, timeouts,
+        garbled frames) are retried; application-level errors
+        (:class:`RemoteError`) are not -- the service answered.
+        """
+        last_exc: Optional[Exception] = None
+        for attempt in range(self.retry.max_retries + 1):
+            if attempt:
+                self.retries_total += 1
+                await asyncio.sleep(self.retry.backoff_s(attempt - 1, self._rng))
+            message = request(verb, next(self._request_ids), **fields)
+            try:
+                response = await asyncio.wait_for(
+                    self._request_once(addr, message), timeout=self.retry.timeout_s
+                )
+                return raise_for_response(response)
+            except (OSError, asyncio.TimeoutError, ProtocolError) as exc:
+                last_exc = exc
+        raise TransportError(
+            f"{verb} to {addr[0]}:{addr[1]} failed after "
+            f"{self.retry.max_retries + 1} attempts: {last_exc}"
+        ) from last_exc
+
+    # -- phase 1: QueryPPI ----------------------------------------------------
+
+    def server_for(self, owner_id: int) -> Address:
+        return self.servers[shard_of(owner_id, len(self.servers))]
+
+    async def query(self, owner_id: int) -> list[int]:
+        """``QueryPPI(t)``: the obscured provider list, through the cache."""
+        cached = self.cache.get(owner_id)
+        if cached is not None:
+            return list(cached)
+        response = await self.call(
+            self.server_for(owner_id), VERB_QUERY, owner=owner_id
+        )
+        providers = [int(p) for p in response["providers"]]
+        self.cache.put(owner_id, providers)
+        return list(providers)
+
+    async def query_batch(self, owner_ids: list[int]) -> dict[int, list[int]]:
+        """Many ``QueryPPI`` calls, one round trip per shard."""
+        results: dict[int, list[int]] = {}
+        by_shard: dict[Address, list[int]] = {}
+        for oid in owner_ids:
+            cached = self.cache.get(oid)
+            if cached is not None:
+                results[oid] = list(cached)
+            else:
+                by_shard.setdefault(self.server_for(oid), []).append(oid)
+
+        async def _one(addr: Address, owners: list[int]) -> dict[int, list[int]]:
+            response = await self.call(addr, VERB_QUERY_BATCH, owners=owners)
+            return {
+                int(oid): [int(p) for p in providers]
+                for oid, providers in response["results"].items()
+            }
+
+        shard_results = await asyncio.gather(
+            *(_one(addr, owners) for addr, owners in by_shard.items())
+        )
+        for chunk in shard_results:
+            for oid, providers in chunk.items():
+                self.cache.put(oid, providers)
+                results[oid] = list(providers)
+        return results
+
+    # -- phase 2: AuthSearch --------------------------------------------------
+
+    async def _auth_search_one(
+        self, report: SearchReport, pid: int
+    ) -> None:
+        addr = self.providers.get(pid)
+        if addr is None:
+            report.failed_providers.append(pid)
+            return
+        before = self.retries_total
+        try:
+            response = await self.call(
+                addr, VERB_SEARCH, searcher=self.name, owner=report.owner_id
+            )
+        except (TransportError, RemoteError):
+            report.retries += self.retries_total - before
+            report.failed_providers.append(pid)
+            return
+        report.retries += self.retries_total - before
+        if response["status"] == "denied":
+            report.denied_providers.append(pid)
+        elif response["records"]:
+            report.positive_providers.append(pid)
+            report.records.extend(record_from_wire(r) for r in response["records"])
+        else:
+            report.noise_providers.append(pid)
+
+    async def search(self, owner_id: int) -> SearchReport:
+        """The full two-phase search: QueryPPI then parallel AuthSearch."""
+        started = time.monotonic()
+        report = SearchReport(owner_id=owner_id)
+        before = self.retries_total
+        try:
+            candidates = await self.query(owner_id)
+        except (TransportError, RemoteError):
+            report.retries = self.retries_total - before
+            report.latency_s = time.monotonic() - started
+            return report
+        report.retries = self.retries_total - before
+        await asyncio.gather(
+            *(self._auth_search_one(report, pid) for pid in candidates)
+        )
+        report.positive_providers.sort()
+        report.noise_providers.sort()
+        report.denied_providers.sort()
+        report.failed_providers.sort()
+        report.latency_s = time.monotonic() - started
+        return report
+
+    # -- operational verbs ----------------------------------------------------
+
+    async def ping(self, addr: Address) -> bool:
+        try:
+            await self.call(addr, VERB_PING)
+            return True
+        except TransportError:
+            return False
+
+    async def stats(self, addr: Address) -> dict:
+        return (await self.call(addr, VERB_STATS))["stats"]
+
+    async def info(self, addr: Address) -> dict:
+        response = await self.call(addr, VERB_INFO)
+        return {k: v for k, v in response.items() if k not in ("id", "ok")}
+
+    async def close(self) -> None:
+        await self.pool.close()

@@ -1,0 +1,162 @@
+"""Closed-loop load generator for the serving runtime.
+
+``n_workers`` concurrent workers each issue their next request only after
+the previous one completed (closed-loop), which is the standard way to
+probe a service's throughput/latency envelope without open-loop overload
+artifacts.  Per-request wall-clock latencies feed a percentile report
+(p50/p95/p99), plus QPS and error rate -- the serving counterpart of the
+simulator's :func:`repro.service.run_concurrent_searchers` prediction, which
+``benchmarks/bench_serving_throughput.py`` compares against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.serving.client import LocatorClient, TransportError
+from repro.serving.metrics import percentile
+from repro.serving.protocol import RemoteError
+
+__all__ = ["LoadReport", "run_load", "run_load_sync"]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate of one load-generation session."""
+
+    mode: str
+    n_workers: int
+    total: int = 0
+    errors: int = 0
+    duration_s: float = 0.0
+    latencies_s: list = field(default_factory=list)
+    #: populated in ``search`` mode: recall-relevant tallies
+    records_found: int = 0
+    providers_contacted: int = 0
+    providers_failed: int = 0
+    #: optional post-run ``stats`` snapshot from the server under test
+    server_stats: Optional[dict] = None
+
+    @property
+    def qps(self) -> float:
+        return self.total / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.total if self.total else 0.0
+
+    def latency_percentiles_ms(self) -> dict[str, float]:
+        ordered = sorted(self.latencies_s)
+        return {
+            f"p{q:g}": percentile(ordered, q) * 1e3 for q in (50.0, 95.0, 99.0)
+        }
+
+    def format(self) -> str:
+        pct = self.latency_percentiles_ms()
+        lines = [
+            f"mode           {self.mode}",
+            f"workers        {self.n_workers}",
+            f"requests       {self.total}",
+            f"errors         {self.errors} ({self.error_rate:.2%})",
+            f"duration       {self.duration_s:.3f} s",
+            f"throughput     {self.qps:.1f} req/s",
+            f"latency p50    {pct['p50']:.2f} ms",
+            f"latency p95    {pct['p95']:.2f} ms",
+            f"latency p99    {pct['p99']:.2f} ms",
+        ]
+        if self.mode == "search":
+            lines += [
+                f"records        {self.records_found}",
+                f"contacted      {self.providers_contacted}",
+                f"failed         {self.providers_failed}",
+            ]
+        return "\n".join(lines)
+
+
+async def run_load(
+    client: LocatorClient,
+    owner_ids: list[int],
+    n_workers: int = 4,
+    requests_per_worker: int = 50,
+    mode: str = "query",
+    think_time_s: float = 0.0,
+) -> LoadReport:
+    """Drive ``n_workers`` closed-loop workers through ``owner_ids``.
+
+    Worker ``w`` issues requests for owners ``owner_ids[(w + k*n_workers) %
+    len(owner_ids)]`` -- a deterministic round-robin so runs are
+    reproducible.  ``mode`` is ``"query"`` (phase 1 only) or ``"search"``
+    (full two-phase; requires the client to know provider addresses).
+    """
+    if mode not in ("query", "search"):
+        raise ValueError(f"mode must be 'query' or 'search', got {mode!r}")
+    if not owner_ids:
+        raise ValueError("need at least one owner id")
+    if n_workers < 1 or requests_per_worker < 1:
+        raise ValueError("n_workers and requests_per_worker must be >= 1")
+
+    report = LoadReport(mode=mode, n_workers=n_workers)
+
+    async def worker(w: int) -> None:
+        for k in range(requests_per_worker):
+            owner = owner_ids[(w + k * n_workers) % len(owner_ids)]
+            started = time.monotonic()
+            try:
+                if mode == "query":
+                    await client.query(owner)
+                else:
+                    result = await client.search(owner)
+                    report.records_found += len(result.records)
+                    report.providers_contacted += result.contacted
+                    report.providers_failed += len(result.failed_providers)
+            except (TransportError, RemoteError):
+                report.errors += 1
+            report.latencies_s.append(time.monotonic() - started)
+            report.total += 1
+            if think_time_s > 0:
+                await asyncio.sleep(think_time_s)
+
+    started = time.monotonic()
+    await asyncio.gather(*(worker(w) for w in range(n_workers)))
+    report.duration_s = time.monotonic() - started
+    return report
+
+
+def run_load_sync(
+    client_factory,
+    owner_ids: list[int],
+    n_workers: int = 4,
+    requests_per_worker: int = 50,
+    mode: str = "query",
+    think_time_s: float = 0.0,
+    report_stats_from: Optional[tuple] = None,
+) -> LoadReport:
+    """Synchronous wrapper: build a client, run the load, tear down.
+
+    ``client_factory`` is a zero-argument callable returning a
+    :class:`LocatorClient` (construction must happen inside the event
+    loop).  If ``report_stats_from`` is an address, the server's ``stats``
+    snapshot is fetched after the run and attached as ``report.server_stats``.
+    """
+
+    async def _main() -> LoadReport:
+        client = client_factory()
+        try:
+            report = await run_load(
+                client,
+                owner_ids,
+                n_workers=n_workers,
+                requests_per_worker=requests_per_worker,
+                mode=mode,
+                think_time_s=think_time_s,
+            )
+            if report_stats_from is not None:
+                report.server_stats = await client.stats(report_stats_from)
+            return report
+        finally:
+            await client.close()
+
+    return asyncio.run(_main())

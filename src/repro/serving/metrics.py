@@ -1,0 +1,152 @@
+"""Serving-side metrics: counters, gauges and latency histograms.
+
+The simulator has its own :class:`repro.net.metrics.NetworkMetrics` (virtual
+time); this module is the real-runtime counterpart.  A
+:class:`MetricsRegistry` is owned by each server/provider process and
+exported over the wire by the ``stats`` verb, so operators (and the load
+generator's consistency checks) can read live counters without scraping
+logs.
+
+Histograms keep a bounded uniform reservoir so percentile queries stay O(k)
+in memory under unbounded traffic; sampling is deterministic (seeded) to
+keep test runs reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "percentile",
+]
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of pre-sorted values."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    rank = max(0, min(len(sorted_values) - 1, round(q / 100.0 * (len(sorted_values) - 1))))
+    return float(sorted_values[rank])
+
+
+class Counter:
+    """Monotonically increasing count (requests served, errors, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+class Gauge:
+    """Instantaneous level (in-flight requests, open connections, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Value distribution with exact count/sum and sampled percentiles.
+
+    Up to ``max_samples`` observations are kept verbatim; past that the
+    reservoir is a uniform sample (Vitter's algorithm R), so percentiles
+    remain unbiased estimates at fixed memory.
+    """
+
+    __slots__ = ("count", "total", "_samples", "_max_samples", "_rng")
+
+    def __init__(self, max_samples: int = 8192, seed: int = 0) -> None:
+        if max_samples < 1:
+            raise ValueError("need at least one sample slot")
+        self.count = 0
+        self.total = 0.0
+        self._samples: list[float] = []
+        self._max_samples = max_samples
+        self._rng = random.Random(seed)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if len(self._samples) < self._max_samples:
+            self._samples.append(float(value))
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._max_samples:
+                self._samples[slot] = float(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantiles(self, qs: tuple[float, ...] = (50.0, 95.0, 99.0)) -> dict[str, float]:
+        ordered = sorted(self._samples)
+        return {f"p{q:g}": percentile(ordered, q) for q in qs}
+
+    def snapshot(self) -> dict[str, float]:
+        out: dict[str, float] = {"count": self.count, "sum": self.total, "mean": self.mean}
+        out.update(self.quantiles())
+        return out
+
+
+class MetricsRegistry:
+    """Named metrics, lazily created, exported as one JSON-able snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str, max_samples: int = 8192) -> Histogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(max_samples=max_samples)
+        return hist
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``stats`` verb payload: plain dicts of plain numbers."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.snapshot() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def get(self, kind: str, name: str) -> Optional[float]:
+        """Convenience for tests: read a metric if it exists."""
+        store = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+        }.get(kind)
+        if store is None or name not in store:
+            return None
+        return float(store[name].value)

@@ -1,0 +1,178 @@
+"""Wire protocol of the serving runtime: framing + message schema.
+
+Every message is one *frame*: a 4-byte big-endian length header followed by
+a UTF-8 JSON object.  The same framing carries both directions; requests and
+responses are matched by an ``id`` the client chooses (monotonically
+increasing per connection), so a pooled connection is reusable across
+requests without ambiguity.
+
+Request::
+
+    {"id": 7, "verb": "query", "owner": 42}
+
+Response (success)::
+
+    {"id": 7, "ok": true, "providers": [3, 9, 17]}
+
+Response (failure)::
+
+    {"id": 7, "ok": false, "code": "wrong-shard", "error": "...", ...}
+
+Verbs
+-----
+
+=================  =======================  =====================================
+verb               served by                semantics
+=================  =======================  =====================================
+``ping``           server + provider        liveness probe, echoes ``{}``
+``stats``          server + provider        metrics registry snapshot
+``info``           server + provider        static facts (shard spec, sizes)
+``query``          :class:`PPIServer`       ``QueryPPI(t)`` -> obscured list
+``query-batch``    :class:`PPIServer`       many ``QueryPPI`` in one round trip
+``search``         :class:`ProviderEndpoint`  ``AuthSearch``: ACL check + records
+=================  =======================  =====================================
+
+The index is static once published (paper Sec. III-C), which is what makes
+client-side result caching and idempotent retries safe: re-asking the same
+``query`` can never return a different list.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Optional
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "VERB_INFO",
+    "VERB_PING",
+    "VERB_QUERY",
+    "VERB_QUERY_BATCH",
+    "VERB_SEARCH",
+    "VERB_STATS",
+    "ConnectionClosed",
+    "FrameTooLarge",
+    "ProtocolError",
+    "RemoteError",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "raise_for_response",
+    "read_frame",
+    "request",
+    "write_frame",
+]
+
+PROTOCOL_VERSION = 1
+
+# Refuse absurd frames before allocating: a full broadcast reply for a
+# million-owner batch is still far below this.
+MAX_FRAME_BYTES = 16 * 2**20
+
+_HEADER = struct.Struct(">I")
+
+VERB_PING = "ping"
+VERB_STATS = "stats"
+VERB_INFO = "info"
+VERB_QUERY = "query"
+VERB_QUERY_BATCH = "query-batch"
+VERB_SEARCH = "search"
+
+
+class ProtocolError(Exception):
+    """Malformed frame or message."""
+
+
+class FrameTooLarge(ProtocolError):
+    """Peer announced a frame above :data:`MAX_FRAME_BYTES`."""
+
+
+class ConnectionClosed(ProtocolError):
+    """Peer closed the connection (clean EOF between frames)."""
+
+
+class RemoteError(Exception):
+    """The peer answered with ``ok: false``.
+
+    ``code`` is a machine-readable discriminator (``"wrong-shard"``,
+    ``"unknown-verb"``, ``"bad-request"``, ``"internal"``); ``detail`` keeps
+    any extra response fields (e.g. the correct shard id).
+    """
+
+    def __init__(self, code: str, message: str, detail: Optional[dict] = None):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.detail = detail or {}
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def encode_frame(obj: dict[str, Any]) -> bytes:
+    """Serialize one message to ``header + body`` bytes."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameTooLarge(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any]:
+    """Read one framed message; raise :class:`ConnectionClosed` on clean EOF."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except (asyncio.IncompleteReadError, ConnectionResetError) as exc:
+        raise ConnectionClosed("peer closed the connection") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameTooLarge(f"peer announced a {length}-byte frame")
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError) as exc:
+        raise ConnectionClosed("connection closed mid-frame") from exc
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return obj
+
+
+async def write_frame(writer: asyncio.StreamWriter, obj: dict[str, Any]) -> None:
+    writer.write(encode_frame(obj))
+    await writer.drain()
+
+
+# -- message constructors ----------------------------------------------------
+
+
+def request(verb: str, request_id: int, **fields: Any) -> dict[str, Any]:
+    return {"id": request_id, "verb": verb, **fields}
+
+
+def ok_response(request_id: Any, **fields: Any) -> dict[str, Any]:
+    return {"id": request_id, "ok": True, **fields}
+
+
+def error_response(
+    request_id: Any, code: str, message: str, **fields: Any
+) -> dict[str, Any]:
+    return {"id": request_id, "ok": False, "code": code, "error": message, **fields}
+
+
+def raise_for_response(response: dict[str, Any]) -> dict[str, Any]:
+    """Return the response if ``ok``, else raise :class:`RemoteError`."""
+    if response.get("ok"):
+        return response
+    detail = {
+        k: v for k, v in response.items() if k not in ("id", "ok", "code", "error")
+    }
+    raise RemoteError(
+        str(response.get("code", "internal")),
+        str(response.get("error", "unknown remote error")),
+        detail,
+    )

@@ -1,0 +1,332 @@
+"""The PPI locator server: an asyncio TCP service hosting a published index.
+
+This is the third-party *PPI server* of paper Fig. 1, lifted off the
+discrete-event simulator and onto real sockets.  The server is untrusted by
+design -- everything it stores (the published matrix ``M'``) is public -- so
+the runtime concerns here are purely operational:
+
+* **concurrency** -- one task per connection, requests multiplexed by id;
+* **backpressure** -- a bounded in-flight semaphore: past ``max_inflight``
+  concurrently processed requests, further frames queue in the kernel
+  socket buffer instead of growing unbounded server state;
+* **sharding** -- an owner-sharded :class:`IndexShardStore`, so a fleet of
+  server processes can each host ``owners where owner_id % n_shards ==
+  shard_id``; a query routed to the wrong shard gets a ``wrong-shard``
+  error naming the right one, which lets clients self-correct;
+* **graceful shutdown** -- stop accepting, drain in-flight requests for a
+  bounded period, then cancel stragglers.
+
+:class:`ServingNode` is the protocol/lifecycle base shared with
+:class:`repro.serving.provider.ProviderEndpoint`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.errors import ModelError
+from repro.core.index import PPIIndex
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.protocol import (
+    VERB_INFO,
+    VERB_PING,
+    VERB_QUERY,
+    VERB_QUERY_BATCH,
+    VERB_STATS,
+    ConnectionClosed,
+    ProtocolError,
+    error_response,
+    ok_response,
+    read_frame,
+    write_frame,
+)
+
+__all__ = [
+    "IndexShardStore",
+    "PPIServer",
+    "ServingNode",
+    "ShardSpec",
+    "WrongShard",
+    "shard_of",
+]
+
+
+def shard_of(owner_id: int, n_shards: int) -> int:
+    """Owner-to-shard routing function shared by servers and clients."""
+    if n_shards < 1:
+        raise ValueError(f"need at least one shard, got {n_shards}")
+    return owner_id % n_shards
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Which slice of the owner space one server process hosts."""
+
+    shard_id: int = 0
+    n_shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1 or not 0 <= self.shard_id < self.n_shards:
+            raise ValueError(
+                f"invalid shard spec {self.shard_id}/{self.n_shards}"
+            )
+
+    def owns(self, owner_id: int) -> bool:
+        return shard_of(owner_id, self.n_shards) == self.shard_id
+
+
+class WrongShard(Exception):
+    """Query for an owner this shard does not host."""
+
+    def __init__(self, owner_id: int, expected_shard: int, spec: ShardSpec):
+        super().__init__(
+            f"owner {owner_id} lives on shard {expected_shard}, "
+            f"this is shard {spec.shard_id}/{spec.n_shards}"
+        )
+        self.owner_id = owner_id
+        self.expected_shard = expected_shard
+
+
+class IndexShardStore:
+    """A published index restricted to one shard of the owner space.
+
+    The full index is immutable, so a shard store simply *refuses* queries
+    for owners outside its slice rather than slicing the matrix: the memory
+    win of physical slicing belongs to a later PR, the routing contract is
+    what matters here.
+    """
+
+    def __init__(self, index: PPIIndex, spec: ShardSpec = ShardSpec()):
+        self.index = index
+        self.spec = spec
+
+    def lookup(self, owner_id: int) -> list[int]:
+        if not self.spec.owns(owner_id):
+            raise WrongShard(owner_id, shard_of(owner_id, self.spec.n_shards), self.spec)
+        return self.index.query(owner_id)
+
+    def lookup_batch(self, owner_ids: list[int]) -> dict[int, list[int]]:
+        return {oid: self.lookup(oid) for oid in owner_ids}
+
+
+class ServingNode:
+    """Lifecycle + framing + base verbs (``ping``/``stats``/``info``) for
+    every process in the serving runtime."""
+
+    #: overridden by subclasses; shows up in ``info`` and error messages
+    role = "node"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 64,
+    ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.host = host
+        self.port = port  # rewritten with the bound port after start()
+        self.metrics = MetricsRegistry()
+        self._max_inflight = max_inflight
+        self._inflight = asyncio.Semaphore(max_inflight)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._started_at = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    async def start(self) -> "ServingNode":
+        if self._server is not None:
+            raise RuntimeError(f"{self.role} already started")
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        return self
+
+    async def stop(self, drain_timeout: float = 1.0) -> None:
+        """Graceful shutdown: close the listener, give in-flight requests
+        ``drain_timeout`` seconds to finish, then cancel what remains."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        tasks = [t for t in self._conn_tasks if not t.done()]
+        if tasks:
+            done, pending = await asyncio.wait(tasks, timeout=drain_timeout)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self._conn_tasks.clear()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    # -- connection handling -------------------------------------------------
+
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.ensure_future(self._handle_connection(reader, writer))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.counter("connections_total").inc()
+        self.metrics.gauge("connections_open").inc()
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except ConnectionClosed:
+                    break
+                except ProtocolError as exc:
+                    # Unparseable bytes: answer once, then drop the
+                    # connection -- framing is lost.
+                    self.metrics.counter("protocol_errors_total").inc()
+                    await write_frame(
+                        writer, error_response(None, "bad-request", str(exc))
+                    )
+                    break
+                response = await self._serve_one(message)
+                await write_frame(writer, response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self.metrics.gauge("connections_open").dec()
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _serve_one(self, message: dict[str, Any]) -> dict[str, Any]:
+        request_id = message.get("id")
+        verb = message.get("verb")
+        self.metrics.counter("requests_total").inc()
+        self.metrics.counter(f"requests_{verb}_total").inc()
+        started = time.monotonic()
+        async with self._inflight:
+            self.metrics.gauge("inflight").inc()
+            try:
+                if not isinstance(verb, str):
+                    return error_response(
+                        request_id, "bad-request", "missing verb"
+                    )
+                if verb == VERB_PING:
+                    return ok_response(request_id)
+                if verb == VERB_STATS:
+                    return ok_response(request_id, stats=self.metrics.snapshot())
+                if verb == VERB_INFO:
+                    return ok_response(request_id, **self.describe())
+                return await self.handle(verb, message, request_id)
+            except WrongShard as exc:
+                self.metrics.counter("wrong_shard_total").inc()
+                return error_response(
+                    request_id, "wrong-shard", str(exc), shard=exc.expected_shard
+                )
+            except (ValueError, ModelError) as exc:
+                # Caller's fault (unknown owner, malformed fields): answer
+                # bad-request, keep the connection alive.
+                self.metrics.counter("errors_total").inc()
+                return error_response(request_id, "bad-request", str(exc))
+            except Exception as exc:  # noqa: BLE001 -- fault barrier per request
+                self.metrics.counter("errors_total").inc()
+                return error_response(request_id, "internal", f"{type(exc).__name__}: {exc}")
+            finally:
+                self.metrics.gauge("inflight").dec()
+                self.metrics.histogram("request_latency_s").observe(
+                    time.monotonic() - started
+                )
+
+    # -- to override ---------------------------------------------------------
+
+    async def handle(
+        self, verb: str, message: dict[str, Any], request_id: Any
+    ) -> dict[str, Any]:
+        return error_response(request_id, "unknown-verb", f"unknown verb {verb!r}")
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "role": self.role,
+            "uptime_s": time.monotonic() - self._started_at if self._started_at else 0.0,
+            "max_inflight": self._max_inflight,
+        }
+
+
+class PPIServer(ServingNode):
+    """The locator service: ``query`` / ``query-batch`` over one index shard."""
+
+    role = "ppi-server"
+
+    def __init__(
+        self,
+        index: PPIIndex,
+        shard: ShardSpec = ShardSpec(),
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 64,
+    ):
+        super().__init__(host=host, port=port, max_inflight=max_inflight)
+        self.store = IndexShardStore(index, shard)
+
+    @property
+    def shard(self) -> ShardSpec:
+        return self.store.spec
+
+    async def handle(
+        self, verb: str, message: dict[str, Any], request_id: Any
+    ) -> dict[str, Any]:
+        if verb == VERB_QUERY:
+            owner_id = _require_int(message, "owner")
+            providers = self.store.lookup(owner_id)
+            self.metrics.counter("queries_served").inc()
+            return ok_response(request_id, owner=owner_id, providers=providers)
+        if verb == VERB_QUERY_BATCH:
+            owners = message.get("owners")
+            if not isinstance(owners, list) or not all(
+                isinstance(o, int) for o in owners
+            ):
+                raise ValueError("'owners' must be a list of owner ids")
+            results = self.store.lookup_batch(owners)
+            self.metrics.counter("queries_served").inc(len(owners))
+            return ok_response(
+                request_id,
+                results={str(oid): providers for oid, providers in results.items()},
+            )
+        return await super().handle(verb, message, request_id)
+
+    def describe(self) -> dict[str, Any]:
+        base = super().describe()
+        base.update(
+            shard_id=self.shard.shard_id,
+            n_shards=self.shard.n_shards,
+            n_providers=self.store.index.n_providers,
+            n_owners=self.store.index.n_owners,
+        )
+        return base
+
+
+def _require_int(message: dict[str, Any], key: str) -> int:
+    value = message.get(key)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{key!r} must be an integer, got {value!r}")
+    return value

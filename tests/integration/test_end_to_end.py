@@ -1,7 +1,6 @@
 """End-to-end integration: Delegate -> ConstructPPI -> QueryPPI -> AuthSearch."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     AccessControl,

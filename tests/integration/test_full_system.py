@@ -17,7 +17,6 @@ from repro.attacks.common_identity import common_identity_attack
 from repro.attacks.primary import primary_attack_confidences
 from repro.core.index import PPIIndex
 from repro.core.policies import ChernoffPolicy
-from repro.core.privacy import PrivacyDegree, classify_degree
 from repro.core.publication import publish_matrix
 from repro.datasets.trec_like import TrecLikeConfig, build_trec_like_network
 from repro.protocol import run_distributed_construction

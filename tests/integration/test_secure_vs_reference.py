@@ -3,7 +3,6 @@ trusted centralized reference (DESIGN.md invariant set)."""
 
 import random
 
-import numpy as np
 import pytest
 
 from repro.core.model import MembershipMatrix

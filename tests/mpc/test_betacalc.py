@@ -2,10 +2,8 @@
 
 import random
 
-import numpy as np
 import pytest
 
-from repro.core.model import MembershipMatrix
 from repro.core.policies import (
     BasicPolicy,
     ChernoffPolicy,

@@ -5,7 +5,6 @@ import pytest
 from repro.core.policies import basic_beta, chernoff_beta
 from repro.mpc.circuits import CircuitBuilder, bits_to_int, evaluate, int_to_bits
 from repro.mpc.circuits.fixedpoint import (
-    FRAC_BITS,
     ONE,
     beta_basic_circuit,
     beta_chernoff_circuit,

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.mpc.shamir import DEFAULT_PRIME, ShamirShare, ShamirSharing
+from repro.mpc.shamir import DEFAULT_PRIME, ShamirSharing
 
 
 @pytest.fixture

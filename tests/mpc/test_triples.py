@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.mpc.triples import BitTriple, SharedBitTriple, TripleDealer
+from repro.mpc.triples import BitTriple, TripleDealer
 
 
 class TestBitTriple:

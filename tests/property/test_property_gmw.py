@@ -5,7 +5,7 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.mpc.circuits import Circuit, CircuitBuilder, GateOp, evaluate
+from repro.mpc.circuits import Circuit, CircuitBuilder, evaluate
 from repro.mpc.gmw import GMWProtocol
 
 

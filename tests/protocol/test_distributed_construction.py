@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core.policies import BasicPolicy, ChernoffPolicy
 from repro.protocol import (

@@ -1,10 +1,16 @@
 """Failure-injection tests: the service under message loss."""
 
-import numpy as np
 import pytest
 
 from repro.core import ChernoffPolicy, construct_epsilon_ppi
 from repro.service import run_locator_service
+from repro.service.nodes import (
+    QUERY_REPLY,
+    SEARCH_REPLY,
+    PPIServerNode,
+    ProviderServiceNode,
+    SearcherNode,
+)
 
 
 @pytest.fixture
@@ -78,6 +84,145 @@ class TestMessageLoss:
         assert len(run.outcomes) == len(ids)
         # Under 70 % loss with one retry, some contacts must have failed.
         assert any(o.failed_providers or o.retransmissions for o in run.outcomes)
+
+
+class _DuplicatingServer(PPIServerNode):
+    """Answers every query twice (models a retransmitted reply)."""
+
+    def on_message(self, message):
+        super().on_message(message)
+        owner_id = message.payload
+        self.send(
+            message.sender,
+            QUERY_REPLY,
+            (owner_id, self.index.query(owner_id)),
+            payload_bits=32,
+        )
+
+
+class _DuplicatingProvider(ProviderServiceNode):
+    """Sends every search reply twice."""
+
+    def on_message(self, message):
+        searcher_name, owner_id = message.payload
+        super().on_message(message)
+        records = self.provider.records.get(owner_id, [])
+        self.send(
+            message.sender,
+            SEARCH_REPLY,
+            ("ok", records),
+            payload_bits=16,
+        )
+
+
+def _deploy(network, index, server_cls, provider_cls, **searcher_kwargs):
+    """Hand-wired deployment so tests can swap in misbehaving actors."""
+    from repro.core.authsearch import AccessControl
+    from repro.net.simulator import Simulator
+
+    sim = Simulator()
+    m = network.n_providers
+    for pid in range(m):
+        sim.add_node(
+            provider_cls(
+                pid, network.providers[pid], AccessControl(trusted={"searcher"})
+            )
+        )
+    sim.add_node(server_cls(m, index))
+    searcher = sim.add_node(
+        SearcherNode(
+            m + 1,
+            "searcher",
+            server_id=m,
+            provider_node_ids={pid: pid for pid in range(m)},
+            queries=[o.owner_id for o in network.owners],
+            **searcher_kwargs,
+        )
+    )
+    sim.run()
+    return searcher
+
+
+class TestSearcherRetryMachinery:
+    """The SearcherNode's timers and dedup under sustained adversity."""
+
+    def test_sustained_loss_exhausts_retries_without_hanging(self, deployed):
+        """Loss heavy enough that some providers exhaust max_retries: the
+        searcher must record them as failed and still finish every query."""
+        network, index = deployed
+        # Repeat the workload so the loss process gets enough draws; 50 %
+        # loss with a single retry reliably strands some provider contacts
+        # while still letting most QueryPPI round trips through.
+        ids = [o.owner_id for o in network.owners] * 5
+        run = run_locator_service(
+            network, index, queries=ids,
+            loss_probability=0.5, loss_seed=0, max_retries=1, timeout_s=0.01,
+        )
+        # Every query terminated (nothing hung)...
+        assert len(run.outcomes) == len(ids)
+        assert all(o.finished_at >= o.started_at for o in run.outcomes)
+        # ...retries really ran out somewhere...
+        assert any(o.failed_providers for o in run.outcomes)
+        # ...and failures are bookkept, never double-counted as successes.
+        for o in run.outcomes:
+            assert not (set(o.failed_providers) & set(o.positive_providers))
+            assert not (set(o.failed_providers) & set(o.noise_providers))
+
+    def test_failed_providers_lower_recall_not_liveness(self, deployed):
+        network, index = deployed
+        ids = [o.owner_id for o in network.owners]
+        run = run_locator_service(
+            network, index, queries=ids,
+            loss_probability=0.9, loss_seed=5, max_retries=0, timeout_s=0.01,
+        )
+        assert len(run.outcomes) == len(ids)
+        assert 0.0 <= run.recall <= 1.0
+
+    def test_duplicate_query_replies_are_idempotent(self, deployed):
+        """A duplicated QueryPPI reply must not restart the fan-out."""
+        network, index = deployed
+        searcher = _deploy(
+            network, index, _DuplicatingServer, ProviderServiceNode
+        )
+        matrix = network.membership_matrix()
+        assert len(searcher.outcomes) == network.n_owners
+        for o in searcher.outcomes:
+            assert sorted(set(o.positive_providers)) == sorted(o.positive_providers)
+            assert set(o.positive_providers) == set(matrix.providers_of(o.owner_id))
+
+    def test_duplicate_search_replies_are_idempotent(self, deployed):
+        """Doubled AuthSearch replies must not double providers or records."""
+        network, index = deployed
+        searcher = _deploy(
+            network, index, PPIServerNode, _DuplicatingProvider
+        )
+        matrix = network.membership_matrix()
+        assert len(searcher.outcomes) == network.n_owners
+        for o in searcher.outcomes:
+            true_set = matrix.providers_of(o.owner_id)
+            assert set(o.positive_providers) == set(true_set)
+            assert len(o.positive_providers) == len(true_set)
+            # Records arrive exactly once per true provider.
+            per_provider = [r.owner_id for r in o.records]
+            assert len(per_provider) == sum(
+                len(network.providers[pid].records[o.owner_id])
+                for pid in true_set
+            )
+
+    def test_stale_serial_timers_are_inert(self, deployed):
+        """Timers armed for query k still fire after query k+1 started; the
+        serial guard must make them no-ops (no spurious retransmissions)."""
+        network, index = deployed
+        ids = [o.owner_id for o in network.owners]
+        # Lossless run with a timeout much longer than per-query latency:
+        # every timer outlives its query and fires stale.
+        run = run_locator_service(
+            network, index, queries=ids, timeout_s=10.0, max_retries=3
+        )
+        assert len(run.outcomes) == len(ids)
+        assert all(o.retransmissions == 0 for o in run.outcomes)
+        assert all(not o.failed_providers for o in run.outcomes)
+        assert run.recall == 1.0
 
 
 class TestTimers:

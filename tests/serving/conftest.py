@@ -1,0 +1,90 @@
+"""Fixtures for the serving-runtime tests.
+
+No pytest-asyncio dependency: tests are synchronous and call
+``asyncio.run`` on an async body, typically through the :func:`cluster`
+context manager which stands up a sharded server fleet plus every
+provider's endpoint in-process and tears them down afterwards.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+import pytest
+
+from repro.core.authsearch import AccessControl
+from repro.core.construction import construct_epsilon_ppi
+from repro.core.model import InformationNetwork
+from repro.core.policies import ChernoffPolicy
+from repro.serving import LocatorClient, PPIServer, ProviderEndpoint, RetryPolicy, ShardSpec
+
+
+def make_network(
+    n_providers: int = 6, n_owners: int = 20, seed: int = 0
+) -> InformationNetwork:
+    rng = np.random.default_rng(seed)
+    net = InformationNetwork(n_providers)
+    for j in range(n_owners):
+        owner = net.register_owner(f"owner-{j}", float(rng.uniform(0.3, 0.9)))
+        for pid in rng.choice(
+            n_providers, size=int(rng.integers(1, 4)), replace=False
+        ):
+            net.delegate(owner, int(pid), payload=f"record-{j}@{pid}")
+    return net
+
+
+@pytest.fixture
+def served_network():
+    """(network, index) pair ready to host."""
+    net = make_network()
+    index = construct_epsilon_ppi(
+        net, ChernoffPolicy(0.9), np.random.default_rng(1)
+    ).index
+    return net, index
+
+
+class Cluster:
+    """A running in-process fleet: sharded servers + provider endpoints."""
+
+    def __init__(self, network, index, servers, providers):
+        self.network = network
+        self.index = index
+        self.servers = servers
+        self.providers = providers
+
+    @property
+    def server_addrs(self):
+        return [s.address for s in self.servers]
+
+    @property
+    def provider_addrs(self):
+        return {pid: ep.address for pid, ep in self.providers.items()}
+
+    def client(self, **kwargs) -> LocatorClient:
+        kwargs.setdefault(
+            "retry", RetryPolicy(max_retries=1, timeout_s=0.5, base_delay_s=0.005)
+        )
+        return LocatorClient(
+            servers=self.server_addrs, providers=self.provider_addrs, **kwargs
+        )
+
+
+@contextlib.asynccontextmanager
+async def cluster(network, index, n_shards: int = 1, acls=None):
+    """Start servers for every shard and an endpoint per provider."""
+    servers = [
+        await PPIServer(index, ShardSpec(i, n_shards)).start()
+        for i in range(n_shards)
+    ]
+    providers = {}
+    for pid in range(network.n_providers):
+        acl = (acls or {}).get(pid, AccessControl(trusted={"searcher"}))
+        providers[pid] = await ProviderEndpoint(
+            network.providers[pid], acl
+        ).start()
+    try:
+        yield Cluster(network, index, servers, providers)
+    finally:
+        for node in servers + list(providers.values()):
+            await node.stop()

@@ -1,0 +1,223 @@
+"""LocatorClient machinery: LRU cache, pooling, retries, timeouts."""
+
+import asyncio
+import random
+import time
+
+import pytest
+
+from repro.serving import PPIServer, TransportError
+from repro.serving.client import LocatorClient, LRUCache, RetryPolicy
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(4)
+        cache.put("k", "v")
+        cache.get("k")
+        cache.get("nope")
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("k", "v")
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_capped_and_jittered(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=0.3)
+        rng = random.Random(0)
+        delays = [policy.backoff_s(attempt, rng) for attempt in range(10)]
+        assert all(0.0 <= d <= 0.3 for d in delays)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0)
+
+
+class TestCaching:
+    def test_repeat_queries_served_from_cache(self, served_network):
+        _, index = served_network
+
+        async def main():
+            server = await PPIServer(index).start()
+            client = LocatorClient(
+                [server.address],
+                retry=RetryPolicy(max_retries=0, timeout_s=0.5),
+                cache_size=64,
+            )
+            try:
+                first = await client.query(0)
+                for _ in range(9):
+                    assert await client.query(0) == first
+                assert server.metrics.counter("queries_served").value == 1
+                assert client.cache.hits == 9
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(main())
+
+    def test_cached_lists_are_isolated_copies(self, served_network):
+        _, index = served_network
+
+        async def main():
+            server = await PPIServer(index).start()
+            client = LocatorClient(
+                [server.address],
+                retry=RetryPolicy(max_retries=0, timeout_s=0.5),
+            )
+            try:
+                first = await client.query(0)
+                first.append(999_999)
+                assert 999_999 not in await client.query(0)
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(main())
+
+
+class _FlakyServer:
+    """Accepts connections but slams the door the first ``failures`` times."""
+
+    def __init__(self, failures: int):
+        self.failures = failures
+        self.connections = 0
+        self.server = None
+
+    async def start(self):
+        self.server = await asyncio.start_server(self._on_conn, "127.0.0.1", 0)
+        return self.server.sockets[0].getsockname()[:2]
+
+    def _on_conn(self, reader, writer):
+        self.connections += 1
+        if self.connections <= self.failures:
+            writer.close()
+            return
+        asyncio.ensure_future(self._answer(reader, writer))
+
+    async def _answer(self, reader, writer):
+        from repro.serving.protocol import ok_response, read_frame, write_frame
+
+        try:
+            while True:
+                message = await read_frame(reader)
+                await write_frame(writer, ok_response(message["id"], pong=True))
+        except Exception:
+            writer.close()
+
+    async def stop(self):
+        self.server.close()
+        await self.server.wait_closed()
+
+
+class TestRetries:
+    def test_transport_failures_retried_until_success(self):
+        async def main():
+            flaky = _FlakyServer(failures=2)
+            addr = await flaky.start()
+            client = LocatorClient(
+                [addr],
+                retry=RetryPolicy(
+                    max_retries=3, timeout_s=0.5, base_delay_s=0.001
+                ),
+            )
+            try:
+                response = await client.call(addr, "ping")
+                assert response["pong"] is True
+                assert client.retries_total == 2
+            finally:
+                await client.close()
+                await flaky.stop()
+
+        run(main())
+
+    def test_exhausted_retries_raise_transport_error(self):
+        async def main():
+            client = LocatorClient(
+                [("127.0.0.1", 1)],  # nothing listens on port 1
+                retry=RetryPolicy(
+                    max_retries=2, timeout_s=0.2, base_delay_s=0.001
+                ),
+            )
+            try:
+                with pytest.raises(TransportError):
+                    await client.call(("127.0.0.1", 1), "ping")
+                assert client.retries_total == 2
+            finally:
+                await client.close()
+
+        run(main())
+
+    def test_unresponsive_server_times_out(self):
+        async def main():
+            # A listener that accepts and then says nothing.
+            silent = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            addr = silent.sockets[0].getsockname()[:2]
+            client = LocatorClient(
+                [addr],
+                retry=RetryPolicy(
+                    max_retries=1, timeout_s=0.1, base_delay_s=0.001
+                ),
+            )
+            try:
+                started = time.monotonic()
+                with pytest.raises(TransportError):
+                    await client.call(addr, "ping")
+                elapsed = time.monotonic() - started
+                # Two attempts at 0.1 s timeout plus bounded backoff.
+                assert elapsed < 2.0
+            finally:
+                await client.close()
+                silent.close()
+                await silent.wait_closed()
+
+        run(main())
+
+
+class TestPooling:
+    def test_connections_reused_across_requests(self, served_network):
+        _, index = served_network
+
+        async def main():
+            server = await PPIServer(index).start()
+            client = LocatorClient(
+                [server.address],
+                retry=RetryPolicy(max_retries=0, timeout_s=0.5),
+                cache_size=0,
+            )
+            try:
+                for owner in range(10):
+                    await client.query(owner % index.n_owners)
+                assert server.metrics.counter("connections_total").value == 1
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(main())

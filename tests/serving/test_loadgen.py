@@ -1,0 +1,167 @@
+"""Closed-loop load generator: reports, consistency with server counters."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serving import LocatorClient, PPIServer, RetryPolicy, run_load, run_load_sync
+
+from .conftest import cluster
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+FAST = RetryPolicy(max_retries=1, timeout_s=0.5, base_delay_s=0.005)
+
+
+class TestRunLoad:
+    def test_query_mode_report(self, served_network):
+        _, index = served_network
+
+        async def main():
+            server = await PPIServer(index).start()
+            client = LocatorClient([server.address], retry=FAST, cache_size=0)
+            try:
+                report = await run_load(
+                    client,
+                    list(range(index.n_owners)),
+                    n_workers=4,
+                    requests_per_worker=20,
+                    mode="query",
+                )
+                assert report.total == 80
+                assert report.errors == 0
+                assert report.qps > 0
+                pct = report.latency_percentiles_ms()
+                assert pct["p50"] <= pct["p95"] <= pct["p99"]
+                # No cache: every request hit the server.
+                stats = await client.stats(server.address)
+                assert stats["counters"]["queries_served"] == 80
+                assert "throughput" in report.format()
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(main())
+
+    def test_cache_cuts_server_load(self, served_network):
+        _, index = served_network
+
+        async def main():
+            server = await PPIServer(index).start()
+            client = LocatorClient(
+                [server.address], retry=FAST, cache_size=1024
+            )
+            try:
+                report = await run_load(
+                    client,
+                    list(range(index.n_owners)),
+                    n_workers=2,
+                    requests_per_worker=50,
+                    mode="query",
+                )
+                assert report.total == 100
+                served = (await client.stats(server.address))["counters"][
+                    "queries_served"
+                ]
+                # At most one miss per distinct owner (plus races), far
+                # below the request count.
+                assert served < report.total
+                assert client.cache.hits > 0
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(main())
+
+    def test_search_mode_tallies(self, served_network):
+        network, index = served_network
+
+        async def main():
+            async with cluster(network, index) as c:
+                client = c.client(cache_size=0)
+                try:
+                    report = await run_load(
+                        client,
+                        list(range(network.n_owners)),
+                        n_workers=3,
+                        requests_per_worker=10,
+                        mode="search",
+                    )
+                    assert report.total == 30
+                    assert report.errors == 0
+                    assert report.records_found > 0
+                    assert report.providers_contacted >= report.records_found
+                    assert report.providers_failed == 0
+                    assert "records" in report.format()
+                finally:
+                    await client.close()
+
+        run(main())
+
+    def test_validation(self, served_network):
+        _, index = served_network
+
+        async def main():
+            server = await PPIServer(index).start()
+            client = LocatorClient([server.address], retry=FAST)
+            try:
+                with pytest.raises(ValueError):
+                    await run_load(client, [], mode="query")
+                with pytest.raises(ValueError):
+                    await run_load(client, [0], mode="teleport")
+                with pytest.raises(ValueError):
+                    await run_load(client, [0], n_workers=0)
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(main())
+
+
+class TestRunLoadSync:
+    def test_against_cluster_in_background_thread(self, served_network):
+        """run_load_sync drives a fleet owned by another event loop, the
+        same shape as hitting out-of-process servers."""
+        network, index = served_network
+        ready = threading.Event()
+        done = threading.Event()
+        state = {}
+
+        def host():
+            async def serve():
+                async with cluster(network, index) as c:
+                    state["servers"] = c.server_addrs
+                    state["providers"] = c.provider_addrs
+                    ready.set()
+                    while not done.is_set():
+                        await asyncio.sleep(0.01)
+
+            asyncio.run(serve())
+
+        thread = threading.Thread(target=host, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=10.0)
+        try:
+            report = run_load_sync(
+                lambda: LocatorClient(
+                    servers=state["servers"],
+                    providers=state["providers"],
+                    retry=FAST,
+                    cache_size=0,
+                ),
+                list(range(network.n_owners)),
+                n_workers=2,
+                requests_per_worker=10,
+                mode="search",
+                report_stats_from=state["servers"][0],
+            )
+            assert report.total == 20
+            assert report.errors == 0
+            assert report.server_stats["counters"]["queries_served"] == 20
+        finally:
+            done.set()
+            thread.join(timeout=10.0)

@@ -1,0 +1,114 @@
+"""Metric primitives: counters, gauges, reservoir histograms, registry."""
+
+import pytest
+
+from repro.serving.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 99.0) == 0.0
+
+    def test_single_value(self):
+        assert percentile([5.0], 50.0) == 5.0
+        assert percentile([5.0], 99.0) == 5.0
+
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 50.0) == 51.0  # nearest-rank on 0..99
+        assert percentile(values, 100.0) == 100.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestCounterGauge:
+    def test_counter_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.inc()
+        g.inc()
+        g.dec()
+        assert g.value == 1.0
+        g.set(7.5)
+        assert g.value == 7.5
+
+
+class TestHistogram:
+    def test_exact_below_reservoir_cap(self):
+        h = Histogram(max_samples=1000)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.total == sum(range(100))
+        q = h.quantiles()
+        assert q["p50"] <= q["p95"] <= q["p99"]
+        assert q["p99"] >= 95.0
+
+    def test_count_and_sum_exact_past_cap(self):
+        h = Histogram(max_samples=16)
+        for v in range(1000):
+            h.observe(1.0)
+        assert h.count == 1000
+        assert h.total == 1000.0
+        assert h.quantiles()["p50"] == 1.0
+
+    def test_reservoir_stays_representative(self):
+        h = Histogram(max_samples=256)
+        for v in range(10_000):
+            h.observe(float(v))
+        # A uniform sample of a uniform ramp: the median estimate must land
+        # well inside the middle half.
+        assert 2500 < h.quantiles()["p50"] < 7500
+
+    def test_snapshot_shape(self):
+        h = Histogram()
+        h.observe(2.0)
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["sum"] == 2.0
+        assert snap["mean"] == 2.0
+        assert set(snap) >= {"p50", "p95", "p99"}
+
+
+class TestRegistry:
+    def test_lazily_created_and_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_is_json_plain(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("requests").inc(3)
+        reg.gauge("inflight").set(2)
+        reg.histogram("latency").observe(0.5)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["counters"]["requests"] == 3
+        assert snap["gauges"]["inflight"] == 2.0
+        assert snap["histograms"]["latency"]["count"] == 1
+
+    def test_get_helper(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        assert reg.get("counter", "x") == 1.0
+        assert reg.get("counter", "missing") is None
+        assert reg.get("nope", "x") is None
