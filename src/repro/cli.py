@@ -16,7 +16,11 @@ Gives the library a usable operational surface:
   (one shard of an owner-sharded fleet);
 * ``provider``  -- run one provider's AuthSearch endpoint over a dataset;
 * ``loadgen``   -- drive a closed-loop load test against a running fleet
-  and print QPS / p50 / p95 / p99 / error-rate.
+  and print QPS / p50 / p95 / p99 / error-rate;
+* ``snapshot``  -- build or inspect a binary index snapshot (the fleet's
+  packed-bits boot format);
+* ``supervisor``-- run a process-per-shard server fleet from a snapshot,
+  with health checks and supervised restarts.
 
 All randomness is seedable for reproducible pipelines.  Installed as the
 ``eppi`` console script (``pip install -e .``), or run as ``python -m repro``.
@@ -264,11 +268,20 @@ def _run_node_forever(node) -> int:
     return 0
 
 
+def _load_index_arg(args: argparse.Namespace) -> PPIIndex:
+    """Load an index from ``--index`` (JSON) or ``--snapshot`` (binary)."""
+    if getattr(args, "snapshot", None):
+        from repro.serving.snapshot import load_snapshot
+
+        return load_snapshot(args.snapshot)
+    with open(args.index) as f:
+        return PPIIndex.from_json(f.read())
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import PPIServer, ShardSpec
 
-    with open(args.index) as f:
-        index = PPIIndex.from_json(f.read())
+    index = _load_index_arg(args)
     server = PPIServer(
         index,
         shard=ShardSpec(args.shard, args.shards),
@@ -303,6 +316,67 @@ def cmd_provider(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
     )
     return _run_node_forever(endpoint)
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.serving.snapshot import inspect_snapshot, save_snapshot
+
+    if args.snapshot_command == "build":
+        with open(args.index) as f:
+            index = PPIIndex.from_json(f.read())
+        info = save_snapshot(index, args.output)
+        print(f"wrote {args.output}")
+    else:
+        info = inspect_snapshot(args.snapshot)
+    for key, value in info.items():
+        if key == "density":
+            print(f"  {key}: {value:.4f}")
+        else:
+            print(f"  {key}: {value}")
+    return 0 if info["checksum_ok"] else 1
+
+
+def cmd_supervisor(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serving.fleet import FleetSupervisor
+
+    ports = None
+    if args.base_port:
+        ports = [args.base_port + i for i in range(args.shards)]
+    supervisor = FleetSupervisor(
+        args.snapshot,
+        n_shards=args.shards,
+        host=args.host,
+        ports=ports,
+        max_inflight=args.max_inflight,
+        health_interval_s=args.health_interval,
+        health_timeout_s=args.health_timeout,
+        max_restarts=args.max_restarts,
+    )
+    try:
+        supervisor.start(monitor=True)
+    except (OSError, TimeoutError) as exc:
+        print(f"supervisor: failed to start fleet: {exc}", file=sys.stderr)
+        supervisor.stop()
+        return 1
+    for shard_id, addr in enumerate(supervisor.addresses):
+        print(f"shard {shard_id}/{args.shards} listening on {addr[0]}:{addr[1]}",
+              flush=True)
+    deadline = None
+    if args.duration is not None:
+        deadline = time.monotonic() + args.duration
+    try:
+        while deadline is None or time.monotonic() < deadline:
+            time.sleep(min(0.2, args.health_interval))
+    except KeyboardInterrupt:
+        print("\nsupervisor: shutting down fleet")
+    finally:
+        supervisor.stop()
+    states = supervisor.metrics.snapshot()["counters"]
+    print(f"supervisor: restarts={states.get('restarts_total', 0)} "
+          f"health_checks={states.get('health_checks_total', 0)}")
+    return 0
 
 
 def cmd_loadgen(args: argparse.Namespace) -> int:
@@ -404,7 +478,9 @@ def _build_parser() -> argparse.ArgumentParser:
     i.set_defaults(func=cmd_inspect)
 
     s = sub.add_parser("serve", help="host a stored index as a TCP locator service")
-    s.add_argument("--index", required=True)
+    src = s.add_mutually_exclusive_group(required=True)
+    src.add_argument("--index", help="JSON index file")
+    src.add_argument("--snapshot", help="binary index snapshot (see `eppi snapshot`)")
     s.add_argument("--host", default="127.0.0.1")
     s.add_argument("--port", type=int, default=7331)
     s.add_argument("--shard", type=int, default=0, help="this process's shard id")
@@ -423,6 +499,37 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="searcher name to trust for all owners (repeatable)")
     p.add_argument("--max-inflight", type=int, default=64)
     p.set_defaults(func=cmd_provider)
+
+    sn = sub.add_parser("snapshot", help="build or inspect a binary index snapshot")
+    sn_sub = sn.add_subparsers(dest="snapshot_command", required=True)
+    snb = sn_sub.add_parser("build", help="pack a JSON index into a snapshot")
+    snb.add_argument("--index", required=True, help="JSON index file")
+    snb.add_argument("--output", required=True, help="snapshot file to write")
+    snb.set_defaults(func=cmd_snapshot)
+    sni = sn_sub.add_parser("inspect", help="summarize + checksum a snapshot")
+    sni.add_argument("--snapshot", required=True)
+    sni.set_defaults(func=cmd_snapshot)
+    sn.set_defaults(func=cmd_snapshot)
+
+    sv = sub.add_parser(
+        "supervisor",
+        help="run a process-per-shard fleet from a snapshot, with restarts",
+    )
+    sv.add_argument("--snapshot", required=True,
+                    help="binary index snapshot every worker boots from")
+    sv.add_argument("--shards", type=int, default=2, help="worker process count")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--base-port", type=int, default=0,
+                    help="shard i listens on base+i (0 picks free ports)")
+    sv.add_argument("--max-inflight", type=int, default=64)
+    sv.add_argument("--health-interval", type=float, default=0.25,
+                    help="seconds between health-check rounds")
+    sv.add_argument("--health-timeout", type=float, default=1.0)
+    sv.add_argument("--max-restarts", type=int, default=8,
+                    help="consecutive failed lives before giving a worker up")
+    sv.add_argument("--duration", type=float, default=None,
+                    help="run for N seconds then exit (default: forever)")
+    sv.set_defaults(func=cmd_supervisor)
 
     lg = sub.add_parser("loadgen", help="closed-loop load test against a fleet")
     lg.add_argument("--server", action="append", type=_parse_address,

@@ -62,6 +62,27 @@ class PPIIndex:
             raise ModelError(f"unknown owner name {name!r}")
         return self.query(self._name_to_id[name])
 
+    def query_many(self, owner_ids) -> list[list[int]]:
+        """Vectorized ``QueryPPI`` over many owners at once.
+
+        One column-gather plus one ``nonzero`` over the sub-matrix replaces
+        the per-owner Python loop, which is what keeps ``query-batch``
+        frames cheap on the serving hot path.
+        """
+        ids = np.asarray(owner_ids, dtype=np.int64)
+        if ids.ndim != 1:
+            raise ModelError("owner_ids must be a flat sequence of ids")
+        if ids.size == 0:
+            return []
+        out_of_range = (ids < 0) | (ids >= self.n_owners)
+        if out_of_range.any():
+            raise ModelError(f"unknown owner id {int(ids[out_of_range][0])}")
+        # nonzero on the owners-major view emits (owner position, provider)
+        # pairs sorted by owner then provider -- one split per owner.
+        owner_pos, providers = np.nonzero(self._published[:, ids].T)
+        splits = np.searchsorted(owner_pos, np.arange(1, ids.size))
+        return [chunk.tolist() for chunk in np.split(providers, splits)]
+
     def result_size(self, owner_id: int) -> int:
         """Search cost of one query: number of providers to contact."""
         self._check_owner(owner_id)
@@ -81,6 +102,10 @@ class PPIIndex:
     @property
     def n_owners(self) -> int:
         return self._published.shape[1]
+
+    @property
+    def owner_names(self) -> list[str] | None:
+        return list(self._owner_names) if self._owner_names is not None else None
 
     def published_frequency(self, owner_id: int) -> float:
         """Apparent frequency of an identity in the public index (the signal
@@ -102,26 +127,36 @@ class PPIIndex:
 
     def to_json(self) -> str:
         """Compact JSON wire format (what the PPI server would persist)."""
+        owner_pos, providers = np.nonzero(self._published.T)
+        splits = np.searchsorted(owner_pos, np.arange(1, self.n_owners))
+        positives = (
+            [chunk.tolist() for chunk in np.split(providers, splits)]
+            if self.n_owners
+            else []
+        )
         payload = {
             "n_providers": self.n_providers,
             "n_owners": self.n_owners,
             "owner_names": self._owner_names,
-            "positives": [
-                [int(p) for p in np.nonzero(self._published[:, j])[0]]
-                for j in range(self.n_owners)
-            ],
+            "positives": positives,
         }
         return json.dumps(payload)
 
     @classmethod
     def from_json(cls, text: str) -> "PPIIndex":
         payload = json.loads(text)
-        published = np.zeros(
-            (payload["n_providers"], payload["n_owners"]), dtype=np.uint8
+        n_providers, n_owners = payload["n_providers"], payload["n_owners"]
+        positives = payload["positives"]
+        lengths = np.fromiter(
+            (len(ps) for ps in positives), dtype=np.int64, count=len(positives)
         )
-        for j, providers in enumerate(payload["positives"]):
-            for p in providers:
-                published[p, j] = 1
+        rows = np.fromiter(
+            (p for ps in positives for p in ps), dtype=np.int64, count=int(lengths.sum())
+        )
+        if rows.size and (rows.min() < 0 or rows.max() >= n_providers):
+            raise ModelError("positive provider id out of range")
+        published = np.zeros((n_providers, n_owners), dtype=np.uint8)
+        published[rows, np.repeat(np.arange(len(positives)), lengths)] = 1
         return cls(published, owner_names=payload.get("owner_names"))
 
     def _check_owner(self, owner_id: int) -> None:

@@ -10,11 +10,16 @@ constructed :class:`~repro.core.index.PPIIndex` behind real TCP sockets:
   existing :class:`~repro.core.authsearch.AccessControl`;
 * :class:`LocatorClient` -- the searcher: pooled connections, timeouts,
   capped-backoff retries, batching, LRU result cache;
-* :func:`run_load` -- closed-loop load generation with percentile reports;
+* :func:`run_load` -- closed-loop load generation with percentile reports
+  (:func:`run_load_multiprocess` fans it out over OS processes);
+* :class:`FleetSupervisor` -- one server process per shard, health-checked
+  and restarted with capped backoff (:mod:`repro.serving.fleet`);
+* :func:`save_snapshot` / :func:`load_snapshot` -- the packed-bits binary
+  index format workers boot from (:mod:`repro.serving.snapshot`);
 * :mod:`repro.serving.protocol` -- the length-prefixed JSON wire format.
 
-``python -m repro serve / provider / loadgen`` (or the ``eppi`` console
-script) exposes the same pieces operationally.
+``python -m repro serve / provider / loadgen / snapshot / supervisor``
+(or the ``eppi`` console script) exposes the same pieces operationally.
 """
 
 from repro.serving.client import (
@@ -25,7 +30,13 @@ from repro.serving.client import (
     SearchReport,
     TransportError,
 )
-from repro.serving.loadgen import LoadReport, run_load, run_load_sync
+from repro.serving.fleet import FleetSupervisor, WorkerSpec, sync_request
+from repro.serving.loadgen import (
+    LoadReport,
+    run_load,
+    run_load_multiprocess,
+    run_load_sync,
+)
 from repro.serving.metrics import (
     Counter,
     Gauge,
@@ -42,6 +53,13 @@ from repro.serving.protocol import (
     RemoteError,
 )
 from repro.serving.provider import ProviderEndpoint
+from repro.serving.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotError,
+    inspect_snapshot,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.serving.server import (
     IndexShardStore,
     PPIServer,
@@ -57,6 +75,7 @@ __all__ = [
     "ConnectionClosed",
     "ConnectionPool",
     "Counter",
+    "FleetSupervisor",
     "FrameTooLarge",
     "Gauge",
     "Histogram",
@@ -70,13 +89,21 @@ __all__ = [
     "ProviderEndpoint",
     "RemoteError",
     "RetryPolicy",
+    "SNAPSHOT_FORMAT_VERSION",
     "SearchReport",
     "ServingNode",
     "ShardSpec",
+    "SnapshotError",
     "TransportError",
+    "WorkerSpec",
     "WrongShard",
+    "inspect_snapshot",
+    "load_snapshot",
     "percentile",
     "run_load",
+    "run_load_multiprocess",
     "run_load_sync",
+    "save_snapshot",
     "shard_of",
+    "sync_request",
 ]

@@ -19,7 +19,11 @@ Operational machinery the simulator never needed:
   shard's batch in one round trip;
 * **result caching** -- a bounded LRU over ``QueryPPI`` results.  The
   published index is static (paper Sec. III-C: repeated queries return the
-  identical list), which is precisely what makes this cache sound.
+  identical list), which is precisely what makes this cache sound;
+* **shard re-routing** -- a ``wrong-shard`` answer (servers list out of
+  shard order, or a re-sharded fleet) triggers a routing-table refresh
+  from the fleet's own ``info`` verbs plus a retry at the shard the error
+  named, so a misrouted client self-corrects instead of failing.
 
 A provider that stays unreachable after retries is *recorded* in
 ``SearchReport.failed_providers`` rather than failing the search: partial
@@ -220,6 +224,8 @@ class LocatorClient:
         self.cache = LRUCache(cache_size)
         self.pool = ConnectionPool(max_idle_per_host=max_idle_per_host)
         self.retries_total = 0
+        self.wrong_shard_reroutes = 0
+        self.routing_refreshes = 0
         self._rng = random.Random(rng_seed)
         self._request_ids = itertools.count(1)
 
@@ -274,14 +280,75 @@ class LocatorClient:
     def server_for(self, owner_id: int) -> Address:
         return self.servers[shard_of(owner_id, len(self.servers))]
 
+    @staticmethod
+    def _wrong_shard_target(exc: RemoteError, n_servers: int) -> Optional[int]:
+        """The shard id named by a ``wrong-shard`` error, if usable."""
+        if exc.code != "wrong-shard":
+            return None
+        shard = exc.detail.get("shard")
+        if isinstance(shard, bool) or not isinstance(shard, int):
+            return None
+        return shard if 0 <= shard < n_servers else None
+
+    async def refresh_routing(self) -> bool:
+        """Rebuild the shard->address table from the servers' own ``info``.
+
+        A ``wrong-shard`` answer means our ``servers`` list is not in shard
+        order (misconfiguration, or a fleet that re-assigned shards).  Each
+        server knows which shard it hosts, so asking every one of them and
+        reordering is a full recovery -- provided the fleet is complete and
+        consistent; otherwise the table is left untouched and the caller
+        falls back to the shard named in the error.
+        """
+        # Snapshot the table: a concurrent refresh may replace self.servers
+        # between the gather and the zip, and pairing fresh infos with a
+        # reordered list would corrupt the table back.
+        servers = list(self.servers)
+        infos = await asyncio.gather(
+            *(self.info(addr) for addr in servers), return_exceptions=True
+        )
+        by_shard: dict[int, Address] = {}
+        n_shards: Optional[int] = None
+        for addr, info in zip(servers, infos):
+            if isinstance(info, BaseException) or not isinstance(info, dict):
+                continue
+            shard_id, n = info.get("shard_id"), info.get("n_shards")
+            if not isinstance(shard_id, int) or not isinstance(n, int):
+                continue
+            n_shards = n if n_shards is None else n_shards
+            if n == n_shards and shard_id not in by_shard:
+                by_shard[shard_id] = addr
+        if n_shards != len(servers) or set(by_shard) != set(range(n_shards or 0)):
+            return False
+        self.servers = [by_shard[i] for i in range(n_shards)]
+        self.routing_refreshes += 1
+        return True
+
+    async def _query_routed(self, verb: str, owner_key: int, **fields: Any) -> dict:
+        """One query verb with ``wrong-shard`` recovery.
+
+        On a ``wrong-shard`` answer, refresh the routing table from the
+        fleet and retry once against the shard the error named -- after a
+        successful refresh ``servers[shard]`` *is* that shard's address, and
+        without one the named index into the existing list is still the
+        server's best hint.
+        """
+        try:
+            return await self.call(self.server_for(owner_key), verb, **fields)
+        except RemoteError as exc:
+            shard = self._wrong_shard_target(exc, len(self.servers))
+            if shard is None:
+                raise
+            self.wrong_shard_reroutes += 1
+            await self.refresh_routing()
+            return await self.call(self.servers[shard], verb, **fields)
+
     async def query(self, owner_id: int) -> list[int]:
         """``QueryPPI(t)``: the obscured provider list, through the cache."""
         cached = self.cache.get(owner_id)
         if cached is not None:
             return list(cached)
-        response = await self.call(
-            self.server_for(owner_id), VERB_QUERY, owner=owner_id
-        )
+        response = await self._query_routed(VERB_QUERY, owner_id, owner=owner_id)
         providers = [int(p) for p in response["providers"]]
         self.cache.put(owner_id, providers)
         return list(providers)
@@ -289,23 +356,26 @@ class LocatorClient:
     async def query_batch(self, owner_ids: list[int]) -> dict[int, list[int]]:
         """Many ``QueryPPI`` calls, one round trip per shard."""
         results: dict[int, list[int]] = {}
-        by_shard: dict[Address, list[int]] = {}
+        by_shard: dict[int, list[int]] = {}
         for oid in owner_ids:
             cached = self.cache.get(oid)
             if cached is not None:
                 results[oid] = list(cached)
             else:
-                by_shard.setdefault(self.server_for(oid), []).append(oid)
+                by_shard.setdefault(shard_of(oid, len(self.servers)), []).append(oid)
 
-        async def _one(addr: Address, owners: list[int]) -> dict[int, list[int]]:
-            response = await self.call(addr, VERB_QUERY_BATCH, owners=owners)
+        async def _one(owners: list[int]) -> dict[int, list[int]]:
+            # Routing key: every owner in the chunk lives on the same shard.
+            response = await self._query_routed(
+                VERB_QUERY_BATCH, owners[0], owners=owners
+            )
             return {
                 int(oid): [int(p) for p in providers]
                 for oid, providers in response["results"].items()
             }
 
         shard_results = await asyncio.gather(
-            *(_one(addr, owners) for addr, owners in by_shard.items())
+            *(_one(owners) for owners in by_shard.values())
         )
         for chunk in shard_results:
             for oid, providers in chunk.items():

@@ -1,0 +1,451 @@
+"""Process-per-shard serving fleet with a supervising parent.
+
+``bench_serving_throughput.py`` showed the single-process runtime flatlines
+at one closed-loop worker: client, server and providers share one
+GIL-bound event loop, so the loop -- not the protocol -- is the throughput
+ceiling.  The paper's index is owner-sharded (``QueryPPI`` is a static
+per-owner lookup, Sec. II-A), which makes shards embarrassingly parallel:
+this module runs one :class:`~repro.serving.server.PPIServer` per shard in
+its **own OS process**, each with its own event loop, so throughput scales
+with cores.
+
+The :class:`FleetSupervisor` is the operational parent:
+
+* **boot** -- every worker loads the index from a binary snapshot
+  (:mod:`repro.serving.snapshot`), not from JSON, so a restart is bounded
+  by one ``unpackbits`` rather than an O(n·m) parse;
+* **stable addresses** -- the supervisor assigns each shard its port once;
+  a restarted worker rebinds the same address, so clients only ever see a
+  transient connection failure (retried) and never a topology change;
+* **health checks** -- each round, every worker answers the existing
+  ``stats`` verb over a short-timeout socket; a dead process or
+  ``unhealthy_after`` consecutive failed checks (a wedged loop) triggers a
+  restart;
+* **supervised restarts** -- capped exponential backoff per worker
+  (``backoff_base_s * 2**k``, capped at ``backoff_max_s``); after
+  ``max_restarts`` consecutive failed lives the worker is marked
+  ``failed`` and left down (its shard answers connection-refused, the rest
+  of the fleet keeps serving);
+* **fleet metrics** -- :meth:`fleet_stats` merges every worker's ``stats``
+  snapshot with the supervisor's own counters (restarts, health checks).
+
+Worker processes are started via a ``forkserver``/``spawn``
+:mod:`multiprocessing` context (never plain ``fork``): restarts happen on
+the monitor thread, and forking a multi-threaded parent is a deadlock
+lottery.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import signal
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.protocol import (
+    MAX_FRAME_BYTES,
+    VERB_PING,
+    VERB_STATS,
+    ProtocolError,
+    raise_for_response,
+)
+from repro.serving.server import PPIServer, ShardSpec
+from repro.serving.snapshot import load_snapshot
+
+__all__ = [
+    "FleetSupervisor",
+    "WorkerSpec",
+    "sync_request",
+]
+
+_FRAME_HEADER = struct.Struct(">I")
+
+
+# -- synchronous protocol client (the supervisor has no event loop) -----------
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        buf += chunk
+    return buf
+
+
+def sync_request(
+    addr: tuple, verb: str, timeout_s: float = 1.0, **fields: Any
+) -> dict[str, Any]:
+    """One framed request/response over a fresh blocking socket.
+
+    The supervisor's health checks (and CLI smoke probes) run outside any
+    event loop; a connect-per-probe keeps the check independent of the
+    worker's connection state -- a worker wedged with poisoned connections
+    but a live listener still fails the probe via its read timeout.
+    """
+    message = {"id": 0, "verb": verb, **fields}
+    with socket.create_connection(tuple(addr), timeout=timeout_s) as sock:
+        sock.settimeout(timeout_s)
+        body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+        sock.sendall(_FRAME_HEADER.pack(len(body)) + body)
+        (length,) = _FRAME_HEADER.unpack(_recv_exact(sock, _FRAME_HEADER.size))
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"peer announced a {length}-byte frame")
+        response = json.loads(_recv_exact(sock, length).decode("utf-8"))
+    if not isinstance(response, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return raise_for_response(response)
+
+
+# -- the worker process -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs to host its shard (picklable)."""
+
+    shard_id: int
+    n_shards: int
+    snapshot_path: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 64
+
+
+def _worker_main(spec: WorkerSpec) -> None:
+    """Entry point of one shard process: load snapshot, serve until SIGTERM."""
+    index = load_snapshot(spec.snapshot_path)
+    server = PPIServer(
+        index,
+        shard=ShardSpec(spec.shard_id, spec.n_shards),
+        host=spec.host,
+        port=spec.port,
+        max_inflight=spec.max_inflight,
+    )
+
+    async def _serve() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        await server.start()
+        await stop.wait()
+        await server.stop()
+
+    asyncio.run(_serve())
+
+
+def _free_port(host: str) -> int:
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+class _WorkerHandle:
+    """Supervisor-side state machine for one shard process.
+
+    States: ``starting`` (spawned, not yet answering), ``healthy``,
+    ``unhealthy`` (missed checks, below the restart threshold),
+    ``waiting-restart`` (dead, backoff timer running), ``failed``
+    (gave up), ``stopped``.
+    """
+
+    def __init__(self, spec: WorkerSpec):
+        self.spec = spec
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.state = "stopped"
+        self.restarts = 0  # lifetime restarts (observability)
+        self.backoff_level = 0  # consecutive lives that never got healthy
+        self.health_failures = 0  # consecutive failed checks this life
+        self.ready_deadline = 0.0
+        self.next_start_at = 0.0
+
+    @property
+    def address(self) -> tuple:
+        return (self.spec.host, self.spec.port)
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+
+class FleetSupervisor:
+    """Run and babysit one :class:`PPIServer` process per shard."""
+
+    def __init__(
+        self,
+        snapshot_path: str,
+        n_shards: int,
+        host: str = "127.0.0.1",
+        ports: Optional[list] = None,
+        max_inflight: int = 64,
+        health_interval_s: float = 0.25,
+        health_timeout_s: float = 1.0,
+        unhealthy_after: int = 3,
+        max_restarts: int = 8,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        start_timeout_s: float = 30.0,
+        mp_start_method: Optional[str] = None,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        if ports is not None and len(ports) != n_shards:
+            raise ValueError(f"{n_shards} shards but {len(ports)} ports")
+        if unhealthy_after < 1 or max_restarts < 0:
+            raise ValueError("unhealthy_after must be >= 1, max_restarts >= 0")
+        self.snapshot_path = snapshot_path
+        self.n_shards = n_shards
+        self.host = host
+        self.health_interval_s = health_interval_s
+        self.health_timeout_s = health_timeout_s
+        self.unhealthy_after = unhealthy_after
+        self.max_restarts = max_restarts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.start_timeout_s = start_timeout_s
+        self.metrics = MetricsRegistry()
+        if mp_start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            mp_start_method = "forkserver" if "forkserver" in available else "spawn"
+        self._ctx = multiprocessing.get_context(mp_start_method)
+        if mp_start_method == "forkserver":
+            # Restart latency is a recovery-time budget: preload the heavy
+            # imports once so a respawned worker is a cheap fork + bind.
+            self._ctx.set_forkserver_preload(["repro.serving.fleet"])
+        self._workers = [
+            _WorkerHandle(
+                WorkerSpec(
+                    shard_id=i,
+                    n_shards=n_shards,
+                    snapshot_path=snapshot_path,
+                    host=host,
+                    port=ports[i] if ports else _free_port(host),
+                    max_inflight=max_inflight,
+                )
+            )
+            for i in range(n_shards)
+        ]
+        self._monitor_thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self._lock = threading.Lock()  # check_once vs. stop/start
+
+    # -- topology -------------------------------------------------------------
+
+    @property
+    def addresses(self) -> list:
+        """One ``(host, port)`` per shard, in shard order -- stable across
+        restarts, directly usable as ``LocatorClient(servers=...)``."""
+        return [w.address for w in self._workers]
+
+    def worker_states(self) -> dict[int, dict[str, Any]]:
+        return {
+            w.spec.shard_id: {
+                "state": w.state,
+                "pid": w.pid,
+                "restarts": w.restarts,
+                "address": list(w.address),
+            }
+            for w in self._workers
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self, monitor: bool = True) -> "FleetSupervisor":
+        """Spawn every worker, wait until all answer ``ping``, then (by
+        default) start the background monitor thread."""
+        now = time.monotonic()
+        with self._lock:
+            for worker in self._workers:
+                self._spawn(worker, now)
+        deadline = time.monotonic() + self.start_timeout_s
+        pending = list(self._workers)
+        while pending:
+            still_pending = []
+            for worker in pending:
+                if self._probe(worker):
+                    worker.state = "healthy"
+                else:
+                    still_pending.append(worker)
+            pending = still_pending
+            if not pending:
+                break
+            if time.monotonic() > deadline:
+                self.stop()
+                shards = [w.spec.shard_id for w in pending]
+                raise TimeoutError(
+                    f"shards {shards} not serving after {self.start_timeout_s}s"
+                )
+            time.sleep(0.02)
+        if monitor:
+            self.start_monitor()
+        return self
+
+    def stop(self, grace_s: float = 3.0) -> None:
+        """Stop the monitor, SIGTERM every worker, escalate to SIGKILL."""
+        self.stop_monitor()
+        with self._lock:
+            for worker in self._workers:
+                if worker.process is not None and worker.process.is_alive():
+                    worker.process.terminate()
+            deadline = time.monotonic() + grace_s
+            for worker in self._workers:
+                if worker.process is None:
+                    continue
+                worker.process.join(max(0.0, deadline - time.monotonic()))
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join(1.0)
+                worker.process = None
+                worker.state = "stopped"
+
+    def __enter__(self) -> "FleetSupervisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- monitoring -----------------------------------------------------------
+
+    def start_monitor(self) -> None:
+        if self._monitor_thread is not None:
+            return
+        self._stop_event.clear()
+        self._monitor_thread = threading.Thread(
+            target=self._monitor_loop, name="fleet-monitor", daemon=True
+        )
+        self._monitor_thread.start()
+
+    def stop_monitor(self) -> None:
+        if self._monitor_thread is None:
+            return
+        self._stop_event.set()
+        self._monitor_thread.join(timeout=10.0)
+        self._monitor_thread = None
+
+    def _monitor_loop(self) -> None:
+        while not self._stop_event.wait(self.health_interval_s):
+            self.check_once()
+
+    def check_once(self, now: Optional[float] = None) -> list:
+        """One supervision round over every worker; returns the events
+        (``(kind, shard_id)`` tuples) it acted on.  Thread-safe; called by
+        the monitor thread or directly (deterministic tests, CLI)."""
+        now = time.monotonic() if now is None else now
+        events: list = []
+        with self._lock:
+            for worker in self._workers:
+                events.extend(self._check_worker(worker, now))
+        return events
+
+    def _check_worker(self, worker: _WorkerHandle, now: float) -> list:
+        if worker.state in ("failed", "stopped"):
+            return []
+        if worker.state == "waiting-restart":
+            if now < worker.next_start_at:
+                return []
+            self._spawn(worker, now)
+            worker.restarts += 1
+            self.metrics.counter("restarts_total").inc()
+            return [("restarted", worker.spec.shard_id)]
+        if not worker.alive:
+            self.metrics.counter("worker_deaths_total").inc()
+            self._kill(worker)  # reap the corpse
+            return [("died", worker.spec.shard_id), *self._schedule_restart(worker, now)]
+        # Process is alive: probe the serving path.
+        self.metrics.counter("health_checks_total").inc()
+        if self._probe(worker):
+            recovered = worker.state != "healthy"
+            worker.state = "healthy"
+            worker.health_failures = 0
+            worker.backoff_level = 0
+            return [("healthy", worker.spec.shard_id)] if recovered else []
+        self.metrics.counter("health_failures_total").inc()
+        if worker.state == "starting":
+            if now <= worker.ready_deadline:
+                return []  # still booting, give it time
+            self._kill(worker)
+            return [
+                ("start-timeout", worker.spec.shard_id),
+                *self._schedule_restart(worker, now),
+            ]
+        worker.health_failures += 1
+        if worker.health_failures < self.unhealthy_after:
+            worker.state = "unhealthy"
+            return [("unhealthy", worker.spec.shard_id)]
+        # Wedged: listener up (or half-dead) but not answering.
+        self._kill(worker)
+        return [("wedged", worker.spec.shard_id), *self._schedule_restart(worker, now)]
+
+    def _probe(self, worker: _WorkerHandle) -> bool:
+        try:
+            sync_request(worker.address, VERB_PING, timeout_s=self.health_timeout_s)
+            return True
+        except Exception:  # noqa: BLE001 -- any probe failure means unhealthy
+            return False
+
+    def _spawn(self, worker: _WorkerHandle, now: float) -> None:
+        worker.process = self._ctx.Process(
+            target=_worker_main, args=(worker.spec,), daemon=True
+        )
+        worker.process.start()
+        worker.state = "starting"
+        worker.health_failures = 0
+        worker.ready_deadline = now + self.start_timeout_s
+
+    def _kill(self, worker: _WorkerHandle) -> None:
+        if worker.process is not None and worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join(1.0)
+        worker.process = None
+
+    def _schedule_restart(self, worker: _WorkerHandle, now: float) -> list:
+        worker.backoff_level += 1
+        if worker.backoff_level > self.max_restarts:
+            worker.state = "failed"
+            self.metrics.counter("workers_given_up").inc()
+            return [("gave-up", worker.spec.shard_id)]
+        delay = min(
+            self.backoff_max_s, self.backoff_base_s * 2 ** (worker.backoff_level - 1)
+        )
+        worker.next_start_at = now + delay
+        worker.state = "waiting-restart"
+        return []
+
+    # -- metrics --------------------------------------------------------------
+
+    def fleet_stats(self) -> dict[str, Any]:
+        """Fleet-wide view: supervisor counters, per-worker state + live
+        ``stats`` snapshot, and counters summed across reachable workers."""
+        workers: dict[int, dict[str, Any]] = self.worker_states()
+        aggregate: dict[str, float] = {}
+        for worker in self._workers:
+            try:
+                snapshot = sync_request(
+                    worker.address, VERB_STATS, timeout_s=self.health_timeout_s
+                )["stats"]
+            except Exception:  # noqa: BLE001 -- stats are best-effort
+                workers[worker.spec.shard_id]["stats"] = None
+                continue
+            workers[worker.spec.shard_id]["stats"] = snapshot
+            for name, value in snapshot.get("counters", {}).items():
+                aggregate[name] = aggregate.get(name, 0) + value
+        return {
+            "n_shards": self.n_shards,
+            "supervisor": self.metrics.snapshot(),
+            "workers": workers,
+            "aggregate_counters": aggregate,
+        }

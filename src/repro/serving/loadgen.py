@@ -12,15 +12,16 @@ simulator's :func:`repro.service.run_concurrent_searchers` prediction, which
 from __future__ import annotations
 
 import asyncio
+import multiprocessing
 import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.serving.client import LocatorClient, TransportError
+from repro.serving.client import LocatorClient, RetryPolicy, TransportError
 from repro.serving.metrics import percentile
 from repro.serving.protocol import RemoteError
 
-__all__ = ["LoadReport", "run_load", "run_load_sync"]
+__all__ = ["LoadReport", "run_load", "run_load_multiprocess", "run_load_sync"]
 
 
 @dataclass
@@ -160,3 +161,127 @@ def run_load_sync(
             await client.close()
 
     return asyncio.run(_main())
+
+
+def _load_proc_main(payload: dict, barrier, queue) -> None:
+    """One load-generator process: own event loop, own client, own sockets.
+
+    Top-level so it pickles under ``spawn``/``forkserver`` contexts.  The
+    barrier synchronizes the fleet of generators *after* interpreter/module
+    start-up, so the parent's wall clock measures serving throughput, not
+    process boot.
+    """
+    barrier.wait(timeout=60.0)
+
+    async def _main() -> dict:
+        client = LocatorClient(
+            servers=[tuple(a) for a in payload["servers"]],
+            providers={int(k): tuple(v) for k, v in payload["providers"].items()},
+            name=payload["name"],
+            retry=payload["retry"],
+            cache_size=payload["cache_size"],
+            rng_seed=payload["seed"],
+        )
+        try:
+            report = await run_load(
+                client,
+                payload["owner_ids"],
+                n_workers=payload["n_workers"],
+                requests_per_worker=payload["requests_per_worker"],
+                mode=payload["mode"],
+                think_time_s=payload["think_time_s"],
+            )
+        finally:
+            await client.close()
+        return {
+            "total": report.total,
+            "errors": report.errors,
+            "latencies_s": report.latencies_s,
+            "records_found": report.records_found,
+            "providers_contacted": report.providers_contacted,
+            "providers_failed": report.providers_failed,
+        }
+
+    queue.put(asyncio.run(_main()))
+
+
+def run_load_multiprocess(
+    servers: list,
+    owner_ids: list[int],
+    n_procs: int = 2,
+    n_workers: int = 4,
+    requests_per_worker: int = 50,
+    mode: str = "query",
+    providers: Optional[dict] = None,
+    retry: RetryPolicy = RetryPolicy(),
+    cache_size: int = 0,
+    think_time_s: float = 0.0,
+    mp_start_method: Optional[str] = None,
+    join_timeout_s: float = 300.0,
+) -> LoadReport:
+    """Closed-loop load from ``n_procs`` OS processes (own loops, own GILs).
+
+    A single load-generating event loop saturates one core and therefore
+    *under-reports* a multi-process server fleet -- the client becomes the
+    bottleneck.  This driver spawns ``n_procs`` generator processes (each
+    running :func:`run_load` with ``n_workers`` closed-loop workers) and
+    merges their reports; ``duration_s`` is the parent's wall clock over
+    the whole fan-out, so ``qps`` is honest fleet throughput.  Process
+    ``p`` draws owners ``owner_ids[p::n_procs]``, keeping runs
+    deterministic and the shard mix balanced.
+    """
+    if n_procs < 1:
+        raise ValueError("n_procs must be >= 1")
+    if mp_start_method is None:
+        available = multiprocessing.get_all_start_methods()
+        mp_start_method = "forkserver" if "forkserver" in available else "spawn"
+    ctx = multiprocessing.get_context(mp_start_method)
+    if mp_start_method == "forkserver":
+        # Pay the heavy imports once in the fork server, not per generator.
+        ctx.set_forkserver_preload(["repro.serving.loadgen"])
+    queue = ctx.Queue()
+    barrier = ctx.Barrier(n_procs + 1)
+    procs = []
+    for p in range(n_procs):
+        slice_ids = owner_ids[p::n_procs] or owner_ids
+        payload = {
+            "servers": [tuple(a) for a in servers],
+            "providers": dict(providers or {}),
+            "name": f"loadgen-{p}",
+            "retry": retry,
+            "cache_size": cache_size,
+            "seed": p,
+            "owner_ids": slice_ids,
+            "n_workers": n_workers,
+            "requests_per_worker": requests_per_worker,
+            "mode": mode,
+            "think_time_s": think_time_s,
+        }
+        proc = ctx.Process(
+            target=_load_proc_main, args=(payload, barrier, queue), daemon=True
+        )
+        procs.append(proc)
+
+    report = LoadReport(mode=mode, n_workers=n_procs * n_workers)
+    for proc in procs:
+        proc.start()
+    results = []
+    try:
+        barrier.wait(timeout=60.0)  # every generator is up; start the clock
+        started = time.monotonic()
+        for _ in procs:
+            results.append(queue.get(timeout=join_timeout_s))
+        report.duration_s = time.monotonic() - started
+    finally:
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.kill()
+    for result in results:
+        report.total += result["total"]
+        report.errors += result["errors"]
+        report.latencies_s.extend(result["latencies_s"])
+        report.records_found += result["records_found"]
+        report.providers_contacted += result["providers_contacted"]
+        report.providers_failed += result["providers_failed"]
+    return report

@@ -28,6 +28,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Optional
 
+import numpy as np
+
 from repro.core.errors import ModelError
 from repro.core.index import PPIIndex
 from repro.serving.metrics import MetricsRegistry
@@ -110,7 +112,14 @@ class IndexShardStore:
         return self.index.query(owner_id)
 
     def lookup_batch(self, owner_ids: list[int]) -> dict[int, list[int]]:
-        return {oid: self.lookup(oid) for oid in owner_ids}
+        if not owner_ids:
+            return {}
+        ids = np.asarray(owner_ids, dtype=np.int64)
+        wrong = np.nonzero(ids % self.spec.n_shards != self.spec.shard_id)[0]
+        if wrong.size:
+            oid = int(ids[wrong[0]])
+            raise WrongShard(oid, shard_of(oid, self.spec.n_shards), self.spec)
+        return dict(zip(owner_ids, self.index.query_many(ids)))
 
 
 class ServingNode:

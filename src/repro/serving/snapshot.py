@@ -1,0 +1,152 @@
+"""Binary index snapshots: the fleet's boot format for a published index.
+
+A worker process restarted by the supervisor must get back to serving as
+fast as possible, so it loads the index from a compact binary *snapshot*
+instead of re-running construction or parsing the O(n·m) JSON adjacency
+lists of :meth:`~repro.core.index.PPIIndex.from_json`.  The snapshot is a
+NumPy ``npz`` archive holding the published matrix ``M'`` bit-packed (one
+bit per cell, C-order via :func:`numpy.packbits`) plus the owner-name
+table -- a 200 providers x 1M owners index is ~25 MB on disk and loads in
+one ``unpackbits`` call.
+
+Archive layout (format version 1)::
+
+    meta        uint64[4]  = [format_version, n_providers, n_owners,
+                              crc32(packed bytes)]
+    packed      uint8[ceil(n_providers * n_owners / 8)]
+                           = packbits(M', C-order, big-endian within a byte)
+    owner_names unicode[n_owners]   (key absent when the index is unnamed)
+
+The matrix is public by design (the PPI server is untrusted), so the
+checksum guards against corruption, not tampering.  ``allow_pickle`` is
+never enabled: a snapshot is pure arrays and loading one from an untrusted
+operator cannot execute code.
+
+The format is pinned by a golden file under ``tests/serving/data/`` -- any
+byte-layout change must bump :data:`SNAPSHOT_FORMAT_VERSION` and keep the
+old reader or fail loudly, never drift silently.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from typing import Any
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.index import PPIIndex
+
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotError",
+    "inspect_snapshot",
+    "load_snapshot",
+    "save_snapshot",
+]
+
+SNAPSHOT_FORMAT_VERSION = 1
+
+_META_FIELDS = ("format_version", "n_providers", "n_owners", "checksum")
+
+
+class SnapshotError(ModelError):
+    """The file is not a readable snapshot of a supported version."""
+
+
+def save_snapshot(index: PPIIndex, path: str) -> dict[str, Any]:
+    """Write ``index`` to ``path`` in snapshot format; return its summary.
+
+    The write goes through a same-directory temp file + :func:`os.replace`
+    so a crashed writer can never leave a torn snapshot where a restarting
+    worker will find it.
+    """
+    matrix = np.asarray(index.matrix, dtype=np.uint8)
+    packed = np.packbits(matrix)
+    meta = np.array(
+        [
+            SNAPSHOT_FORMAT_VERSION,
+            index.n_providers,
+            index.n_owners,
+            zlib.crc32(packed.tobytes()),
+        ],
+        dtype=np.uint64,
+    )
+    arrays: dict[str, np.ndarray] = {"meta": meta, "packed": packed}
+    names = index.owner_names
+    if names is not None:
+        arrays["owner_names"] = np.array(names, dtype=np.str_)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "wb") as f:
+            np.savez(f, **arrays)
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+    return inspect_snapshot(path)
+
+
+def _read_archive(path: str) -> tuple[dict[str, int], "np.lib.npyio.NpzFile"]:
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise SnapshotError(f"cannot read snapshot {path!r}: {exc}") from exc
+    if "meta" not in archive or "packed" not in archive:
+        archive.close()
+        raise SnapshotError(f"{path!r} is not an index snapshot (missing keys)")
+    raw_meta = archive["meta"]
+    if raw_meta.shape != (len(_META_FIELDS),):
+        archive.close()
+        raise SnapshotError(f"{path!r} has a malformed meta block")
+    meta = {k: int(v) for k, v in zip(_META_FIELDS, raw_meta)}
+    if meta["format_version"] != SNAPSHOT_FORMAT_VERSION:
+        version = meta["format_version"]
+        archive.close()
+        raise SnapshotError(
+            f"snapshot format version {version} unsupported "
+            f"(this reader speaks version {SNAPSHOT_FORMAT_VERSION})"
+        )
+    return meta, archive
+
+
+def load_snapshot(path: str) -> PPIIndex:
+    """Load a snapshot back into a queryable :class:`PPIIndex`."""
+    meta, archive = _read_archive(path)
+    with archive:
+        packed = archive["packed"]
+        if zlib.crc32(packed.tobytes()) != meta["checksum"]:
+            raise SnapshotError(f"snapshot {path!r} failed its checksum")
+        n_cells = meta["n_providers"] * meta["n_owners"]
+        if packed.size * 8 < n_cells:
+            raise SnapshotError(f"snapshot {path!r} is truncated")
+        matrix = (
+            np.unpackbits(packed, count=n_cells)
+            .reshape(meta["n_providers"], meta["n_owners"])
+        )
+        owner_names = None
+        if "owner_names" in archive:
+            owner_names = [str(name) for name in archive["owner_names"]]
+    return PPIIndex(matrix, owner_names=owner_names)
+
+
+def inspect_snapshot(path: str) -> dict[str, Any]:
+    """Summarize a snapshot without materializing the unpacked matrix."""
+    meta, archive = _read_archive(path)
+    with archive:
+        packed = archive["packed"]
+        checksum_ok = zlib.crc32(packed.tobytes()) == meta["checksum"]
+        positives = int(np.unpackbits(packed).sum()) if checksum_ok else 0
+        has_names = "owner_names" in archive
+    n_cells = meta["n_providers"] * meta["n_owners"]
+    return {
+        "format_version": meta["format_version"],
+        "n_providers": meta["n_providers"],
+        "n_owners": meta["n_owners"],
+        "published_positives": positives,
+        "density": positives / n_cells if n_cells else 0.0,
+        "has_owner_names": has_names,
+        "checksum_ok": checksum_ok,
+        "file_bytes": os.path.getsize(path),
+    }

@@ -1,4 +1,4 @@
-"""LocatorClient machinery: LRU cache, pooling, retries, timeouts."""
+"""LocatorClient machinery: LRU cache, pooling, retries, timeouts, routing."""
 
 import asyncio
 import random
@@ -6,8 +6,8 @@ import time
 
 import pytest
 
-from repro.serving import PPIServer, TransportError
-from repro.serving.client import LocatorClient, LRUCache, RetryPolicy
+from repro.serving import PPIServer, ShardSpec, TransportError
+from repro.serving.client import ConnectionPool, LocatorClient, LRUCache, RetryPolicy
 
 
 def run(coro):
@@ -42,6 +42,40 @@ class TestLRUCache:
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
             LRUCache(-1)
+
+    def test_capacity_one_holds_exactly_the_last_key(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        cache.put("b", 2)  # evicts a immediately
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert len(cache) == 1
+        # Re-putting the resident key must not evict it.
+        cache.put("b", 3)
+        assert cache.get("b") == 3
+
+    def test_eviction_follows_recency_not_insertion(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.put(key, key)
+        # Touch in reverse insertion order: recency is now c < b < a... no:
+        # get() refreshes, so after touching a, b the LRU victim is c.
+        cache.get("a")
+        cache.get("b")
+        cache.put("d", "d")
+        assert cache.get("c") is None
+        assert all(cache.get(k) is not None for k in "abd")
+
+    def test_overwrite_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # overwrite must refresh a, making b the victim
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 10
+        assert cache.get("c") == 3
 
 
 class TestRetryPolicy:
@@ -197,6 +231,192 @@ class TestRetries:
                 await client.close()
                 silent.close()
                 await silent.wait_closed()
+
+        run(main())
+
+
+class TestConnectionPoolInternals:
+    def test_released_connection_is_reused(self, served_network):
+        _, index = served_network
+
+        async def main():
+            server = await PPIServer(index).start()
+            pool = ConnectionPool()
+            try:
+                conn = await pool.acquire(server.address)
+                pool.release(server.address, conn)
+                reused = await pool.acquire(server.address)
+                assert reused[0] is conn[0] and reused[1] is conn[1]
+            finally:
+                pool.discard(conn)
+                await pool.close()
+                await server.stop()
+
+        run(main())
+
+    def test_closed_idle_connection_never_handed_back(self, served_network):
+        _, index = served_network
+
+        async def main():
+            server = await PPIServer(index).start()
+            pool = ConnectionPool()
+            try:
+                conn = await pool.acquire(server.address)
+                pool.release(server.address, conn)
+                conn[1].close()  # dies while idle (server restart, LB reap...)
+                fresh = await pool.acquire(server.address)
+                assert fresh is not conn
+                assert not fresh[1].is_closing()
+                pool.discard(fresh)
+            finally:
+                await pool.close()
+                await server.stop()
+
+        run(main())
+
+    def test_discarded_connection_leaves_the_pool(self, served_network):
+        _, index = served_network
+
+        async def main():
+            server = await PPIServer(index).start()
+            pool = ConnectionPool()
+            try:
+                conn = await pool.acquire(server.address)
+                pool.discard(conn)
+                assert conn[1].is_closing()
+                fresh = await pool.acquire(server.address)
+                assert fresh is not conn
+                pool.discard(fresh)
+            finally:
+                await pool.close()
+                await server.stop()
+
+        run(main())
+
+    def test_idle_cap_closes_overflow_connections(self, served_network):
+        _, index = served_network
+
+        async def main():
+            server = await PPIServer(index).start()
+            pool = ConnectionPool(max_idle_per_host=1)
+            try:
+                first = await pool.acquire(server.address)
+                second = await pool.acquire(server.address)
+                pool.release(server.address, first)
+                pool.release(server.address, second)  # over the cap: closed
+                assert not first[1].is_closing()
+                assert second[1].is_closing()
+            finally:
+                await pool.close()
+                await server.stop()
+
+        run(main())
+
+    def test_connection_discarded_after_transport_error(self, served_network):
+        """A timed-out request orphans its in-flight response; the client
+        must dial fresh instead of reusing the poisoned connection."""
+        _, index = served_network
+
+        async def main():
+            # A listener that accepts and never answers: the first call
+            # times out, poisoning its connection.
+            silent = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            addr = silent.sockets[0].getsockname()[:2]
+            client = LocatorClient(
+                [addr],
+                retry=RetryPolicy(max_retries=1, timeout_s=0.1, base_delay_s=0.001),
+            )
+            try:
+                with pytest.raises(TransportError):
+                    await client.call(addr, "ping")
+                # Both attempts' connections were discarded, not pooled.
+                assert client.pool._idle.get(tuple(addr), []) == []
+            finally:
+                await client.close()
+                silent.close()
+                await silent.wait_closed()
+
+        run(main())
+
+
+class TestWrongShardRecovery:
+    def test_query_reroutes_to_shard_named_in_error(self, served_network):
+        _, index = served_network
+
+        async def main():
+            shard0 = await PPIServer(index, ShardSpec(0, 2)).start()
+            shard1 = await PPIServer(index, ShardSpec(1, 2)).start()
+            # Misconfigured: servers list NOT in shard order.
+            client = LocatorClient(
+                [shard1.address, shard0.address],
+                retry=RetryPolicy(max_retries=0, timeout_s=1.0),
+            )
+            try:
+                # Owner 0 lives on shard 0; the client asks shard 1 first,
+                # gets wrong-shard, refreshes its table, and recovers.
+                assert await client.query(0) == index.query(0)
+                assert client.wrong_shard_reroutes == 1
+                assert client.routing_refreshes == 1
+                assert shard1.metrics.counter("wrong_shard_total").value == 1
+                # The table is fixed: shard order now matches server order.
+                assert client.servers == [shard0.address, shard1.address]
+                # Subsequent queries for either shard route directly.
+                assert await client.query(2) == index.query(2)
+                assert await client.query(3) == index.query(3)
+                assert client.wrong_shard_reroutes == 1
+                assert shard0.metrics.counter("wrong_shard_total").value == 0
+            finally:
+                await client.close()
+                await shard0.stop()
+                await shard1.stop()
+
+        run(main())
+
+    def test_query_batch_reroutes(self, served_network):
+        _, index = served_network
+
+        async def main():
+            shard0 = await PPIServer(index, ShardSpec(0, 2)).start()
+            shard1 = await PPIServer(index, ShardSpec(1, 2)).start()
+            client = LocatorClient(
+                [shard1.address, shard0.address],
+                retry=RetryPolicy(max_retries=0, timeout_s=1.0),
+            )
+            try:
+                owners = list(range(8))
+                results = await client.query_batch(owners)
+                assert results == {o: index.query(o) for o in owners}
+                # Each shard chunk was misrouted at most once (a chunk that
+                # dispatched after the other's refresh routes correctly).
+                assert 1 <= client.wrong_shard_reroutes <= 2
+                assert client.servers == [shard0.address, shard1.address]
+            finally:
+                await client.close()
+                await shard0.stop()
+                await shard1.stop()
+
+        run(main())
+
+    def test_unfixable_misrouting_surfaces_the_error(self, served_network):
+        """A fleet the client cannot see completely (one address for a
+        two-shard fleet) re-raises wrong-shard instead of looping."""
+        from repro.serving.protocol import RemoteError
+
+        _, index = served_network
+
+        async def main():
+            shard1 = await PPIServer(index, ShardSpec(1, 2)).start()
+            client = LocatorClient(
+                [shard1.address],
+                retry=RetryPolicy(max_retries=0, timeout_s=1.0),
+            )
+            try:
+                with pytest.raises(RemoteError) as excinfo:
+                    await client.query(0)  # owner 0 -> shard 0, unreachable
+                assert excinfo.value.code == "wrong-shard"
+            finally:
+                await client.close()
+                await shard1.stop()
 
         run(main())
 

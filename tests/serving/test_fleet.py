@@ -1,0 +1,274 @@
+"""Fleet supervision tests against real worker processes.
+
+These tests spawn actual OS processes (forkserver/spawn context) serving
+real TCP sockets, so they are integration tests by construction.  Timings
+are tuned tight (50 ms health interval, 20-50 ms backoff base) and every
+wait is deadline-bounded -- nothing here sleeps "long enough", it polls
+until the asserted state or a generous deadline.
+
+The headline test is the fault injection: SIGKILL a worker while a
+closed-loop load generator is hammering the fleet, and require that the
+supervisor restarts it within its backoff budget and that *every* query
+eventually succeeds -- retries allowed, lost owners not.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.index import PPIIndex
+from repro.serving.client import LocatorClient, RetryPolicy
+from repro.serving.fleet import FleetSupervisor, sync_request
+from repro.serving.loadgen import run_load_sync
+from repro.serving.protocol import VERB_QUERY, VERB_STATS, RemoteError
+from repro.serving.snapshot import save_snapshot
+
+N_PROVIDERS = 8
+N_OWNERS = 24
+
+
+def fleet_index() -> PPIIndex:
+    i, j = np.meshgrid(np.arange(N_PROVIDERS), np.arange(N_OWNERS), indexing="ij")
+    return PPIIndex(((i + j) % 3 == 0).astype(np.uint8))
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("fleet") / "index.npz")
+    save_snapshot(fleet_index(), path)
+    return path
+
+
+def make_supervisor(snapshot_path: str, n_shards: int = 2, **overrides):
+    settings = dict(
+        health_interval_s=0.05,
+        health_timeout_s=0.5,
+        unhealthy_after=3,
+        max_restarts=4,
+        backoff_base_s=0.05,
+        backoff_max_s=0.5,
+        start_timeout_s=30.0,
+    )
+    settings.update(overrides)
+    return FleetSupervisor(snapshot_path, n_shards, **settings)
+
+
+def wait_until(predicate, deadline_s: float, what: str):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out after {deadline_s}s waiting for {what}")
+
+
+class TestLifecycle:
+    def test_every_shard_serves_its_owners(self, snapshot_path):
+        index = fleet_index()
+        with make_supervisor(snapshot_path, n_shards=2) as fleet:
+            fleet.start(monitor=False)
+            addresses = fleet.addresses
+            assert len(addresses) == 2
+            for owner_id in range(N_OWNERS):
+                response = sync_request(
+                    addresses[owner_id % 2], VERB_QUERY, owner=owner_id
+                )
+                assert response["providers"] == index.query(owner_id)
+            states = fleet.worker_states()
+            assert all(w["state"] == "healthy" for w in states.values())
+            assert all(w["restarts"] == 0 for w in states.values())
+
+    def test_misrouted_query_names_the_right_shard(self, snapshot_path):
+        with make_supervisor(snapshot_path, n_shards=2) as fleet:
+            fleet.start(monitor=False)
+            with pytest.raises(RemoteError) as excinfo:
+                sync_request(fleet.addresses[0], VERB_QUERY, owner=1)
+            assert excinfo.value.code == "wrong-shard"
+            assert excinfo.value.detail["shard"] == 1
+
+    def test_stop_tears_down_every_process(self, snapshot_path):
+        fleet = make_supervisor(snapshot_path, n_shards=2)
+        fleet.start(monitor=False)
+        pids = [w["pid"] for w in fleet.worker_states().values()]
+        fleet.stop()
+        assert all(w["state"] == "stopped" for w in fleet.worker_states().values())
+        for pid in pids:
+            # A reaped child is gone; os.kill(pid, 0) must not find it.
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+        for addr in fleet.addresses:
+            with pytest.raises(OSError):
+                sync_request(addr, VERB_QUERY, timeout_s=0.3, owner=0)
+
+
+class TestFaultInjection:
+    def test_sigkill_mid_load_loses_no_queries(self, snapshot_path):
+        """Kill shard 0 while a closed-loop generator is running.
+
+        The client's retry budget (~8 capped-backoff attempts, several
+        seconds) comfortably covers the supervisor's worst-case recovery
+        (detect within one 50 ms health round + 50-100 ms backoff + boot),
+        so the run must complete with zero errors and correct results.
+        """
+        index = fleet_index()
+        with make_supervisor(snapshot_path, n_shards=2) as fleet:
+            fleet.start(monitor=True)
+            addresses = [tuple(a) for a in fleet.addresses]
+            victim_pid = fleet.worker_states()[0]["pid"]
+
+            killed = threading.Event()
+
+            def assassin():
+                os.kill(victim_pid, signal.SIGKILL)
+                killed.set()
+
+            # Strike shortly into the load run: late enough that queries are
+            # in flight, early enough that plenty remain to ride the outage.
+            timer = threading.Timer(0.05, assassin)
+            timer.start()
+            try:
+                report = run_load_sync(
+                    lambda: LocatorClient(
+                        servers=addresses,
+                        retry=RetryPolicy(
+                            max_retries=8,
+                            timeout_s=1.0,
+                            base_delay_s=0.05,
+                            max_delay_s=0.5,
+                        ),
+                        cache_size=0,
+                    ),
+                    owner_ids=list(range(N_OWNERS)),
+                    n_workers=4,
+                    requests_per_worker=300,
+                )
+            finally:
+                timer.cancel()
+
+            assert killed.is_set(), "assassin never fired; test proves nothing"
+            assert report.total == 4 * 300
+            assert report.errors == 0, f"{report.errors} queries never succeeded"
+
+            wait_until(
+                lambda: fleet.worker_states()[0]["state"] == "healthy",
+                deadline_s=10.0,
+                what="shard 0 to be restarted and healthy",
+            )
+            states = fleet.worker_states()
+            assert states[0]["restarts"] >= 1
+            assert states[0]["pid"] != victim_pid
+            assert states[1]["restarts"] == 0
+            assert fleet.addresses == list(addresses)  # topology never moved
+
+            # Zero lost owners: after recovery, every owner resolves to the
+            # exact provider list the index publishes.
+            for owner_id in range(N_OWNERS):
+                response = sync_request(
+                    fleet.addresses[owner_id % 2], VERB_QUERY, owner=owner_id
+                )
+                assert response["providers"] == index.query(owner_id)
+
+            supervisor_counters = fleet.fleet_stats()["supervisor"]["counters"]
+            assert supervisor_counters["worker_deaths_total"] >= 1
+            assert supervisor_counters["restarts_total"] >= 1
+
+    def test_restart_happens_within_the_backoff_budget(self, snapshot_path):
+        """Detect + restart must fit in health_interval + first backoff step
+        (plus boot); the deadline below is ~20x that budget, so a pass means
+        the mechanism works and a fail means it is wedged, not slow."""
+        with make_supervisor(snapshot_path, n_shards=1) as fleet:
+            fleet.start(monitor=True)
+            pid = fleet.worker_states()[0]["pid"]
+            os.kill(pid, signal.SIGKILL)
+            t0 = time.monotonic()
+            wait_until(
+                lambda: fleet.worker_states()[0]["state"] == "healthy"
+                and fleet.worker_states()[0]["pid"] != pid,
+                deadline_s=10.0,
+                what="restarted worker to report healthy",
+            )
+            recovery_s = time.monotonic() - t0
+            # Generous absolute bound: interval (0.05) + backoff (0.05) +
+            # process boot; anything near 10 s means supervision is broken.
+            assert recovery_s < 8.0
+
+
+class TestGiveUp:
+    def test_unbootable_worker_fails_without_sinking_the_fleet(
+        self, snapshot_path, tmp_path
+    ):
+        # Private snapshot copy: this test deletes it mid-flight.
+        doomed_snapshot = str(tmp_path / "doomed.npz")
+        save_snapshot(fleet_index(), doomed_snapshot)
+        with make_supervisor(
+            doomed_snapshot, n_shards=2, max_restarts=2, backoff_base_s=0.02
+        ) as fleet:
+            fleet.start(monitor=False)
+            os.unlink(doomed_snapshot)  # every future boot now crashes
+            os.kill(fleet.worker_states()[0]["pid"], signal.SIGKILL)
+
+            events = []
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                events.extend(fleet.check_once())
+                if any(kind == "gave-up" for kind, _ in events):
+                    break
+                time.sleep(0.02)
+
+            kinds = [kind for kind, shard in events if shard == 0]
+            assert "died" in kinds
+            assert kinds.count("restarted") == 2  # max_restarts exhausted
+            assert kinds[-1] == "gave-up"
+            assert fleet.worker_states()[0]["state"] == "failed"
+            counters = fleet.metrics.snapshot()["counters"]
+            assert counters["workers_given_up"] == 1
+
+            # The healthy shard is unaffected: shard 1 owners still resolve.
+            response = sync_request(fleet.addresses[1], VERB_QUERY, owner=1)
+            assert response["providers"] == fleet_index().query(1)
+            # A failed worker stays down -- further rounds take no action.
+            assert fleet.check_once() == []
+
+
+class TestFleetStats:
+    def test_aggregate_counters_sum_over_workers(self, snapshot_path):
+        with make_supervisor(snapshot_path, n_shards=2) as fleet:
+            fleet.start(monitor=False)
+            for owner_id in range(N_OWNERS):
+                sync_request(fleet.addresses[owner_id % 2], VERB_QUERY, owner=owner_id)
+            stats = fleet.fleet_stats()
+            assert stats["n_shards"] == 2
+            assert set(stats["workers"]) == {0, 1}
+            per_worker = [
+                w["stats"]["counters"]["queries_served"]
+                for w in stats["workers"].values()
+            ]
+            assert sum(per_worker) == N_OWNERS
+            assert stats["aggregate_counters"]["queries_served"] == N_OWNERS
+            # Each fleet_stats call is itself a stats request per worker.
+            assert stats["aggregate_counters"]["requests_total"] >= N_OWNERS + 2
+
+    def test_unreachable_worker_reports_none_stats(self, snapshot_path):
+        with make_supervisor(snapshot_path, n_shards=2) as fleet:
+            fleet.start(monitor=False)
+            os.kill(fleet.worker_states()[0]["pid"], signal.SIGKILL)
+            wait_until(
+                lambda: not sync_alive(fleet.addresses[0]),
+                deadline_s=5.0,
+                what="killed worker's listener to vanish",
+            )
+            stats = fleet.fleet_stats()
+            assert stats["workers"][0]["stats"] is None
+            assert stats["workers"][1]["stats"] is not None
+
+
+def sync_alive(addr) -> bool:
+    try:
+        sync_request(addr, VERB_STATS, timeout_s=0.3)
+        return True
+    except Exception:  # noqa: BLE001 -- any failure means not serving
+        return False

@@ -1,0 +1,185 @@
+"""Snapshot format tests, pinned by golden files.
+
+``tests/serving/data/golden_index_v1.npz`` and its companion JSON were
+written once from the deterministic matrix built by :func:`golden_matrix`
+below.  They are committed so that any byte-layout drift in the snapshot
+writer or reader shows up as a failure against bits produced by an *older*
+build -- a same-process round trip alone cannot catch that.
+"""
+
+import os
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.index import PPIIndex
+from repro.serving.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotError,
+    inspect_snapshot,
+    load_snapshot,
+    save_snapshot,
+)
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+GOLDEN_NPZ = os.path.join(DATA_DIR, "golden_index_v1.npz")
+GOLDEN_JSON = os.path.join(DATA_DIR, "golden_index_v1.json")
+
+
+def golden_matrix() -> np.ndarray:
+    """The exact matrix the committed golden files were generated from."""
+    i, j = np.meshgrid(np.arange(11), np.arange(23), indexing="ij")
+    return ((i * 7 + j * 3) % 5 == 0).astype(np.uint8)
+
+
+def golden_names() -> list:
+    return [f"owner-{n:03d}" for n in range(23)]
+
+
+@pytest.fixture
+def index():
+    rng = np.random.default_rng(7)
+    matrix = (rng.random((9, 31)) < 0.3).astype(np.uint8)
+    return PPIIndex(matrix, owner_names=[f"o{j}" for j in range(31)])
+
+
+class TestRoundTrip:
+    def test_matrix_and_names_survive(self, index, tmp_path):
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(index, path)
+        loaded = load_snapshot(path)
+        assert np.array_equal(loaded.matrix, index.matrix)
+        assert loaded.owner_names == index.owner_names
+
+    def test_unnamed_index_round_trips_without_names(self, tmp_path):
+        index = PPIIndex(np.eye(5, dtype=np.uint8))
+        path = str(tmp_path / "snap.npz")
+        info = save_snapshot(index, path)
+        assert info["has_owner_names"] is False
+        assert load_snapshot(path).owner_names is None
+
+    def test_non_multiple_of_eight_cells(self, tmp_path):
+        # 3 x 5 = 15 cells: packbits pads the final byte; the reader must
+        # trim via count= rather than trusting the packed length.
+        matrix = np.ones((3, 5), dtype=np.uint8)
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(PPIIndex(matrix), path)
+        assert np.array_equal(load_snapshot(path).matrix, matrix)
+
+    def test_empty_index(self, tmp_path):
+        matrix = np.zeros((4, 0), dtype=np.uint8)
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(PPIIndex(matrix), path)
+        loaded = load_snapshot(path)
+        assert loaded.n_providers == 4 and loaded.n_owners == 0
+
+    def test_save_reports_inspect_summary(self, index, tmp_path):
+        path = str(tmp_path / "snap.npz")
+        info = save_snapshot(index, path)
+        assert info == inspect_snapshot(path)
+        assert info["checksum_ok"] is True
+        assert info["format_version"] == SNAPSHOT_FORMAT_VERSION
+        assert info["published_positives"] == int(index.matrix.sum())
+
+
+class TestGoldenFile:
+    """The committed v1 bits must keep loading, byte for byte."""
+
+    def test_golden_loads_to_the_generating_matrix(self):
+        loaded = load_snapshot(GOLDEN_NPZ)
+        assert np.array_equal(loaded.matrix, golden_matrix())
+        assert loaded.owner_names == golden_names()
+
+    def test_golden_matches_the_json_representation(self):
+        # The snapshot and JSON codecs are independent; both committed
+        # artifacts must decode to the same index.
+        with open(GOLDEN_JSON) as f:
+            from_json = PPIIndex.from_json(f.read())
+        from_snapshot = load_snapshot(GOLDEN_NPZ)
+        assert np.array_equal(from_snapshot.matrix, from_json.matrix)
+        assert from_snapshot.owner_names == from_json.owner_names
+
+    def test_golden_inspect_summary(self):
+        info = inspect_snapshot(GOLDEN_NPZ)
+        assert info["format_version"] == 1
+        assert info["n_providers"] == 11
+        assert info["n_owners"] == 23
+        assert info["published_positives"] == 51
+        assert info["has_owner_names"] is True
+        assert info["checksum_ok"] is True
+
+    def test_rewriting_the_golden_index_is_byte_identical_logically(self, tmp_path):
+        # Not byte-identical on disk (npz timestamps), but the re-written
+        # archive must carry the identical packed payload and checksum.
+        path = str(tmp_path / "rewrite.npz")
+        save_snapshot(load_snapshot(GOLDEN_NPZ), path)
+        with np.load(GOLDEN_NPZ) as old, np.load(path) as new:
+            assert np.array_equal(old["packed"], new["packed"])
+            assert np.array_equal(old["meta"], new["meta"])
+
+
+class TestRejection:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_snapshot(str(tmp_path / "nope.npz"))
+
+    def test_not_an_npz(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(SnapshotError):
+            load_snapshot(str(path))
+
+    def test_npz_missing_keys(self, tmp_path):
+        path = str(tmp_path / "empty.npz")
+        np.savez(path, unrelated=np.arange(3))
+        with pytest.raises(SnapshotError, match="missing keys"):
+            load_snapshot(path)
+
+    def test_unsupported_version(self, index, tmp_path):
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(index, path)
+        with np.load(path) as archive:
+            arrays = dict(archive)
+        arrays["meta"] = arrays["meta"].copy()
+        arrays["meta"][0] = SNAPSHOT_FORMAT_VERSION + 1
+        np.savez(path, **arrays)
+        with pytest.raises(SnapshotError, match="version 2 unsupported"):
+            load_snapshot(path)
+
+    def test_corrupted_payload_fails_checksum(self, index, tmp_path):
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(index, path)
+        with np.load(path) as archive:
+            arrays = dict(archive)
+        arrays["packed"] = arrays["packed"].copy()
+        arrays["packed"][0] ^= 0xFF
+        np.savez(path, **arrays)
+        with pytest.raises(SnapshotError, match="checksum"):
+            load_snapshot(path)
+        assert inspect_snapshot(path)["checksum_ok"] is False
+
+    def test_truncated_payload_rejected(self, index, tmp_path):
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(index, path)
+        with np.load(path) as archive:
+            arrays = dict(archive)
+        short = arrays["packed"][:-2].copy()
+        arrays["packed"] = short
+        arrays["meta"] = arrays["meta"].copy()
+        arrays["meta"][3] = zlib.crc32(short.tobytes())  # keep checksum valid
+        np.savez(path, **arrays)
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(path)
+
+    def test_failed_write_leaves_no_temp_file(self, tmp_path, monkeypatch):
+        index = PPIIndex(np.eye(3, dtype=np.uint8))
+        path = str(tmp_path / "snap.npz")
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            save_snapshot(index, path)
+        assert os.listdir(tmp_path) == []

@@ -97,3 +97,96 @@ class TestConstructQueryAttack:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 2
         assert "usage" in capsys.readouterr().out.lower()
+
+
+class TestSnapshotCLI:
+    @pytest.fixture
+    def snapshot_path(self, tmp_path, index_path):
+        path = tmp_path / "index.npz"
+        assert main([
+            "snapshot", "build", "--index", str(index_path),
+            "--output", str(path),
+        ]) == 0
+        return path
+
+    def test_build_then_inspect(self, snapshot_path, capsys):
+        assert main(["snapshot", "inspect", "--snapshot", str(snapshot_path)]) == 0
+        out = capsys.readouterr().out
+        assert "format_version: 1" in out
+        assert "n_providers: 20" in out
+        assert "n_owners: 40" in out
+        assert "checksum_ok: True" in out
+
+    def test_snapshot_agrees_with_json_index(self, snapshot_path, index_path):
+        import numpy as np
+
+        from repro.core.index import PPIIndex
+        from repro.serving.snapshot import load_snapshot
+
+        from_snapshot = load_snapshot(str(snapshot_path))
+        from_json = PPIIndex.from_json(index_path.read_text())
+        assert np.array_equal(from_snapshot.matrix, from_json.matrix)
+        assert from_snapshot.owner_names == from_json.owner_names
+
+    def test_corrupt_snapshot_inspect_exits_nonzero(self, snapshot_path, capsys):
+        import numpy as np
+
+        with np.load(str(snapshot_path)) as archive:
+            arrays = dict(archive)
+        arrays["packed"] = arrays["packed"].copy()
+        arrays["packed"][0] ^= 0xFF
+        np.savez(str(snapshot_path), **arrays)
+        assert main(["snapshot", "inspect", "--snapshot", str(snapshot_path)]) == 1
+        assert "checksum_ok: False" in capsys.readouterr().out
+
+
+class TestSupervisorCLI:
+    def test_fleet_serves_then_exits_cleanly(self, tmp_path, index_path):
+        """End-to-end over the real console entry point: start a 2-shard
+        fleet as a subprocess, probe each advertised address, let the
+        --duration timer expire, and require a zero exit + final report."""
+        import os
+        import subprocess
+        import sys
+
+        from repro.serving.fleet import sync_request
+
+        snapshot = tmp_path / "index.npz"
+        assert main([
+            "snapshot", "build", "--index", str(index_path),
+            "--output", str(snapshot),
+        ]) == 0
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (
+                os.path.join(os.path.dirname(__file__), os.pardir, "src"),
+                env.get("PYTHONPATH", ""),
+            ) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "supervisor",
+             "--snapshot", str(snapshot), "--shards", "2",
+             "--health-interval", "0.1", "--duration", "4"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            addresses = []
+            for _ in range(2):
+                line = proc.stdout.readline()
+                assert "listening on" in line, f"unexpected line: {line!r}"
+                host, port = line.rsplit(" ", 1)[-1].strip().split(":")
+                addresses.append((host, int(port)))
+            for shard_id, addr in enumerate(addresses):
+                response = sync_request(
+                    addr, "query", timeout_s=2.0, owner=shard_id
+                )
+                assert isinstance(response["providers"], list)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "restarts=0" in out
