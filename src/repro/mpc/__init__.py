@@ -13,16 +13,28 @@ from repro.mpc.betacalc import SecureBetaResult, secure_beta_calculation
 from repro.mpc.conversion import A2BCorrelation, A2BDealer, A2BResult, a2b_convert
 from repro.mpc.countbelow import (
     COIN_BITS,
+    ENGINES,
     EPSILON_SCALE_BITS,
     CountBelowResult,
     SelectionResult,
     build_count_circuit,
+    build_count_identity_circuit,
     build_selection_circuit,
+    build_selection_identity_circuit,
     run_beta_selection,
     run_count_below,
 )
 from repro.mpc.field import Zq, default_modulus_for_sum
-from repro.mpc.gmw import GMWProtocol, GMWResult, GMWStats, PartyTranscript
+from repro.mpc.gmw import (
+    BatchGMWEngine,
+    BatchGMWResult,
+    GMWEngine,
+    GMWProtocol,
+    GMWResult,
+    GMWStats,
+    PartyTranscript,
+    expected_stats,
+)
 from repro.mpc.pure import PureMPCResult, build_pure_circuit, run_pure_beta_calculation
 from repro.mpc.secsum import ProviderView, SecSumResult, SecSumShare
 from repro.mpc.shamir import DEFAULT_PRIME, ShamirShare, ShamirSharing
@@ -35,11 +47,15 @@ __all__ = [
     "AdditiveSharing",
     "BGWEngine",
     "BGWStats",
+    "BatchGMWEngine",
+    "BatchGMWResult",
     "BitTriple",
     "COIN_BITS",
     "CountBelowResult",
     "DEFAULT_PRIME",
+    "ENGINES",
     "EPSILON_SCALE_BITS",
+    "GMWEngine",
     "GMWProtocol",
     "GMWResult",
     "GMWStats",
@@ -59,9 +75,12 @@ __all__ = [
     "Zq",
     "a2b_convert",
     "build_count_circuit",
+    "build_count_identity_circuit",
     "build_pure_circuit",
     "build_selection_circuit",
+    "build_selection_identity_circuit",
     "default_modulus_for_sum",
+    "expected_stats",
     "run_beta_selection",
     "run_count_below",
     "run_pure_beta_calculation",

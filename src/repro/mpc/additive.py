@@ -22,6 +22,8 @@ import random
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.mpc.field import Zq
 
 __all__ = ["AdditiveSharing", "Share"]
@@ -69,6 +71,25 @@ class AdditiveSharing:
         last = self.ring.sub(secret, self.ring.sum(values))
         values.append(last)
         return values
+
+    def share_matrix(self, values: Sequence[int], np_rng: np.random.Generator) -> np.ndarray:
+        """Vectorized :meth:`share`: split many secrets with one random draw.
+
+        Returns an ``(len(values), count)`` int64 matrix whose row ``j`` is a
+        valid (c, c) sharing of ``values[j]``: the first ``count - 1``
+        columns are one uniform batch draw and the last column absorbs the
+        modular difference.  Requires ``q < 2**31`` so the column sums fit
+        int64 without wrapping.
+        """
+        q = self.ring.q
+        if q >= 1 << 31:
+            raise ValueError("share_matrix requires modulus < 2**31; use share()")
+        vals = np.asarray(values, dtype=np.int64) % q
+        if vals.ndim != 1:
+            raise ValueError(f"expected a 1-D secret vector, got shape {vals.shape}")
+        rand = np_rng.integers(0, q, size=(vals.size, self.count - 1), dtype=np.int64)
+        last = (vals - rand.sum(axis=1)) % q
+        return np.concatenate([rand, last[:, None]], axis=1)
 
     def share_tagged(self, secret: int, rng: random.Random) -> list[Share]:
         """Like :meth:`share` but returning tagged :class:`Share` objects."""

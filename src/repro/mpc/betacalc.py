@@ -59,8 +59,8 @@ class SecureBetaResult:
     @property
     def total_circuit_size(self) -> int:
         return (
-            self.count_result.circuit.stats().size
-            + self.selection_result.circuit.stats().size
+            self.count_result.gates_evaluated
+            + self.selection_result.gates_evaluated
         )
 
 
@@ -71,6 +71,7 @@ def secure_beta_calculation(
     c: int,
     rng: random.Random,
     common_sigma_threshold: float = 0.5,
+    engine: str = "mono",
 ) -> SecureBetaResult:
     """Run Alg. 1 over ``m`` providers' private bits for ``n`` identities.
 
@@ -78,7 +79,9 @@ def secure_beta_calculation(
     ``j``.  ``c`` is the collusion-tolerance parameter (number of
     coordinators / shares).  ``common_sigma_threshold`` is the public bound
     separating truly common identities from natural decoys (see
-    :mod:`repro.core.mixing`).
+    :mod:`repro.core.mixing`).  ``engine`` selects the secure-evaluation
+    strategy for both MPC stages (see :mod:`repro.mpc.countbelow`):
+    ``"batch"`` evaluates the identity universe bitsliced, 64 at a time.
     """
     m = len(provider_bits)
     if m == 0:
@@ -111,6 +114,7 @@ def secure_beta_calculation(
         ring,
         rng,
         high_threshold=high_threshold,
+        engine=engine,
     )
 
     # λ is computed from public values only (Eq. 7, net of natural decoys).
@@ -123,7 +127,7 @@ def secure_beta_calculation(
 
     # Stage 1.2b: per-identity β-selection under generic MPC.
     selection_result = run_beta_selection(
-        sum_result.coordinator_shares, thresholds, lambda_, ring, rng
+        sum_result.coordinator_shares, thresholds, lambda_, ring, rng, engine=engine
     )
 
     # Non-private end of the flow (Eq. 9): open σ only for identities that

@@ -21,7 +21,22 @@ from repro.mpc.circuits.comparator import (
     less_than,
     less_than_const,
 )
-from repro.mpc.circuits.evaluator import bits_to_int, evaluate, int_to_bits
+from repro.mpc.circuits.compiled import (
+    LANES,
+    CompiledCircuit,
+    CompiledLayer,
+    compile_circuit,
+    evaluate_batch,
+    pack_lanes,
+    unpack_lanes,
+)
+from repro.mpc.circuits.evaluator import (
+    bit_matrix_to_ints,
+    bits_to_int,
+    evaluate,
+    int_to_bits,
+    ints_to_bit_matrix,
+)
 from repro.mpc.circuits.divider import divide, isqrt
 from repro.mpc.circuits.gates import Circuit, CircuitStats, Gate, GateOp
 from repro.mpc.circuits.multiplier import (
@@ -37,16 +52,25 @@ __all__ = [
     "Circuit",
     "CircuitBuilder",
     "CircuitStats",
+    "CompiledCircuit",
+    "CompiledLayer",
     "Gate",
     "GateOp",
+    "LANES",
     "add_many",
+    "bit_matrix_to_ints",
     "bits_to_int",
+    "compile_circuit",
     "equals_const",
     "evaluate",
+    "evaluate_batch",
     "full_adder",
     "greater_equal",
     "half_adder",
     "int_to_bits",
+    "ints_to_bit_matrix",
+    "pack_lanes",
+    "unpack_lanes",
     "less_than",
     "less_than_const",
     "multiply",

@@ -1,0 +1,254 @@
+"""Compiled circuits: the flat, array-backed form shared by all evaluators.
+
+A :class:`~repro.mpc.circuits.gates.Circuit` is a list of `Gate` objects --
+convenient to build, slow to interpret.  `compile_circuit` lowers it once
+into a :class:`CompiledCircuit`: flat ``numpy`` opcode/argument/output
+arrays plus a precomputed layer schedule (gates grouped by multiplicative
+depth, AND gates of each layer gathered into index arrays).  Both the
+plaintext evaluators and the GMW engines run off this form, so the layering
+logic -- which also determines the round accounting -- exists in exactly one
+place.
+
+The compiled form is what makes *bitsliced* batch evaluation possible: with
+every wire holding a ``uint64`` whose bit-lanes are independent instances,
+one pass over the compiled program evaluates up to 64 instances at once,
+and the per-layer AND index arrays let the Beaver-triple masking be
+vectorized across gates as well as lanes (see :mod:`repro.mpc.gmw`).
+
+Compilation is cached on the circuit object itself: building is O(gates)
+and every identity in a batched CountBelow run shares one circuit, so the
+cache turns n compilations into one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.mpc.circuits.gates import Circuit, GateOp
+
+__all__ = [
+    "CompiledCircuit",
+    "CompiledLayer",
+    "compile_circuit",
+    "evaluate_batch",
+    "pack_lanes",
+    "unpack_lanes",
+    "LANES",
+]
+
+# Lane capacity of one machine word: instances per bitsliced evaluation pass.
+LANES = 64
+
+# Opcodes of the flat program (values match the array in ``ops``).
+OP_INPUT, OP_CONST, OP_XOR, OP_AND, OP_NOT = range(5)
+
+_OPCODE = {
+    GateOp.INPUT: OP_INPUT,
+    GateOp.CONST: OP_CONST,
+    GateOp.XOR: OP_XOR,
+    GateOp.AND: OP_AND,
+    GateOp.NOT: OP_NOT,
+}
+
+_FULL_MASK = (1 << LANES) - 1
+
+
+@dataclass
+class CompiledLayer:
+    """One multiplicative-depth layer of the schedule.
+
+    ``linear`` holds the non-AND gates of the layer in topological order as
+    ``(op, arg0, arg1, out, aux)`` tuples (``aux`` is the input index for
+    INPUT gates and the bit value for CONST gates).  AND gates are safe to
+    evaluate *before* the layer's linear gates -- their arguments always come
+    from strictly earlier layers -- which is what lets one vectorized Beaver
+    step handle the whole layer.
+    """
+
+    linear: list = field(default_factory=list)
+    and_a: np.ndarray = None
+    and_b: np.ndarray = None
+    and_out: np.ndarray = None
+
+    @property
+    def n_ands(self) -> int:
+        return len(self.and_out)
+
+
+@dataclass
+class CompiledCircuit:
+    """Flat program: numpy opcode/arg/out arrays + the layer schedule."""
+
+    n_wires: int
+    n_inputs: int
+    ops: np.ndarray  # uint8, one opcode per gate
+    arg0: np.ndarray  # int64, first argument wire (-1 if none)
+    arg1: np.ndarray  # int64, second argument wire (-1 if none)
+    out: np.ndarray  # int64, output wire (== gate index)
+    aux: np.ndarray  # int64, input index / const value
+    outputs: np.ndarray  # int64, output wire ids
+    layers: list  # list[CompiledLayer]
+    and_gates: int
+    gate_count: int  # non-free gates (the Fig. 6b "size" metric)
+
+    @property
+    def n_outputs(self) -> int:
+        return len(self.outputs)
+
+
+def compile_circuit(circuit: Circuit) -> CompiledCircuit:
+    """Lower ``circuit`` to flat arrays + AND layers (cached on the circuit)."""
+    cached = getattr(circuit, "_compiled", None)
+    if cached is not None:
+        return cached
+
+    n = circuit.n_wires
+    ops = np.zeros(n, dtype=np.uint8)
+    arg0 = np.full(n, -1, dtype=np.int64)
+    arg1 = np.full(n, -1, dtype=np.int64)
+    out = np.zeros(n, dtype=np.int64)
+    aux = np.zeros(n, dtype=np.int64)
+
+    depth = [0] * n
+    layer_gates: dict = {}
+    and_total = 0
+    size = 0
+    for i, gate in enumerate(circuit.gates):
+        code = _OPCODE[gate.op]
+        ops[i] = code
+        out[i] = gate.out
+        if gate.args:
+            arg0[i] = gate.args[0]
+            if len(gate.args) > 1:
+                arg1[i] = gate.args[1]
+        if gate.op is GateOp.INPUT:
+            aux[i] = gate.input_index
+            d = 0
+        elif gate.op is GateOp.CONST:
+            aux[i] = gate.const_value
+            d = 0
+        elif gate.op is GateOp.AND:
+            d = max(depth[a] for a in gate.args) + 1
+            and_total += 1
+            size += 1
+        else:
+            d = max((depth[a] for a in gate.args), default=0)
+            size += 1
+        depth[gate.out] = d
+        layer_gates.setdefault(d, []).append(i)
+
+    layers: list[CompiledLayer] = []
+    for d in sorted(layer_gates):
+        linear = []
+        la, lb, lo = [], [], []
+        for i in layer_gates[d]:
+            if ops[i] == OP_AND:
+                la.append(arg0[i])
+                lb.append(arg1[i])
+                lo.append(out[i])
+            else:
+                linear.append((int(ops[i]), int(arg0[i]), int(arg1[i]), int(out[i]), int(aux[i])))
+        layers.append(
+            CompiledLayer(
+                linear=linear,
+                and_a=np.asarray(la, dtype=np.int64),
+                and_b=np.asarray(lb, dtype=np.int64),
+                and_out=np.asarray(lo, dtype=np.int64),
+            )
+        )
+
+    compiled = CompiledCircuit(
+        n_wires=n,
+        n_inputs=circuit.n_inputs,
+        ops=ops,
+        arg0=arg0,
+        arg1=arg1,
+        out=out,
+        aux=aux,
+        outputs=np.asarray(circuit.outputs, dtype=np.int64),
+        layers=layers,
+        and_gates=and_total,
+        gate_count=size,
+    )
+    circuit._compiled = compiled
+    return compiled
+
+
+# -- lane packing ------------------------------------------------------------
+
+
+def pack_lanes(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(n_lanes, n_cols)`` 0/1 matrix into ``(n_cols,)`` uint64 words.
+
+    Lane ``i`` (instance ``i``) becomes bit ``i`` of every output word.
+    """
+    b = np.ascontiguousarray(bits, dtype=np.uint64)
+    if b.ndim != 2:
+        raise ValueError(f"expected a 2-D bit matrix, got shape {b.shape}")
+    n_lanes = b.shape[0]
+    if n_lanes > LANES:
+        raise ValueError(f"at most {LANES} lanes per word, got {n_lanes}")
+    if n_lanes == 0:
+        return np.zeros(b.shape[1], dtype=np.uint64)
+    shifts = np.arange(n_lanes, dtype=np.uint64)[:, None]
+    return np.bitwise_or.reduce(b << shifts, axis=0)
+
+
+def unpack_lanes(words: np.ndarray, n_lanes: int) -> np.ndarray:
+    """Inverse of :func:`pack_lanes`: ``(n_cols,)`` words -> ``(n_lanes, n_cols)``."""
+    if n_lanes > LANES:
+        raise ValueError(f"at most {LANES} lanes per word, got {n_lanes}")
+    w = np.ascontiguousarray(words, dtype=np.uint64)
+    shifts = np.arange(n_lanes, dtype=np.uint64)[:, None]
+    return ((w[None, :] >> shifts) & np.uint64(1)).astype(np.uint8)
+
+
+# -- bitsliced plaintext evaluation ---------------------------------------------
+
+
+def evaluate_batch(circuit: Circuit, inputs: Sequence[Sequence[int]]) -> np.ndarray:
+    """Evaluate ``circuit`` on many input rows at once, bitsliced.
+
+    ``inputs`` is an ``(n_instances, n_inputs)`` 0/1 matrix; the result is the
+    ``(n_instances, n_outputs)`` matrix of output bits, row ``i`` equal to
+    ``evaluate(circuit, inputs[i])``.  Instances are packed 64 to a word;
+    larger batches are chunked transparently.
+    """
+    compiled = compile_circuit(circuit)
+    mat = np.asarray(inputs, dtype=np.uint8)
+    if mat.ndim != 2 or mat.shape[1] != compiled.n_inputs:
+        raise ValueError(
+            f"expected an (n, {compiled.n_inputs}) input matrix, got shape {mat.shape}"
+        )
+    if mat.size and mat.max() > 1:
+        raise ValueError("inputs must be bits")
+    n = mat.shape[0]
+    out = np.empty((n, compiled.n_outputs), dtype=np.uint8)
+    for start in range(0, n, LANES):
+        chunk = mat[start : start + LANES]
+        packed = _evaluate_packed(compiled, pack_lanes(chunk))
+        out[start : start + LANES] = unpack_lanes(packed, chunk.shape[0])
+    return out
+
+
+def _evaluate_packed(compiled: CompiledCircuit, packed_inputs: np.ndarray) -> np.ndarray:
+    """One bitsliced pass: packed input words -> packed output words."""
+    wires = np.zeros(compiled.n_wires, dtype=np.uint64)
+    inputs = packed_inputs
+    full = np.uint64(_FULL_MASK)
+    for layer in compiled.layers:
+        if layer.n_ands:
+            wires[layer.and_out] = wires[layer.and_a] & wires[layer.and_b]
+        for op, a0, a1, w, aux in layer.linear:
+            if op == OP_XOR:
+                wires[w] = wires[a0] ^ wires[a1]
+            elif op == OP_NOT:
+                wires[w] = wires[a0] ^ full
+            elif op == OP_INPUT:
+                wires[w] = inputs[aux]
+            else:  # OP_CONST
+                wires[w] = full if aux else np.uint64(0)
+    return wires[compiled.outputs]

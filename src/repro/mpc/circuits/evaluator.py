@@ -9,9 +9,17 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.mpc.circuits.gates import Circuit, GateOp
 
-__all__ = ["evaluate", "int_to_bits", "bits_to_int"]
+__all__ = [
+    "evaluate",
+    "int_to_bits",
+    "bits_to_int",
+    "ints_to_bit_matrix",
+    "bit_matrix_to_ints",
+]
 
 
 def evaluate(circuit: Circuit, inputs: Sequence[int]) -> list[int]:
@@ -57,3 +65,32 @@ def bits_to_int(bits: Sequence[int]) -> int:
             raise ValueError(f"bits must be 0/1, got {bit}")
         value |= bit << i
     return value
+
+
+def ints_to_bit_matrix(values: Sequence[int], width: int) -> np.ndarray:
+    """Vectorized :func:`int_to_bits` over many values.
+
+    Returns an ``(len(values), width)`` uint8 matrix, row ``i`` the
+    little-endian expansion of ``values[i]``.  This is the batch-width
+    encoder for the bitsliced pipelines -- one shift/mask pass instead of a
+    Python loop per value.
+    """
+    vals = np.asarray(values, dtype=np.int64)
+    if vals.ndim != 1:
+        raise ValueError(f"expected a 1-D value vector, got shape {vals.shape}")
+    if vals.size:
+        if vals.min() < 0:
+            raise ValueError("values must be non-negative")
+        if int(vals.max()) >= (1 << width):
+            raise ValueError(f"{int(vals.max())} does not fit in {width} bits")
+    shifts = np.arange(width, dtype=np.int64)
+    return ((vals[:, None] >> shifts[None, :]) & 1).astype(np.uint8)
+
+
+def bit_matrix_to_ints(bits: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`ints_to_bit_matrix`: ``(n, width)`` bits -> ``(n,)`` ints."""
+    mat = np.asarray(bits, dtype=np.int64)
+    if mat.ndim != 2:
+        raise ValueError(f"expected a 2-D bit matrix, got shape {mat.shape}")
+    weights = np.int64(1) << np.arange(mat.shape[1], dtype=np.int64)
+    return (mat * weights[None, :]).sum(axis=1)

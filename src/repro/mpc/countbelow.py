@@ -24,12 +24,34 @@ Identities whose selection bit is 0 are *opened*: their frequency shares are
 exchanged and β* is computed in the clear (cheap, non-secure end of the
 Eq. 9 computation flow).  This is exactly the paper's "push complex
 computation toward the non-private end" optimization.
+
+Engines
+-------
+Both protocols run in one of three modes (``engine=`` parameter):
+
+* ``"mono"`` (default) -- the original monolithic circuit covering all
+  identities at once, evaluated by the scalar GMW engine.  Kept as-is so
+  every existing caller and test behaves identically.
+* ``"scalar"`` -- the *decomposed* formulation: one small cached circuit per
+  identity (thresholds/ǫ as public input bits, so the structure is
+  identity-independent) plus staged pairwise reduction trees over the
+  unopened per-identity output shares, everything evaluated one instance at
+  a time.  This is the correctness/throughput baseline for batching.
+* ``"batch"`` -- the same decomposition evaluated bitsliced: 64 identities
+  per pass through :class:`~repro.mpc.gmw.BatchGMWEngine`, including the
+  reduction-tree levels (which stay wide enough to fill lanes until the very
+  top).  Public outputs and per-identity communication stats are identical
+  to ``"scalar"`` by construction; only wall-clock changes.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
 
 from repro.mpc.circuits import (
     Circuit,
@@ -39,23 +61,38 @@ from repro.mpc.circuits import (
     less_than,
     less_than_const,
     popcount,
+    ripple_add,
     ripple_add_mod2k,
 )
+from repro.mpc.circuits.compiled import compile_circuit
+from repro.mpc.circuits.evaluator import bit_matrix_to_ints, ints_to_bit_matrix
 from repro.mpc.field import Zq
-from repro.mpc.gmw import GMWProtocol, GMWStats
+from repro.mpc.gmw import (
+    BatchGMWEngine,
+    GMWProtocol,
+    GMWStats,
+    account_output_opening,
+    expected_stats,
+)
 
 __all__ = [
     "CountBelowResult",
     "SelectionResult",
     "build_count_circuit",
     "build_selection_circuit",
+    "build_count_identity_circuit",
+    "build_selection_identity_circuit",
     "run_count_below",
     "run_beta_selection",
     "EPSILON_SCALE_BITS",
     "COIN_BITS",
+    "ENGINES",
     "max_tree",
     "scale_epsilon",
 ]
+
+# Valid values of the ``engine=`` parameter (see module docstring).
+ENGINES = ("mono", "scalar", "batch")
 
 # Fixed-point resolution for public ǫ values inside the ξ-max circuit.
 EPSILON_SCALE_BITS = 10
@@ -79,10 +116,23 @@ class CountBelowResult:
     xi_scaled: int  # max ǫ over truly commons, scaled by 2^EPSILON_SCALE_BITS
     stats: GMWStats
     circuit: Circuit
+    engine: str = "mono"
+    # Total non-free gates evaluated across all instances/tree levels of a
+    # decomposed run (None in mono mode: the single circuit's size applies).
+    total_gates: Optional[int] = None
+    # Per-identity stats of one decomposed instance (None in mono mode).
+    stats_per_identity: Optional[GMWStats] = None
 
     @property
     def xi(self) -> float:
         return self.xi_scaled / (1 << EPSILON_SCALE_BITS)
+
+    @property
+    def gates_evaluated(self) -> int:
+        """Non-free gates evaluated, whichever engine produced the result."""
+        if self.total_gates is not None:
+            return self.total_gates
+        return self.circuit.stats().size
 
 
 @dataclass
@@ -92,6 +142,15 @@ class SelectionResult:
     publish_as_one: list[int]  # per-identity bit: β forced to 1
     stats: GMWStats
     circuit: Circuit
+    engine: str = "mono"
+    total_gates: Optional[int] = None
+    stats_per_identity: Optional[GMWStats] = None
+
+    @property
+    def gates_evaluated(self) -> int:
+        if self.total_gates is not None:
+            return self.total_gates
+        return self.circuit.stats().size
 
 
 def build_count_circuit(
@@ -111,9 +170,26 @@ def build_count_circuit(
     reveals only three aggregates: the truly-common count
     (broadcast ∧ high), the natural-decoy count (broadcast ∧ ¬high), and
     ξ = max ǫ over the truly common.
+
+    Builds are memoized on the full parameter tuple: repeated runs over the
+    same policy (the common case in benchmarks and the construction
+    simulator) pay circuit compilation once.
     """
     if len(thresholds) != len(epsilons_scaled):
         raise ValueError("thresholds/epsilons must align")
+    return _build_count_circuit_cached(
+        c, tuple(thresholds), tuple(epsilons_scaled), width, high_threshold
+    )
+
+
+@lru_cache(maxsize=32)
+def _build_count_circuit_cached(
+    c: int,
+    thresholds: tuple,
+    epsilons_scaled: tuple,
+    width: int,
+    high_threshold: int,
+) -> Circuit:
     n_ids = len(thresholds)
     b = CircuitBuilder()
     # Declare all inputs first (party-major order).
@@ -164,10 +240,19 @@ def build_selection_circuit(
     Input layout: for each coordinator, first its frequency-share bits
     (identity-major), then its ``COIN_BITS`` random bits per identity.  The
     XOR of all parties' random bits yields jointly uniform ``r_j``.
+
+    Memoized like :func:`build_count_circuit`.
     """
-    n_ids = len(thresholds)
     if not 0 <= lambda_scaled <= (1 << COIN_BITS):
         raise ValueError(f"lambda_scaled out of range: {lambda_scaled}")
+    return _build_selection_circuit_cached(c, tuple(thresholds), lambda_scaled, width)
+
+
+@lru_cache(maxsize=32)
+def _build_selection_circuit_cached(
+    c: int, thresholds: tuple, lambda_scaled: int, width: int
+) -> Circuit:
+    n_ids = len(thresholds)
     b = CircuitBuilder()
     share_bits = []
     rand_bits = []
@@ -197,6 +282,355 @@ def build_selection_circuit(
     return b.build()
 
 
+# -- decomposed (per-identity) circuits ---------------------------------------
+
+
+@lru_cache(maxsize=None)
+def build_count_identity_circuit(
+    c: int, width: int, high_threshold: int, eps_bits: int = EPSILON_SCALE_BITS
+) -> Circuit:
+    """One identity's slice of Alg. 2, with identity-specific data as inputs.
+
+    The monolithic :func:`build_count_circuit` bakes every identity's
+    threshold and ǫ in as constants, so each identity gets a structurally
+    different circuit -- useless for bitslicing.  Here the per-identity data
+    travels as *public input bits* instead, making one cached circuit serve
+    the whole identity universe:
+
+    * ``c * width`` bits -- the coordinators' frequency shares ``s(k, j)``;
+    * ``width`` bits -- the public threshold ``t_j`` (clamped to 0 when
+      unrepresentable);
+    * 1 ``reach`` bit -- 0 iff ``t_j`` exceeds the ring maximum, forcing
+      ``broadcast = 0`` exactly like the mono builder's constant-zero arm;
+    * ``eps_bits`` bits -- the scaled public ǫ_j.
+
+    ``high_threshold`` stays a baked constant (it is uniform across the run
+    and part of the cache key).  Outputs, kept *unopened* for the reduction
+    trees: ``truly_j``, ``natural_j``, and the gated ǫ
+    (``truly_j ? ǫ_j : 0``, one AND per bit).
+    """
+    b = CircuitBuilder()
+    share_bits = [b.input_bits(width) for _ in range(c)]
+    t_bits = b.input_bits(width)
+    reach = b.input_bit()
+    eps_in = b.input_bits(eps_bits)
+    total = share_bits[0]
+    for k in range(1, c):
+        total = ripple_add_mod2k(b, total, share_bits[k])
+    broadcast = b.and_(b.not_(less_than(b, total, t_bits)), reach)
+    if high_threshold > (1 << width) - 1:
+        high = b.zero()
+    else:
+        high = b.not_(less_than_const(b, total, high_threshold))
+    truly = b.and_(broadcast, high)
+    b.output(truly)
+    b.output(b.and_(broadcast, b.not_(high)))
+    for bit in eps_in:
+        b.output(b.and_(truly, bit))
+    return b.build()
+
+
+@lru_cache(maxsize=None)
+def build_selection_identity_circuit(
+    c: int, width: int, lambda_scaled: int, coin_bits: int = COIN_BITS
+) -> Circuit:
+    """One identity's β-selection: ``(S ≥ t AND reach) OR (r < λ)``.
+
+    Same input-lifting as :func:`build_count_identity_circuit`; λ stays a
+    baked constant (uniform per run, part of the cache key).  The single
+    output bit is public per identity, so it is opened directly -- no
+    reduction stage needed.
+    """
+    if not 0 <= lambda_scaled <= (1 << coin_bits):
+        raise ValueError(f"lambda_scaled out of range: {lambda_scaled}")
+    b = CircuitBuilder()
+    share_bits = [b.input_bits(width) for _ in range(c)]
+    rand_bits = [b.input_bits(coin_bits) for _ in range(c)]
+    t_bits = b.input_bits(width)
+    reach = b.input_bit()
+    total = share_bits[0]
+    for k in range(1, c):
+        total = ripple_add_mod2k(b, total, share_bits[k])
+    common = b.and_(b.not_(less_than(b, total, t_bits)), reach)
+    r = [b.xor_many([rand_bits[k][i] for k in range(c)]) for i in range(coin_bits)]
+    if lambda_scaled >= (1 << coin_bits):
+        coin = b.one()
+    elif lambda_scaled == 0:
+        coin = b.zero()
+    else:
+        coin = less_than_const(b, r, lambda_scaled)
+    b.output(b.or_(common, coin))
+    return b.build()
+
+
+@lru_cache(maxsize=None)
+def _pair_sum_circuit(width: int) -> Circuit:
+    """``x + y`` over two ``width``-bit operands, full ``width + 1``-bit out."""
+    b = CircuitBuilder()
+    x = b.input_bits(width)
+    y = b.input_bits(width)
+    b.output_bits(ripple_add(b, x, y))
+    return b.build()
+
+
+@lru_cache(maxsize=None)
+def _pair_max_circuit(width: int) -> Circuit:
+    """``max(x, y)`` over two ``width``-bit operands."""
+    b = CircuitBuilder()
+    x = b.input_bits(width)
+    y = b.input_bits(width)
+    b.output_bits(b.mux_bits(less_than(b, x, y), y, x))
+    return b.build()
+
+
+@dataclass
+class _StageResult:
+    """One fleet of identical circuit instances, evaluated by either engine."""
+
+    opened: Optional[np.ndarray]  # (n, n_outputs) public bits, or None
+    shares: Optional[np.ndarray]  # (parties, n, n_outputs) share bits, or None
+    per_instance: GMWStats
+    stats: GMWStats  # per_instance * n
+    gates: int  # non-free gates evaluated across all instances
+
+
+def _run_stage(
+    circuit: Circuit,
+    parties: int,
+    rng: random.Random,
+    engine: str,
+    plain: Optional[np.ndarray] = None,
+    shared: Optional[np.ndarray] = None,
+    open_outputs: bool = True,
+) -> _StageResult:
+    """Evaluate ``n`` instances of ``circuit``, scalar or bitsliced.
+
+    Exactly one of ``plain`` (an ``(n, n_inputs)`` plaintext bit matrix,
+    shared internally) and ``shared`` (a ``(parties, n, n_inputs)`` matrix of
+    existing XOR share bits) must be given.  Both engines report identical
+    per-instance stats -- the scalar path is the oracle the batch path's
+    analytic accounting is asserted against in the tests.
+    """
+    if (plain is None) == (shared is None):
+        raise ValueError("exactly one of plain/shared inputs required")
+    if engine == "batch":
+        eng = BatchGMWEngine(circuit, parties, rng)
+        if plain is not None:
+            res = eng.run(plain, open_outputs=open_outputs)
+        else:
+            res = eng.run_shared_bits(shared, open_outputs=open_outputs)
+        n = res.n_instances
+        return _StageResult(
+            opened=res.outputs,
+            shares=res.output_shares,
+            per_instance=res.per_instance,
+            stats=res.stats,
+            gates=compile_circuit(circuit).gate_count * n,
+        )
+    if engine != "scalar":
+        raise ValueError(f"unknown engine {engine!r} (expected scalar/batch)")
+    protocol = GMWProtocol(circuit, parties, rng)
+    n = plain.shape[0] if plain is not None else shared.shape[1]
+    n_out = len(circuit.outputs)
+    opened = np.zeros((n, n_out), dtype=np.uint8) if open_outputs else None
+    shares_out = (
+        None if open_outputs else np.zeros((parties, n, n_out), dtype=np.uint8)
+    )
+    stats = GMWStats(parties=parties)
+    for i in range(n):
+        if plain is not None:
+            res = protocol.run([int(v) for v in plain[i]], open_outputs=open_outputs)
+        else:
+            res = protocol.run_shared(
+                [[int(v) for v in shared[p, i]] for p in range(parties)],
+                open_outputs=open_outputs,
+            )
+        if open_outputs:
+            opened[i] = res.outputs
+        else:
+            for p in range(parties):
+                shares_out[p, i] = res.output_shares[p]
+        stats.add(res.stats)
+    per_instance = expected_stats(circuit, parties, open_outputs=open_outputs)
+    return _StageResult(
+        opened=opened,
+        shares=shares_out,
+        per_instance=per_instance,
+        stats=stats,
+        gates=compile_circuit(circuit).gate_count * n,
+    )
+
+
+def _secure_tree_reduce(
+    shares: np.ndarray,
+    mode: str,
+    parties: int,
+    rng: random.Random,
+    engine: str,
+    stats: GMWStats,
+) -> tuple[np.ndarray, int]:
+    """Pairwise sum/max reduction over secret-shared numbers, kept shared.
+
+    ``shares`` is ``(parties, n, width)``: party-wise XOR share bits of ``n``
+    little-endian numbers.  Each level pairs elements and evaluates the
+    2-ary sum (width grows by 1) or max circuit as one `_run_stage` fleet --
+    so in batch mode a level with ``k`` pairs is just ``ceil(k/64)``
+    bitsliced passes.  An odd trailing element is carried up zero-padded
+    (all-zero share columns are a valid sharing of 0, free of communication).
+
+    Returns the ``(parties, width_final)`` shares of the result plus the
+    total non-free gate count; communication is accumulated into ``stats``.
+    """
+    if mode not in ("sum", "max"):
+        raise ValueError(f"unknown reduction mode {mode!r}")
+    if shares.shape[1] < 1:
+        raise ValueError("reduction over zero elements")
+    arr = shares
+    gates = 0
+    while arr.shape[1] > 1:
+        n, width = arr.shape[1], arr.shape[2]
+        circuit = _pair_sum_circuit(width) if mode == "sum" else _pair_max_circuit(width)
+        n_pairs = n // 2
+        left = arr[:, 0 : 2 * n_pairs : 2, :]
+        right = arr[:, 1 : 2 * n_pairs : 2, :]
+        stage = _run_stage(
+            circuit,
+            parties,
+            rng,
+            engine,
+            shared=np.concatenate([left, right], axis=2),
+            open_outputs=False,
+        )
+        stats.add(stage.stats)
+        gates += stage.gates
+        out = stage.shares  # (parties, n_pairs, width_out)
+        if n % 2:
+            carry = arr[:, -1:, :]
+            pad_cols = out.shape[2] - width
+            if pad_cols:
+                pad = np.zeros((parties, 1, pad_cols), dtype=np.uint8)
+                carry = np.concatenate([carry, pad], axis=2)
+            out = np.concatenate([out, carry], axis=1)
+        arr = out
+    return arr[:, 0, :], gates
+
+
+def _open_shared_int(share_bits: np.ndarray) -> int:
+    """Open one secret-shared number: XOR shares across parties, decode."""
+    bits = np.bitwise_xor.reduce(share_bits, axis=0)
+    return int(bit_matrix_to_ints(bits[None, :])[0])
+
+
+def _identity_input_blocks(
+    coordinator_shares: list[list[int]],
+    thresholds: list[int],
+    width: int,
+) -> tuple[list[np.ndarray], np.ndarray, np.ndarray]:
+    """Shared input-encoding of the decomposed entry points.
+
+    Returns the per-coordinator share-bit blocks, the threshold-bit block
+    (clamped to 0 where unrepresentable), and the reach column.
+    """
+    n_ids = len(thresholds)
+    max_val = (1 << width) - 1
+    share_mats = []
+    for shares in coordinator_shares:
+        if len(shares) != n_ids:
+            raise ValueError("coordinator share vectors must align with thresholds")
+        share_mats.append(ints_to_bit_matrix(shares, width))
+    t_mat = ints_to_bit_matrix(
+        [t if t <= max_val else 0 for t in thresholds], width
+    )
+    reach_col = np.asarray(
+        [[1 if t <= max_val else 0] for t in thresholds], dtype=np.uint8
+    )
+    return share_mats, t_mat, reach_col
+
+
+def _run_count_below_staged(
+    coordinator_shares: list[list[int]],
+    thresholds: list[int],
+    eps_scaled: list[int],
+    width: int,
+    high_threshold: int,
+    rng: random.Random,
+    engine: str,
+) -> CountBelowResult:
+    """CountBelow via per-identity circuits + secure reduction trees."""
+    c = len(coordinator_shares)
+    n_ids = len(thresholds)
+    circuit = build_count_identity_circuit(c, width, high_threshold)
+    share_mats, t_mat, reach_col = _identity_input_blocks(
+        coordinator_shares, thresholds, width
+    )
+    eps_mat = ints_to_bit_matrix(eps_scaled, EPSILON_SCALE_BITS)
+    inputs = np.concatenate(share_mats + [t_mat, reach_col, eps_mat], axis=1)
+
+    totals = GMWStats(parties=c)
+    stage = _run_stage(circuit, c, rng, engine, plain=inputs, open_outputs=False)
+    totals.add(stage.stats)
+    gates = stage.gates
+
+    truly_sh, g = _secure_tree_reduce(
+        stage.shares[:, :, 0:1], "sum", c, rng, engine, totals
+    )
+    gates += g
+    natural_sh, g = _secure_tree_reduce(
+        stage.shares[:, :, 1:2], "sum", c, rng, engine, totals
+    )
+    gates += g
+    xi_sh, g = _secure_tree_reduce(
+        stage.shares[:, :, 2:], "max", c, rng, engine, totals
+    )
+    gates += g
+
+    # Single final opening round: the three aggregates are revealed together.
+    n_opened = truly_sh.shape[1] + natural_sh.shape[1] + xi_sh.shape[1]
+    account_output_opening(totals, c, n_opened)
+    return CountBelowResult(
+        n_common=_open_shared_int(truly_sh),
+        n_natural_decoys=_open_shared_int(natural_sh),
+        xi_scaled=_open_shared_int(xi_sh),
+        stats=totals,
+        circuit=circuit,
+        engine=engine,
+        total_gates=gates,
+        stats_per_identity=stage.per_instance,
+    )
+
+
+def _run_beta_selection_staged(
+    coordinator_shares: list[list[int]],
+    thresholds: list[int],
+    lambda_scaled: int,
+    width: int,
+    rng: random.Random,
+    engine: str,
+) -> SelectionResult:
+    """β-selection via the per-identity circuit (outputs public, no trees)."""
+    c = len(coordinator_shares)
+    n_ids = len(thresholds)
+    circuit = build_selection_identity_circuit(c, width, lambda_scaled)
+    share_mats, t_mat, reach_col = _identity_input_blocks(
+        coordinator_shares, thresholds, width
+    )
+    # Decoy coins: drawn identically for both engines (numpy stream seeded
+    # from the protocol rng) so same-seed scalar/batch runs select the same
+    # identities exactly.
+    np_rng = np.random.default_rng(rng.getrandbits(64))
+    coins = np_rng.integers(0, 2, size=(n_ids, c * COIN_BITS), dtype=np.uint8)
+    inputs = np.concatenate(share_mats + [coins, t_mat, reach_col], axis=1)
+    stage = _run_stage(circuit, c, rng, engine, plain=inputs, open_outputs=True)
+    return SelectionResult(
+        publish_as_one=[int(b) for b in stage.opened[:, 0]],
+        stats=stage.stats,
+        circuit=circuit,
+        engine=engine,
+        total_gates=stage.gates,
+        stats_per_identity=stage.per_instance,
+    )
+
+
 def run_count_below(
     coordinator_shares: list[list[int]],
     thresholds: list[int],
@@ -204,6 +638,7 @@ def run_count_below(
     ring: Zq,
     rng: random.Random,
     high_threshold: int | None = None,
+    engine: str = "mono",
 ) -> CountBelowResult:
     """Execute CountBelow under GMW among the ``c`` coordinators.
 
@@ -211,15 +646,28 @@ def run_count_below(
     identities from natural decoys; by default every broadcast identity
     counts as common (pass an explicit value -- typically ``ceil(0.5 m)`` --
     to enable the natural-decoy accounting).
+
+    ``engine`` selects the evaluation strategy (see module docstring):
+    ``"mono"`` keeps the original monolithic circuit; ``"scalar"`` and
+    ``"batch"`` run the decomposed per-identity formulation, the latter
+    bitsliced 64 identities at a time.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (expected one of {ENGINES})")
     c = len(coordinator_shares)
     n_ids = len(thresholds)
+    if len(epsilons) != n_ids:
+        raise ValueError("thresholds/epsilons must align")
     width = (ring.q - 1).bit_length()
     if (1 << width) != ring.q:
         raise ValueError("CountBelow requires a power-of-two modulus")
     if high_threshold is None:
         high_threshold = 0  # every broadcast identity is "high"
     eps_scaled = [scale_epsilon(e) for e in epsilons]
+    if engine != "mono":
+        return _run_count_below_staged(
+            coordinator_shares, thresholds, eps_scaled, width, high_threshold, rng, engine
+        )
     circuit = build_count_circuit(c, thresholds, eps_scaled, width, high_threshold)
     inputs = _flatten_share_inputs(coordinator_shares, n_ids, width)
     protocol = GMWProtocol(circuit, parties=c, rng=rng)
@@ -243,8 +691,14 @@ def run_beta_selection(
     lambda_: float,
     ring: Zq,
     rng: random.Random,
+    engine: str = "mono",
 ) -> SelectionResult:
-    """Execute the β-selection circuit under GMW among the coordinators."""
+    """Execute the β-selection circuit under GMW among the coordinators.
+
+    ``engine`` as in :func:`run_count_below`.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (expected one of {ENGINES})")
     c = len(coordinator_shares)
     n_ids = len(thresholds)
     width = (ring.q - 1).bit_length()
@@ -253,6 +707,10 @@ def run_beta_selection(
     if not 0.0 <= lambda_ <= 1.0:
         raise ValueError(f"lambda must be in [0, 1], got {lambda_}")
     lambda_scaled = round(lambda_ * (1 << COIN_BITS))
+    if engine != "mono":
+        return _run_beta_selection_staged(
+            coordinator_shares, thresholds, lambda_scaled, width, rng, engine
+        )
     circuit = build_selection_circuit(c, thresholds, lambda_scaled, width)
     inputs: list[int] = []
     for k in range(c):

@@ -17,19 +17,60 @@ Protocol recap (Goldreich-Micali-Wigderson, semi-honest variant):
 
 AND gates at the same multiplicative depth are batched into a single round,
 matching how circuit-based MPC engines amortize communication; the recorded
-round/message/byte counts feed the network-cost model used for Fig. 6a/6c.
+round/message/bit counts feed the network-cost model used for Fig. 6a/6c.
+
+Two engines share the layer schedule of
+:mod:`repro.mpc.circuits.compiled`:
+
+* :class:`GMWProtocol` (alias :data:`GMWEngine`) -- the scalar
+  one-instance-at-a-time engine, kept as the correctness oracle;
+* :class:`BatchGMWEngine` -- the bitsliced engine: up to 64 independent
+  instances ride in the bit-lanes of one ``uint64`` per wire, so a single
+  pass over the circuit evaluates 64 instances, and the Beaver masking of a
+  layer is one vectorized array expression across lanes *and* gates.
+
+The batch engine deliberately reports **per-instance** communication stats
+computed with the same accounting helpers as the scalar engine: bitslicing
+is a computational speedup of the simulation, not a change to the paper's
+Fig. 6 cost model (see DESIGN.md).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.mpc.circuits.gates import Circuit, GateOp
+import numpy as np
+
+from repro.mpc.circuits.compiled import (
+    LANES,
+    OP_CONST,
+    OP_INPUT,
+    OP_NOT,
+    OP_XOR,
+    CompiledCircuit,
+    compile_circuit,
+    pack_lanes,
+    unpack_lanes,
+)
+from repro.mpc.circuits.gates import Circuit
 from repro.mpc.triples import TripleDealer
 
-__all__ = ["GMWProtocol", "GMWResult", "GMWStats", "PartyTranscript"]
+__all__ = [
+    "GMWProtocol",
+    "GMWEngine",
+    "BatchGMWEngine",
+    "GMWResult",
+    "BatchGMWResult",
+    "GMWStats",
+    "PartyTranscript",
+    "account_and_layer",
+    "account_output_opening",
+    "expected_stats",
+]
+
+_FULL_MASK = np.uint64((1 << LANES) - 1)
 
 
 @dataclass
@@ -42,6 +83,63 @@ class GMWStats:
     messages: int = 0
     bits_sent: int = 0
     triples_consumed: int = 0
+
+    def add(self, other: "GMWStats", times: int = 1) -> None:
+        """Accumulate ``other`` (scaled by ``times``) into this record."""
+        self.and_gates += other.and_gates * times
+        self.rounds += other.rounds * times
+        self.messages += other.messages * times
+        self.bits_sent += other.bits_sent * times
+        self.triples_consumed += other.triples_consumed * times
+
+
+def account_and_layer(stats: GMWStats, parties: int, n_ands: int) -> None:
+    """Charge one AND-layer broadcast round to ``stats``.
+
+    All ANDs of a layer open their ``(d, e)`` masks together: one round,
+    ``p*(p-1)`` messages, each carrying the 2 opened bits of every AND.
+    This is the single source of truth used by the scalar and batch engines.
+    """
+    if n_ands <= 0:
+        return
+    stats.rounds += 1
+    stats.messages += parties * (parties - 1)
+    stats.bits_sent += 2 * n_ands * parties * (parties - 1)
+
+
+def account_output_opening(stats: GMWStats, parties: int, n_outputs: int) -> None:
+    """Charge the final output-opening round to ``stats``.
+
+    A circuit with no outputs (or an evaluation that keeps its outputs
+    shared) pays nothing -- centralizing the empty/non-empty branch here is
+    what keeps the scalar and batch engines from double- or under-counting
+    the opening traffic.
+    """
+    if n_outputs <= 0:
+        return
+    stats.rounds += 1
+    stats.messages += parties * (parties - 1)
+    stats.bits_sent += n_outputs * parties * (parties - 1)
+
+
+def expected_stats(
+    circuit: Circuit, parties: int, open_outputs: bool = True
+) -> GMWStats:
+    """Analytic per-instance stats of one GMW evaluation of ``circuit``.
+
+    Derived from the compiled layer schedule with the same accounting
+    helpers the engines use, so an actual scalar run reports exactly these
+    numbers; the batch engine uses this as its per-instance record.
+    """
+    compiled = compile_circuit(circuit)
+    stats = GMWStats(parties=parties)
+    for layer in compiled.layers:
+        account_and_layer(stats, parties, layer.n_ands)
+        stats.and_gates += layer.n_ands
+    if open_outputs:
+        account_output_opening(stats, parties, compiled.n_outputs)
+    stats.triples_consumed = stats.and_gates
+    return stats
 
 
 @dataclass
@@ -62,11 +160,17 @@ class PartyTranscript:
 
 @dataclass
 class GMWResult:
-    """Outputs plus accounting and per-party transcripts."""
+    """Outputs plus accounting and per-party transcripts.
+
+    When the evaluation keeps its outputs secret (``open_outputs=False``),
+    ``outputs`` is empty and ``output_shares[p][k]`` holds party ``p``'s XOR
+    share of output wire ``k`` instead.
+    """
 
     outputs: list[int]
     stats: GMWStats
     transcripts: list[PartyTranscript]
+    output_shares: Optional[list[list[int]]] = None
 
 
 class GMWProtocol:
@@ -77,6 +181,7 @@ class GMWProtocol:
             raise ValueError(f"GMW needs >= 2 parties, got {parties}")
         circuit.validate()
         self.circuit = circuit
+        self.compiled: CompiledCircuit = compile_circuit(circuit)
         self.parties = parties
         self._rng = rng
         self.dealer = TripleDealer(parties, rng)
@@ -103,11 +208,15 @@ class GMWProtocol:
 
     # -- evaluation ---------------------------------------------------------
 
-    def run(self, inputs: Sequence[int]) -> GMWResult:
+    def run(self, inputs: Sequence[int], open_outputs: bool = True) -> GMWResult:
         """Share ``inputs``, evaluate securely, open outputs."""
-        return self.run_shared(self.share_inputs(inputs))
+        return self.run_shared(self.share_inputs(inputs), open_outputs=open_outputs)
 
-    def run_shared(self, input_shares: Sequence[Sequence[int]]) -> GMWResult:
+    def run_shared(
+        self,
+        input_shares: Sequence[Sequence[int]],
+        open_outputs: bool = True,
+    ) -> GMWResult:
         """Evaluate from pre-shared inputs (indexed [party][input])."""
         if len(input_shares) != self.parties:
             raise ValueError(
@@ -126,62 +235,62 @@ class GMWProtocol:
         # wire_shares[p][w] = party p's XOR share of wire w
         wire_shares = [[0] * self.circuit.n_wires for _ in range(self.parties)]
 
-        for layer in self._and_layers():
-            batch: list[tuple[int, int, int]] = []  # (wire, d, e) openings
-            for gate_idx in layer:
-                gate = self.circuit.gates[gate_idx]
-                if gate.op is GateOp.INPUT:
+        for layer in self.compiled.layers:
+            # AND arguments always come from strictly earlier layers, so the
+            # whole layer's Beaver openings happen before its linear gates.
+            for a_wire, b_wire, out in zip(layer.and_a, layer.and_b, layer.and_out):
+                self._eval_and(int(a_wire), int(b_wire), int(out), wire_shares, transcripts, stats)
+            account_and_layer(stats, self.parties, layer.n_ands)
+            stats.and_gates += layer.n_ands
+            for op, a0, a1, out, aux in layer.linear:
+                if op == OP_XOR:
                     for p in range(self.parties):
-                        wire_shares[p][gate.out] = input_shares[p][gate.input_index]
-                elif gate.op is GateOp.CONST:
-                    wire_shares[0][gate.out] = gate.const_value
-                elif gate.op is GateOp.XOR:
-                    a, b = gate.args
+                        wire_shares[p][out] = wire_shares[p][a0] ^ wire_shares[p][a1]
+                elif op == OP_NOT:
                     for p in range(self.parties):
-                        wire_shares[p][gate.out] = (
-                            wire_shares[p][a] ^ wire_shares[p][b]
-                        )
-                elif gate.op is GateOp.NOT:
-                    (a,) = gate.args
+                        wire_shares[p][out] = wire_shares[p][a0]
+                    wire_shares[0][out] ^= 1
+                elif op == OP_INPUT:
                     for p in range(self.parties):
-                        wire_shares[p][gate.out] = wire_shares[p][a]
-                    wire_shares[0][gate.out] ^= 1
-                elif gate.op is GateOp.AND:
-                    self._eval_and(gate, wire_shares, batch, transcripts, stats)
-            if batch:
-                # All ANDs in this layer opened their (d, e) masks together.
-                stats.rounds += 1
-                # Each party broadcasts 2 bits per AND to every other party.
-                opened = 2 * len(batch)
-                stats.messages += self.parties * (self.parties - 1)
-                stats.bits_sent += opened * self.parties * (self.parties - 1)
+                        wire_shares[p][out] = input_shares[p][aux]
+                elif op == OP_CONST:
+                    wire_shares[0][out] = aux
 
-        outputs = []
-        for w in self.circuit.outputs:
-            bit = 0
-            for p in range(self.parties):
-                bit ^= wire_shares[p][w]
-            outputs.append(bit)
-        if self.circuit.outputs:
-            stats.rounds += 1
-            stats.messages += self.parties * (self.parties - 1)
-            stats.bits_sent += len(self.circuit.outputs) * self.parties * (self.parties - 1)
+        outputs: list[int] = []
+        output_shares: Optional[list[list[int]]] = None
+        if open_outputs:
+            for w in self.circuit.outputs:
+                bit = 0
+                for p in range(self.parties):
+                    bit ^= wire_shares[p][w]
+                outputs.append(bit)
+            account_output_opening(stats, self.parties, len(self.circuit.outputs))
+        else:
+            output_shares = [
+                [wire_shares[p][w] for w in self.circuit.outputs]
+                for p in range(self.parties)
+            ]
         for p in range(self.parties):
             transcripts[p].output_bits = list(outputs)
         stats.triples_consumed = stats.and_gates
-        return GMWResult(outputs=outputs, stats=stats, transcripts=transcripts)
+        return GMWResult(
+            outputs=outputs,
+            stats=stats,
+            transcripts=transcripts,
+            output_shares=output_shares,
+        )
 
     # -- internals ------------------------------------------------------------
 
     def _eval_and(
         self,
-        gate,
+        a_wire: int,
+        b_wire: int,
+        out: int,
         wire_shares: list[list[int]],
-        batch: list[tuple[int, int, int]],
         transcripts: list[PartyTranscript],
         stats: GMWStats,
     ) -> None:
-        a_wire, b_wire = gate.args
         triple = self.dealer.deal()
         # Masked openings d = x ^ a, e = y ^ b (public once broadcast).
         d = 0
@@ -193,27 +302,234 @@ class GMWProtocol:
             z = triple[p].c ^ (d & triple[p].b) ^ (e & triple[p].a)
             if p == 0:
                 z ^= d & e
-            wire_shares[p][gate.out] = z
+            wire_shares[p][out] = z
             transcripts[p].opened_values.extend((d, e))
-        batch.append((gate.out, d, e))
-        stats.and_gates += 1
 
-    def _and_layers(self) -> list[list[int]]:
-        """Group gates into layers with equal multiplicative depth.
 
-        Within a layer all AND gates are communication-independent, so their
-        openings share one broadcast round.  Linear gates ride along with the
-        layer in which their inputs become available.
+# The scalar engine under the name the batched pipelines pair it with.
+GMWEngine = GMWProtocol
+
+
+@dataclass
+class BatchGMWResult:
+    """Result of one bitsliced evaluation over ``n_instances`` lanes.
+
+    ``outputs[i][k]`` is instance ``i``'s opened output bit ``k`` (``None``
+    when outputs stay shared; then ``output_shares[p, i, k]`` holds party
+    ``p``'s XOR share instead).  ``per_instance`` is the scalar-identical
+    per-instance accounting; ``stats`` aggregates it over all instances --
+    the paper's cost model, under which lanes do not share rounds.
+    ``physical_rounds`` counts the broadcast rounds the batched evaluation
+    actually needed (one per AND layer per 64-lane chunk).
+    """
+
+    n_instances: int
+    outputs: Optional[np.ndarray]
+    output_shares: Optional[np.ndarray]
+    per_instance: GMWStats
+    stats: GMWStats
+    physical_rounds: int
+
+
+class BatchGMWEngine:
+    """Bitsliced GMW: up to 64 instances per pass, one circuit, shared rounds.
+
+    Wire state is an ``(n_wires, parties)`` ``uint64`` array; bit-lane ``i``
+    of every word belongs to instance ``i``.  Linear gates are interpreted
+    once for all lanes; each AND layer gathers its argument words with one
+    fancy-index, draws its Beaver triples with one vectorized
+    :meth:`TripleDealer.deal_batch`, and applies the masking identity as
+    whole-array expressions -- vectorized across gates *and* lanes.
+    """
+
+    def __init__(self, circuit: Circuit, parties: int, rng: random.Random):
+        if parties < 2:
+            raise ValueError(f"GMW needs >= 2 parties, got {parties}")
+        circuit.validate()
+        self.circuit = circuit
+        self.compiled: CompiledCircuit = compile_circuit(circuit)
+        self.parties = parties
+        self._rng = rng
+        self._np_rng = np.random.default_rng(rng.getrandbits(64))
+        self.dealer = TripleDealer(parties, rng)
+
+    # -- input sharing ---------------------------------------------------------
+
+    def share_inputs(self, inputs: np.ndarray) -> np.ndarray:
+        """XOR-share a packed chunk: ``(n_inst, n_inputs)`` bits ->
+        ``(n_inputs, parties)`` lane-packed share words."""
+        mat = np.asarray(inputs, dtype=np.uint8)
+        if mat.ndim != 2 or mat.shape[1] != self.compiled.n_inputs:
+            raise ValueError(
+                f"expected an (n, {self.compiled.n_inputs}) input matrix, "
+                f"got shape {mat.shape}"
+            )
+        if mat.shape[0] > LANES:
+            raise ValueError(f"at most {LANES} instances per chunk, got {mat.shape[0]}")
+        if mat.size and mat.max() > 1:
+            raise ValueError("inputs must be bits")
+        packed = pack_lanes(mat)  # (n_inputs,)
+        n_in = packed.shape[0]
+        rand = self._np_rng.integers(
+            0, 1 << 64, size=(n_in, self.parties - 1), dtype=np.uint64
+        )
+        last = np.bitwise_xor.reduce(rand, axis=1) ^ packed
+        return np.concatenate([rand, last[:, None]], axis=1)
+
+    # -- evaluation ---------------------------------------------------------
+
+    def run(self, inputs: np.ndarray, open_outputs: bool = True) -> BatchGMWResult:
+        """Share and evaluate many instances, chunking 64 lanes at a time."""
+        mat = np.asarray(inputs, dtype=np.uint8)
+        if mat.ndim != 2 or mat.shape[1] != self.compiled.n_inputs:
+            raise ValueError(
+                f"expected an (n, {self.compiled.n_inputs}) input matrix, "
+                f"got shape {mat.shape}"
+            )
+        n = mat.shape[0]
+        if n == 0:
+            raise ValueError("need at least one instance")
+        chunks = []
+        for start in range(0, n, LANES):
+            chunk = mat[start : start + LANES]
+            chunks.append(
+                self.run_shared(
+                    self.share_inputs(chunk), chunk.shape[0], open_outputs=open_outputs
+                )
+            )
+        return _merge_chunk_results(chunks, self.parties)
+
+    def run_shared_bits(
+        self, share_bits: np.ndarray, open_outputs: bool = True
+    ) -> BatchGMWResult:
+        """Evaluate many instances whose inputs are *already* secret-shared.
+
+        ``share_bits`` is ``(parties, n_instances, n_inputs)``: party ``p``'s
+        XOR share bit of each input of each instance (the layout
+        ``run_shared(..., open_outputs=False)`` hands back, letting staged
+        pipelines chain batched evaluations without ever opening).  Instances
+        are lane-packed 64 at a time.
         """
-        depth = [0] * self.circuit.n_wires
-        layers: dict[int, list[int]] = {}
-        for i, gate in enumerate(self.circuit.gates):
-            if gate.op in (GateOp.INPUT, GateOp.CONST):
-                d = 0
-            elif gate.op is GateOp.AND:
-                d = max(depth[a] for a in gate.args) + 1
-            else:
-                d = max((depth[a] for a in gate.args), default=0)
-            depth[gate.out] = d
-            layers.setdefault(d, []).append(i)
-        return [layers[d] for d in sorted(layers)]
+        arr = np.asarray(share_bits, dtype=np.uint8)
+        if arr.ndim != 3 or arr.shape[0] != self.parties or (
+            arr.shape[2] != self.compiled.n_inputs
+        ):
+            raise ValueError(
+                f"expected a ({self.parties}, n, {self.compiled.n_inputs}) share "
+                f"tensor, got shape {arr.shape}"
+            )
+        n = arr.shape[1]
+        if n == 0:
+            raise ValueError("need at least one instance")
+        chunks = []
+        for start in range(0, n, LANES):
+            chunk = arr[:, start : start + LANES, :]
+            packed = np.stack(
+                [pack_lanes(chunk[p]) for p in range(self.parties)], axis=1
+            )
+            chunks.append(
+                self.run_shared(packed, chunk.shape[1], open_outputs=open_outputs)
+            )
+        return _merge_chunk_results(chunks, self.parties)
+
+    def run_shared(
+        self,
+        input_shares: np.ndarray,
+        n_instances: int,
+        open_outputs: bool = True,
+    ) -> BatchGMWResult:
+        """Evaluate one pre-shared chunk.
+
+        ``input_shares`` is the ``(n_inputs, parties)`` lane-packed share
+        matrix (as produced by :meth:`share_inputs`, or assembled from
+        upstream secret shares); ``n_instances`` says how many lanes are
+        live -- surplus lanes carry garbage and are dropped on unpack.
+        """
+        shares = np.ascontiguousarray(input_shares, dtype=np.uint64)
+        if shares.shape != (self.compiled.n_inputs, self.parties):
+            raise ValueError(
+                f"expected a ({self.compiled.n_inputs}, {self.parties}) share "
+                f"matrix, got shape {shares.shape}"
+            )
+        if not 1 <= n_instances <= LANES:
+            raise ValueError(f"n_instances must be in [1, {LANES}], got {n_instances}")
+
+        compiled = self.compiled
+        parties = self.parties
+        wires = np.zeros((compiled.n_wires, parties), dtype=np.uint64)
+        physical_rounds = 0
+
+        for layer in compiled.layers:
+            k = layer.n_ands
+            if k:
+                x = wires[layer.and_a]  # (k, parties)
+                y = wires[layer.and_b]
+                ta, tb, tc = self.dealer.deal_batch(k, lanes=n_instances)
+                # One broadcast round: open d = x ^ a and e = y ^ b for the
+                # whole layer, all lanes at once.
+                d = np.bitwise_xor.reduce(x ^ ta, axis=1)  # (k,)
+                e = np.bitwise_xor.reduce(y ^ tb, axis=1)
+                z = tc ^ (d[:, None] & tb) ^ (e[:, None] & ta)
+                z[:, 0] ^= d & e
+                wires[layer.and_out] = z
+                physical_rounds += 1
+            for op, a0, a1, out, aux in layer.linear:
+                if op == OP_XOR:
+                    wires[out] = wires[a0] ^ wires[a1]
+                elif op == OP_NOT:
+                    wires[out] = wires[a0]
+                    wires[out, 0] ^= _FULL_MASK
+                elif op == OP_INPUT:
+                    wires[out] = shares[aux]
+                else:  # OP_CONST
+                    wires[out, 0] = _FULL_MASK if aux else np.uint64(0)
+
+        per_instance = expected_stats(self.circuit, parties, open_outputs=open_outputs)
+        outputs: Optional[np.ndarray] = None
+        output_shares: Optional[np.ndarray] = None
+        out_words = wires[compiled.outputs]  # (n_outputs, parties)
+        if open_outputs:
+            opened = np.bitwise_xor.reduce(out_words, axis=1) if compiled.n_outputs else (
+                np.zeros(0, dtype=np.uint64)
+            )
+            outputs = unpack_lanes(opened, n_instances)
+            if compiled.n_outputs:
+                physical_rounds += 1
+        else:
+            # (parties, n_instances, n_outputs): party-major secret shares.
+            output_shares = np.stack(
+                [unpack_lanes(out_words[:, p], n_instances) for p in range(parties)]
+            )
+
+        stats = GMWStats(parties=parties)
+        stats.add(per_instance, times=n_instances)
+        return BatchGMWResult(
+            n_instances=n_instances,
+            outputs=outputs,
+            output_shares=output_shares,
+            per_instance=per_instance,
+            stats=stats,
+            physical_rounds=physical_rounds,
+        )
+
+
+def _merge_chunk_results(chunks: list[BatchGMWResult], parties: int) -> BatchGMWResult:
+    if len(chunks) == 1:
+        return chunks[0]
+    stats = GMWStats(parties=parties)
+    for ch in chunks:
+        stats.add(ch.stats)
+    outputs = None
+    if chunks[0].outputs is not None:
+        outputs = np.concatenate([ch.outputs for ch in chunks], axis=0)
+    output_shares = None
+    if chunks[0].output_shares is not None:
+        output_shares = np.concatenate([ch.output_shares for ch in chunks], axis=1)
+    return BatchGMWResult(
+        n_instances=sum(ch.n_instances for ch in chunks),
+        outputs=outputs,
+        output_shares=output_shares,
+        per_instance=chunks[0].per_instance,
+        stats=stats,
+        physical_rounds=sum(ch.physical_rounds for ch in chunks),
+    )

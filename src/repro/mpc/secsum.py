@@ -28,6 +28,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.mpc.additive import AdditiveSharing
 from repro.mpc.field import Zq
 
@@ -85,6 +87,59 @@ class SecSumShare:
                 raise ValueError(
                     f"provider {i} supplied {len(row)} values, expected {n_ids}"
                 )
+        if self.ring.q < 1 << 31:
+            return self._run_vectorized(inputs, n_ids)
+        return self._run_scalar(inputs, n_ids)
+
+    def _run_vectorized(self, inputs: list[list[int]], n_ids: int) -> SecSumResult:
+        """Array implementation: one RNG draw and O(m*c) numpy ops total.
+
+        Replaces the per-element Python loops of :meth:`_run_scalar`; both
+        paths realize the identical protocol data-flow, this one bounded by
+        ``q < 2**31`` so int64 accumulation cannot wrap.
+        """
+        m, c, q = self.m, self.c, self.ring.q
+        np_rng = np.random.default_rng(self._rng.getrandbits(64))
+
+        # Step 1: shares[i, j, k] = share k of M(i, j), all drawn at once.
+        flat = [v for row in inputs for v in row]
+        shares = self._sharing.share_matrix(flat, np_rng).reshape(m, n_ids, c)
+
+        # Step 2: ring distribution.  Provider dest = (i + k) % m receives
+        # share k from sender i; per (sender, k) pair that is one whole
+        # identity-row, so the transcript is rebuilt row-at-a-time.
+        views = [ProviderView(provider=i) for i in range(m)]
+        for i in range(m):
+            for k in range(1, c):
+                views[(i + k) % m].received_shares.extend(
+                    int(v) for v in shares[i, :, k]
+                )
+
+        # Step 3: super-shares.  received-by-i share k came from (i - k) % m,
+        # i.e. rolling the sender axis forward by k aligns it with i.
+        supers = np.zeros((m, n_ids), dtype=np.int64)
+        for k in range(c):
+            supers += np.roll(shares[:, :, k], shift=k, axis=0)
+        supers %= q
+        for i in range(m):
+            views[i].super_share = int(supers[i, 0]) if n_ids else 0
+
+        # Step 4: aggregate at c coordinators; provider i reports to i mod c.
+        coordinator_shares = []
+        coordinator_received: list[list[int]] = []
+        for k in range(c):
+            mine = supers[k::c]
+            coordinator_shares.append([int(v) for v in mine.sum(axis=0) % q])
+            coordinator_received.append([int(v) for v in mine.reshape(-1)])
+        return SecSumResult(
+            coordinator_shares=coordinator_shares,
+            provider_views=views,
+            coordinator_received=coordinator_received,
+        )
+
+    def _run_scalar(self, inputs: list[list[int]], n_ids: int) -> SecSumResult:
+        """Reference implementation (also the big-modulus fallback)."""
+        m, c = self.m, self.c
 
         # Step 1: every provider shares every input value into c pieces.
         # shares[i][j] = list of c share values of M(i, j).

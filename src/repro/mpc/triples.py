@@ -18,6 +18,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = ["BitTriple", "SharedBitTriple", "TripleDealer"]
 
 
@@ -59,6 +61,7 @@ class TripleDealer:
             raise ValueError(f"need at least 2 parties, got {parties}")
         self.parties = parties
         self._rng = rng
+        self._np_rng: np.random.Generator | None = None
         self.issued = 0
 
     def deal(self) -> list[SharedBitTriple]:
@@ -78,6 +81,40 @@ class TripleDealer:
     def deal_many(self, count: int) -> list[list[SharedBitTriple]]:
         """Deal ``count`` triples; result indexed ``[triple][party]``."""
         return [self.deal() for _ in range(count)]
+
+    def deal_batch(
+        self, count: int, lanes: int = 64
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Deal ``count * lanes`` independent bit triples, bitsliced.
+
+        Returns ``(a, b, c)`` share arrays of shape ``(count, parties)`` and
+        dtype ``uint64``: entry ``[g, p]`` holds party ``p``'s XOR share of
+        64 lane-parallel triples for gate ``g`` -- bit-lane ``i`` of the
+        reconstructed words satisfies ``c = a & b`` independently per lane.
+        One vectorized draw replaces ``3 * parties * count * lanes``
+        scalar RNG calls, which is what makes the batched GMW online phase
+        triple-supply-bound no longer.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if not 1 <= lanes <= 64:
+            raise ValueError(f"lanes must be in [1, 64], got {lanes}")
+        if self._np_rng is None:
+            # Seeded from the dealer's own stream so runs stay reproducible.
+            self._np_rng = np.random.default_rng(self._rng.getrandbits(64))
+        rng = self._np_rng
+        a = rng.integers(0, 1 << 64, size=count, dtype=np.uint64)
+        b = rng.integers(0, 1 << 64, size=count, dtype=np.uint64)
+        c = a & b
+        shares = []
+        for word in (a, b, c):
+            parts = rng.integers(
+                0, 1 << 64, size=(count, self.parties - 1), dtype=np.uint64
+            )
+            last = np.bitwise_xor.reduce(parts, axis=1) ^ word if self.parties > 1 else word
+            shares.append(np.concatenate([parts, last[:, None]], axis=1))
+        self.issued += count * lanes
+        return shares[0], shares[1], shares[2]
 
     def _xor_share(self, bit: int) -> list[int]:
         shares = [self._rng.getrandbits(1) for _ in range(self.parties - 1)]
