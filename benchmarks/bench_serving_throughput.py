@@ -32,6 +32,7 @@ from repro.serving import (
     run_load_multiprocess,
     run_load_sync,
     save_snapshot,
+    sync_request,
 )
 from repro.service import run_concurrent_searchers
 
@@ -167,7 +168,12 @@ def test_serving_throughput(benchmark, report):
 
 def run_fleet_scaling(tmp_dir: str):
     """QPS as the fleet grows: n shard processes driven by n generator
-    processes, so neither side of the socket is pinned to one core."""
+    processes, so neither side of the socket is pinned to one core.
+
+    The snapshot is written in format v2 (the default), so every shard
+    process mmap-boots the CSR postings engine instead of unpacking the
+    dense matrix -- the workload below therefore exercises the production
+    read path end to end."""
     _, index = build()
     snapshot = os.path.join(tmp_dir, "bench_index.npz")
     save_snapshot(index, snapshot)
@@ -176,6 +182,8 @@ def run_fleet_scaling(tmp_dir: str):
     for n in FLEET_SIZES:
         with FleetSupervisor(snapshot, n_shards=n) as fleet:
             fleet.start(monitor=True)
+            info = sync_request(fleet.addresses[0], "info")
+            assert info["index_engine"] == "PostingsIndex", info
             report = run_load_multiprocess(
                 servers=fleet.addresses,
                 owner_ids=list(range(N_IDS)),

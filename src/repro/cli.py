@@ -268,12 +268,16 @@ def _run_node_forever(node) -> int:
     return 0
 
 
-def _load_index_arg(args: argparse.Namespace) -> PPIIndex:
-    """Load an index from ``--index`` (JSON) or ``--snapshot`` (binary)."""
-    if getattr(args, "snapshot", None):
-        from repro.serving.snapshot import load_snapshot
+def _load_index_arg(args: argparse.Namespace):
+    """Load an index from ``--index`` (JSON) or ``--snapshot`` (binary).
 
-        return load_snapshot(args.snapshot)
+    A v2 snapshot boots as an mmap'd CSR :class:`PostingsIndex`; v1 falls
+    back to the dense load.
+    """
+    if getattr(args, "snapshot", None):
+        from repro.serving.snapshot import load_serving_index
+
+        return load_serving_index(args.snapshot)
     with open(args.index) as f:
         return PPIIndex.from_json(f.read())
 
@@ -324,7 +328,8 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
     if args.snapshot_command == "build":
         with open(args.index) as f:
             index = PPIIndex.from_json(f.read())
-        info = save_snapshot(index, args.output)
+        version = {"v1": 1, "v2": 2}[args.format]
+        info = save_snapshot(index, args.output, format_version=version)
         print(f"wrote {args.output}")
     else:
         info = inspect_snapshot(args.snapshot)
@@ -505,6 +510,9 @@ def _build_parser() -> argparse.ArgumentParser:
     snb = sn_sub.add_parser("build", help="pack a JSON index into a snapshot")
     snb.add_argument("--index", required=True, help="JSON index file")
     snb.add_argument("--output", required=True, help="snapshot file to write")
+    snb.add_argument("--format", choices=["v1", "v2"], default="v2",
+                     help="v2 adds mmap-able CSR postings (O(1) worker boot); "
+                          "v1 is the legacy packed-bits-only layout")
     snb.set_defaults(func=cmd_snapshot)
     sni = sn_sub.add_parser("inspect", help="summarize + checksum a snapshot")
     sni.add_argument("--snapshot", required=True)

@@ -25,6 +25,7 @@ from repro.core.errors import (
 from repro.core.incremental import IncrementalIndexManager, UpdateResult
 from repro.core.index import IndexStats, PPIIndex
 from repro.core.mixing import MixingResult, compute_lambda, mix_betas
+from repro.core.postings import PostingsIndex
 from repro.core.model import (
     InformationNetwork,
     MembershipMatrix,
@@ -76,6 +77,7 @@ __all__ = [
     "Owner",
     "PPIIndex",
     "PolicyError",
+    "PostingsIndex",
     "PrivacyDegree",
     "PrivacyReport",
     "Provider",

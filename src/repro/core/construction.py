@@ -57,9 +57,7 @@ def compute_betas(
         raise ConstructionError(
             f"need one epsilon per owner ({matrix.n_owners}), got {epsilons.shape}"
         )
-    sigmas = np.array(
-        [matrix.sigma(j) for j in range(matrix.n_owners)], dtype=float
-    )
+    sigmas = matrix.sigmas()
     policy_betas = policy.beta_vector(sigmas, epsilons, matrix.n_providers)
     mixing = mix_betas(
         policy_betas, epsilons, rng, sigmas=sigmas, enabled=mixing_enabled

@@ -129,6 +129,18 @@ class MembershipMatrix:
         """Fractional identity frequency σ_j = frequency / m."""
         return self.frequency(owner_id) / self.n_providers
 
+    def frequencies(self) -> np.ndarray:
+        """All owner frequencies ``f_j`` as one int64 vector."""
+        return np.fromiter(
+            (len(s) for s in self._by_owner), dtype=np.int64, count=self.n_owners
+        )
+
+    def sigmas(self) -> np.ndarray:
+        """All fractional frequencies ``σ_j = f_j / m`` in one vectorized
+        read -- the construction hot path (Eq. 3-7) consumes this instead
+        of ``n`` per-owner :meth:`sigma` calls."""
+        return self.frequencies() / self.n_providers
+
     def to_dense(self) -> np.ndarray:
         """Dense ``m x n`` uint8 copy (providers are rows)."""
         dense = np.zeros((self.n_providers, self.n_owners), dtype=np.uint8)

@@ -1,0 +1,292 @@
+"""Compressed-sparse postings over the published index (the read-path engine).
+
+``QueryPPI`` is the one operation the third-party server answers for every
+searcher (paper Sec. II-A), and the published matrix ``M'`` is *static* once
+constructed (Sec. III-C).  That makes the classic IR trade the right one:
+precompute the per-owner provider list -- the *postings list* -- once, and
+answer every query with an O(result-size) slice instead of an O(m) column
+scan over the dense matrix.
+
+:class:`PostingsIndex` stores the owner-major CSR form of ``M'``:
+
+* ``indptr``  -- ``int64[n_owners + 1]``, monotone; owner ``j``'s postings
+  occupy ``indices[indptr[j]:indptr[j + 1]]``;
+* ``indices`` -- ``int32[nnz]``, provider ids, strictly increasing within
+  each owner's slice (matching the sorted order ``np.nonzero`` emits).
+
+Every query surface of :class:`~repro.core.index.PPIIndex` is reproduced
+with identical results and identical error behavior (property-tested in
+``tests/property/test_property_postings.py``); the dense matrix is never
+touched after construction.  The arrays are plain contiguous buffers, so a
+snapshot can store them verbatim and a serving worker can boot from an
+``mmap`` of the file without copying (see :mod:`repro.serving.snapshot`,
+format version 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.core.index import IndexStats, PPIIndex
+
+__all__ = ["PostingsIndex"]
+
+
+class PostingsIndex:
+    """Owner-major CSR postings of a published index ``M'``.
+
+    The constructor takes ownership of the arrays (they are marked
+    read-only); use the ``from_*`` classmethods in normal code.
+    ``validate=False`` skips the O(nnz) structural checks -- reserved for
+    trusted sources such as a checksummed snapshot, where re-validation
+    would force every page of an otherwise lazily-mapped file.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        n_providers: int,
+        owner_names=None,
+        *,
+        validate: bool = True,
+    ):
+        # asanyarray: a memmap stays a memmap (zero-copy snapshot boot).
+        indptr = np.asanyarray(indptr, dtype=np.int64)
+        indices = np.asanyarray(indices, dtype=np.int32)
+        if n_providers < 0:
+            raise ModelError(f"invalid provider count {n_providers}")
+        if indptr.ndim != 1 or indptr.size < 1:
+            raise ModelError("indptr must be a 1-D array of n_owners + 1 offsets")
+        if indices.ndim != 1:
+            raise ModelError("indices must be a flat provider-id array")
+        if validate:
+            if indptr[0] != 0 or indptr[-1] != indices.size:
+                raise ModelError("indptr must start at 0 and end at len(indices)")
+            if np.any(np.diff(indptr) < 0):
+                raise ModelError("indptr must be monotonically non-decreasing")
+            if indices.size:
+                if indices.min() < 0 or indices.max() >= n_providers:
+                    raise ModelError("postings provider id out of range")
+                # Strictly increasing inside each owner slice: the only
+                # non-increasing steps in the concatenation may occur at
+                # slice boundaries.
+                steps = np.nonzero(np.diff(indices) <= 0)[0] + 1
+                if not np.isin(steps, indptr).all():
+                    raise ModelError(
+                        "postings must be sorted and duplicate-free per owner"
+                    )
+        self._indptr = indptr
+        self._indices = indices
+        self._n_providers = int(n_providers)
+        if owner_names is not None and len(owner_names) != indptr.size - 1:
+            raise ModelError(
+                f"{indptr.size - 1} owners but {len(owner_names)} names"
+            )
+        self._owner_names = owner_names
+        self._name_to_id: dict | None = None  # built lazily; may be large
+        for arr in (self._indptr, self._indices):
+            if isinstance(arr, np.ndarray) and arr.flags.writeable:
+                arr.setflags(write=False)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, published: np.ndarray, owner_names=None) -> "PostingsIndex":
+        """Build from a dense ``providers x owners`` 0/1 matrix."""
+        published = np.asarray(published)
+        if published.ndim != 2:
+            raise ModelError("published matrix must be 2-D (providers x owners)")
+        if not np.all((published == 0) | (published == 1)):
+            raise ModelError("published matrix must be Boolean")
+        owners, providers = np.nonzero(published.T)
+        indptr = np.zeros(published.shape[1] + 1, dtype=np.int64)
+        np.cumsum(np.bincount(owners, minlength=published.shape[1]), out=indptr[1:])
+        return cls(
+            indptr,
+            providers.astype(np.int32),
+            published.shape[0],
+            owner_names=owner_names,
+        )
+
+    @classmethod
+    def from_index(cls, index: PPIIndex) -> "PostingsIndex":
+        """Build from a :class:`PPIIndex` (the matrix is already validated)."""
+        return cls.from_dense(index.matrix, owner_names=index.owner_names)
+
+    @classmethod
+    def from_provider_rows(
+        cls, rows, n_owners: int, owner_names=None
+    ) -> "PostingsIndex":
+        """Build directly from per-provider published rows, never holding the
+        dense matrix: this is how a real server would ingest the publication
+        phase, where each provider uploads only its own ``M'(i, .)`` row."""
+        counts = np.zeros(n_owners, dtype=np.int64)
+        per_provider: list[np.ndarray] = []
+        for row in rows:
+            row = np.asarray(row)
+            if row.shape != (n_owners,):
+                raise ModelError(
+                    f"provider row has shape {row.shape}, expected ({n_owners},)"
+                )
+            positives = np.nonzero(row)[0]
+            counts[positives] += 1
+            per_provider.append(positives)
+        indptr = np.zeros(n_owners + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int32)
+        cursor = indptr[:-1].copy()
+        # Providers arrive in id order, so appending preserves sortedness.
+        for pid, positives in enumerate(per_provider):
+            indices[cursor[positives]] = pid
+            cursor[positives] += 1
+        return cls(indptr, indices, len(per_provider), owner_names=owner_names)
+
+    # -- QueryPPI -------------------------------------------------------------
+
+    def query(self, owner_id: int) -> list[int]:
+        """``QueryPPI(t_j) -> {p_i}``: an O(result-size) postings slice."""
+        self._check_owner(owner_id)
+        return self._indices[
+            self._indptr[owner_id] : self._indptr[owner_id + 1]
+        ].tolist()
+
+    def query_by_name(self, name: str) -> list[int]:
+        if self._name_to_id is None:
+            self._name_to_id = (
+                {str(n): j for j, n in enumerate(self._owner_names)}
+                if self._owner_names is not None
+                else {}
+            )
+        if name not in self._name_to_id:
+            raise ModelError(f"unknown owner name {name!r}")
+        return self.query(self._name_to_id[name])
+
+    def query_many(self, owner_ids) -> list[list[int]]:
+        """Vectorized ``QueryPPI``: one concatenated gather over the postings
+        touched by the batch -- O(total result size), independent of ``m``."""
+        ids = np.asarray(owner_ids, dtype=np.int64)
+        if ids.ndim != 1:
+            raise ModelError("owner_ids must be a flat sequence of ids")
+        if ids.size == 0:
+            return []
+        out_of_range = (ids < 0) | (ids >= self.n_owners)
+        if out_of_range.any():
+            raise ModelError(f"unknown owner id {int(ids[out_of_range][0])}")
+        counts, flat = self._gather(ids)
+        # One bulk tolist + pointer-copy slices beats per-owner ndarray
+        # materialization by a wide margin at serving batch sizes.
+        flat_list = flat.tolist()
+        bounds = np.zeros(ids.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        bounds_list = bounds.tolist()
+        return [
+            flat_list[bounds_list[k] : bounds_list[k + 1]] for k in range(ids.size)
+        ]
+
+    def query_many_arrays(self, owner_ids) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy-ish batch form: ``(counts, flat_providers)`` where owner
+        ``k``'s postings are ``flat[counts[:k].sum():][:counts[k]]``.  This is
+        the fastest surface for numeric consumers (benchmarks, recall
+        computation) that never need Python lists."""
+        ids = np.asarray(owner_ids, dtype=np.int64)
+        if ids.ndim != 1:
+            raise ModelError("owner_ids must be a flat sequence of ids")
+        if ids.size == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int32)
+        out_of_range = (ids < 0) | (ids >= self.n_owners)
+        if out_of_range.any():
+            raise ModelError(f"unknown owner id {int(ids[out_of_range][0])}")
+        return self._gather(ids)
+
+    def _gather(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        starts = self._indptr[ids]
+        counts = self._indptr[ids + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return counts, np.zeros(0, dtype=np.int32)
+        # Standard CSR multi-row gather: build [s0..e0, s1..e1, ...] with one
+        # cumsum -- each element is +1 from its predecessor except at row
+        # boundaries, which jump to the next start.
+        present = counts > 0
+        starts, ends = starts[present], (starts + counts)[present]
+        step = np.ones(total, dtype=np.int64)
+        step[0] = starts[0]
+        boundaries = np.cumsum(ends - starts)[:-1]
+        step[boundaries] = starts[1:] - ends[:-1] + 1
+        return counts, self._indices[np.cumsum(step)]
+
+    def result_size(self, owner_id: int) -> int:
+        """Search cost of one query: number of providers to contact."""
+        self._check_owner(owner_id)
+        return int(self._indptr[owner_id + 1] - self._indptr[owner_id])
+
+    def result_sizes(self) -> np.ndarray:
+        """Per-owner result sizes in one vectorized read (``diff(indptr)``)."""
+        return np.diff(self._indptr)
+
+    def published_frequency(self, owner_id: int) -> float:
+        """Apparent frequency of an identity in the public index."""
+        return self.result_size(owner_id) / self._n_providers
+
+    def stats(self) -> IndexStats:
+        per_owner = self.result_sizes()
+        return IndexStats(
+            n_providers=self.n_providers,
+            n_owners=self.n_owners,
+            published_positives=int(self._indptr[-1]),
+            avg_result_size=float(per_owner.mean()) if self.n_owners else 0.0,
+            broadcast_owners=int(np.sum(per_owner == self.n_providers)),
+        )
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self._indices
+
+    @property
+    def nnz(self) -> int:
+        """Total published positives (length of ``indices``)."""
+        return int(self._indptr[-1])
+
+    @property
+    def n_providers(self) -> int:
+        return self._n_providers
+
+    @property
+    def n_owners(self) -> int:
+        return self._indptr.size - 1
+
+    @property
+    def owner_names(self) -> list[str] | None:
+        if self._owner_names is None:
+            return None
+        return [str(name) for name in self._owner_names]
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the postings arrays (names excluded)."""
+        return int(self._indptr.nbytes + self._indices.nbytes)
+
+    # -- conversions ----------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the dense ``providers x owners`` matrix ``M'``."""
+        dense = np.zeros((self._n_providers, self.n_owners), dtype=np.uint8)
+        owners = np.repeat(np.arange(self.n_owners), self.result_sizes())
+        dense[self._indices, owners] = 1
+        return dense
+
+    def to_index(self) -> PPIIndex:
+        """Materialize the equivalent dense :class:`PPIIndex`."""
+        return PPIIndex(self.to_dense(), owner_names=self.owner_names)
+
+    def _check_owner(self, owner_id: int) -> None:
+        if not 0 <= owner_id < self.n_owners:
+            raise ModelError(f"unknown owner id {owner_id}")

@@ -60,17 +60,25 @@ def publish_provider_row(
 def publish_matrix(
     matrix: MembershipMatrix, betas: Sequence[float], rng: np.random.Generator
 ) -> np.ndarray:
-    """Full published matrix ``M'`` (dense uint8, providers x owners)."""
+    """Full published matrix ``M'`` (dense uint8, providers x owners).
+
+    One whole-matrix Bernoulli draw (``rng.random(shape) < betas``): the
+    generator fills in C order, so this consumes the *identical* uniform
+    stream as the per-provider :func:`publish_provider_row` loop it
+    replaces -- bit-for-bit the same output for the same seed, at a
+    fraction of the Python overhead (``tests/core/test_publication.py``
+    pins both the stream identity and the Binomial marginals).
+    """
     betas = np.asarray(betas, dtype=float)
     if betas.shape != (matrix.n_owners,):
         raise ConstructionError(
             f"need one beta per owner ({matrix.n_owners}), got shape {betas.shape}"
         )
+    if np.any((betas < 0.0) | (betas > 1.0)):
+        raise ConstructionError("beta values must lie in [0, 1]")
     dense = matrix.to_dense()
-    published = np.empty_like(dense)
-    for pid in range(matrix.n_providers):
-        published[pid] = publish_provider_row(dense[pid], betas, rng)
-    return published
+    flips = rng.random(dense.shape) < betas
+    return np.where(dense == 1, np.uint8(1), flips.astype(np.uint8))
 
 
 def sample_false_positive_counts(

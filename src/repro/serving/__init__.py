@@ -54,11 +54,15 @@ from repro.serving.protocol import (
 )
 from repro.serving.provider import ProviderEndpoint
 from repro.serving.snapshot import (
+    SNAPSHOT_FORMAT_V1,
     SNAPSHOT_FORMAT_VERSION,
     SnapshotError,
     inspect_snapshot,
+    load_postings,
+    load_serving_index,
     load_snapshot,
     save_snapshot,
+    snapshot_version,
 )
 from repro.serving.server import (
     IndexShardStore,
@@ -89,6 +93,7 @@ __all__ = [
     "ProviderEndpoint",
     "RemoteError",
     "RetryPolicy",
+    "SNAPSHOT_FORMAT_V1",
     "SNAPSHOT_FORMAT_VERSION",
     "SearchReport",
     "ServingNode",
@@ -98,6 +103,8 @@ __all__ = [
     "WorkerSpec",
     "WrongShard",
     "inspect_snapshot",
+    "load_postings",
+    "load_serving_index",
     "load_snapshot",
     "percentile",
     "run_load",
@@ -105,5 +112,6 @@ __all__ = [
     "run_load_sync",
     "save_snapshot",
     "shard_of",
+    "snapshot_version",
     "sync_request",
 ]

@@ -12,8 +12,9 @@ with cores.
 The :class:`FleetSupervisor` is the operational parent:
 
 * **boot** -- every worker loads the index from a binary snapshot
-  (:mod:`repro.serving.snapshot`), not from JSON, so a restart is bounded
-  by one ``unpackbits`` rather than an O(n·m) parse;
+  (:mod:`repro.serving.snapshot`), not from JSON; a format-v2 snapshot is
+  memory-mapped (CSR postings), so a restart is O(1) in index size and
+  all shard processes on the host share the index pages read-only;
 * **stable addresses** -- the supervisor assigns each shard its port once;
   a restarted worker rebinds the same address, so clients only ever see a
   transient connection failure (retried) and never a topology change;
@@ -57,7 +58,7 @@ from repro.serving.protocol import (
     raise_for_response,
 )
 from repro.serving.server import PPIServer, ShardSpec
-from repro.serving.snapshot import load_snapshot
+from repro.serving.snapshot import load_serving_index
 
 __all__ = [
     "FleetSupervisor",
@@ -122,7 +123,7 @@ class WorkerSpec:
 
 def _worker_main(spec: WorkerSpec) -> None:
     """Entry point of one shard process: load snapshot, serve until SIGTERM."""
-    index = load_snapshot(spec.snapshot_path)
+    index = load_serving_index(spec.snapshot_path)
     server = PPIServer(
         index,
         shard=ShardSpec(spec.shard_id, spec.n_shards),

@@ -55,11 +55,13 @@ __all__ = [
     "VERB_STATS",
     "ConnectionClosed",
     "FrameTooLarge",
+    "PreparedResponse",
     "ProtocolError",
     "RemoteError",
     "encode_frame",
     "error_response",
     "ok_response",
+    "prepare_ok_payload",
     "raise_for_response",
     "read_frame",
     "request",
@@ -162,6 +164,50 @@ def error_response(
     request_id: Any, code: str, message: str, **fields: Any
 ) -> dict[str, Any]:
     return {"id": request_id, "ok": False, "code": code, "error": message, **fields}
+
+
+def prepare_ok_payload(**fields: Any) -> bytes:
+    """Pre-encode an ``ok`` response body with the request id left open.
+
+    Returns the serialized object minus its opening brace --
+    ``b'"ok":true,...}'`` -- so a cached payload can be completed for any
+    request by prepending ``{"id":<id>,``.  The index is static (paper
+    Sec. III-C): the same owner always yields the same provider list, so a
+    server can cache these bytes and skip JSON re-serialization entirely
+    for hot owners (:class:`repro.serving.server.PPIServer`).
+    """
+    return json.dumps({"ok": True, **fields}, separators=(",", ":")).encode(
+        "utf-8"
+    )[1:]
+
+
+class PreparedResponse:
+    """A response whose body suffix is already serialized.
+
+    ``encode`` splices the per-request ``id`` in front of the shared
+    payload bytes; everything after the first comma is byte-identical
+    across requests for the same owner.
+    """
+
+    __slots__ = ("request_id", "payload")
+
+    def __init__(self, request_id: Any, payload: bytes):
+        self.request_id = request_id
+        self.payload = payload
+
+    def encode(self) -> bytes:
+        """Full frame bytes (header + body) for this request."""
+        body = (
+            b'{"id":'
+            + json.dumps(self.request_id, separators=(",", ":")).encode("utf-8")
+            + b","
+            + self.payload
+        )
+        if len(body) > MAX_FRAME_BYTES:
+            raise FrameTooLarge(
+                f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}"
+            )
+        return _HEADER.pack(len(body)) + body
 
 
 def raise_for_response(response: dict[str, Any]) -> dict[str, Any]:

@@ -26,12 +26,13 @@ import asyncio
 import contextlib
 import time
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Union
 
 import numpy as np
 
 from repro.core.errors import ModelError
 from repro.core.index import PPIIndex
+from repro.core.postings import PostingsIndex
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.protocol import (
     VERB_INFO,
@@ -40,12 +41,17 @@ from repro.serving.protocol import (
     VERB_QUERY_BATCH,
     VERB_STATS,
     ConnectionClosed,
+    PreparedResponse,
     ProtocolError,
     error_response,
     ok_response,
+    prepare_ok_payload,
     read_frame,
     write_frame,
 )
+
+#: anything exposing the QueryPPI surface (query/query_many/n_owners/...)
+ServableIndex = Union[PPIIndex, PostingsIndex]
 
 __all__ = [
     "IndexShardStore",
@@ -99,10 +105,12 @@ class IndexShardStore:
     The full index is immutable, so a shard store simply *refuses* queries
     for owners outside its slice rather than slicing the matrix: the memory
     win of physical slicing belongs to a later PR, the routing contract is
-    what matters here.
+    what matters here.  Works over either representation of the published
+    index; serving fleets boot the CSR :class:`PostingsIndex` (mmap'd from
+    a v2 snapshot) so lookups are O(result-size) slices.
     """
 
-    def __init__(self, index: PPIIndex, spec: ShardSpec = ShardSpec()):
+    def __init__(self, index: ServableIndex, spec: ShardSpec = ShardSpec()):
         self.index = index
         self.spec = spec
 
@@ -218,7 +226,11 @@ class ServingNode:
                     )
                     break
                 response = await self._serve_one(message)
-                await write_frame(writer, response)
+                if isinstance(response, PreparedResponse):
+                    writer.write(response.encode())
+                    await writer.drain()
+                else:
+                    await write_frame(writer, response)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -227,7 +239,9 @@ class ServingNode:
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
-    async def _serve_one(self, message: dict[str, Any]) -> dict[str, Any]:
+    async def _serve_one(
+        self, message: dict[str, Any]
+    ) -> Union[dict[str, Any], PreparedResponse]:
         request_id = message.get("id")
         verb = message.get("verb")
         self.metrics.counter("requests_total").inc()
@@ -270,7 +284,7 @@ class ServingNode:
 
     async def handle(
         self, verb: str, message: dict[str, Any], request_id: Any
-    ) -> dict[str, Any]:
+    ) -> Union[dict[str, Any], PreparedResponse]:
         return error_response(request_id, "unknown-verb", f"unknown verb {verb!r}")
 
     def describe(self) -> dict[str, Any]:
@@ -282,20 +296,37 @@ class ServingNode:
 
 
 class PPIServer(ServingNode):
-    """The locator service: ``query`` / ``query-batch`` over one index shard."""
+    """The locator service: ``query`` / ``query-batch`` over one index shard.
+
+    The index is static once published (paper Sec. III-C): the same owner
+    always yields the identical provider list, which makes a response
+    cache trivially coherent.  The server therefore keeps an LRU of
+    *pre-encoded* response payload bytes per owner
+    (``response_cache_size`` entries; 0 disables), so a hot owner's reply
+    skips index lookup *and* JSON serialization -- only the request id is
+    spliced in per frame.  Cache effectiveness shows up in the
+    ``response_cache_hits_total`` / ``response_cache_misses_total``
+    counters of the ``stats`` verb.
+    """
 
     role = "ppi-server"
 
     def __init__(
         self,
-        index: PPIIndex,
+        index: ServableIndex,
         shard: ShardSpec = ShardSpec(),
         host: str = "127.0.0.1",
         port: int = 0,
         max_inflight: int = 64,
+        response_cache_size: int = 4096,
     ):
         super().__init__(host=host, port=port, max_inflight=max_inflight)
         self.store = IndexShardStore(index, shard)
+        # Imported here to keep client (searcher) and server modules
+        # dependency-light in both directions.
+        from repro.serving.client import LRUCache
+
+        self._response_cache = LRUCache(response_cache_size)
 
     @property
     def shard(self) -> ShardSpec:
@@ -303,12 +334,21 @@ class PPIServer(ServingNode):
 
     async def handle(
         self, verb: str, message: dict[str, Any], request_id: Any
-    ) -> dict[str, Any]:
+    ) -> Union[dict[str, Any], PreparedResponse]:
         if verb == VERB_QUERY:
             owner_id = _require_int(message, "owner")
-            providers = self.store.lookup(owner_id)
+            payload = self._response_cache.get(owner_id)
+            if payload is None:
+                # lookup raises (wrong shard / unknown owner) before
+                # anything is cached, so only valid replies are stored.
+                providers = self.store.lookup(owner_id)
+                payload = prepare_ok_payload(owner=owner_id, providers=providers)
+                self._response_cache.put(owner_id, payload)
+                self.metrics.counter("response_cache_misses_total").inc()
+            else:
+                self.metrics.counter("response_cache_hits_total").inc()
             self.metrics.counter("queries_served").inc()
-            return ok_response(request_id, owner=owner_id, providers=providers)
+            return PreparedResponse(request_id, payload)
         if verb == VERB_QUERY_BATCH:
             owners = message.get("owners")
             if not isinstance(owners, list) or not all(
@@ -330,6 +370,8 @@ class PPIServer(ServingNode):
             n_shards=self.shard.n_shards,
             n_providers=self.store.index.n_providers,
             n_owners=self.store.index.n_owners,
+            index_engine=type(self.store.index).__name__,
+            response_cache_size=self._response_cache.capacity,
         )
         return base
 

@@ -64,6 +64,24 @@ class TestMembershipMatrix:
         assert small_matrix.frequency(0) == 2
         assert small_matrix.sigma(0) == pytest.approx(2 / 3)
 
+    def test_frequencies_vector_matches_per_owner(self, small_matrix):
+        freqs = small_matrix.frequencies()
+        assert freqs.dtype == np.int64
+        assert freqs.tolist() == [
+            small_matrix.frequency(j) for j in range(small_matrix.n_owners)
+        ]
+
+    def test_sigmas_vector_matches_per_owner(self, small_matrix):
+        sigmas = small_matrix.sigmas()
+        assert sigmas.shape == (small_matrix.n_owners,)
+        for j in range(small_matrix.n_owners):
+            assert sigmas[j] == pytest.approx(small_matrix.sigma(j))
+
+    def test_sigmas_of_empty_network(self):
+        matrix = MembershipMatrix(4, 0)
+        assert matrix.frequencies().tolist() == []
+        assert matrix.sigmas().tolist() == []
+
     def test_total_memberships(self, small_matrix):
         assert small_matrix.total_memberships == 5
 

@@ -66,6 +66,44 @@ class TestPublishMatrix:
         assert published.shape == (3, 3)
         assert set(np.unique(published)) <= {0, 1}
 
+    def test_stream_identical_to_per_row_loop(self):
+        """The whole-matrix draw must be bit-for-bit what the per-provider
+        loop produces from the same seed: the generator fills ``(m, n)`` in
+        C order, i.e. row by row, exactly as ``publish_provider_row`` would
+        consume it.  This pins the vectorization as a pure refactor -- any
+        seeded experiment reproduces unchanged."""
+        m, n = 17, 29
+        rng = np.random.default_rng(7)
+        matrix = MembershipMatrix(m, n)
+        for _ in range(80):
+            matrix.set(int(rng.integers(m)), int(rng.integers(n)))
+        betas = rng.random(n)
+        dense = matrix.to_dense()
+        whole = publish_matrix(matrix, betas, np.random.default_rng(1234))
+        loop_rng = np.random.default_rng(1234)
+        per_row = np.stack(
+            [publish_provider_row(dense[i], betas, loop_rng) for i in range(m)]
+        )
+        assert np.array_equal(whole, per_row)
+
+    def test_false_positive_marginals_are_binomial(self):
+        """Per-owner false-positive counts from the vectorized draw must
+        match the exact ``Binomial(m - f_j, beta_j)`` law in mean and
+        spread (this is the distribution Eq. 2 specifies)."""
+        m, f, beta, runs = 120, 30, 0.25, 400
+        matrix = MembershipMatrix(m, 1)
+        for i in range(f):
+            matrix.set(i, 0)
+        rng = np.random.default_rng(99)
+        counts = np.array(
+            [publish_matrix(matrix, [beta], rng)[:, 0].sum() - f
+             for _ in range(runs)]
+        )
+        expected_mean = (m - f) * beta
+        expected_std = np.sqrt((m - f) * beta * (1 - beta))
+        assert abs(counts.mean() - expected_mean) < 4 * expected_std / np.sqrt(runs)
+        assert abs(counts.std() - expected_std) < 1.0
+
 
 class TestBinomialFastPath:
     def test_distribution_matches_exact_publication(self):

@@ -240,3 +240,128 @@ class TestRuntime:
                 await server.stop()
 
         run(main())
+
+
+class TestResponseCache:
+    """The pre-encoded response payload cache on the query hot path."""
+
+    def test_repeat_queries_hit_the_cache(self, served_network):
+        _, index = served_network
+
+        async def main():
+            server = await PPIServer(index).start()
+            client = LocatorClient([server.address], retry=FAST_RETRY, cache_size=0)
+            try:
+                first = await client.query(3)
+                second = await client.query(3)
+                assert first == second == index.query(3)
+                counters = server.metrics.snapshot()["counters"]
+                assert counters["response_cache_misses_total"] == 1
+                assert counters["response_cache_hits_total"] == 1
+                assert counters["queries_served"] == 2
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(main())
+
+    def test_cached_and_uncached_frames_are_identical(self, served_network):
+        _, index = served_network
+
+        async def main():
+            cold = await PPIServer(index, response_cache_size=0).start()
+            warm = await PPIServer(index).start()
+            client = LocatorClient(
+                [cold.address], retry=FAST_RETRY, cache_size=0
+            )
+            try:
+                for owner in range(index.n_owners):
+                    expected = await client.call(cold.address, "query", owner=owner)
+                    await client.call(warm.address, "query", owner=owner)  # warm it
+                    hit = await client.call(warm.address, "query", owner=owner)
+                    # ids are per-request; everything else must be identical.
+                    expected.pop("id"), hit.pop("id")
+                    assert hit == expected
+                assert cold.metrics.snapshot()["counters"].get(
+                    "response_cache_hits_total", 0
+                ) == 0
+            finally:
+                await client.close()
+                await cold.stop()
+                await warm.stop()
+
+        run(main())
+
+    def test_errors_are_not_cached(self, served_network):
+        _, index = served_network
+
+        async def main():
+            server = await PPIServer(index, shard=ShardSpec(0, 2)).start()
+            client = LocatorClient([server.address], retry=FAST_RETRY, cache_size=0)
+            try:
+                for _ in range(2):
+                    with pytest.raises(RemoteError):
+                        await client.query(3)  # wrong shard
+                    with pytest.raises(RemoteError):
+                        await client.call(
+                            server.address, "query", owner=index.n_owners + 1
+                        )
+                counters = server.metrics.snapshot()["counters"]
+                assert "response_cache_hits_total" not in counters
+                assert "response_cache_misses_total" not in counters
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(main())
+
+    def test_lru_eviction_is_bounded(self, served_network):
+        _, index = served_network
+
+        async def main():
+            server = await PPIServer(index, response_cache_size=2).start()
+            client = LocatorClient([server.address], retry=FAST_RETRY, cache_size=0)
+            try:
+                assert index.n_owners > 3
+                for owner in range(4):
+                    await client.query(owner)
+                # 0 and 1 were evicted by 2 and 3: re-asking misses again.
+                await client.query(0)
+                counters = server.metrics.snapshot()["counters"]
+                assert counters["response_cache_misses_total"] == 5
+                info = await client.info(server.address)
+                assert info["response_cache_size"] == 2
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(main())
+
+
+class TestPostingsBackedServer:
+    """The server answers identically when booted on the CSR engine."""
+
+    def test_query_and_batch_match_dense(self, served_network):
+        from repro.core.postings import PostingsIndex
+
+        _, index = served_network
+        postings = PostingsIndex.from_index(index)
+
+        async def main():
+            server = await PPIServer(postings).start()
+            client = LocatorClient([server.address], retry=FAST_RETRY, cache_size=0)
+            try:
+                owners = list(range(index.n_owners))
+                for owner in owners:
+                    assert await client.query(owner) == index.query(owner)
+                results = await client.query_batch(owners)
+                for owner in owners:
+                    assert results[owner] == index.query(owner)
+                info = await client.info(server.address)
+                assert info["index_engine"] == "PostingsIndex"
+                assert info["n_owners"] == index.n_owners
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(main())

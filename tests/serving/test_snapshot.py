@@ -1,10 +1,11 @@
 """Snapshot format tests, pinned by golden files.
 
-``tests/serving/data/golden_index_v1.npz`` and its companion JSON were
-written once from the deterministic matrix built by :func:`golden_matrix`
-below.  They are committed so that any byte-layout drift in the snapshot
-writer or reader shows up as a failure against bits produced by an *older*
-build -- a same-process round trip alone cannot catch that.
+``tests/serving/data/golden_index_v1.npz`` / ``golden_index_v2.npz`` and
+the companion JSON were written once from the deterministic matrix built
+by :func:`golden_matrix` below.  They are committed so that any
+byte-layout drift in the snapshot writer or either reader shows up as a
+failure against bits produced by an *older* build -- a same-process round
+trip alone cannot catch that.
 """
 
 import os
@@ -14,16 +15,22 @@ import numpy as np
 import pytest
 
 from repro.core.index import PPIIndex
+from repro.core.postings import PostingsIndex
 from repro.serving.snapshot import (
+    SNAPSHOT_FORMAT_V1,
     SNAPSHOT_FORMAT_VERSION,
     SnapshotError,
     inspect_snapshot,
+    load_postings,
+    load_serving_index,
     load_snapshot,
     save_snapshot,
+    snapshot_version,
 )
 
 DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
 GOLDEN_NPZ = os.path.join(DATA_DIR, "golden_index_v1.npz")
+GOLDEN_NPZ_V2 = os.path.join(DATA_DIR, "golden_index_v2.npz")
 GOLDEN_JSON = os.path.join(DATA_DIR, "golden_index_v1.json")
 
 
@@ -44,13 +51,59 @@ def index():
     return PPIIndex(matrix, owner_names=[f"o{j}" for j in range(31)])
 
 
+def _mutate(path, **replacements):
+    """Rewrite an npz with some members replaced (corruption harness)."""
+    with np.load(path) as archive:
+        arrays = dict(archive)
+    arrays.update(replacements)
+    np.savez(path, **arrays)
+
+
 class TestRoundTrip:
-    def test_matrix_and_names_survive(self, index, tmp_path):
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_matrix_and_names_survive(self, index, tmp_path, version):
         path = str(tmp_path / "snap.npz")
-        save_snapshot(index, path)
+        save_snapshot(index, path, format_version=version)
+        assert snapshot_version(path) == version
         loaded = load_snapshot(path)
         assert np.array_equal(loaded.matrix, index.matrix)
         assert loaded.owner_names == index.owner_names
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_v2_loads_as_postings(self, index, tmp_path, mmap):
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(index, path)
+        postings = load_postings(path, mmap=mmap)
+        assert isinstance(postings, PostingsIndex)
+        assert np.array_equal(postings.to_dense(), index.matrix)
+        assert postings.owner_names == index.owner_names
+        for j in range(index.n_owners):
+            assert postings.query(j) == index.query(j)
+
+    def test_v2_mmap_load_really_maps(self, index, tmp_path):
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(index, path)
+        postings = load_postings(path, mmap=True)
+        assert isinstance(postings.indices, np.memmap)
+        assert isinstance(postings.indptr, np.memmap)
+
+    def test_v1_snapshot_still_yields_postings_via_fallback(self, index, tmp_path):
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(index, path, format_version=1)
+        postings = load_postings(path)
+        assert np.array_equal(postings.to_dense(), index.matrix)
+
+    def test_load_serving_index_picks_engine_by_version(self, index, tmp_path):
+        v1, v2 = str(tmp_path / "v1.npz"), str(tmp_path / "v2.npz")
+        save_snapshot(index, v1, format_version=1)
+        save_snapshot(index, v2, format_version=2)
+        assert isinstance(load_serving_index(v1), PPIIndex)
+        assert isinstance(load_serving_index(v2), PostingsIndex)
+
+    def test_save_from_postings_index(self, index, tmp_path):
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(PostingsIndex.from_index(index), path)
+        assert np.array_equal(load_snapshot(path).matrix, index.matrix)
 
     def test_unnamed_index_round_trips_without_names(self, tmp_path):
         index = PPIIndex(np.eye(5, dtype=np.uint8))
@@ -58,6 +111,7 @@ class TestRoundTrip:
         info = save_snapshot(index, path)
         assert info["has_owner_names"] is False
         assert load_snapshot(path).owner_names is None
+        assert load_postings(path).owner_names is None
 
     def test_non_multiple_of_eight_cells(self, tmp_path):
         # 3 x 5 = 15 cells: packbits pads the final byte; the reader must
@@ -67,12 +121,16 @@ class TestRoundTrip:
         save_snapshot(PPIIndex(matrix), path)
         assert np.array_equal(load_snapshot(path).matrix, matrix)
 
-    def test_empty_index(self, tmp_path):
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_empty_index(self, tmp_path, version):
         matrix = np.zeros((4, 0), dtype=np.uint8)
         path = str(tmp_path / "snap.npz")
-        save_snapshot(PPIIndex(matrix), path)
+        save_snapshot(PPIIndex(matrix), path, format_version=version)
         loaded = load_snapshot(path)
         assert loaded.n_providers == 4 and loaded.n_owners == 0
+        if version == 2:
+            postings = load_postings(path)
+            assert postings.n_providers == 4 and postings.n_owners == 0
 
     def test_save_reports_inspect_summary(self, index, tmp_path):
         path = str(tmp_path / "snap.npz")
@@ -81,6 +139,10 @@ class TestRoundTrip:
         assert info["checksum_ok"] is True
         assert info["format_version"] == SNAPSHOT_FORMAT_VERSION
         assert info["published_positives"] == int(index.matrix.sum())
+
+    def test_unknown_write_version_rejected(self, index, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot write"):
+            save_snapshot(index, str(tmp_path / "snap.npz"), format_version=9)
 
 
 class TestGoldenFile:
@@ -111,12 +173,42 @@ class TestGoldenFile:
 
     def test_rewriting_the_golden_index_is_byte_identical_logically(self, tmp_path):
         # Not byte-identical on disk (npz timestamps), but the re-written
-        # archive must carry the identical packed payload and checksum.
+        # v1 archive must carry the identical packed payload and checksum.
         path = str(tmp_path / "rewrite.npz")
-        save_snapshot(load_snapshot(GOLDEN_NPZ), path)
+        save_snapshot(
+            load_snapshot(GOLDEN_NPZ), path, format_version=SNAPSHOT_FORMAT_V1
+        )
         with np.load(GOLDEN_NPZ) as old, np.load(path) as new:
             assert np.array_equal(old["packed"], new["packed"])
             assert np.array_equal(old["meta"], new["meta"])
+
+
+class TestGoldenFileV2:
+    """The committed v2 bits (packed + CSR postings) must keep loading."""
+
+    def test_golden_v2_loads_densely_and_as_postings(self):
+        assert np.array_equal(load_snapshot(GOLDEN_NPZ_V2).matrix, golden_matrix())
+        postings = load_postings(GOLDEN_NPZ_V2)
+        assert np.array_equal(postings.to_dense(), golden_matrix())
+        assert postings.owner_names == golden_names()
+
+    def test_golden_v2_agrees_with_golden_v1(self):
+        v1, v2 = load_snapshot(GOLDEN_NPZ), load_snapshot(GOLDEN_NPZ_V2)
+        assert np.array_equal(v1.matrix, v2.matrix)
+        assert v1.owner_names == v2.owner_names
+
+    def test_golden_v2_inspect_summary(self):
+        info = inspect_snapshot(GOLDEN_NPZ_V2)
+        assert info["format_version"] == 2
+        assert info["published_positives"] == 51
+        assert info["checksum_ok"] is True
+
+    def test_rewriting_the_golden_v2_is_byte_identical_logically(self, tmp_path):
+        path = str(tmp_path / "rewrite.npz")
+        save_snapshot(load_snapshot(GOLDEN_NPZ_V2), path, format_version=2)
+        with np.load(GOLDEN_NPZ_V2) as old, np.load(path) as new:
+            for key in ("meta", "packed", "indptr", "indices"):
+                assert np.array_equal(old[key], new[key]), key
 
 
 class TestRejection:
@@ -144,33 +236,67 @@ class TestRejection:
         arrays["meta"] = arrays["meta"].copy()
         arrays["meta"][0] = SNAPSHOT_FORMAT_VERSION + 1
         np.savez(path, **arrays)
-        with pytest.raises(SnapshotError, match="version 2 unsupported"):
+        with pytest.raises(SnapshotError, match="version 3 unsupported"):
             load_snapshot(path)
+        with pytest.raises(SnapshotError, match="version 3 unsupported"):
+            load_postings(path)
 
-    def test_corrupted_payload_fails_checksum(self, index, tmp_path):
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_corrupted_payload_fails_checksum(self, index, tmp_path, version):
         path = str(tmp_path / "snap.npz")
-        save_snapshot(index, path)
+        save_snapshot(index, path, format_version=version)
         with np.load(path) as archive:
-            arrays = dict(archive)
-        arrays["packed"] = arrays["packed"].copy()
-        arrays["packed"][0] ^= 0xFF
-        np.savez(path, **arrays)
+            packed = archive["packed"].copy()
+        packed[0] ^= 0xFF
+        _mutate(path, packed=packed)
         with pytest.raises(SnapshotError, match="checksum"):
             load_snapshot(path)
         assert inspect_snapshot(path)["checksum_ok"] is False
 
     def test_truncated_payload_rejected(self, index, tmp_path):
         path = str(tmp_path / "snap.npz")
-        save_snapshot(index, path)
+        save_snapshot(index, path, format_version=1)
         with np.load(path) as archive:
             arrays = dict(archive)
         short = arrays["packed"][:-2].copy()
-        arrays["packed"] = short
-        arrays["meta"] = arrays["meta"].copy()
-        arrays["meta"][3] = zlib.crc32(short.tobytes())  # keep checksum valid
-        np.savez(path, **arrays)
+        meta = arrays["meta"].copy()
+        meta[3] = zlib.crc32(short.tobytes())  # keep checksum valid
+        _mutate(path, packed=short, meta=meta)
         with pytest.raises(SnapshotError, match="truncated"):
             load_snapshot(path)
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_corrupted_postings_fail_their_checksum(self, index, tmp_path, mmap):
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(index, path)
+        with np.load(path) as archive:
+            indices = archive["indices"].copy()
+        indices[0] += 1
+        _mutate(path, indices=indices)
+        with pytest.raises(SnapshotError, match="postings checksum"):
+            load_postings(path, mmap=mmap)
+        assert inspect_snapshot(path)["checksum_ok"] is False
+        # The dense payload is intact, so the dense reader still works.
+        assert np.array_equal(load_snapshot(path).matrix, index.matrix)
+
+    def test_truncated_postings_rejected(self, index, tmp_path):
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(index, path)
+        with np.load(path) as archive:
+            indices = archive["indices"].copy()
+        _mutate(path, indices=indices[:-3])
+        with pytest.raises(SnapshotError, match="malformed postings"):
+            load_postings(path)
+
+    def test_v2_missing_postings_arrays_rejected(self, index, tmp_path):
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(index, path)
+        with np.load(path) as archive:
+            arrays = dict(archive)
+        del arrays["indices"]
+        np.savez(path, **arrays)
+        with pytest.raises(SnapshotError, match="postings arrays"):
+            load_postings(path)
 
     def test_failed_write_leaves_no_temp_file(self, tmp_path, monkeypatch):
         index = PPIIndex(np.eye(3, dtype=np.uint8))
@@ -183,3 +309,17 @@ class TestRejection:
         with pytest.raises(OSError):
             save_snapshot(index, path)
         assert os.listdir(tmp_path) == []
+
+
+class TestMmapFallback:
+    def test_compressed_members_fall_back_to_copying_load(self, index, tmp_path):
+        # A hand-rolled deflated archive (savez_compressed) is still a
+        # valid snapshot -- just not mmap-able; the loader must cope.
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(index, path)
+        with np.load(path) as archive:
+            arrays = dict(archive)
+        np.savez_compressed(path, **arrays)
+        postings = load_postings(path, mmap=True)
+        assert not isinstance(postings.indices, np.memmap)
+        assert np.array_equal(postings.to_dense(), index.matrix)

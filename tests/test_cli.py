@@ -112,10 +112,19 @@ class TestSnapshotCLI:
     def test_build_then_inspect(self, snapshot_path, capsys):
         assert main(["snapshot", "inspect", "--snapshot", str(snapshot_path)]) == 0
         out = capsys.readouterr().out
-        assert "format_version: 1" in out
+        assert "format_version: 2" in out  # v2 (mmap CSR) is the default
         assert "n_providers: 20" in out
         assert "n_owners: 40" in out
         assert "checksum_ok: True" in out
+
+    def test_build_v1_format_flag(self, tmp_path, index_path, capsys):
+        path = tmp_path / "index_v1.npz"
+        assert main([
+            "snapshot", "build", "--index", str(index_path),
+            "--output", str(path), "--format", "v1",
+        ]) == 0
+        assert main(["snapshot", "inspect", "--snapshot", str(path)]) == 0
+        assert "format_version: 1" in capsys.readouterr().out
 
     def test_snapshot_agrees_with_json_index(self, snapshot_path, index_path):
         import numpy as np
