@@ -17,10 +17,14 @@ Gives the library a usable operational surface:
 * ``provider``  -- run one provider's AuthSearch endpoint over a dataset;
 * ``loadgen``   -- drive a closed-loop load test against a running fleet
   and print QPS / p50 / p95 / p99 / error-rate;
-* ``snapshot``  -- build or inspect a binary index snapshot (the fleet's
-  packed-bits boot format);
+* ``snapshot``  -- build, inspect or diff a binary index snapshot (the
+  fleet's boot format, epoch-stamped from v3 on);
 * ``supervisor``-- run a process-per-shard server fleet from a snapshot,
-  with health checks and supervised restarts.
+  with health checks and supervised restarts;
+* ``update``    -- live-update tooling: init/append a delta log, seal it
+  into a segment (``apply``), compact segments into a fresh epoch;
+* ``fleet``     -- fleet operations against running servers, e.g.
+  ``fleet rollout`` for a rolling hot-swap onto a new snapshot.
 
 All randomness is seedable for reproducible pipelines.  Installed as the
 ``eppi`` console script (``pip install -e .``), or run as ``python -m repro``.
@@ -39,6 +43,7 @@ from repro.attacks.adversary import AdversaryKnowledge
 from repro.attacks.common_identity import common_identity_attack
 from repro.attacks.primary import primary_attack_confidences
 from repro.core.construction import construct_epsilon_ppi
+from repro.core.errors import ReproError
 from repro.core.index import PPIIndex
 from repro.core.model import InformationNetwork
 from repro.core.policies import (
@@ -61,7 +66,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        # Domain and filesystem failures are operator errors, not crashes:
+        # one line on stderr and a conventional exit code.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 # -- dataset file format ---------------------------------------------------------
@@ -269,33 +280,36 @@ def _run_node_forever(node) -> int:
 
 
 def _load_index_arg(args: argparse.Namespace):
-    """Load an index from ``--index`` (JSON) or ``--snapshot`` (binary).
+    """Load ``(index, epoch)`` from ``--index`` (JSON) or ``--snapshot``.
 
-    A v2 snapshot boots as an mmap'd CSR :class:`PostingsIndex`; v1 falls
-    back to the dense load.
+    A v2+ snapshot boots as an mmap'd CSR :class:`PostingsIndex`; v1 falls
+    back to the dense load.  JSON indexes have no publication epoch (0).
     """
     if getattr(args, "snapshot", None):
-        from repro.serving.snapshot import load_serving_index
+        from repro.serving.snapshot import load_serving_state
 
-        return load_serving_index(args.snapshot)
+        return load_serving_state(args.snapshot)
     with open(args.index) as f:
-        return PPIIndex.from_json(f.read())
+        return PPIIndex.from_json(f.read()), 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import PPIServer, ShardSpec
 
-    index = _load_index_arg(args)
+    index, epoch = _load_index_arg(args)
     server = PPIServer(
         index,
         shard=ShardSpec(args.shard, args.shards),
         host=args.host,
         port=args.port,
         max_inflight=args.max_inflight,
+        snapshot_path=getattr(args, "snapshot", None),
+        epoch=epoch,
     )
     print(
         f"serving shard {args.shard}/{args.shards} of index "
-        f"({index.n_providers} providers, {index.n_owners} owners)"
+        f"({index.n_providers} providers, {index.n_owners} owners, "
+        f"epoch {epoch})"
     )
     return _run_node_forever(server)
 
@@ -325,11 +339,36 @@ def cmd_provider(args: argparse.Namespace) -> int:
 def cmd_snapshot(args: argparse.Namespace) -> int:
     from repro.serving.snapshot import inspect_snapshot, save_snapshot
 
+    if args.snapshot_command == "diff":
+        from repro.updates import diff_snapshots
+
+        diff = diff_snapshots(args.a, args.b)
+        for side in ("a", "b"):
+            meta = diff[side]
+            print(
+                f"{side}: {meta['path']} (v{meta['format_version']}, "
+                f"epoch {meta['epoch']}, {meta['n_providers']} providers, "
+                f"{meta['n_owners']} owners, nnz {meta['nnz']})"
+            )
+        print(f"epoch delta: {diff['epoch_delta']:+d}")
+        print(f"owners added: {len(diff['owners_added'])}")
+        print(f"owners removed: {len(diff['owners_removed'])}")
+        print(
+            f"owners changed: {diff['owners_changed']} "
+            f"(+{diff['bits_added']} / -{diff['bits_removed']} bits)"
+        )
+        for row in diff["top_churn"]:
+            print(
+                f"  {row['label']}: +{row['bits_added']} -{row['bits_removed']}"
+            )
+        return 0
     if args.snapshot_command == "build":
         with open(args.index) as f:
             index = PPIIndex.from_json(f.read())
-        version = {"v1": 1, "v2": 2}[args.format]
-        info = save_snapshot(index, args.output, format_version=version)
+        version = {"v1": 1, "v2": 2, "v3": 3}[args.format]
+        info = save_snapshot(
+            index, args.output, format_version=version, epoch=args.epoch
+        )
         print(f"wrote {args.output}")
     else:
         info = inspect_snapshot(args.snapshot)
@@ -339,6 +378,122 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
         else:
             print(f"  {key}: {value}")
     return 0 if info["checksum_ok"] else 1
+
+
+def _parse_id_list(text: str) -> list[int]:
+    if not text:
+        return []
+    try:
+        return [int(part) for part in text.split(",")]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated ids, got {text!r}"
+        ) from None
+
+
+def cmd_update(args: argparse.Namespace) -> int:
+    from repro.updates import DeltaLog, compact_snapshot, seal_segment
+
+    if args.update_command == "init":
+        log = DeltaLog.create(args.log, n_providers=args.providers)
+        log.close()
+        print(f"created {args.log} ({args.providers} providers)")
+        return 0
+    if args.update_command == "append":
+        with DeltaLog.open(args.log) as log:
+            if log.repaired_bytes:
+                print(f"repaired torn tail: dropped {log.repaired_bytes} bytes")
+            if args.op == "upsert":
+                seq = log.upsert(
+                    args.owner, args.providers or [], args.beta, name=args.name
+                )
+            elif args.op == "remove":
+                seq = log.remove(args.owner)
+            else:
+                seq = log.flip(
+                    args.owner,
+                    set_providers=args.set or [],
+                    clear_providers=args.clear or [],
+                    beta=args.beta,
+                )
+            log.sync()
+        print(f"appended seq {seq} ({args.op} owner {args.owner})")
+        return 0
+    if args.update_command == "apply":
+        from repro.serving.snapshot import snapshot_epoch
+
+        log = DeltaLog.open(args.log)
+        base_epoch = snapshot_epoch(args.base)
+        summary = seal_segment(log, args.output, base_epoch=base_epoch)
+        print(f"wrote {args.output}")
+        for key in (
+            "n_entries",
+            "tombstones",
+            "published_positives",
+            "base_epoch",
+            "file_bytes",
+        ):
+            print(f"  {key}: {summary[key]}")
+        return 0
+    # compact
+    summary = compact_snapshot(args.base, args.segment, args.output)
+    out = args.output or args.base
+    print(f"wrote {out} (epoch {summary['epoch']})")
+    print(f"  consumed segments: {len(summary['consumed_segments'])}")
+    print(f"  overlaid owners: {summary['overlaid_owners']}")
+    print(f"  n_owners: {summary['n_owners']}")
+    if args.delete_segments:
+        import os
+
+        for path in summary["consumed_segments"]:
+            os.unlink(path)
+        print(f"  deleted {len(summary['consumed_segments'])} segment file(s)")
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Client-driven rolling reload across explicitly-listed shards.
+
+    The in-process :meth:`FleetSupervisor.rollout` does this for a fleet it
+    owns; this command is the remote-operator form -- it speaks the same
+    ``reload`` verb to each listed server in shard order, waiting for each
+    to settle on the snapshot's epoch before touching the next.
+    """
+    import time
+
+    from repro.serving.fleet import sync_request
+    from repro.serving.protocol import VERB_INFO, VERB_RELOAD
+    from repro.serving.snapshot import snapshot_epoch
+
+    target_epoch = snapshot_epoch(args.snapshot)
+    for shard, addr in enumerate(args.server):
+        try:
+            sync_request(
+                addr, VERB_RELOAD, timeout_s=args.timeout, snapshot=args.snapshot
+            )
+        except Exception as exc:  # noqa: BLE001 -- settle loop decides
+            print(f"shard {shard} ({addr[0]}:{addr[1]}): reload request failed: {exc}")
+        deadline = time.monotonic() + args.settle_timeout
+        settled = False
+        while time.monotonic() < deadline:
+            try:
+                info = sync_request(addr, VERB_INFO, timeout_s=args.timeout)
+                if info.get("epoch") == target_epoch:
+                    settled = True
+                    break
+            except Exception:  # noqa: BLE001 -- worker mid-restart
+                pass
+            time.sleep(0.05)
+        if not settled:
+            print(
+                f"shard {shard} ({addr[0]}:{addr[1]}) stuck below epoch "
+                f"{target_epoch}; aborting rollout",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"shard {shard} ({addr[0]}:{addr[1]}): epoch {target_epoch}")
+    print(f"rollout complete: {len(args.server)} shard(s) at epoch {target_epoch}")
+    return 0
 
 
 def cmd_supervisor(args: argparse.Namespace) -> int:
@@ -505,19 +660,81 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-inflight", type=int, default=64)
     p.set_defaults(func=cmd_provider)
 
-    sn = sub.add_parser("snapshot", help="build or inspect a binary index snapshot")
+    sn = sub.add_parser("snapshot",
+                        help="build, inspect or diff a binary index snapshot")
     sn_sub = sn.add_subparsers(dest="snapshot_command", required=True)
     snb = sn_sub.add_parser("build", help="pack a JSON index into a snapshot")
     snb.add_argument("--index", required=True, help="JSON index file")
     snb.add_argument("--output", required=True, help="snapshot file to write")
-    snb.add_argument("--format", choices=["v1", "v2"], default="v2",
-                     help="v2 adds mmap-able CSR postings (O(1) worker boot); "
-                          "v1 is the legacy packed-bits-only layout")
+    snb.add_argument("--format", choices=["v1", "v2", "v3"], default="v3",
+                     help="v3 adds the publication epoch; v2 is the epoch-less "
+                          "CSR layout; v1 the legacy packed-bits-only layout")
+    snb.add_argument("--epoch", type=int, default=0,
+                     help="publication epoch to stamp (v3 only)")
     snb.set_defaults(func=cmd_snapshot)
     sni = sn_sub.add_parser("inspect", help="summarize + checksum a snapshot")
     sni.add_argument("--snapshot", required=True)
     sni.set_defaults(func=cmd_snapshot)
+    snd = sn_sub.add_parser("diff", help="owners/bits/epoch delta of two snapshots")
+    snd.add_argument("a", help="older snapshot")
+    snd.add_argument("b", help="newer snapshot")
+    snd.set_defaults(func=cmd_snapshot)
     sn.set_defaults(func=cmd_snapshot)
+
+    up = sub.add_parser("update", help="live index updates: delta log -> segments")
+    up_sub = up.add_subparsers(dest="update_command", required=True)
+    upi = up_sub.add_parser("init", help="create an empty delta log")
+    upi.add_argument("--log", required=True, help="delta log file to create")
+    upi.add_argument("--providers", type=int, required=True,
+                     help="provider-universe size (fixed for the log's lifetime)")
+    upi.set_defaults(func=cmd_update)
+    upa = up_sub.add_parser("append", help="append one operation to a delta log")
+    upa.add_argument("--log", required=True)
+    upa.add_argument("--op", choices=["upsert", "remove", "flip"], required=True)
+    upa.add_argument("--owner", type=int, required=True)
+    upa.add_argument("--providers", type=_parse_id_list,
+                     help="true provider ids for upsert, e.g. 1,4,9")
+    upa.add_argument("--beta", type=float, default=None,
+                     help="publication probability beta_j")
+    upa.add_argument("--set", type=_parse_id_list, help="bits to set (flip)")
+    upa.add_argument("--clear", type=_parse_id_list, help="bits to clear (flip)")
+    upa.add_argument("--name", default=None, help="owner name (upsert)")
+    upa.set_defaults(func=cmd_update)
+    upp = up_sub.add_parser(
+        "apply", help="seal the log's net state into an immutable segment"
+    )
+    upp.add_argument("--log", required=True)
+    upp.add_argument("--base", required=True,
+                     help="base snapshot the segment will overlay")
+    upp.add_argument("--output", required=True, help="segment file to write")
+    upp.set_defaults(func=cmd_update)
+    upc = up_sub.add_parser(
+        "compact", help="merge base snapshot + segments into a fresh epoch"
+    )
+    upc.add_argument("--base", required=True, help="base snapshot")
+    upc.add_argument("--segment", action="append", required=True,
+                     help="segment file, oldest first (repeatable)")
+    upc.add_argument("--output", default=None,
+                     help="output snapshot (default: replace base in place)")
+    upc.add_argument("--delete-segments", action="store_true",
+                     help="unlink consumed segment files after the merge")
+    upc.set_defaults(func=cmd_update)
+
+    fl = sub.add_parser("fleet", help="operations against a running fleet")
+    fl_sub = fl.add_subparsers(dest="fleet_command", required=True)
+    flr = fl_sub.add_parser(
+        "rollout", help="rolling hot-swap of every shard onto a new snapshot"
+    )
+    flr.add_argument("--server", action="append", type=_parse_address,
+                     required=True, metavar="HOST:PORT",
+                     help="shard address, once per shard in shard order")
+    flr.add_argument("--snapshot", required=True,
+                     help="epoch-stamped snapshot to roll the fleet onto")
+    flr.add_argument("--timeout", type=float, default=5.0,
+                     help="per-request timeout")
+    flr.add_argument("--settle-timeout", type=float, default=30.0,
+                     help="seconds to wait for each shard to reach the epoch")
+    flr.set_defaults(func=cmd_fleet)
 
     sv = sub.add_parser(
         "supervisor",

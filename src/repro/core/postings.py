@@ -287,6 +287,33 @@ class PostingsIndex:
         """Materialize the equivalent dense :class:`PPIIndex`."""
         return PPIIndex(self.to_dense(), owner_names=self.owner_names)
 
+    def release(self) -> None:
+        """Drop the backing buffers, closing any mmap (and its fd) now.
+
+        A hot-swapping server replaces its index on every ``reload``; if the
+        old arrays were memory-mapped from a snapshot, waiting for the GC to
+        collect them leaks one fd + mapping per swap until a collection
+        happens to run.  After ``release`` the index answers every query as
+        empty (0 owners) rather than keeping the file pinned.  Closing is
+        best-effort: a still-alive external view of the array keeps the
+        mapping open (``BufferError``) and wins.
+        """
+        mms = []
+        for arr in (self._indptr, self._indices, self._owner_names):
+            mm = getattr(arr, "_mmap", None)
+            if mm is not None:
+                mms.append(mm)
+        arr = None  # the loop variable is the last live array ref; drop it
+        self._indptr = np.zeros(1, dtype=np.int64)
+        self._indices = np.zeros(0, dtype=np.int32)
+        self._owner_names = None
+        self._name_to_id = None
+        for mm in mms:
+            try:
+                mm.close()
+            except BufferError:  # an outside view still holds the pages
+                pass
+
     def _check_owner(self, owner_id: int) -> None:
         if not 0 <= owner_id < self.n_owners:
             raise ModelError(f"unknown owner id {owner_id}")

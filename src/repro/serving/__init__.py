@@ -13,7 +13,9 @@ constructed :class:`~repro.core.index.PPIIndex` behind real TCP sockets:
 * :func:`run_load` -- closed-loop load generation with percentile reports
   (:func:`run_load_multiprocess` fans it out over OS processes);
 * :class:`FleetSupervisor` -- one server process per shard, health-checked
-  and restarted with capped backoff (:mod:`repro.serving.fleet`);
+  and restarted with capped backoff, hot-swapped onto new index epochs by
+  :meth:`~repro.serving.fleet.FleetSupervisor.rollout`
+  (:mod:`repro.serving.fleet`);
 * :func:`save_snapshot` / :func:`load_snapshot` -- the packed-bits binary
   index format workers boot from (:mod:`repro.serving.snapshot`);
 * :mod:`repro.serving.protocol` -- the length-prefixed JSON wire format.
@@ -55,13 +57,16 @@ from repro.serving.protocol import (
 from repro.serving.provider import ProviderEndpoint
 from repro.serving.snapshot import (
     SNAPSHOT_FORMAT_V1,
+    SNAPSHOT_FORMAT_V2,
     SNAPSHOT_FORMAT_VERSION,
     SnapshotError,
     inspect_snapshot,
     load_postings,
     load_serving_index,
+    load_serving_state,
     load_snapshot,
     save_snapshot,
+    snapshot_epoch,
     snapshot_version,
 )
 from repro.serving.server import (
@@ -94,6 +99,7 @@ __all__ = [
     "RemoteError",
     "RetryPolicy",
     "SNAPSHOT_FORMAT_V1",
+    "SNAPSHOT_FORMAT_V2",
     "SNAPSHOT_FORMAT_VERSION",
     "SearchReport",
     "ServingNode",
@@ -105,6 +111,7 @@ __all__ = [
     "inspect_snapshot",
     "load_postings",
     "load_serving_index",
+    "load_serving_state",
     "load_snapshot",
     "percentile",
     "run_load",
@@ -112,6 +119,7 @@ __all__ = [
     "run_load_sync",
     "save_snapshot",
     "shard_of",
+    "snapshot_epoch",
     "snapshot_version",
     "sync_request",
 ]

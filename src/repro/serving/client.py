@@ -18,8 +18,12 @@ Operational machinery the simulator never needed:
 * **batching** -- ``query_batch`` groups owners by shard and resolves each
   shard's batch in one round trip;
 * **result caching** -- a bounded LRU over ``QueryPPI`` results.  The
-  published index is static (paper Sec. III-C: repeated queries return the
-  identical list), which is precisely what makes this cache sound;
+  published index is static within a publication epoch (paper Sec. III-C:
+  repeated queries return the identical list), which is what makes this
+  cache sound; every server response carries its serving ``epoch``, and
+  the first response from a newer epoch invalidates every older cached
+  entry at once (entries are epoch-tagged, ``fleet_epoch`` is the high
+  -water mark), so a rolling fleet reload can never pin a stale result;
 * **shard re-routing** -- a ``wrong-shard`` answer (servers list out of
   shard order, or a re-sharded fleet) triggers a routing-table refresh
   from the fleet's own ``info`` verbs plus a retry at the shard the error
@@ -226,6 +230,10 @@ class LocatorClient:
         self.retries_total = 0
         self.wrong_shard_reroutes = 0
         self.routing_refreshes = 0
+        #: highest publication epoch seen in any server response; cache
+        #: entries tagged with an older epoch are treated as misses.
+        self.fleet_epoch = 0
+        self.epoch_invalidations = 0
         self._rng = random.Random(rng_seed)
         self._request_ids = itertools.count(1)
 
@@ -343,14 +351,36 @@ class LocatorClient:
             await self.refresh_routing()
             return await self.call(self.servers[shard], verb, **fields)
 
+    def _note_epoch(self, response: dict) -> int:
+        """Track the fleet's publication epoch; bumping it invalidates
+        every cache entry tagged with an older epoch (lazily, on get)."""
+        epoch = response.get("epoch", 0)
+        if not isinstance(epoch, int) or isinstance(epoch, bool):
+            epoch = 0
+        if epoch > self.fleet_epoch:
+            self.fleet_epoch = epoch
+            self.epoch_invalidations += 1
+        return epoch
+
+    def _cache_get(self, owner_id: int) -> Optional[list]:
+        """A hit must be at least as new as the newest epoch ever seen."""
+        entry = self.cache.get(owner_id)
+        if entry is None:
+            return None
+        epoch, providers = entry
+        if epoch < self.fleet_epoch:
+            return None  # pre-swap entry: refetch from the fleet
+        return providers
+
     async def query(self, owner_id: int) -> list[int]:
         """``QueryPPI(t)``: the obscured provider list, through the cache."""
-        cached = self.cache.get(owner_id)
+        cached = self._cache_get(owner_id)
         if cached is not None:
             return list(cached)
         response = await self._query_routed(VERB_QUERY, owner_id, owner=owner_id)
+        epoch = self._note_epoch(response)
         providers = [int(p) for p in response["providers"]]
-        self.cache.put(owner_id, providers)
+        self.cache.put(owner_id, (epoch, providers))
         return list(providers)
 
     async def query_batch(self, owner_ids: list[int]) -> dict[int, list[int]]:
@@ -358,18 +388,18 @@ class LocatorClient:
         results: dict[int, list[int]] = {}
         by_shard: dict[int, list[int]] = {}
         for oid in owner_ids:
-            cached = self.cache.get(oid)
+            cached = self._cache_get(oid)
             if cached is not None:
                 results[oid] = list(cached)
             else:
                 by_shard.setdefault(shard_of(oid, len(self.servers)), []).append(oid)
 
-        async def _one(owners: list[int]) -> dict[int, list[int]]:
+        async def _one(owners: list[int]) -> tuple[int, dict[int, list[int]]]:
             # Routing key: every owner in the chunk lives on the same shard.
             response = await self._query_routed(
                 VERB_QUERY_BATCH, owners[0], owners=owners
             )
-            return {
+            return self._note_epoch(response), {
                 int(oid): [int(p) for p in providers]
                 for oid, providers in response["results"].items()
             }
@@ -377,9 +407,9 @@ class LocatorClient:
         shard_results = await asyncio.gather(
             *(_one(owners) for owners in by_shard.values())
         )
-        for chunk in shard_results:
+        for epoch, chunk in shard_results:
             for oid, providers in chunk.items():
-                self.cache.put(oid, providers)
+                self.cache.put(oid, (epoch, providers))
                 results[oid] = list(providers)
         return results
 

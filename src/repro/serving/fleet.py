@@ -39,6 +39,7 @@ lottery.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
 import multiprocessing
 import signal
@@ -52,13 +53,15 @@ from typing import Any, Optional
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.protocol import (
     MAX_FRAME_BYTES,
+    VERB_INFO,
     VERB_PING,
+    VERB_RELOAD,
     VERB_STATS,
     ProtocolError,
     raise_for_response,
 )
 from repro.serving.server import PPIServer, ShardSpec
-from repro.serving.snapshot import load_serving_index
+from repro.serving.snapshot import load_serving_state, snapshot_epoch
 
 __all__ = [
     "FleetSupervisor",
@@ -123,13 +126,15 @@ class WorkerSpec:
 
 def _worker_main(spec: WorkerSpec) -> None:
     """Entry point of one shard process: load snapshot, serve until SIGTERM."""
-    index = load_serving_index(spec.snapshot_path)
+    index, epoch = load_serving_state(spec.snapshot_path)
     server = PPIServer(
         index,
         shard=ShardSpec(spec.shard_id, spec.n_shards),
         host=spec.host,
         port=spec.port,
         max_inflight=spec.max_inflight,
+        snapshot_path=spec.snapshot_path,
+        epoch=epoch,
     )
 
     async def _serve() -> None:
@@ -425,6 +430,75 @@ class FleetSupervisor:
         worker.next_start_at = now + delay
         worker.state = "waiting-restart"
         return []
+
+    # -- rolling reload -------------------------------------------------------
+
+    def rollout(
+        self,
+        snapshot_path: str,
+        settle_timeout_s: float = 30.0,
+        reload_timeout_s: float = 30.0,
+    ) -> list:
+        """Rolling per-shard hot-swap of the fleet onto ``snapshot_path``.
+
+        Shard order, one at a time: first the worker's spec is repointed at
+        the new snapshot (so a worker that *dies* mid-rollout is restarted
+        by the supervisor already on the new epoch), then the ``reload``
+        verb is sent, then the shard must settle -- answer ``info`` with
+        the snapshot's epoch -- before the next shard is touched.  A worker
+        reloads without dropping its listener, so clients see no connection
+        errors, and at most one shard is mid-swap at any moment.  A shard
+        that fails to settle aborts the rollout (remaining shards keep the
+        old epoch; mixed-epoch fleets are safe because clients invalidate
+        per-response, not per-fleet).  Returns the per-shard event list.
+        """
+        target_epoch = snapshot_epoch(snapshot_path)
+        monitor_running = self._monitor_thread is not None
+        events: list = []
+        for worker in self._workers:
+            shard = worker.spec.shard_id
+            with self._lock:
+                worker.spec = dataclasses.replace(
+                    worker.spec, snapshot_path=snapshot_path
+                )
+            if worker.state == "failed":
+                events.append(("rollout-skipped-failed", shard))
+                continue
+            try:
+                sync_request(
+                    worker.address,
+                    VERB_RELOAD,
+                    timeout_s=reload_timeout_s,
+                    snapshot=snapshot_path,
+                )
+            except Exception:  # noqa: BLE001 -- settle loop decides the outcome
+                events.append(("reload-request-failed", shard))
+            deadline = time.monotonic() + settle_timeout_s
+            settled = False
+            while time.monotonic() < deadline:
+                if not monitor_running:
+                    # No monitor thread: drive supervision here, so a shard
+                    # killed mid-rollout is restarted (on the new snapshot).
+                    self.check_once()
+                try:
+                    info = sync_request(
+                        worker.address, VERB_INFO, timeout_s=self.health_timeout_s
+                    )
+                    if info.get("epoch") == target_epoch:
+                        settled = True
+                        break
+                except Exception:  # noqa: BLE001 -- worker mid-restart: keep waiting
+                    pass
+                time.sleep(0.02)
+            if not settled:
+                events.append(("rollout-stuck", shard))
+                self.metrics.counter("rollouts_aborted_total").inc()
+                return events
+            events.append(("rolled", shard))
+            self.metrics.counter("shard_reloads_total").inc()
+        self.snapshot_path = snapshot_path
+        self.metrics.counter("rollouts_total").inc()
+        return events
 
     # -- metrics --------------------------------------------------------------
 

@@ -29,12 +29,16 @@ verb               served by                semantics
 ``info``           server + provider        static facts (shard spec, sizes)
 ``query``          :class:`PPIServer`       ``QueryPPI(t)`` -> obscured list
 ``query-batch``    :class:`PPIServer`       many ``QueryPPI`` in one round trip
+``reload``         :class:`PPIServer`       hot-swap the index from a snapshot
 ``search``         :class:`ProviderEndpoint`  ``AuthSearch``: ACL check + records
 =================  =======================  =====================================
 
-The index is static once published (paper Sec. III-C), which is what makes
-client-side result caching and idempotent retries safe: re-asking the same
-``query`` can never return a different list.
+The index is static *within a publication epoch* (paper Sec. III-C), which
+is what makes client-side result caching and idempotent retries safe:
+re-asking the same ``query`` can never return a different list until the
+fleet hot-swaps to a new epoch.  Every ``query`` / ``query-batch`` response
+therefore carries the serving ``epoch``, so caches can be invalidated the
+moment a newer epoch is first observed (see ``docs/PROTOCOL.md``).
 """
 
 from __future__ import annotations
@@ -51,6 +55,7 @@ __all__ = [
     "VERB_PING",
     "VERB_QUERY",
     "VERB_QUERY_BATCH",
+    "VERB_RELOAD",
     "VERB_SEARCH",
     "VERB_STATS",
     "ConnectionClosed",
@@ -81,6 +86,7 @@ VERB_STATS = "stats"
 VERB_INFO = "info"
 VERB_QUERY = "query"
 VERB_QUERY_BATCH = "query-batch"
+VERB_RELOAD = "reload"
 VERB_SEARCH = "search"
 
 
@@ -171,10 +177,12 @@ def prepare_ok_payload(**fields: Any) -> bytes:
 
     Returns the serialized object minus its opening brace --
     ``b'"ok":true,...}'`` -- so a cached payload can be completed for any
-    request by prepending ``{"id":<id>,``.  The index is static (paper
-    Sec. III-C): the same owner always yields the same provider list, so a
-    server can cache these bytes and skip JSON re-serialization entirely
-    for hot owners (:class:`repro.serving.server.PPIServer`).
+    request by prepending ``{"id":<id>,``.  The index is static within an
+    epoch (paper Sec. III-C): the same owner always yields the same
+    provider list until a ``reload``, so a server can cache these bytes and
+    skip JSON re-serialization entirely for hot owners -- provided the
+    cache is dropped wholesale on every epoch swap
+    (:class:`repro.serving.server.PPIServer`).
     """
     return json.dumps({"ok": True, **fields}, separators=(",", ":")).encode(
         "utf-8"

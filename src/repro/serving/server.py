@@ -39,6 +39,7 @@ from repro.serving.protocol import (
     VERB_PING,
     VERB_QUERY,
     VERB_QUERY_BATCH,
+    VERB_RELOAD,
     VERB_STATS,
     ConnectionClosed,
     PreparedResponse,
@@ -298,15 +299,19 @@ class ServingNode:
 class PPIServer(ServingNode):
     """The locator service: ``query`` / ``query-batch`` over one index shard.
 
-    The index is static once published (paper Sec. III-C): the same owner
-    always yields the identical provider list, which makes a response
-    cache trivially coherent.  The server therefore keeps an LRU of
-    *pre-encoded* response payload bytes per owner
+    The index is static *within a publication epoch* (paper Sec. III-C):
+    the same owner always yields the identical provider list until a
+    ``reload`` hot-swaps in a newer snapshot.  The server therefore keeps
+    an LRU of *pre-encoded* response payload bytes per owner
     (``response_cache_size`` entries; 0 disables), so a hot owner's reply
     skips index lookup *and* JSON serialization -- only the request id is
-    spliced in per frame.  Cache effectiveness shows up in the
+    spliced in per frame.  Every cached payload embeds the epoch it was
+    rendered under, and ``reload`` replaces the whole cache in the same
+    event-loop step that swaps the index, so a post-swap request can never
+    be answered with pre-swap bytes.  Cache effectiveness shows up in the
     ``response_cache_hits_total`` / ``response_cache_misses_total``
-    counters of the ``stats`` verb.
+    counters of the ``stats`` verb; swaps in ``reloads_total`` and the
+    ``epoch`` gauge.
     """
 
     role = "ppi-server"
@@ -319,14 +324,19 @@ class PPIServer(ServingNode):
         port: int = 0,
         max_inflight: int = 64,
         response_cache_size: int = 4096,
+        snapshot_path: Optional[str] = None,
+        epoch: int = 0,
     ):
         super().__init__(host=host, port=port, max_inflight=max_inflight)
         self.store = IndexShardStore(index, shard)
+        self.snapshot_path = snapshot_path
+        self.epoch = epoch
         # Imported here to keep client (searcher) and server modules
         # dependency-light in both directions.
         from repro.serving.client import LRUCache
 
         self._response_cache = LRUCache(response_cache_size)
+        self.metrics.gauge("epoch").set(epoch)
 
     @property
     def shard(self) -> ShardSpec:
@@ -342,7 +352,9 @@ class PPIServer(ServingNode):
                 # lookup raises (wrong shard / unknown owner) before
                 # anything is cached, so only valid replies are stored.
                 providers = self.store.lookup(owner_id)
-                payload = prepare_ok_payload(owner=owner_id, providers=providers)
+                payload = prepare_ok_payload(
+                    owner=owner_id, providers=providers, epoch=self.epoch
+                )
                 self._response_cache.put(owner_id, payload)
                 self.metrics.counter("response_cache_misses_total").inc()
             else:
@@ -360,8 +372,58 @@ class PPIServer(ServingNode):
             return ok_response(
                 request_id,
                 results={str(oid): providers for oid, providers in results.items()},
+                epoch=self.epoch,
             )
+        if verb == VERB_RELOAD:
+            return await self._handle_reload(message, request_id)
         return await super().handle(verb, message, request_id)
+
+    async def _handle_reload(
+        self, message: dict[str, Any], request_id: Any
+    ) -> dict[str, Any]:
+        """Hot-swap the served index from a snapshot, without pausing.
+
+        The load runs on the default executor, so in-flight queries keep
+        being answered from the old index while the new one maps in.  The
+        swap itself -- index, epoch, response cache -- happens between two
+        awaits of this coroutine, and query handling contains no await
+        points at all, so from the event loop's perspective every request
+        is served entirely before or entirely after the swap: a response
+        can never mix epochs, and no post-swap request sees pre-swap bytes.
+        """
+        path = message.get("snapshot", self.snapshot_path)
+        if not isinstance(path, str) or not path:
+            raise ValueError("no snapshot path to reload from")
+        from repro.serving.client import LRUCache
+        from repro.serving.snapshot import load_serving_state
+
+        loop = asyncio.get_running_loop()
+        index, epoch = await loop.run_in_executor(None, load_serving_state, path)
+        if epoch < self.epoch:
+            if isinstance(index, PostingsIndex):
+                index.release()
+            raise ValueError(
+                f"snapshot epoch {epoch} is older than serving epoch {self.epoch}"
+            )
+        # -- atomic swap: no awaits from here to the return -------------------
+        old = self.store.index
+        self.store.index = index
+        self.epoch = epoch
+        self.snapshot_path = path
+        self._response_cache = type(self._response_cache)(
+            self._response_cache.capacity
+        )
+        if isinstance(old, PostingsIndex) and old is not index:
+            old.release()  # close the previous snapshot's mmap/fd now
+        self.metrics.counter("reloads_total").inc()
+        self.metrics.gauge("epoch").set(epoch)
+        return ok_response(
+            request_id,
+            epoch=epoch,
+            n_owners=index.n_owners,
+            n_providers=index.n_providers,
+            snapshot=path,
+        )
 
     def describe(self) -> dict[str, Any]:
         base = super().describe()
@@ -372,6 +434,8 @@ class PPIServer(ServingNode):
             n_owners=self.store.index.n_owners,
             index_engine=type(self.store.index).__name__,
             response_cache_size=self._response_cache.capacity,
+            epoch=self.epoch,
+            snapshot_path=self.snapshot_path,
         )
         return base
 

@@ -27,6 +27,13 @@ Format version 2 keeps ``packed`` (so a dense load and a popcount
     indices     int32[published positives]
     owner_names as in v1
 
+Format version 3 is v2 plus one trailing meta field: the publication
+**epoch**, a monotonically increasing counter stamped by the compactor
+(:mod:`repro.updates.compactor`) every time base + delta segments are
+merged into a fresh snapshot.  Servers expose the epoch in every query
+response so clients (and the fleet supervisor's rolling reload) can detect
+stale caches across a hot-swap; v1/v2 snapshots read back as epoch 0.
+
 The point of v2 is the *boot path*: :func:`load_postings` memory-maps the
 CSR arrays straight out of the archive (npz members are stored, not
 deflated, so each is a contiguous ``.npy`` at a computable offset), which
@@ -60,22 +67,34 @@ from repro.core.postings import PostingsIndex
 
 __all__ = [
     "SNAPSHOT_FORMAT_V1",
+    "SNAPSHOT_FORMAT_V2",
     "SNAPSHOT_FORMAT_VERSION",
     "SnapshotError",
     "inspect_snapshot",
     "load_postings",
     "load_serving_index",
+    "load_serving_state",
     "load_snapshot",
     "save_snapshot",
+    "snapshot_epoch",
     "snapshot_version",
 ]
 
 SNAPSHOT_FORMAT_V1 = 1
-SNAPSHOT_FORMAT_VERSION = 2
+SNAPSHOT_FORMAT_V2 = 2
+SNAPSHOT_FORMAT_VERSION = 3
 
 _META_FIELDS = {
     1: ("format_version", "n_providers", "n_owners", "checksum"),
     2: ("format_version", "n_providers", "n_owners", "checksum", "checksum_csr"),
+    3: (
+        "format_version",
+        "n_providers",
+        "n_owners",
+        "checksum",
+        "checksum_csr",
+        "epoch",
+    ),
 }
 
 
@@ -91,17 +110,26 @@ def save_snapshot(
     index: Union[PPIIndex, PostingsIndex],
     path: str,
     format_version: int = SNAPSHOT_FORMAT_VERSION,
+    epoch: int = 0,
 ) -> dict[str, Any]:
     """Write ``index`` to ``path`` in snapshot format; return its summary.
 
     Accepts either index representation; ``format_version=1`` writes the
-    legacy packed-bits-only layout byte-identically to older builds.  The
-    write goes through a same-directory temp file + :func:`os.replace`
-    so a crashed writer can never leave a torn snapshot where a restarting
-    worker will find it.
+    legacy packed-bits-only layout byte-identically to older builds, and
+    ``format_version=2`` the epoch-less CSR layout.  ``epoch`` is stored
+    only by v3 (writing an older format with a non-zero epoch is an
+    error, not a silent drop).  The write goes through a same-directory
+    temp file + :func:`os.replace` so a crashed writer can never leave a
+    torn snapshot where a restarting worker will find it.
     """
     if format_version not in _META_FIELDS:
         raise SnapshotError(f"cannot write snapshot format version {format_version}")
+    if epoch < 0:
+        raise SnapshotError(f"epoch must be >= 0, got {epoch}")
+    if epoch and format_version < 3:
+        raise SnapshotError(
+            f"format version {format_version} cannot carry epoch {epoch}"
+        )
     if isinstance(index, PostingsIndex):
         postings, matrix = index, index.to_dense()
     else:
@@ -122,6 +150,8 @@ def save_snapshot(
         meta_values.append(_csr_checksum(indptr, indices))
         arrays["indptr"] = indptr
         arrays["indices"] = indices
+    if format_version >= 3:
+        meta_values.append(epoch)
     arrays = {"meta": np.array(meta_values, dtype=np.uint64), **arrays}
     names = index.owner_names
     if names is not None:
@@ -238,10 +268,42 @@ def load_postings(path: str, mmap: bool = True) -> PostingsIndex:
 
 def load_serving_index(path: str) -> Union[PPIIndex, PostingsIndex]:
     """What a fleet worker boots from: mmap'd postings when the snapshot
-    carries them (v2), the dense index otherwise (v1)."""
+    carries them (v2+), the dense index otherwise (v1)."""
     if snapshot_version(path) >= 2:
         return load_postings(path, mmap=True)
     return load_snapshot(path)
+
+
+def snapshot_epoch(path: str) -> int:
+    """Publication epoch of the snapshot at ``path`` (0 for v1/v2)."""
+    meta, archive = _read_archive(path)
+    archive.close()
+    return meta.get("epoch", 0)
+
+
+def load_serving_state(path: str) -> tuple[Union[PPIIndex, PostingsIndex], int]:
+    """Boot path with provenance: the served ``(index, epoch)`` pair.
+
+    This is what a hot-swapping server loads on ``reload``.  The epoch must
+    describe the same file the index was read from, but a compactor can
+    :func:`os.replace` the snapshot between any two opens -- so read the
+    epoch, load, and re-read: a changed epoch means the load raced a swap
+    and must be retried against the new file.
+    """
+    for _ in range(8):
+        meta, archive = _read_archive(path)
+        archive.close()
+        epoch = meta.get("epoch", 0)
+        index = (
+            load_postings(path, mmap=True)
+            if meta["format_version"] >= 2
+            else load_snapshot(path)
+        )
+        if snapshot_epoch(path) == epoch:
+            return index, epoch
+        if isinstance(index, PostingsIndex):
+            index.release()
+    raise SnapshotError(f"snapshot {path!r} kept changing underfoot during load")
 
 
 # Bytes 26:28 / 28:30 of a zip local file header hold the name/extra-field
@@ -340,6 +402,7 @@ def inspect_snapshot(path: str) -> dict[str, Any]:
     n_cells = meta["n_providers"] * meta["n_owners"]
     return {
         "format_version": meta["format_version"],
+        "epoch": meta.get("epoch", 0),
         "n_providers": meta["n_providers"],
         "n_owners": meta["n_owners"],
         "published_positives": positives,

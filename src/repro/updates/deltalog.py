@@ -1,0 +1,369 @@
+"""Crc-checksummed append-only delta log: the write path of live updates.
+
+The published index is rebuilt rarely (compaction); everything that happens
+between compactions -- owners enrolling, moving between providers, revoking
+consent -- lands here first, as one durable record per operation:
+
+``upsert``
+    Replace owner ``j``'s *true* provider set and publication degree β_j
+    (new owners enroll this way too).
+``remove``
+    Tombstone owner ``j``: queries answer the empty list from the next
+    segment on.  An empty list discloses nothing (the fp=1.0 convention of
+    the paper's broadcast rows, inverted).
+``flip``
+    Set/clear individual true bits against the owner's *latest logged*
+    truth -- the incremental form of a provider gaining/losing the owner's
+    records.
+
+File layout::
+
+    EPPIDLT1 | u32 header_len | header JSON
+    ( u32 body_len | u32 crc32(body) | body JSON ) *
+
+The header persists the log's ``n_providers`` and the hex ``noise_key`` of
+its :class:`~repro.updates.noise.StickyOwnerStream` -- the key *is* the
+sticky-noise state, so reopening the log republishes every owner with the
+identical false positives (see ``noise.py`` for the privacy argument).
+
+Each record is independently crc-checked.  A torn tail (crash mid-append)
+is detected, reported, and truncated before the next append, so one bad
+write can never poison the records behind it -- the classic write-ahead-log
+recovery contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.core.errors import ModelError
+
+__all__ = [
+    "DeltaLog",
+    "DeltaLogError",
+    "OP_FLIP",
+    "OP_REMOVE",
+    "OP_UPSERT",
+    "OwnerDelta",
+]
+
+MAGIC = b"EPPIDLT1"
+_U32 = struct.Struct(">I")
+_RECORD_HEADER = struct.Struct(">II")  # body length, crc32(body)
+
+OP_UPSERT = "upsert"
+OP_REMOVE = "remove"
+OP_FLIP = "flip"
+
+
+class DeltaLogError(ModelError):
+    """The file is not a readable delta log, or an operation is invalid."""
+
+
+@dataclass
+class OwnerDelta:
+    """Net effect of the log on one owner (the replayed state)."""
+
+    owner_id: int
+    providers: set = field(default_factory=set)  # true provider ids
+    beta: float = 0.0
+    name: Optional[str] = None
+    removed: bool = False
+
+
+class DeltaLog:
+    """One append-only update log, replayable into per-owner net deltas.
+
+    Use :meth:`create` for a new log and :meth:`open` for an existing one;
+    both return a handle with the replayed state in memory, so appends are
+    validated against what the log already says (a ``flip`` needs a prior
+    truth to flip).  Appends are flushed per record; call :meth:`sync` for
+    an fsync barrier when durability beyond the OS cache matters.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        n_providers: int,
+        noise_key: bytes,
+        *,
+        _internal: bool = False,
+    ):
+        if not _internal:
+            raise DeltaLogError("use DeltaLog.create() or DeltaLog.open()")
+        self.path = path
+        self.n_providers = n_providers
+        self.noise_key = noise_key
+        self.repaired_bytes = 0  # torn tail dropped by the last open
+        self._state: dict[int, OwnerDelta] = {}
+        self._n_records = 0
+        self._file: Optional[Any] = None
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, path: str, n_providers: int, noise_key: Optional[bytes] = None
+    ) -> "DeltaLog":
+        """Write a fresh empty log (refuses to clobber an existing file)."""
+        if n_providers < 1:
+            raise DeltaLogError(f"need at least one provider, got {n_providers}")
+        if os.path.exists(path):
+            raise DeltaLogError(f"delta log {path!r} already exists")
+        noise_key = noise_key if noise_key is not None else secrets.token_bytes(16)
+        if not noise_key:
+            raise DeltaLogError("noise key must be non-empty")
+        header = json.dumps(
+            {
+                "version": 1,
+                "n_providers": n_providers,
+                "noise_key": noise_key.hex(),
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        with open(path, "xb") as f:
+            f.write(MAGIC + _U32.pack(len(header)) + header)
+        log = cls(path, n_providers, noise_key, _internal=True)
+        return log
+
+    @classmethod
+    def open(cls, path: str, repair: bool = True) -> "DeltaLog":
+        """Open and replay an existing log.
+
+        A torn tail (crash mid-append) is truncated when ``repair`` is set
+        -- required before any further append, or the new record would sit
+        behind unreadable bytes; with ``repair=False`` the tail is only
+        counted in ``repaired_bytes``.
+        """
+        header, data_start = cls._read_header(path)
+        log = cls(
+            path,
+            int(header["n_providers"]),
+            bytes.fromhex(header["noise_key"]),
+            _internal=True,
+        )
+        good_end = data_start
+        with open(path, "rb") as f:
+            f.seek(data_start)
+            while True:
+                head = f.read(_RECORD_HEADER.size)
+                if not head:
+                    break
+                if len(head) < _RECORD_HEADER.size:
+                    break  # torn header
+                length, crc = _RECORD_HEADER.unpack(head)
+                body = f.read(length)
+                if len(body) < length or zlib.crc32(body) != crc:
+                    break  # torn or corrupt body: stop, keep the prefix
+                try:
+                    record = json.loads(body.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    break
+                log._apply(record)
+                log._n_records += 1
+                good_end = f.tell()
+        file_size = os.path.getsize(path)
+        log.repaired_bytes = file_size - good_end
+        if log.repaired_bytes and repair:
+            with open(path, "r+b") as f:
+                f.truncate(good_end)
+        return log
+
+    @staticmethod
+    def _read_header(path: str) -> tuple[dict[str, Any], int]:
+        try:
+            with open(path, "rb") as f:
+                magic = f.read(len(MAGIC))
+                if magic != MAGIC:
+                    raise DeltaLogError(f"{path!r} is not a delta log (bad magic)")
+                raw_len = f.read(_U32.size)
+                if len(raw_len) < _U32.size:
+                    raise DeltaLogError(f"{path!r} has a truncated header")
+                (header_len,) = _U32.unpack(raw_len)
+                raw = f.read(header_len)
+                if len(raw) < header_len:
+                    raise DeltaLogError(f"{path!r} has a truncated header")
+                data_start = f.tell()
+        except OSError as exc:
+            raise DeltaLogError(f"cannot read delta log {path!r}: {exc}") from exc
+        try:
+            header = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise DeltaLogError(f"{path!r} has an undecodable header") from exc
+        if (
+            not isinstance(header, dict)
+            or header.get("version") != 1
+            or not isinstance(header.get("n_providers"), int)
+            or not isinstance(header.get("noise_key"), str)
+        ):
+            raise DeltaLogError(f"{path!r} has a malformed header")
+        return header, data_start
+
+    # -- appends --------------------------------------------------------------
+
+    def upsert(
+        self,
+        owner_id: int,
+        providers,
+        beta: float,
+        name: Optional[str] = None,
+    ) -> int:
+        """Replace owner ``owner_id``'s true provider set and β."""
+        providers = sorted({int(p) for p in providers})
+        record: dict[str, Any] = {
+            "op": OP_UPSERT,
+            "owner": int(owner_id),
+            "providers": providers,
+            "beta": float(beta),
+        }
+        if name is not None:
+            record["name"] = str(name)
+        return self.append(record)
+
+    def remove(self, owner_id: int) -> int:
+        """Tombstone owner ``owner_id`` (idempotent)."""
+        return self.append({"op": OP_REMOVE, "owner": int(owner_id)})
+
+    def flip(
+        self,
+        owner_id: int,
+        set_providers=(),
+        clear_providers=(),
+        beta: Optional[float] = None,
+    ) -> int:
+        """Set/clear individual true bits of owner ``owner_id``."""
+        record: dict[str, Any] = {
+            "op": OP_FLIP,
+            "owner": int(owner_id),
+            "set": sorted({int(p) for p in set_providers}),
+            "clear": sorted({int(p) for p in clear_providers}),
+        }
+        if beta is not None:
+            record["beta"] = float(beta)
+        return self.append(record)
+
+    def append(self, record: dict[str, Any]) -> int:
+        """Validate, apply and durably append one record; returns its seq."""
+        record = dict(record)
+        record["seq"] = self._n_records
+        self._validate(record)
+        body = json.dumps(record, separators=(",", ":"), sort_keys=True).encode(
+            "utf-8"
+        )
+        if self._file is None:
+            self._file = open(self.path, "ab")
+        self._file.write(_RECORD_HEADER.pack(len(body), zlib.crc32(body)) + body)
+        self._file.flush()
+        self._apply(record)
+        self._n_records += 1
+        return record["seq"]
+
+    def _validate(self, record: dict[str, Any]) -> None:
+        op = record.get("op")
+        owner = record.get("owner")
+        if not isinstance(owner, int) or owner < 0:
+            raise DeltaLogError(f"invalid owner id {owner!r}")
+        if op == OP_UPSERT:
+            self._check_ids(record["providers"])
+            self._check_beta(record["beta"])
+        elif op == OP_REMOVE:
+            pass
+        elif op == OP_FLIP:
+            self._check_ids(record["set"])
+            self._check_ids(record["clear"])
+            if "beta" in record:
+                self._check_beta(record["beta"])
+            else:
+                prior = self._state.get(owner)
+                if prior is None or prior.removed:
+                    raise DeltaLogError(
+                        f"flip for owner {owner} with no logged truth needs a beta"
+                    )
+        else:
+            raise DeltaLogError(f"unknown delta op {op!r}")
+
+    def _check_ids(self, providers) -> None:
+        for p in providers:
+            if not isinstance(p, int) or not 0 <= p < self.n_providers:
+                raise DeltaLogError(f"provider id {p!r} out of range")
+
+    def _check_beta(self, beta) -> None:
+        if not isinstance(beta, (int, float)) or not 0.0 <= float(beta) <= 1.0:
+            raise DeltaLogError(f"beta must lie in [0, 1], got {beta!r}")
+
+    def _apply(self, record: dict[str, Any]) -> None:
+        owner = int(record["owner"])
+        op = record["op"]
+        if op == OP_UPSERT:
+            self._state[owner] = OwnerDelta(
+                owner_id=owner,
+                providers=set(record["providers"]),
+                beta=float(record["beta"]),
+                name=record.get("name"),
+            )
+        elif op == OP_REMOVE:
+            prior = self._state.get(owner)
+            self._state[owner] = OwnerDelta(
+                owner_id=owner,
+                name=prior.name if prior else None,
+                removed=True,
+            )
+        elif op == OP_FLIP:
+            prior = self._state.get(owner)
+            if prior is None or prior.removed:
+                prior = OwnerDelta(owner_id=owner)
+            providers = (prior.providers | set(record["set"])) - set(
+                record["clear"]
+            )
+            self._state[owner] = OwnerDelta(
+                owner_id=owner,
+                providers=providers,
+                beta=float(record.get("beta", prior.beta)),
+                name=prior.name,
+            )
+
+    # -- reads ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_records
+
+    def state(self) -> dict[int, OwnerDelta]:
+        """Replayed net-per-owner state (a shallow copy; do not mutate)."""
+        return dict(self._state)
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        """Re-scan the file record by record (crc-verified)."""
+        _, data_start = self._read_header(self.path)
+        with open(self.path, "rb") as f:
+            f.seek(data_start)
+            for _ in range(self._n_records):
+                length, crc = _RECORD_HEADER.unpack(f.read(_RECORD_HEADER.size))
+                body = f.read(length)
+                if len(body) < length or zlib.crc32(body) != crc:
+                    raise DeltaLogError(f"{self.path!r} corrupted under our feet")
+                yield json.loads(body.decode("utf-8"))
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def sync(self) -> None:
+        """fsync the log file (durability barrier)."""
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "DeltaLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,98 @@
+"""Snapshot diffing: what changed between two published index versions.
+
+``eppi snapshot diff A B`` answers the operator questions around a rollout:
+which owners appeared or disappeared, how many published bits churned per
+owner (sticky noise should keep this at exactly the *true* change -- a
+large churn on an owner nobody updated means the noise policy regressed),
+and how far apart the publication epochs are.
+
+An owner counts as *present* when its published row is non-empty; removal
+tombstones publish the empty row, so added/removed falls out of that
+convention directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.serving.snapshot import load_postings, snapshot_epoch, snapshot_version
+
+__all__ = ["diff_snapshots"]
+
+
+def diff_snapshots(path_a: str, path_b: str, top_k: int = 10) -> dict[str, Any]:
+    """Structured diff of two snapshots (``A`` = before, ``B`` = after)."""
+    index_a = load_postings(path_a, mmap=False)
+    index_b = load_postings(path_b, mmap=False)
+    n_owners = max(index_a.n_owners, index_b.n_owners)
+
+    sizes_a = np.zeros(n_owners, dtype=np.int64)
+    sizes_a[: index_a.n_owners] = index_a.result_sizes()
+    sizes_b = np.zeros(n_owners, dtype=np.int64)
+    sizes_b[: index_b.n_owners] = index_b.result_sizes()
+
+    present_a = sizes_a > 0
+    present_b = sizes_b > 0
+    added = np.nonzero(~present_a & present_b)[0]
+    removed = np.nonzero(present_a & ~present_b)[0]
+
+    bits_added = np.zeros(n_owners, dtype=np.int64)
+    bits_removed = np.zeros(n_owners, dtype=np.int64)
+    for owner in range(n_owners):
+        row_a = (
+            set(index_a.query(owner)) if owner < index_a.n_owners else set()
+        )
+        row_b = (
+            set(index_b.query(owner)) if owner < index_b.n_owners else set()
+        )
+        if row_a == row_b:
+            continue
+        bits_added[owner] = len(row_b - row_a)
+        bits_removed[owner] = len(row_a - row_b)
+
+    churn = bits_added + bits_removed
+    changed = np.nonzero(churn)[0]
+    order = changed[np.argsort(churn[changed])[::-1]][:top_k]
+    names_b = index_b.owner_names
+
+    def _label(owner: int) -> str:
+        if names_b is not None and owner < len(names_b) and names_b[owner]:
+            return names_b[owner]
+        return str(owner)
+
+    epoch_a, epoch_b = snapshot_epoch(path_a), snapshot_epoch(path_b)
+    return {
+        "a": {
+            "path": path_a,
+            "format_version": snapshot_version(path_a),
+            "epoch": epoch_a,
+            "n_providers": index_a.n_providers,
+            "n_owners": index_a.n_owners,
+            "nnz": index_a.nnz,
+        },
+        "b": {
+            "path": path_b,
+            "format_version": snapshot_version(path_b),
+            "epoch": epoch_b,
+            "n_providers": index_b.n_providers,
+            "n_owners": index_b.n_owners,
+            "nnz": index_b.nnz,
+        },
+        "epoch_delta": epoch_b - epoch_a,
+        "owners_added": [int(o) for o in added],
+        "owners_removed": [int(o) for o in removed],
+        "owners_changed": int(changed.size),
+        "bits_added": int(bits_added.sum()),
+        "bits_removed": int(bits_removed.sum()),
+        "top_churn": [
+            {
+                "owner": int(owner),
+                "label": _label(int(owner)),
+                "bits_added": int(bits_added[owner]),
+                "bits_removed": int(bits_removed[owner]),
+            }
+            for owner in order
+        ],
+    }

@@ -24,7 +24,7 @@ from repro.core.index import PPIIndex
 from repro.serving.client import LocatorClient, RetryPolicy
 from repro.serving.fleet import FleetSupervisor, sync_request
 from repro.serving.loadgen import run_load_sync
-from repro.serving.protocol import VERB_QUERY, VERB_STATS, RemoteError
+from repro.serving.protocol import VERB_INFO, VERB_QUERY, VERB_STATS, RemoteError
 from repro.serving.snapshot import save_snapshot
 
 N_PROVIDERS = 8
@@ -272,3 +272,162 @@ def sync_alive(addr) -> bool:
         return True
     except Exception:  # noqa: BLE001 -- any failure means not serving
         return False
+
+
+def fleet_index_v2() -> PPIIndex:
+    """Epoch-1 truth: the complement of epoch 0, so no owner row agrees."""
+    return PPIIndex(1 - fleet_index().matrix)
+
+
+class TestRollout:
+    """Rolling hot-swap of a live fleet onto a new snapshot epoch."""
+
+    @pytest.fixture
+    def epoch1_snapshot(self, tmp_path):
+        path = str(tmp_path / "epoch1.npz")
+        save_snapshot(fleet_index_v2(), path, format_version=3, epoch=1)
+        return path
+
+    def test_rollout_moves_every_shard_to_the_new_epoch(
+        self, snapshot_path, epoch1_snapshot
+    ):
+        v2 = fleet_index_v2()
+        with make_supervisor(snapshot_path, n_shards=2) as fleet:
+            fleet.start(monitor=False)
+            events = fleet.rollout(epoch1_snapshot, settle_timeout_s=15.0)
+            assert events == [("rolled", 0), ("rolled", 1)]
+            assert fleet.snapshot_path == epoch1_snapshot
+            for shard, addr in enumerate(fleet.addresses):
+                info = sync_request(addr, VERB_INFO)
+                assert info["epoch"] == 1
+                assert info["snapshot_path"] == epoch1_snapshot
+            for owner_id in range(N_OWNERS):
+                response = sync_request(
+                    fleet.addresses[owner_id % 2], VERB_QUERY, owner=owner_id
+                )
+                assert response["providers"] == v2.query(owner_id)
+                assert response["epoch"] == 1
+            counters = fleet.metrics.snapshot()["counters"]
+            assert counters["shard_reloads_total"] == 2
+            assert counters["rollouts_total"] == 1
+            # No process was restarted: the swap was in-place, listener up.
+            assert all(
+                w["restarts"] == 0 for w in fleet.worker_states().values()
+            )
+
+    def test_rollout_survives_worker_restarts(
+        self, snapshot_path, epoch1_snapshot
+    ):
+        """A shard whose process is already gone when the rollout reaches it
+        is restarted by the supervision the rollout drives -- and because the
+        spec is repointed before the reload request, the fresh process boots
+        straight into the new epoch."""
+        with make_supervisor(snapshot_path, n_shards=2) as fleet:
+            fleet.start(monitor=False)
+            os.kill(fleet.worker_states()[1]["pid"], signal.SIGKILL)
+            events = fleet.rollout(epoch1_snapshot, settle_timeout_s=15.0)
+            assert ("rolled", 0) in events and ("rolled", 1) in events
+            assert fleet.worker_states()[1]["restarts"] >= 1
+            for addr in fleet.addresses:
+                assert sync_request(addr, VERB_INFO)["epoch"] == 1
+
+    def test_sigkill_mid_rollout_loses_no_queries(
+        self, snapshot_path, epoch1_snapshot
+    ):
+        """Kill a shard while a rollout and a load run are both in flight.
+
+        Required outcome: the rollout still lands every shard on epoch 1,
+        the supervisor restarts the victim (on the new snapshot), and the
+        retrying load generator reports zero failed queries -- reloads and
+        restarts cost latency, never answers.
+        """
+        v2 = fleet_index_v2()
+        with make_supervisor(snapshot_path, n_shards=2) as fleet:
+            fleet.start(monitor=True)
+            addresses = [tuple(a) for a in fleet.addresses]
+            victim_pid = fleet.worker_states()[1]["pid"]
+
+            killed = threading.Event()
+
+            def assassin():
+                os.kill(victim_pid, signal.SIGKILL)
+                killed.set()
+
+            rollout_events = []
+
+            def roll():
+                rollout_events.extend(
+                    fleet.rollout(epoch1_snapshot, settle_timeout_s=30.0)
+                )
+
+            roller = threading.Thread(target=roll)
+            timer = threading.Timer(0.1, assassin)
+            roller.start()
+            timer.start()
+            try:
+                report = run_load_sync(
+                    lambda: LocatorClient(
+                        servers=addresses,
+                        retry=RetryPolicy(
+                            max_retries=8,
+                            timeout_s=1.0,
+                            base_delay_s=0.05,
+                            max_delay_s=0.5,
+                        ),
+                        cache_size=0,
+                    ),
+                    owner_ids=list(range(N_OWNERS)),
+                    n_workers=4,
+                    requests_per_worker=300,
+                )
+            finally:
+                timer.cancel()
+                roller.join(timeout=60.0)
+
+            assert killed.is_set(), "assassin never fired; test proves nothing"
+            assert not roller.is_alive(), "rollout never finished"
+            assert report.errors == 0, f"{report.errors} queries never succeeded"
+            assert ("rolled", 0) in rollout_events
+            assert ("rolled", 1) in rollout_events
+
+            wait_until(
+                lambda: all(
+                    w["state"] == "healthy"
+                    for w in fleet.worker_states().values()
+                ),
+                deadline_s=10.0,
+                what="the whole fleet to be healthy post-rollout",
+            )
+            # Every shard settled on the new epoch, every owner answers the
+            # new truth: zero lost *and* zero stale.
+            for owner_id in range(N_OWNERS):
+                response = sync_request(
+                    addresses[owner_id % 2], VERB_QUERY, owner=owner_id
+                )
+                assert response["epoch"] == 1
+                assert response["providers"] == v2.query(owner_id)
+
+    def test_unsettleable_rollout_aborts_and_leaves_the_rest_alone(
+        self, snapshot_path, tmp_path
+    ):
+        doomed = str(tmp_path / "doomed.npz")
+        save_snapshot(fleet_index_v2(), doomed, format_version=3, epoch=1)
+        # Corrupt the postings payload: the epoch in the meta block stays
+        # readable (the rollout can compute its target), but every worker's
+        # reload fails the snapshot checksum and refuses the swap.
+        with np.load(doomed) as archive:
+            arrays = dict(archive)
+        arrays["indices"] = arrays["indices"].copy()
+        arrays["indices"][0] += 1
+        np.savez(doomed, **arrays)
+        with make_supervisor(snapshot_path, n_shards=2) as fleet:
+            fleet.start(monitor=False)
+            events = fleet.rollout(doomed, settle_timeout_s=0.5)
+            assert events[-1] == ("rollout-stuck", 0)
+            assert ("rolled", 1) not in events
+            assert fleet.snapshot_path == snapshot_path  # not committed
+            counters = fleet.metrics.snapshot()["counters"]
+            assert counters["rollouts_aborted_total"] == 1
+            # Both shards keep serving the old epoch.
+            for addr in fleet.addresses:
+                assert sync_request(addr, VERB_INFO)["epoch"] == 0

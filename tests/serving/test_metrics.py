@@ -28,6 +28,22 @@ class TestPercentile:
     def test_out_of_range_rejected(self):
         with pytest.raises(ValueError):
             percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+
+    def test_low_quantile_edges(self):
+        # q=1 on a small sample nearest-ranks to the first element; the
+        # empty-list short-circuit must win over range validation.
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 1.0) == 1.0
+        assert percentile(values, 99.0) == 4.0
+        assert percentile([], -5.0) == 0.0
+
+    def test_two_samples_split_at_the_midpoint(self):
+        assert percentile([1.0, 2.0], 0.0) == 1.0
+        assert percentile([1.0, 2.0], 49.0) == 1.0
+        assert percentile([1.0, 2.0], 51.0) == 2.0
+        assert percentile([1.0, 2.0], 100.0) == 2.0
 
 
 class TestCounterGauge:
@@ -75,6 +91,19 @@ class TestHistogram:
         # A uniform sample of a uniform ramp: the median estimate must land
         # well inside the middle half.
         assert 2500 < h.quantiles()["p50"] < 7500
+
+    def test_empty_histogram_quantiles_are_zero(self):
+        h = Histogram()
+        q = h.quantiles()
+        assert q["p50"] == q["p95"] == q["p99"] == 0.0
+        assert h.count == 0
+        assert h.snapshot()["mean"] == 0.0
+
+    def test_single_sample_pins_every_quantile(self):
+        h = Histogram()
+        h.observe(3.5)
+        q = h.quantiles()
+        assert q["p50"] == q["p95"] == q["p99"] == 3.5
 
     def test_snapshot_shape(self):
         h = Histogram()

@@ -1,8 +1,8 @@
 """Snapshot format tests, pinned by golden files.
 
-``tests/serving/data/golden_index_v1.npz`` / ``golden_index_v2.npz`` and
-the companion JSON were written once from the deterministic matrix built
-by :func:`golden_matrix` below.  They are committed so that any
+``tests/serving/data/golden_index_v1.npz`` / ``golden_index_v2.npz`` /
+``golden_index_v3.npz`` (epoch 7) and the companion JSON were written
+once from the deterministic matrix built by :func:`golden_matrix` below.  They are committed so that any
 byte-layout drift in the snapshot writer or either reader shows up as a
 failure against bits produced by an *older* build -- a same-process round
 trip alone cannot catch that.
@@ -23,14 +23,17 @@ from repro.serving.snapshot import (
     inspect_snapshot,
     load_postings,
     load_serving_index,
+    load_serving_state,
     load_snapshot,
     save_snapshot,
+    snapshot_epoch,
     snapshot_version,
 )
 
 DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
 GOLDEN_NPZ = os.path.join(DATA_DIR, "golden_index_v1.npz")
 GOLDEN_NPZ_V2 = os.path.join(DATA_DIR, "golden_index_v2.npz")
+GOLDEN_NPZ_V3 = os.path.join(DATA_DIR, "golden_index_v3.npz")
 GOLDEN_JSON = os.path.join(DATA_DIR, "golden_index_v1.json")
 
 
@@ -60,7 +63,7 @@ def _mutate(path, **replacements):
 
 
 class TestRoundTrip:
-    @pytest.mark.parametrize("version", [1, 2])
+    @pytest.mark.parametrize("version", [1, 2, 3])
     def test_matrix_and_names_survive(self, index, tmp_path, version):
         path = str(tmp_path / "snap.npz")
         save_snapshot(index, path, format_version=version)
@@ -100,6 +103,53 @@ class TestRoundTrip:
         assert isinstance(load_serving_index(v1), PPIIndex)
         assert isinstance(load_serving_index(v2), PostingsIndex)
 
+    @pytest.mark.parametrize("epoch", [0, 1, 41])
+    def test_v3_epoch_round_trips(self, index, tmp_path, epoch):
+        path = str(tmp_path / "snap.npz")
+        info = save_snapshot(index, path, format_version=3, epoch=epoch)
+        assert info["epoch"] == epoch
+        assert snapshot_epoch(path) == epoch
+        assert inspect_snapshot(path)["epoch"] == epoch
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_pre_epoch_formats_read_back_as_epoch_zero(
+        self, index, tmp_path, version
+    ):
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(index, path, format_version=version)
+        assert snapshot_epoch(path) == 0
+        assert inspect_snapshot(path)["epoch"] == 0
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_nonzero_epoch_on_pre_epoch_format_rejected(
+        self, index, tmp_path, version
+    ):
+        # Silently dropping the epoch would defeat staleness detection.
+        with pytest.raises(SnapshotError, match="cannot carry epoch"):
+            save_snapshot(
+                index, str(tmp_path / "snap.npz"), format_version=version, epoch=3
+            )
+
+    def test_negative_epoch_rejected(self, index, tmp_path):
+        with pytest.raises(SnapshotError, match="epoch"):
+            save_snapshot(index, str(tmp_path / "snap.npz"), epoch=-1)
+
+    def test_load_serving_state_pairs_index_with_epoch(self, index, tmp_path):
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(index, path, epoch=5)
+        loaded, epoch = load_serving_state(path)
+        assert epoch == 5
+        assert isinstance(loaded, PostingsIndex)
+        assert np.array_equal(loaded.to_dense(), index.matrix)
+        loaded.release()
+
+    def test_load_serving_state_on_v1_snapshot(self, index, tmp_path):
+        path = str(tmp_path / "snap.npz")
+        save_snapshot(index, path, format_version=1)
+        loaded, epoch = load_serving_state(path)
+        assert epoch == 0
+        assert isinstance(loaded, PPIIndex)
+
     def test_save_from_postings_index(self, index, tmp_path):
         path = str(tmp_path / "snap.npz")
         save_snapshot(PostingsIndex.from_index(index), path)
@@ -121,7 +171,7 @@ class TestRoundTrip:
         save_snapshot(PPIIndex(matrix), path)
         assert np.array_equal(load_snapshot(path).matrix, matrix)
 
-    @pytest.mark.parametrize("version", [1, 2])
+    @pytest.mark.parametrize("version", [1, 2, 3])
     def test_empty_index(self, tmp_path, version):
         matrix = np.zeros((4, 0), dtype=np.uint8)
         path = str(tmp_path / "snap.npz")
@@ -211,6 +261,38 @@ class TestGoldenFileV2:
                 assert np.array_equal(old[key], new[key]), key
 
 
+class TestGoldenFileV3:
+    """The committed v3 bits (v2 + trailing epoch) must keep loading."""
+
+    def test_golden_v3_loads_and_carries_its_epoch(self):
+        assert np.array_equal(load_snapshot(GOLDEN_NPZ_V3).matrix, golden_matrix())
+        assert snapshot_epoch(GOLDEN_NPZ_V3) == 7
+        postings, epoch = load_serving_state(GOLDEN_NPZ_V3)
+        assert epoch == 7
+        assert np.array_equal(postings.to_dense(), golden_matrix())
+        assert postings.owner_names == golden_names()
+        postings.release()
+
+    def test_golden_v3_agrees_with_golden_v2(self):
+        v2, v3 = load_snapshot(GOLDEN_NPZ_V2), load_snapshot(GOLDEN_NPZ_V3)
+        assert np.array_equal(v2.matrix, v3.matrix)
+        assert v2.owner_names == v3.owner_names
+
+    def test_golden_v3_inspect_summary(self):
+        info = inspect_snapshot(GOLDEN_NPZ_V3)
+        assert info["format_version"] == 3
+        assert info["epoch"] == 7
+        assert info["published_positives"] == 51
+        assert info["checksum_ok"] is True
+
+    def test_rewriting_the_golden_v3_is_byte_identical_logically(self, tmp_path):
+        path = str(tmp_path / "rewrite.npz")
+        save_snapshot(load_snapshot(GOLDEN_NPZ_V3), path, format_version=3, epoch=7)
+        with np.load(GOLDEN_NPZ_V3) as old, np.load(path) as new:
+            for key in ("meta", "packed", "indptr", "indices"):
+                assert np.array_equal(old[key], new[key]), key
+
+
 class TestRejection:
     def test_missing_file(self, tmp_path):
         with pytest.raises(SnapshotError, match="cannot read"):
@@ -236,9 +318,9 @@ class TestRejection:
         arrays["meta"] = arrays["meta"].copy()
         arrays["meta"][0] = SNAPSHOT_FORMAT_VERSION + 1
         np.savez(path, **arrays)
-        with pytest.raises(SnapshotError, match="version 3 unsupported"):
+        with pytest.raises(SnapshotError, match="version 4 unsupported"):
             load_snapshot(path)
-        with pytest.raises(SnapshotError, match="version 3 unsupported"):
+        with pytest.raises(SnapshotError, match="version 4 unsupported"):
             load_postings(path)
 
     @pytest.mark.parametrize("version", [1, 2])

@@ -112,10 +112,20 @@ class TestSnapshotCLI:
     def test_build_then_inspect(self, snapshot_path, capsys):
         assert main(["snapshot", "inspect", "--snapshot", str(snapshot_path)]) == 0
         out = capsys.readouterr().out
-        assert "format_version: 2" in out  # v2 (mmap CSR) is the default
+        assert "format_version: 3" in out  # v3 (epoch-stamped CSR) is the default
+        assert "epoch: 0" in out
         assert "n_providers: 20" in out
         assert "n_owners: 40" in out
         assert "checksum_ok: True" in out
+
+    def test_build_with_an_explicit_epoch(self, tmp_path, index_path, capsys):
+        path = tmp_path / "index_e5.npz"
+        assert main([
+            "snapshot", "build", "--index", str(index_path),
+            "--output", str(path), "--epoch", "5",
+        ]) == 0
+        assert main(["snapshot", "inspect", "--snapshot", str(path)]) == 0
+        assert "epoch: 5" in capsys.readouterr().out
 
     def test_build_v1_format_flag(self, tmp_path, index_path, capsys):
         path = tmp_path / "index_v1.npz"
@@ -147,6 +157,157 @@ class TestSnapshotCLI:
         np.savez(str(snapshot_path), **arrays)
         assert main(["snapshot", "inspect", "--snapshot", str(snapshot_path)]) == 1
         assert "checksum_ok: False" in capsys.readouterr().out
+
+
+class TestUpdateCLI:
+    """The live-update pipeline end to end through the console entry point:
+    init -> append -> apply -> compact -> diff."""
+
+    @pytest.fixture
+    def base_snapshot(self, tmp_path, index_path):
+        path = tmp_path / "base.npz"
+        assert main([
+            "snapshot", "build", "--index", str(index_path),
+            "--output", str(path),
+        ]) == 0
+        return path
+
+    def test_full_pipeline(self, tmp_path, base_snapshot, capsys):
+        log = tmp_path / "updates.log"
+        assert main([
+            "update", "init", "--log", str(log), "--providers", "20",
+        ]) == 0
+        assert main([
+            "update", "append", "--log", str(log), "--op", "upsert",
+            "--owner", "3", "--providers", "1,4,9", "--beta", "0.0",
+            "--name", "moved-owner",
+        ]) == 0
+        assert main([
+            "update", "append", "--log", str(log), "--op", "remove",
+            "--owner", "7",
+        ]) == 0
+        assert main([
+            "update", "append", "--log", str(log), "--op", "flip",
+            "--owner", "3", "--set", "2", "--clear", "9",
+        ]) == 0
+
+        segment = tmp_path / "0001.seg.npz"
+        assert main([
+            "update", "apply", "--log", str(log), "--base", str(base_snapshot),
+            "--output", str(segment),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "n_entries: 2" in out
+        assert "tombstones: 1" in out
+
+        merged = tmp_path / "epoch1.npz"
+        assert main([
+            "update", "compact", "--base", str(base_snapshot),
+            "--segment", str(segment), "--output", str(merged),
+            "--delete-segments",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "epoch 1" in out
+        assert not segment.exists()
+
+        assert main([
+            "snapshot", "diff", str(base_snapshot), str(merged),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "epoch delta: +1" in out
+        assert "owners removed: 1" in out
+
+        # The merged snapshot serves the updated truth (true bits forced).
+        from repro.serving.snapshot import load_postings, snapshot_epoch
+
+        assert snapshot_epoch(str(merged)) == 1
+        postings = load_postings(str(merged))
+        # beta=0.0 publishes the exact truth, so the row is deterministic
+        # even though ``update init`` drew a random noise key.
+        assert set(postings.query(3)) == {1, 2, 4}
+        assert postings.query(7) == []
+
+    def test_init_refuses_existing_log(self, tmp_path, capsys):
+        log = tmp_path / "u.log"
+        assert main(["update", "init", "--log", str(log), "--providers", "4"]) == 0
+        assert main(["update", "init", "--log", str(log), "--providers", "4"]) == 1
+        assert "already exists" in capsys.readouterr().err
+
+    def test_apply_refuses_epoch_drift(self, tmp_path, base_snapshot, capsys):
+        """A segment sealed against epoch 0 cannot be compacted into the
+        epoch-1 base that replaced it."""
+        log = tmp_path / "u.log"
+        assert main(["update", "init", "--log", str(log), "--providers", "20"]) == 0
+        assert main([
+            "update", "append", "--log", str(log), "--op", "upsert",
+            "--owner", "0", "--providers", "1", "--beta", "0.5",
+        ]) == 0
+        segment = tmp_path / "0001.seg.npz"
+        assert main([
+            "update", "apply", "--log", str(log), "--base", str(base_snapshot),
+            "--output", str(segment),
+        ]) == 0
+        assert main([
+            "update", "compact", "--base", str(base_snapshot),
+            "--segment", str(segment),
+        ]) == 0  # in place: base is now epoch 1
+        capsys.readouterr()
+        assert main([
+            "update", "compact", "--base", str(base_snapshot),
+            "--segment", str(segment),
+        ]) == 1
+        assert "epoch" in capsys.readouterr().err
+
+
+class TestFleetRolloutCLI:
+    def test_rollout_moves_a_live_fleet(self, tmp_path, index_path, capsys):
+        """`eppi fleet rollout` against a real one-shard fleet: the shard
+        must settle on the new snapshot's epoch without restarting."""
+        from repro.serving.fleet import FleetSupervisor, sync_request
+
+        base = tmp_path / "base.npz"
+        assert main([
+            "snapshot", "build", "--index", str(index_path),
+            "--output", str(base),
+        ]) == 0
+        epoch1 = tmp_path / "epoch1.npz"
+        assert main([
+            "snapshot", "build", "--index", str(index_path),
+            "--output", str(epoch1), "--epoch", "1",
+        ]) == 0
+
+        with FleetSupervisor(str(base), n_shards=1) as fleet:
+            fleet.start(monitor=True)
+            host, port = fleet.addresses[0]
+            capsys.readouterr()
+            assert main([
+                "fleet", "rollout", "--server", f"{host}:{port}",
+                "--snapshot", str(epoch1),
+            ]) == 0
+            assert "epoch 1" in capsys.readouterr().out
+            assert sync_request(fleet.addresses[0], "info")["epoch"] == 1
+            assert fleet.worker_states()[0]["restarts"] == 0
+
+    def test_rollout_aborts_on_an_unreachable_shard(self, tmp_path, index_path, capsys):
+        snapshot = tmp_path / "s.npz"
+        assert main([
+            "snapshot", "build", "--index", str(index_path),
+            "--output", str(snapshot), "--epoch", "1",
+        ]) == 0
+        port = _unused_port()
+        assert main([
+            "fleet", "rollout", "--server", f"127.0.0.1:{port}",
+            "--snapshot", str(snapshot), "--settle-timeout", "0.3",
+        ]) == 1
+        assert "aborting rollout" in capsys.readouterr().err
+
+
+def _unused_port() -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
 
 
 class TestSupervisorCLI:

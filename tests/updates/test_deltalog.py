@@ -1,0 +1,187 @@
+"""Delta-log tests: framing, replay, validation, crash recovery.
+
+The write-ahead-log contract under test: every append is an independently
+crc-framed record, reopening replays the net per-owner state, and a torn
+tail (crash mid-append) is detected and truncated without disturbing the
+records behind it.
+"""
+
+import os
+
+import pytest
+
+from repro.updates import (
+    OP_FLIP,
+    OP_REMOVE,
+    OP_UPSERT,
+    DeltaLog,
+    DeltaLogError,
+)
+
+N_PROVIDERS = 8
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    return str(tmp_path / "updates.log")
+
+
+class TestCreateOpen:
+    def test_create_then_open_round_trips_header(self, log_path):
+        log = DeltaLog.create(log_path, N_PROVIDERS, noise_key=b"k" * 16)
+        log.close()
+        reopened = DeltaLog.open(log_path)
+        assert reopened.n_providers == N_PROVIDERS
+        assert reopened.noise_key == b"k" * 16
+        assert len(reopened) == 0
+        assert reopened.repaired_bytes == 0
+
+    def test_create_refuses_to_clobber(self, log_path):
+        DeltaLog.create(log_path, N_PROVIDERS).close()
+        with pytest.raises(DeltaLogError, match="already exists"):
+            DeltaLog.create(log_path, N_PROVIDERS)
+
+    def test_create_generates_a_key_when_absent(self, log_path):
+        log = DeltaLog.create(log_path, N_PROVIDERS)
+        assert len(log.noise_key) >= 16
+        log.close()
+        assert DeltaLog.open(log_path).noise_key == log.noise_key
+
+    def test_create_rejects_empty_universe_and_key(self, tmp_path):
+        with pytest.raises(DeltaLogError, match="at least one provider"):
+            DeltaLog.create(str(tmp_path / "a.log"), 0)
+        with pytest.raises(DeltaLogError, match="non-empty"):
+            DeltaLog.create(str(tmp_path / "b.log"), 3, noise_key=b"")
+
+    def test_constructor_is_gated(self, log_path):
+        with pytest.raises(DeltaLogError, match="create"):
+            DeltaLog(log_path, N_PROVIDERS, b"k")
+
+    def test_open_rejects_non_logs(self, tmp_path):
+        junk = tmp_path / "junk.log"
+        junk.write_bytes(b"not a delta log at all")
+        with pytest.raises(DeltaLogError, match="bad magic"):
+            DeltaLog.open(str(junk))
+        with pytest.raises(DeltaLogError, match="cannot read"):
+            DeltaLog.open(str(tmp_path / "missing.log"))
+
+
+class TestAppendReplay:
+    def test_upsert_remove_flip_accumulate(self, log_path):
+        with DeltaLog.create(log_path, N_PROVIDERS) as log:
+            assert log.upsert(3, [1, 5, 2], beta=0.4, name="alice") == 0
+            assert log.upsert(9, [0], beta=0.7) == 1
+            assert log.remove(9) == 2
+            assert log.flip(3, set_providers=[7], clear_providers=[5]) == 3
+        state = DeltaLog.open(log_path).state()
+        assert state[3].providers == {1, 2, 7}
+        assert state[3].beta == 0.4
+        assert state[3].name == "alice"
+        assert not state[3].removed
+        assert state[9].removed
+        assert state[9].providers == set()
+
+    def test_flip_without_prior_truth_needs_beta(self, log_path):
+        with DeltaLog.create(log_path, N_PROVIDERS) as log:
+            with pytest.raises(DeltaLogError, match="needs a beta"):
+                log.flip(4, set_providers=[1])
+            log.flip(4, set_providers=[1], beta=0.5)
+            assert log.state()[4].providers == {1}
+            assert log.state()[4].beta == 0.5
+
+    def test_flip_after_remove_also_needs_beta(self, log_path):
+        with DeltaLog.create(log_path, N_PROVIDERS) as log:
+            log.upsert(4, [1], beta=0.5)
+            log.remove(4)
+            with pytest.raises(DeltaLogError, match="needs a beta"):
+                log.flip(4, set_providers=[2])
+
+    def test_provider_ids_are_range_checked(self, log_path):
+        with DeltaLog.create(log_path, N_PROVIDERS) as log:
+            with pytest.raises(DeltaLogError, match="out of range"):
+                log.upsert(1, [N_PROVIDERS], beta=0.5)
+            with pytest.raises(DeltaLogError, match="out of range"):
+                log.flip(1, set_providers=[-1], beta=0.5)
+
+    def test_beta_and_owner_are_validated(self, log_path):
+        with DeltaLog.create(log_path, N_PROVIDERS) as log:
+            with pytest.raises(DeltaLogError, match="beta"):
+                log.upsert(1, [0], beta=1.5)
+            with pytest.raises(DeltaLogError, match="invalid owner"):
+                log.upsert(-2, [0], beta=0.5)
+            with pytest.raises(DeltaLogError, match="unknown delta op"):
+                log.append({"op": "sideways", "owner": 1})
+
+    def test_records_rescans_what_was_written(self, log_path):
+        with DeltaLog.create(log_path, N_PROVIDERS) as log:
+            log.upsert(2, [0, 3], beta=0.25, name="bob")
+            log.remove(5)
+            log.flip(2, set_providers=[4])
+        log = DeltaLog.open(log_path)
+        records = list(log.records())
+        assert [r["op"] for r in records] == [OP_UPSERT, OP_REMOVE, OP_FLIP]
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert records[0]["providers"] == [0, 3]
+
+    def test_reopen_then_append_continues_the_sequence(self, log_path):
+        with DeltaLog.create(log_path, N_PROVIDERS) as log:
+            log.upsert(1, [0], beta=0.5)
+        with DeltaLog.open(log_path) as log:
+            assert log.upsert(2, [1], beta=0.5) == 1
+        assert len(DeltaLog.open(log_path)) == 2
+
+
+class TestCrashRecovery:
+    def _write_three(self, log_path):
+        with DeltaLog.create(log_path, N_PROVIDERS) as log:
+            log.upsert(1, [0, 2], beta=0.5, name="a")
+            log.upsert(2, [3], beta=0.25)
+            log.remove(1)
+
+    def test_torn_tail_is_truncated_and_appends_resume(self, log_path):
+        self._write_three(log_path)
+        intact = os.path.getsize(log_path)
+        with open(log_path, "ab") as f:
+            f.write(b"\x00\x00\x00\x40\xde\xad\xbe\xefpartial")  # torn record
+        log = DeltaLog.open(log_path)
+        assert log.repaired_bytes == os.path.getsize(log_path) + 15 - intact
+        assert os.path.getsize(log_path) == intact  # tail gone
+        assert len(log) == 3
+        assert log.state()[1].removed
+        with log:
+            assert log.upsert(7, [1], beta=0.5) == 3  # appends work again
+        assert len(DeltaLog.open(log_path)) == 4
+
+    def test_half_written_record_header_is_dropped(self, log_path):
+        self._write_three(log_path)
+        with open(log_path, "ab") as f:
+            f.write(b"\x00\x00")  # 2 of 8 header bytes
+        log = DeltaLog.open(log_path)
+        assert log.repaired_bytes == 2
+        assert len(log) == 3
+
+    def test_bit_rot_in_the_tail_record_is_dropped(self, log_path):
+        self._write_three(log_path)
+        size = os.path.getsize(log_path)
+        with open(log_path, "r+b") as f:
+            f.seek(size - 3)
+            f.write(b"\xff")  # corrupt the last record's body
+        log = DeltaLog.open(log_path)
+        assert len(log) == 2  # the two intact records survive
+        assert log.repaired_bytes > 0
+        assert not log.state()[1].removed  # the dropped record was the remove
+
+    def test_repair_false_reports_but_leaves_the_tail(self, log_path):
+        self._write_three(log_path)
+        with open(log_path, "ab") as f:
+            f.write(b"junk")
+        size = os.path.getsize(log_path)
+        log = DeltaLog.open(log_path, repair=False)
+        assert log.repaired_bytes == 4
+        assert os.path.getsize(log_path) == size  # untouched
+
+    def test_sync_is_a_durability_barrier_not_a_failure(self, log_path):
+        with DeltaLog.create(log_path, N_PROVIDERS) as log:
+            log.upsert(1, [0], beta=0.5)
+            log.sync()
+        assert len(DeltaLog.open(log_path)) == 1

@@ -1,0 +1,259 @@
+"""Segment sealing/loading and the OverlayIndex query surface.
+
+The invariants under test: a sealed segment stores *published* rows (true
+bits plus the log's sticky false positives, never the raw truth), sealing
+is atomic and re-sealing is bit-reproducible, and :class:`OverlayIndex`
+answers every query exactly as the base would after a from-scratch merge.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.index import PPIIndex
+from repro.core.postings import PostingsIndex
+from repro.updates import (
+    SEGMENT_FORMAT_VERSION,
+    DeltaLog,
+    OverlayIndex,
+    SegmentError,
+    StickyOwnerStream,
+    load_segment,
+    seal_segment,
+)
+
+N_PROVIDERS = 8
+N_OWNERS = 12
+KEY = b"\x01" * 16
+
+
+def base_index() -> PPIIndex:
+    i, j = np.meshgrid(np.arange(N_PROVIDERS), np.arange(N_OWNERS), indexing="ij")
+    matrix = ((2 * i + j) % 4 == 0).astype(np.uint8)
+    return PPIIndex(matrix, owner_names=[f"owner-{n}" for n in range(N_OWNERS)])
+
+
+@pytest.fixture
+def log(tmp_path):
+    with DeltaLog.create(
+        str(tmp_path / "d.log"), N_PROVIDERS, noise_key=KEY
+    ) as log:
+        log.upsert(3, [1, 6], beta=0.5, name="moved-3")
+        log.remove(7)
+        log.upsert(N_OWNERS + 2, [0, 4], beta=0.25, name="newcomer")
+        yield log
+
+
+@pytest.fixture
+def segment(log, tmp_path):
+    path = str(tmp_path / "0001.seg.npz")
+    seal_segment(log, path, base_epoch=0)
+    return load_segment(path)
+
+
+class TestSealLoad:
+    def test_summary_and_round_trip(self, log, tmp_path):
+        path = str(tmp_path / "s.seg.npz")
+        summary = seal_segment(log, path, base_epoch=4)
+        assert summary["n_entries"] == 3
+        assert summary["tombstones"] == 1
+        assert summary["base_epoch"] == 4
+        segment = load_segment(path)
+        assert segment.base_epoch == 4
+        assert len(segment) == 3
+        assert segment.owners.tolist() == [3, 7, N_OWNERS + 2]
+        assert segment.name_of(3) == "moved-3"
+        assert segment.name_of(7) is None  # remove keeps no name here
+        assert 3 in segment and 4 not in segment
+
+    def test_rows_are_published_not_raw_truth(self, segment):
+        # True bits present, and exactly the sticky coins' false positives.
+        stream = StickyOwnerStream(KEY)
+        expected = stream.publish_row(3, [1, 6], 0.5, N_PROVIDERS)
+        assert segment.postings(3).tolist() == expected.tolist()
+        assert {1, 6} <= set(segment.postings(3).tolist())
+
+    def test_tombstone_rows_are_empty(self, segment):
+        assert segment.postings(7).size == 0
+        assert segment.tombstones[segment.owners.tolist().index(7)] == 1
+
+    def test_untouched_owner_yields_none(self, segment):
+        assert segment.postings(0) is None
+
+    def test_resealing_is_bit_identical(self, log, tmp_path):
+        a, b = str(tmp_path / "a.seg.npz"), str(tmp_path / "b.seg.npz")
+        seal_segment(log, a, base_epoch=0)
+        seal_segment(log, b, base_epoch=0)
+        sa, sb = load_segment(a), load_segment(b)
+        assert np.array_equal(sa.indices, sb.indices)
+        assert np.array_equal(sa.indptr, sb.indptr)
+
+    def test_seal_rejects_negative_epoch(self, log, tmp_path):
+        with pytest.raises(SegmentError, match="base epoch"):
+            seal_segment(log, str(tmp_path / "s.seg.npz"), base_epoch=-1)
+
+    def test_failed_seal_leaves_no_temp_file(self, log, tmp_path, monkeypatch):
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            seal_segment(log, str(tmp_path / "s.seg.npz"), base_epoch=0)
+        assert [p for p in os.listdir(tmp_path) if "seg" in p] == []
+
+
+class TestLoadRejection:
+    def _arrays(self, segment_path):
+        with np.load(segment_path) as archive:
+            return dict(archive)
+
+    def _rewrite(self, path, arrays):
+        np.savez(path, **arrays)
+
+    @pytest.fixture
+    def segment_path(self, log, tmp_path):
+        path = str(tmp_path / "s.seg.npz")
+        seal_segment(log, path, base_epoch=0)
+        return path
+
+    def test_missing_file_and_non_npz(self, tmp_path):
+        with pytest.raises(SegmentError, match="cannot read"):
+            load_segment(str(tmp_path / "nope.seg.npz"))
+        junk = tmp_path / "junk.seg.npz"
+        junk.write_bytes(b"not a zip")
+        with pytest.raises(SegmentError):
+            load_segment(str(junk))
+
+    def test_missing_keys(self, segment_path):
+        arrays = self._arrays(segment_path)
+        del arrays["indices"]
+        self._rewrite(segment_path, arrays)
+        with pytest.raises(SegmentError, match="missing keys"):
+            load_segment(segment_path)
+
+    def test_unsupported_version(self, segment_path):
+        arrays = self._arrays(segment_path)
+        arrays["meta"] = arrays["meta"].copy()
+        arrays["meta"][0] = SEGMENT_FORMAT_VERSION + 1
+        self._rewrite(segment_path, arrays)
+        with pytest.raises(SegmentError, match="unsupported"):
+            load_segment(segment_path)
+
+    def test_corrupted_payload_fails_checksum(self, segment_path):
+        arrays = self._arrays(segment_path)
+        arrays["indices"] = arrays["indices"].copy()
+        arrays["indices"][0] += 1
+        self._rewrite(segment_path, arrays)
+        with pytest.raises(SegmentError, match="checksum"):
+            load_segment(segment_path)
+
+    def test_unsorted_owners_rejected(self, segment_path):
+        import zlib
+
+        arrays = self._arrays(segment_path)
+        owners = arrays["owners"].copy()[::-1].copy()
+        arrays["owners"] = owners
+        crc = 0
+        for key in ("owners", "indptr", "indices", "tombstones", "betas"):
+            crc = zlib.crc32(np.ascontiguousarray(arrays[key]).tobytes(), crc)
+        arrays["meta"] = arrays["meta"].copy()
+        arrays["meta"][4] = crc  # keep the checksum honest
+        self._rewrite(segment_path, arrays)
+        with pytest.raises(SegmentError, match="malformed arrays"):
+            load_segment(segment_path)
+
+
+class TestOverlayIndex:
+    def test_newest_segment_wins(self, tmp_path):
+        base = base_index()
+        paths = []
+        for k, providers in enumerate(([1], [2, 5])):
+            with DeltaLog.create(
+                str(tmp_path / f"{k}.log"), N_PROVIDERS, noise_key=KEY
+            ) as log:
+                log.upsert(0, providers, beta=0.0)
+            paths.append(str(tmp_path / f"{k}.seg.npz"))
+            seal_segment(log, paths[-1], base_epoch=0)
+        overlay = OverlayIndex(base, [load_segment(p) for p in paths])
+        assert overlay.query(0) == [2, 5]  # the later segment's row
+        assert overlay.overlay_owners == [0]
+
+    def test_overlay_matches_base_for_untouched_owners(self, segment):
+        base = base_index()
+        overlay = OverlayIndex(base, [segment])
+        for owner in range(N_OWNERS):
+            if owner in (3, 7):
+                continue
+            assert overlay.query(owner) == base.query(owner)
+
+    def test_tombstone_and_gap_owners_answer_empty(self, segment):
+        overlay = OverlayIndex(base_index(), [segment])
+        assert overlay.n_owners == N_OWNERS + 3
+        assert overlay.query(7) == []  # tombstoned
+        assert overlay.query(N_OWNERS) == []  # id gap below the newcomer
+        assert overlay.query(N_OWNERS + 1) == []
+        assert overlay.query(N_OWNERS + 2) != []  # the newcomer itself
+
+    def test_out_of_range_owner_raises(self, segment):
+        overlay = OverlayIndex(base_index(), [segment])
+        with pytest.raises(ModelError, match="unknown owner"):
+            overlay.query(overlay.n_owners)
+        with pytest.raises(ModelError, match="unknown owner"):
+            overlay.query_many([0, overlay.n_owners])
+
+    def test_query_by_name_sees_segment_names(self, segment):
+        overlay = OverlayIndex(base_index(), [segment])
+        assert overlay.query_by_name("newcomer") == overlay.query(N_OWNERS + 2)
+        assert overlay.query_by_name("owner-1") == overlay.query(1)
+        with pytest.raises(ModelError, match="unknown owner name"):
+            overlay.query_by_name("stranger")
+
+    def test_batch_forms_agree_with_scalar_queries(self, segment):
+        overlay = OverlayIndex(base_index(), [segment])
+        ids = list(range(overlay.n_owners))
+        assert overlay.query_many(ids) == [overlay.query(j) for j in ids]
+        counts, flat = overlay.query_many_arrays(ids)
+        assert counts.tolist() == [len(overlay.query(j)) for j in ids]
+        assert flat.tolist() == [p for j in ids for p in overlay.query(j)]
+
+    def test_sizes_and_stats_reflect_the_merge(self, segment):
+        overlay = OverlayIndex(base_index(), [segment])
+        sizes = overlay.result_sizes()
+        for owner in range(overlay.n_owners):
+            assert sizes[owner] == len(overlay.query(owner))
+            assert overlay.result_size(owner) == sizes[owner]
+            assert overlay.published_frequency(owner) == pytest.approx(
+                sizes[owner] / N_PROVIDERS
+            )
+        stats = overlay.stats()
+        assert stats.n_owners == overlay.n_owners
+        assert stats.published_positives == overlay.nnz == int(sizes.sum())
+
+    def test_accepts_dense_or_postings_base(self, segment):
+        dense = OverlayIndex(base_index(), [segment])
+        csr = OverlayIndex(PostingsIndex.from_index(base_index()), [segment])
+        for owner in range(dense.n_owners):
+            assert dense.query(owner) == csr.query(owner)
+
+    def test_provider_universe_mismatch_rejected(self, tmp_path):
+        with DeltaLog.create(str(tmp_path / "d.log"), 4, noise_key=KEY) as log:
+            log.upsert(0, [1], beta=0.0)
+        path = str(tmp_path / "s.seg.npz")
+        seal_segment(log, path, base_epoch=0)
+        with pytest.raises(ModelError, match="providers"):
+            OverlayIndex(base_index(), [load_segment(path)])
+
+    def test_to_postings_equals_per_owner_queries(self, segment):
+        overlay = OverlayIndex(base_index(), [segment])
+        merged = overlay.to_postings()
+        assert merged.n_owners == overlay.n_owners
+        assert merged.owner_names == overlay.owner_names
+        for owner in range(overlay.n_owners):
+            assert merged.query(owner) == overlay.query(owner)
+
+    def test_to_postings_with_no_segments_is_the_base(self):
+        base = PostingsIndex.from_index(base_index())
+        merged = OverlayIndex(base).to_postings()
+        assert np.array_equal(merged.to_dense(), base.to_dense())
