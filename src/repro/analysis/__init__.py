@@ -7,6 +7,7 @@ from repro.analysis.appendix_b import (
     grouping_fp_spread,
 )
 from repro.analysis.audit import IndexAudit, OwnerAudit, audit_index
+from repro.analysis.cost_model import ConstructionCostModel, CostEstimate
 from repro.analysis.experiments import (
     Table2Row,
     grouping_success_ratio,
@@ -19,6 +20,8 @@ from repro.analysis.reporting import format_series, format_table
 
 __all__ = [
     "CommonTermExposure",
+    "ConstructionCostModel",
+    "CostEstimate",
     "GroupingSpread",
     "IndexAudit",
     "OwnerAudit",

@@ -6,6 +6,9 @@ Gives the library a usable operational surface:
   and write it to a JSON dataset file;
 * ``construct`` -- run ConstructPPI over a dataset and write the published
   index (plus a construction report) to disk;
+* ``secure-construct`` -- run the MPC construction (SecSumShare + GMW
+  β-calculation) over a dataset, with Beaver triples from the trusted
+  dealer or the dealerless offline factory, and report per-phase costs;
 * ``query``     -- QueryPPI against a stored index;
 * ``attack``    -- run the primary and common-identity attacks against a
   stored index/dataset pair and report attacker confidence;
@@ -34,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
 from typing import Optional, Sequence
 
@@ -56,6 +60,7 @@ from repro.analysis.audit import audit_index
 from repro.core.privacy import classify_degree
 from repro.datasets.synthetic import uniform_epsilons, zipf_matrix
 from repro.datasets.trec_like import TrecLikeConfig, build_trec_like_network
+from repro.protocol.construction import run_distributed_construction
 
 __all__ = ["main"]
 
@@ -158,6 +163,70 @@ def cmd_construct(args: argparse.Namespace) -> int:
     print(f"  avg published list size: {stats.avg_result_size:.1f}")
     print(f"  broadcast owners: {stats.broadcast_owners}")
     print(f"  mixing: lambda={result.mixing.lambda_:.4f} xi={result.mixing.xi:.2f}")
+    return 0
+
+
+def cmd_secure_construct(args: argparse.Namespace) -> int:
+    network = load_dataset(args.dataset)
+    policy = _policy_from_args(args)
+    dense = network.membership_matrix().to_dense()
+    provider_bits = [[int(v) for v in row] for row in dense]
+    epsilons = [float(e) for e in network.epsilons()]
+    result = run_distributed_construction(
+        provider_bits,
+        epsilons,
+        policy,
+        c=args.c,
+        rng=random.Random(args.seed),
+        engine=args.engine,
+        triple_source=args.triple_source,
+        offline_producers=args.producers,
+    )
+    secure = result.secure_result
+    print(
+        f"secure construction: {len(provider_bits)} providers, "
+        f"{len(epsilons)} identities, c={args.c}, engine={args.engine}, "
+        f"triples={args.triple_source}"
+    )
+    print(f"  policy: {policy.name}")
+    print(f"  lambda={secure.lambda_:.4f} xi={secure.xi:.2f}")
+    print(
+        f"  n_common={secure.n_common} "
+        f"n_natural_decoys={secure.n_natural_decoys} "
+        f"selected={sum(secure.publish_as_one)}"
+    )
+    print(f"  mean beta: {float(np.mean(result.betas)):.4f}")
+    print(f"  simulated execution time: {result.execution_time_s:.3f}s")
+    phases = getattr(secure, "phases", None)
+    if phases is not None:
+        print("  per-phase accounting (real wall-clock, offline pipeline):")
+        for name in ("setup", "offline", "online"):
+            stats = getattr(phases, name)
+            print(
+                f"    {name:<8} {stats.bytes_sent:>12.0f} B "
+                f"{stats.rounds:>6} rounds  "
+                f"wall {stats.wall_time_s * 1e3:8.1f} ms  "
+                f"hidden {stats.hidden_time_s * 1e3:8.1f} ms"
+            )
+        print(
+            f"    triples  {phases.triple_words_consumed} words consumed / "
+            f"{phases.triple_words_produced} produced, "
+            f"stall {phases.stall_time_s * 1e3:.1f} ms, "
+            f"utilization {phases.utilization:.3f}"
+        )
+    if args.output:
+        payload = {
+            "betas": [float(b) for b in result.betas],
+            "publish_as_one": [int(b) for b in secure.publish_as_one],
+            "lambda": secure.lambda_,
+            "xi": secure.xi,
+            "execution_time_s": result.execution_time_s,
+        }
+        if phases is not None:
+            payload["phases"] = phases.as_dict()
+        with open(args.output, "w") as f:
+            json.dump(payload, f, indent=2)
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -614,6 +683,29 @@ def _build_parser() -> argparse.ArgumentParser:
     c.add_argument("--delta", type=float, default=0.02)
     c.add_argument("--seed", type=int, default=0)
     c.set_defaults(func=cmd_construct)
+
+    sc = sub.add_parser(
+        "secure-construct",
+        help="run the MPC construction (SecSum + GMW) over a dataset",
+    )
+    sc.add_argument("--dataset", required=True)
+    sc.add_argument("--output", help="optional JSON report path")
+    sc.add_argument("--c", type=int, default=3,
+                    help="coordinator count (collusion tolerance)")
+    sc.add_argument("--policy", choices=["basic", "inc-exp", "chernoff"],
+                    default="chernoff")
+    sc.add_argument("--gamma", type=float, default=0.9)
+    sc.add_argument("--delta", type=float, default=0.02)
+    sc.add_argument("--engine", choices=["mono", "scalar", "batch"],
+                    default="batch")
+    sc.add_argument("--triple-source", choices=["dealer", "factory"],
+                    default="factory",
+                    help="Beaver triples: trusted dealer or dealerless "
+                         "offline factory (pipelined with the online phase)")
+    sc.add_argument("--producers", type=int, default=2,
+                    help="offline producer processes (factory mode)")
+    sc.add_argument("--seed", type=int, default=0)
+    sc.set_defaults(func=cmd_secure_construct)
 
     q = sub.add_parser("query", help="QueryPPI against a stored index")
     q.add_argument("--index", required=True)

@@ -16,24 +16,42 @@ two agree.
 
 from __future__ import annotations
 
+import functools
 import math
 import random
+import time
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.core.mixing import compute_lambda
 from repro.core.policies import BetaPolicy, frequency_threshold
 from repro.mpc.countbelow import (
+    COIN_BITS,
     CountBelowResult,
     SelectionResult,
+    build_count_circuit,
+    build_selection_circuit,
     run_beta_selection,
     run_count_below,
+    scale_epsilon,
 )
 from repro.mpc.field import Zq, default_modulus_for_sum
+from repro.mpc.gmw import expected_stats
+from repro.mpc.offline.factory import TripleFactory
+from repro.mpc.offline.phases import PhaseReport
 from repro.mpc.secsum import SecSumResult, SecSumShare
 
-__all__ = ["SecureBetaResult", "secure_beta_calculation"]
+__all__ = ["SecureBetaResult", "secure_beta_calculation", "DEFAULT_OFFLINE_SEED"]
+
+# Factory seeding is deliberately *not* drawn from the protocol rng: triple
+# values never influence Beaver outputs, and keeping the offline stream out
+# of the protocol's coin stream is what makes dealer-fed and factory-fed
+# constructions byte-identical.
+DEFAULT_OFFLINE_SEED = 0x0FF1CE
+
+TRIPLE_SOURCES = ("dealer", "factory")
 
 
 @dataclass
@@ -51,6 +69,9 @@ class SecureBetaResult:
     secsum: SecSumResult
     count_result: CountBelowResult
     selection_result: SelectionResult
+    # Per-phase setup/offline/online accounting; populated when triples come
+    # from the offline factory, None under the trusted dealer.
+    phases: Optional[PhaseReport] = None
 
     @property
     def total_and_gates(self) -> int:
@@ -64,6 +85,61 @@ class SecureBetaResult:
         )
 
 
+def _count_phase_words(
+    engine: str, m: int, n_ids: int, c: int, thresholds: list[int],
+    epsilons: list[float], width: int, high_threshold: int,
+    common_sigma_threshold: float,
+) -> int:
+    """Exact CountBelow triple-word demand, for factory provisioning."""
+    if engine == "mono":
+        eps_scaled = [scale_epsilon(e) for e in epsilons]
+        circuit = build_count_circuit(c, thresholds, eps_scaled, width, high_threshold)
+        return math.ceil(expected_stats(circuit, c).and_gates / 64)
+    return _decomposed_count_words(m, n_ids, c, common_sigma_threshold, engine)
+
+
+def _selection_phase_words(
+    engine: str, m: int, n_ids: int, c: int, thresholds: list[int],
+    width: int, lambda_: float, common_sigma_threshold: float,
+) -> int:
+    """Exact β-selection triple-word demand once λ is public."""
+    lambda_scaled = round(lambda_ * (1 << COIN_BITS))
+    if engine == "mono":
+        circuit = build_selection_circuit(c, thresholds, lambda_scaled, width)
+        return math.ceil(expected_stats(circuit, c).and_gates / 64)
+    return _decomposed_selection_words(
+        m, n_ids, c, common_sigma_threshold, lambda_scaled, engine
+    )
+
+
+# Pricing walks every circuit in the schedule, which costs ~10 ms -- real
+# money on the factory-provisioning path, where it delays production start.
+# The decomposed engines' demand depends only on these scalars, so cache it.
+@functools.lru_cache(maxsize=128)
+def _decomposed_count_words(
+    m: int, n_ids: int, c: int, common_sigma_threshold: float, engine: str
+) -> int:
+    from repro.analysis.cost_model import ConstructionCostModel
+
+    model = ConstructionCostModel(
+        m, n_ids, c, common_sigma_threshold=common_sigma_threshold
+    )
+    return model.count_phase_words(engine)
+
+
+@functools.lru_cache(maxsize=128)
+def _decomposed_selection_words(
+    m: int, n_ids: int, c: int, common_sigma_threshold: float,
+    lambda_scaled: int, engine: str,
+) -> int:
+    from repro.analysis.cost_model import ConstructionCostModel
+
+    model = ConstructionCostModel(
+        m, n_ids, c, common_sigma_threshold=common_sigma_threshold
+    )
+    return model.selection_phase_words(lambda_scaled, engine)
+
+
 def secure_beta_calculation(
     provider_bits: list[list[int]],
     epsilons: list[float],
@@ -72,6 +148,10 @@ def secure_beta_calculation(
     rng: random.Random,
     common_sigma_threshold: float = 0.5,
     engine: str = "mono",
+    triple_source: str = "dealer",
+    factory: TripleFactory | None = None,
+    offline_producers: int = 2,
+    offline_seed: int = DEFAULT_OFFLINE_SEED,
 ) -> SecureBetaResult:
     """Run Alg. 1 over ``m`` providers' private bits for ``n`` identities.
 
@@ -82,6 +162,18 @@ def secure_beta_calculation(
     :mod:`repro.core.mixing`).  ``engine`` selects the secure-evaluation
     strategy for both MPC stages (see :mod:`repro.mpc.countbelow`):
     ``"batch"`` evaluates the identity universe bitsliced, 64 at a time.
+
+    ``triple_source`` picks where Beaver triples come from: ``"dealer"``
+    keeps the trusted dealer; ``"factory"`` streams them from the dealerless
+    offline pipeline (:mod:`repro.mpc.offline`), with production running
+    concurrently with (and ahead of) the online evaluation.  Pass a started
+    ``factory`` to manage its lifecycle (and quotas) yourself -- e.g. a
+    pre-filled factory for a sequential offline-then-online baseline;
+    otherwise one is created with the exact demand (count-phase words up
+    front, selection words topped up once λ is public) and closed before
+    returning.  Outputs are byte-identical across both sources: triple
+    values never leak into Beaver-masked results, and the engines' coin
+    streams do not depend on the source.
     """
     m = len(provider_bits)
     if m == 0:
@@ -95,40 +187,121 @@ def secure_beta_calculation(
         for v in row:
             if v not in (0, 1):
                 raise ValueError(f"provider {i} supplied non-bit value {v}")
+    if triple_source not in TRIPLE_SOURCES:
+        raise ValueError(
+            f"unknown triple_source {triple_source!r} (expected one of {TRIPLE_SOURCES})"
+        )
+    if factory is not None and triple_source != "factory":
+        raise ValueError("passing a factory requires triple_source='factory'")
 
     ring = Zq(default_modulus_for_sum(m))
+    width = (ring.q - 1).bit_length()
+    call_start = time.perf_counter()
 
-    # Stage 1.1: SecSumShare (paper Fig. 3, phase 1.1).
-    secsum = SecSumShare(m=m, c=c, ring=ring, rng=rng)
-    sum_result = secsum.run(provider_bits)
+    high_threshold = max(1, math.ceil(common_sigma_threshold * m))
+
+    own_factory = None
+    source = None
+    provisioned = 0
+    thresholds: list[int] | None = None
+    if triple_source == "factory" and factory is None:
+        # Provision the selection stage up front with a nominal
+        # non-degenerate λ: the selection circuit's AND count does not
+        # depend on λ's value (only the degenerate λ ∈ {0, 1} folds the
+        # coin comparator away, shrinking the circuit), so this is the
+        # exact demand in the common case and a safe over-estimate in
+        # the degenerate ones.  Provisioning early keeps the producers
+        # streaming through the count phase instead of stalling on the
+        # λ barrier; any shortfall is topped up via add_quota below.
+        # The decomposed engines' demand is threshold-independent, so for
+        # them the factory starts *before* the O(n) threshold computation
+        # below -- another slice of serial prep hidden under production.
+        # The monolithic circuit's size does depend on the thresholds.
+        if engine == "mono":
+            thresholds = [frequency_threshold(policy, e, m) for e in epsilons]
+        count_words = _count_phase_words(
+            engine, m, n_ids, c, thresholds or [], list(epsilons), width,
+            high_threshold, common_sigma_threshold,
+        )
+        selection_upper = _selection_phase_words(
+            engine, m, n_ids, c, thresholds or [], width,
+            1.0 / (1 << COIN_BITS), common_sigma_threshold,
+        )
+        provisioned = count_words + selection_upper
+        own_factory = TripleFactory(
+            parties=c,
+            seed=offline_seed,
+            target_words=provisioned,
+            producers=offline_producers,
+        ).start()
+        factory = own_factory
+    if triple_source == "factory":
+        source = factory.source()
 
     # Public per-identity thresholds t_j = ceil(σ'_j · m) (Alg. 1, line 2).
-    thresholds = [frequency_threshold(policy, e, m) for e in epsilons]
+    if thresholds is None:
+        thresholds = [frequency_threshold(policy, e, m) for e in epsilons]
 
-    # Stage 1.2a: CountBelow under generic MPC (Alg. 1, line 3).
-    high_threshold = max(1, math.ceil(common_sigma_threshold * m))
-    count_result = run_count_below(
-        sum_result.coordinator_shares,
-        thresholds,
-        list(epsilons),
-        ring,
-        rng,
-        high_threshold=high_threshold,
-        engine=engine,
-    )
+    try:
+        # Stage 1.1: SecSumShare (paper Fig. 3, phase 1.1) -- triple
+        # production is already running underneath it in factory mode.
+        secsum = SecSumShare(m=m, c=c, ring=ring, rng=rng)
+        sum_result = secsum.run(provider_bits)
 
-    # λ is computed from public values only (Eq. 7, net of natural decoys).
-    lambda_ = compute_lambda(
-        count_result.n_common,
-        n_ids,
-        count_result.xi,
-        n_natural_decoys=count_result.n_natural_decoys,
-    )
+        # Stage 1.2a: CountBelow under generic MPC (Alg. 1, line 3).
+        online_start = time.perf_counter()
+        count_result = run_count_below(
+            sum_result.coordinator_shares,
+            thresholds,
+            list(epsilons),
+            ring,
+            rng,
+            high_threshold=high_threshold,
+            engine=engine,
+            triple_source=source,
+        )
 
-    # Stage 1.2b: per-identity β-selection under generic MPC.
-    selection_result = run_beta_selection(
-        sum_result.coordinator_shares, thresholds, lambda_, ring, rng, engine=engine
-    )
+        # λ is computed from public values only (Eq. 7, net of natural decoys).
+        lambda_ = compute_lambda(
+            count_result.n_common,
+            n_ids,
+            count_result.xi,
+            n_natural_decoys=count_result.n_natural_decoys,
+        )
+
+        # λ is now public, so the selection circuit's exact triple demand
+        # is known; top up the auto-managed factory if the nominal-λ
+        # provisioning fell short (it only can for exotic circuits whose
+        # size grows with λ's bit pattern).
+        if own_factory is not None:
+            exact = source.words_consumed + _selection_phase_words(
+                engine, m, n_ids, c, thresholds, width, lambda_,
+                common_sigma_threshold,
+            )
+            if exact > provisioned:
+                own_factory.add_quota(exact - provisioned)
+
+        # Stage 1.2b: per-identity β-selection under generic MPC.
+        selection_result = run_beta_selection(
+            sum_result.coordinator_shares,
+            thresholds,
+            lambda_,
+            ring,
+            rng,
+            engine=engine,
+            triple_source=source,
+        )
+        online_end = time.perf_counter()
+
+        phases = None
+        if source is not None:
+            phases = _build_phase_report(
+                factory, source, call_start, online_start, online_end,
+                count_result, selection_result,
+            )
+    finally:
+        if own_factory is not None:
+            own_factory.close()
 
     # Non-private end of the flow (Eq. 9): open σ only for identities that
     # were *not* selected, then evaluate the heavy β* math in the clear.
@@ -154,4 +327,40 @@ def secure_beta_calculation(
         secsum=sum_result,
         count_result=count_result,
         selection_result=selection_result,
+        phases=phases,
     )
+
+
+def _build_phase_report(
+    factory: TripleFactory,
+    source,
+    call_start: float,
+    online_start: float,
+    online_end: float,
+    count_result: CountBelowResult,
+    selection_result: SelectionResult,
+) -> PhaseReport:
+    """Assemble the setup/offline/online split for one factory-fed run."""
+    report = PhaseReport()
+    report.setup.add(factory.setup_stats)
+    report.offline.add(factory.offline_stats)
+    # Offline wall time is the production *span* (parallel producers), not
+    # summed producer busy time; the overlap with this call's protocol work
+    # is the part the pipeline hid from the critical path.
+    p0 = factory.started_at if factory.started_at is not None else call_start
+    p1 = factory.finished_at if factory.finished_at is not None else online_end
+    report.offline.wall_time_s = max(0.0, p1 - p0)
+    report.offline.hidden_time_s = max(
+        0.0, min(p1, online_end) - max(p0, call_start)
+    )
+    online = report.online
+    for stats in (count_result.stats, selection_result.stats):
+        online.bits_sent += stats.bits_sent
+        online.messages += stats.messages
+        online.rounds += stats.rounds
+    online.wall_time_s = online_end - online_start
+    report.triple_words_produced = factory.words_produced
+    report.triple_words_consumed = source.words_consumed
+    report.stall_time_s = source.stall_time_s
+    return report
+

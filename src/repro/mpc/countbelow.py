@@ -402,6 +402,7 @@ def _run_stage(
     plain: Optional[np.ndarray] = None,
     shared: Optional[np.ndarray] = None,
     open_outputs: bool = True,
+    triple_source=None,
 ) -> _StageResult:
     """Evaluate ``n`` instances of ``circuit``, scalar or bitsliced.
 
@@ -410,11 +411,16 @@ def _run_stage(
     existing XOR share bits) must be given.  Both engines report identical
     per-instance stats -- the scalar path is the oracle the batch path's
     analytic accounting is asserted against in the tests.
+
+    ``triple_source`` optionally replaces the per-stage trusted dealer with
+    an offline source (see :mod:`repro.mpc.offline`); one source is shared
+    across every stage of a construction so preprocessing is drawn down
+    sequentially.
     """
     if (plain is None) == (shared is None):
         raise ValueError("exactly one of plain/shared inputs required")
     if engine == "batch":
-        eng = BatchGMWEngine(circuit, parties, rng)
+        eng = BatchGMWEngine(circuit, parties, rng, triple_source=triple_source)
         if plain is not None:
             res = eng.run(plain, open_outputs=open_outputs)
         else:
@@ -429,7 +435,7 @@ def _run_stage(
         )
     if engine != "scalar":
         raise ValueError(f"unknown engine {engine!r} (expected scalar/batch)")
-    protocol = GMWProtocol(circuit, parties, rng)
+    protocol = GMWProtocol(circuit, parties, rng, triple_source=triple_source)
     n = plain.shape[0] if plain is not None else shared.shape[1]
     n_out = len(circuit.outputs)
     opened = np.zeros((n, n_out), dtype=np.uint8) if open_outputs else None
@@ -468,6 +474,7 @@ def _secure_tree_reduce(
     rng: random.Random,
     engine: str,
     stats: GMWStats,
+    triple_source=None,
 ) -> tuple[np.ndarray, int]:
     """Pairwise sum/max reduction over secret-shared numbers, kept shared.
 
@@ -500,6 +507,7 @@ def _secure_tree_reduce(
             engine,
             shared=np.concatenate([left, right], axis=2),
             open_outputs=False,
+            triple_source=triple_source,
         )
         stats.add(stage.stats)
         gates += stage.gates
@@ -555,6 +563,7 @@ def _run_count_below_staged(
     high_threshold: int,
     rng: random.Random,
     engine: str,
+    triple_source=None,
 ) -> CountBelowResult:
     """CountBelow via per-identity circuits + secure reduction trees."""
     c = len(coordinator_shares)
@@ -567,20 +576,28 @@ def _run_count_below_staged(
     inputs = np.concatenate(share_mats + [t_mat, reach_col, eps_mat], axis=1)
 
     totals = GMWStats(parties=c)
-    stage = _run_stage(circuit, c, rng, engine, plain=inputs, open_outputs=False)
+    stage = _run_stage(
+        circuit,
+        c,
+        rng,
+        engine,
+        plain=inputs,
+        open_outputs=False,
+        triple_source=triple_source,
+    )
     totals.add(stage.stats)
     gates = stage.gates
 
     truly_sh, g = _secure_tree_reduce(
-        stage.shares[:, :, 0:1], "sum", c, rng, engine, totals
+        stage.shares[:, :, 0:1], "sum", c, rng, engine, totals, triple_source
     )
     gates += g
     natural_sh, g = _secure_tree_reduce(
-        stage.shares[:, :, 1:2], "sum", c, rng, engine, totals
+        stage.shares[:, :, 1:2], "sum", c, rng, engine, totals, triple_source
     )
     gates += g
     xi_sh, g = _secure_tree_reduce(
-        stage.shares[:, :, 2:], "max", c, rng, engine, totals
+        stage.shares[:, :, 2:], "max", c, rng, engine, totals, triple_source
     )
     gates += g
 
@@ -606,6 +623,7 @@ def _run_beta_selection_staged(
     width: int,
     rng: random.Random,
     engine: str,
+    triple_source=None,
 ) -> SelectionResult:
     """β-selection via the per-identity circuit (outputs public, no trees)."""
     c = len(coordinator_shares)
@@ -620,7 +638,15 @@ def _run_beta_selection_staged(
     np_rng = np.random.default_rng(rng.getrandbits(64))
     coins = np_rng.integers(0, 2, size=(n_ids, c * COIN_BITS), dtype=np.uint8)
     inputs = np.concatenate(share_mats + [coins, t_mat, reach_col], axis=1)
-    stage = _run_stage(circuit, c, rng, engine, plain=inputs, open_outputs=True)
+    stage = _run_stage(
+        circuit,
+        c,
+        rng,
+        engine,
+        plain=inputs,
+        open_outputs=True,
+        triple_source=triple_source,
+    )
     return SelectionResult(
         publish_as_one=[int(b) for b in stage.opened[:, 0]],
         stats=stage.stats,
@@ -639,6 +665,7 @@ def run_count_below(
     rng: random.Random,
     high_threshold: int | None = None,
     engine: str = "mono",
+    triple_source=None,
 ) -> CountBelowResult:
     """Execute CountBelow under GMW among the ``c`` coordinators.
 
@@ -666,11 +693,18 @@ def run_count_below(
     eps_scaled = [scale_epsilon(e) for e in epsilons]
     if engine != "mono":
         return _run_count_below_staged(
-            coordinator_shares, thresholds, eps_scaled, width, high_threshold, rng, engine
+            coordinator_shares,
+            thresholds,
+            eps_scaled,
+            width,
+            high_threshold,
+            rng,
+            engine,
+            triple_source,
         )
     circuit = build_count_circuit(c, thresholds, eps_scaled, width, high_threshold)
     inputs = _flatten_share_inputs(coordinator_shares, n_ids, width)
-    protocol = GMWProtocol(circuit, parties=c, rng=rng)
+    protocol = GMWProtocol(circuit, parties=c, rng=rng, triple_source=triple_source)
     result = protocol.run(inputs)
     count_width = (len(result.outputs) - EPSILON_SCALE_BITS) // 2
     n_common = bits_to_int(result.outputs[:count_width])
@@ -692,10 +726,11 @@ def run_beta_selection(
     ring: Zq,
     rng: random.Random,
     engine: str = "mono",
+    triple_source=None,
 ) -> SelectionResult:
     """Execute the β-selection circuit under GMW among the coordinators.
 
-    ``engine`` as in :func:`run_count_below`.
+    ``engine`` and ``triple_source`` as in :func:`run_count_below`.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r} (expected one of {ENGINES})")
@@ -709,7 +744,7 @@ def run_beta_selection(
     lambda_scaled = round(lambda_ * (1 << COIN_BITS))
     if engine != "mono":
         return _run_beta_selection_staged(
-            coordinator_shares, thresholds, lambda_scaled, width, rng, engine
+            coordinator_shares, thresholds, lambda_scaled, width, rng, engine, triple_source
         )
     circuit = build_selection_circuit(c, thresholds, lambda_scaled, width)
     inputs: list[int] = []
@@ -718,7 +753,7 @@ def run_beta_selection(
             inputs.extend(int_to_bits(coordinator_shares[k][j], width))
         for _ in range(n_ids):
             inputs.extend(rng.getrandbits(1) for _ in range(COIN_BITS))
-    protocol = GMWProtocol(circuit, parties=c, rng=rng)
+    protocol = GMWProtocol(circuit, parties=c, rng=rng, triple_source=triple_source)
     result = protocol.run(inputs)
     return SelectionResult(
         publish_as_one=list(result.outputs), stats=result.stats, circuit=circuit

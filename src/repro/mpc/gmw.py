@@ -176,7 +176,13 @@ class GMWResult:
 class GMWProtocol:
     """Evaluate one circuit among ``parties`` simulated semi-honest parties."""
 
-    def __init__(self, circuit: Circuit, parties: int, rng: random.Random):
+    def __init__(
+        self,
+        circuit: Circuit,
+        parties: int,
+        rng: random.Random,
+        triple_source=None,
+    ):
         if parties < 2:
             raise ValueError(f"GMW needs >= 2 parties, got {parties}")
         circuit.validate()
@@ -184,7 +190,17 @@ class GMWProtocol:
         self.compiled: CompiledCircuit = compile_circuit(circuit)
         self.parties = parties
         self._rng = rng
-        self.dealer = TripleDealer(parties, rng)
+        # The dealer runs on a stream forked off the protocol rng, and the
+        # fork draw happens whether or not an external source is plugged in:
+        # the protocol's own coin stream is therefore identical in dealer
+        # and factory mode, which is what makes factory-fed runs produce
+        # byte-identical outputs to dealer-fed ones (Beaver outputs never
+        # depend on triple values, only on these coins).
+        dealer_seed = rng.getrandbits(64)
+        if triple_source is None:
+            self.dealer = TripleDealer(parties, random.Random(dealer_seed))
+        else:
+            self.dealer = triple_source
 
     # -- input sharing ---------------------------------------------------------
 
@@ -342,7 +358,13 @@ class BatchGMWEngine:
     whole-array expressions -- vectorized across gates *and* lanes.
     """
 
-    def __init__(self, circuit: Circuit, parties: int, rng: random.Random):
+    def __init__(
+        self,
+        circuit: Circuit,
+        parties: int,
+        rng: random.Random,
+        triple_source=None,
+    ):
         if parties < 2:
             raise ValueError(f"GMW needs >= 2 parties, got {parties}")
         circuit.validate()
@@ -351,7 +373,15 @@ class BatchGMWEngine:
         self.parties = parties
         self._rng = rng
         self._np_rng = np.random.default_rng(rng.getrandbits(64))
-        self.dealer = TripleDealer(parties, rng)
+        # Forked dealer stream; the seed draw happens in both modes so the
+        # engine's coin consumption -- and hence every opened value and
+        # output -- is byte-identical whether triples come from the trusted
+        # dealer or the offline factory (see GMWProtocol.__init__).
+        dealer_seed = rng.getrandbits(64)
+        if triple_source is None:
+            self.dealer = TripleDealer(parties, random.Random(dealer_seed))
+        else:
+            self.dealer = triple_source
 
     # -- input sharing ---------------------------------------------------------
 

@@ -1,0 +1,49 @@
+"""Dealerless asynchronous offline phase for the GMW engines.
+
+Produces Beaver bit-triples without the trusted dealer: a simulated
+OT-extension generator (:mod:`.generator`) feeds an asynchronous, bounded,
+backpressured :class:`~repro.mpc.offline.factory.TripleFactory` whose
+producers run ahead of and concurrently with the online phase.  See
+DESIGN.md §7.9.
+"""
+
+from repro.mpc.offline.factory import (
+    FactoryTripleSource,
+    OfflineProducerError,
+    QueueClosed,
+    TripleFactory,
+    TripleQueue,
+)
+from repro.mpc.offline.generator import (
+    DEFAULT_OFFLINE_BANDWIDTH_BPS,
+    DEFAULT_OFFLINE_LATENCY_S,
+    KAPPA,
+    DealerlessTripleGenerator,
+    TripleBlock,
+    splitmix64,
+)
+from repro.mpc.offline.phases import PhaseReport, PhaseStats
+from repro.mpc.offline.sources import (
+    OfflineError,
+    OfflineExhausted,
+    PrefetchedTripleSource,
+)
+
+__all__ = [
+    "KAPPA",
+    "DEFAULT_OFFLINE_BANDWIDTH_BPS",
+    "DEFAULT_OFFLINE_LATENCY_S",
+    "DealerlessTripleGenerator",
+    "TripleBlock",
+    "splitmix64",
+    "TripleFactory",
+    "TripleQueue",
+    "FactoryTripleSource",
+    "PrefetchedTripleSource",
+    "PhaseReport",
+    "PhaseStats",
+    "OfflineError",
+    "OfflineExhausted",
+    "OfflineProducerError",
+    "QueueClosed",
+]

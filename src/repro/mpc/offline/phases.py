@@ -1,0 +1,122 @@
+"""Per-phase accounting for the split setup / offline / online pipeline.
+
+The online GMW engines already report rounds/bytes through
+:class:`repro.mpc.gmw.GMWStats`; the dealerless offline subsystem adds two
+more phases (base-OT *setup* and OT-extension *offline* triple production).
+This module holds the small containers that carry those per-phase numbers --
+communication from :class:`repro.net.metrics.NetworkMetrics`-style counters,
+plus wall-clock time -- so benchmarks and the CLI can show where construction
+cost actually goes and how much of the offline phase the pipelined factory
+hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PhaseStats", "PhaseReport"]
+
+
+@dataclass
+class PhaseStats:
+    """Cost counters for one protocol phase.
+
+    ``bits_sent`` / ``messages`` / ``rounds`` follow the same conventions as
+    the online :class:`~repro.mpc.gmw.GMWStats`; ``wall_time_s`` is real
+    elapsed time of the phase as observed by the caller, and
+    ``hidden_time_s`` is the part of that wall time that overlapped another
+    phase (and therefore did not extend the end-to-end critical path).
+    """
+
+    bits_sent: int = 0
+    messages: int = 0
+    rounds: int = 0
+    wall_time_s: float = 0.0
+    hidden_time_s: float = 0.0
+    per_party_bits: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def bytes_sent(self) -> float:
+        return self.bits_sent / 8
+
+    @property
+    def exposed_time_s(self) -> float:
+        """Wall time this phase contributed to the critical path."""
+        return max(0.0, self.wall_time_s - self.hidden_time_s)
+
+    def add(self, other: "PhaseStats") -> None:
+        self.bits_sent += other.bits_sent
+        self.messages += other.messages
+        self.rounds += other.rounds
+        self.wall_time_s += other.wall_time_s
+        self.hidden_time_s += other.hidden_time_s
+        for party, bits in other.per_party_bits.items():
+            self.per_party_bits[party] = self.per_party_bits.get(party, 0) + bits
+
+    def record_send(self, sender: int, bits: int) -> None:
+        self.messages += 1
+        self.bits_sent += bits
+        self.per_party_bits[sender] = self.per_party_bits.get(sender, 0) + bits
+
+    def as_dict(self) -> dict:
+        return {
+            "bits_sent": self.bits_sent,
+            "messages": self.messages,
+            "rounds": self.rounds,
+            "wall_time_s": self.wall_time_s,
+            "hidden_time_s": self.hidden_time_s,
+            "exposed_time_s": self.exposed_time_s,
+        }
+
+
+@dataclass
+class PhaseReport:
+    """Setup / offline / online split for one secure construction run.
+
+    ``setup`` covers the one-time base-OT emulation, ``offline`` the
+    OT-extension triple production, ``online`` the GMW circuit evaluation.
+    ``triple_words_produced`` / ``triple_words_consumed`` expose offline
+    utilization (pre-provisioning overshoots when the data-dependent
+    selection circuit comes in under the worst-case bound).
+    """
+
+    setup: PhaseStats = field(default_factory=PhaseStats)
+    offline: PhaseStats = field(default_factory=PhaseStats)
+    online: PhaseStats = field(default_factory=PhaseStats)
+    triple_words_produced: int = 0
+    triple_words_consumed: int = 0
+    stall_time_s: float = 0.0
+
+    @property
+    def total_wall_time_s(self) -> float:
+        return (
+            self.setup.wall_time_s
+            + self.offline.wall_time_s
+            + self.online.wall_time_s
+        )
+
+    @property
+    def critical_path_s(self) -> float:
+        """End-to-end time after subtracting overlapped offline work."""
+        return (
+            self.setup.exposed_time_s
+            + self.offline.exposed_time_s
+            + self.online.exposed_time_s
+        )
+
+    @property
+    def utilization(self) -> float:
+        if self.triple_words_produced == 0:
+            return 1.0
+        return self.triple_words_consumed / self.triple_words_produced
+
+    def as_dict(self) -> dict:
+        return {
+            "setup": self.setup.as_dict(),
+            "offline": self.offline.as_dict(),
+            "online": self.online.as_dict(),
+            "triple_words_produced": self.triple_words_produced,
+            "triple_words_consumed": self.triple_words_consumed,
+            "utilization": self.utilization,
+            "stall_time_s": self.stall_time_s,
+        }

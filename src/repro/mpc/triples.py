@@ -20,7 +20,24 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["BitTriple", "SharedBitTriple", "TripleDealer"]
+__all__ = [
+    "BitTriple",
+    "SharedBitTriple",
+    "TripleDealer",
+    "mask_dead_lanes",
+    "unpack_triple_batch",
+]
+
+# The triple-source seam: the GMW engines accept any object exposing the
+# dealer's dealing surface --
+#
+#     deal() -> list[SharedBitTriple]                      (scalar engine)
+#     deal_batch(count, lanes) -> (a, b, c) uint64 arrays  (batch engine)
+#     issued -> int                                        (circuit-size metric)
+#
+# ``TripleDealer`` below is the trusted-dealer implementation; the dealerless
+# offline subsystem (:mod:`repro.mpc.offline`) provides drop-in sources that
+# draw from a distributed preprocessing pipeline instead.
 
 
 @dataclass(frozen=True)
@@ -79,8 +96,23 @@ class TripleDealer:
         ]
 
     def deal_many(self, count: int) -> list[list[SharedBitTriple]]:
-        """Deal ``count`` triples; result indexed ``[triple][party]``."""
-        return [self.deal() for _ in range(count)]
+        """Deal ``count`` triples; result indexed ``[triple][party]``.
+
+        Routed through :meth:`deal_batch` so scalar callers get the
+        vectorized draw: one full word per 64 triples plus one partial word
+        for the remainder, keeping ``issued`` at exactly ``count``.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return []
+        out: list[list[SharedBitTriple]] = []
+        words, rem = divmod(count, 64)
+        if words:
+            out.extend(unpack_triple_batch(self.deal_batch(words, lanes=64), lanes=64))
+        if rem:
+            out.extend(unpack_triple_batch(self.deal_batch(1, lanes=rem), lanes=rem))
+        return out
 
     def deal_batch(
         self, count: int, lanes: int = 64
@@ -94,6 +126,11 @@ class TripleDealer:
         One vectorized draw replaces ``3 * parties * count * lanes``
         scalar RNG calls, which is what makes the batched GMW online phase
         triple-supply-bound no longer.
+
+        With ``lanes < 64`` the unused high bit-lanes are masked to zero in
+        every share word, so dead lanes carry no random material and the
+        arrays contain exactly the ``count * lanes`` triples that ``issued``
+        accounts for.
         """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
@@ -114,7 +151,7 @@ class TripleDealer:
             last = np.bitwise_xor.reduce(parts, axis=1) ^ word if self.parties > 1 else word
             shares.append(np.concatenate([parts, last[:, None]], axis=1))
         self.issued += count * lanes
-        return shares[0], shares[1], shares[2]
+        return mask_dead_lanes((shares[0], shares[1], shares[2]), lanes)
 
     def _xor_share(self, bit: int) -> list[int]:
         shares = [self._rng.getrandbits(1) for _ in range(self.parties - 1)]
@@ -123,3 +160,52 @@ class TripleDealer:
             parity ^= s
         shares.append(parity ^ bit)
         return shares
+
+
+def mask_dead_lanes(
+    arrays: tuple[np.ndarray, np.ndarray, np.ndarray], lanes: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Zero the unused high bit-lanes of bitsliced triple share arrays.
+
+    Share words always hold 64 lanes; when a consumer only uses the low
+    ``lanes`` of them, the remaining bit positions must not carry random
+    material -- they are unaccounted-for triples and, in the dealerless
+    pipeline, unconsumed correlated randomness.  Masking makes the arrays
+    self-describing: what you see is exactly what ``issued`` counted.
+    """
+    if not 1 <= lanes <= 64:
+        raise ValueError(f"lanes must be in [1, 64], got {lanes}")
+    if lanes == 64:
+        return arrays
+    mask = np.uint64((1 << lanes) - 1)
+    a, b, c = arrays
+    return a & mask, b & mask, c & mask
+
+
+def unpack_triple_batch(
+    arrays: tuple[np.ndarray, np.ndarray, np.ndarray], lanes: int = 64
+) -> list[list[SharedBitTriple]]:
+    """Explode bitsliced ``(a, b, c)`` share arrays into scalar share lists.
+
+    Inverse of the bitslicing done by :meth:`TripleDealer.deal_batch`:
+    returns ``count * lanes`` triples indexed ``[triple][party]``, lane-major
+    within each word (lane 0 of word 0 first), matching the order in which
+    scalar dealing would have produced them.
+    """
+    a, b, c = arrays
+    count, parties = a.shape
+    out: list[list[SharedBitTriple]] = []
+    for g in range(count):
+        for lane in range(lanes):
+            bit = np.uint64(1 << lane)
+            out.append(
+                [
+                    SharedBitTriple(
+                        a=int(bool(a[g, p] & bit)),
+                        b=int(bool(b[g, p] & bit)),
+                        c=int(bool(c[g, p] & bit)),
+                    )
+                    for p in range(parties)
+                ]
+            )
+    return out

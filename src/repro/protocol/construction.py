@@ -240,6 +240,9 @@ def run_distributed_construction(
     rng: random.Random,
     latency: LatencyModel = EMULAB_LAN,
     engine: str = "mono",
+    triple_source: str = "dealer",
+    factory=None,
+    offline_producers: int = 2,
 ) -> DistributedConstructionResult:
     """Simulate the full ǫ-PPI construction and return timing metrics.
 
@@ -251,10 +254,25 @@ def run_distributed_construction(
     simulation.  ``"mono"`` evaluates a different (monolithic) circuit in
     which all identities share each broadcast round, so its simulated
     round/message counts differ from the decomposed engines.
+
+    ``triple_source="factory"`` draws Beaver triples from the dealerless
+    offline pipeline instead of the trusted dealer (see
+    :mod:`repro.mpc.offline` and :func:`secure_beta_calculation`); the β
+    vector and the replayed online communication pattern are identical
+    either way, so this changes the real wall-clock of the construction
+    run, not the simulated timing.
     """
     m = len(provider_bits)
     result = secure_beta_calculation(
-        provider_bits, epsilons, policy, c, rng, engine=engine
+        provider_bits,
+        epsilons,
+        policy,
+        c,
+        rng,
+        engine=engine,
+        triple_source=triple_source,
+        factory=factory,
+        offline_producers=offline_producers,
     )
     driver = _Driver(result, c, latency)
 

@@ -1,0 +1,153 @@
+"""Tests for the closed-form per-phase construction cost model.
+
+The model's claims are checked against *measured* subsystem output: the
+offline estimates against a real factory's metered stats, the online
+estimates against the batch engine's accounting, and the triple-word
+demand against what a factory-fed construction actually consumed.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.cost_model import ConstructionCostModel
+from repro.core.policies import BasicPolicy
+from repro.mpc.betacalc import secure_beta_calculation
+from repro.mpc.countbelow import COIN_BITS
+from repro.mpc.offline.factory import TripleFactory
+
+M = 16
+N_IDS = 48
+C = 3
+
+
+@pytest.fixture(scope="module")
+def factory_run():
+    """One factory-fed construction, returning (result, model, lambda)."""
+    rng = random.Random(99)
+    bits = [[rng.randint(0, 1) for _ in range(N_IDS)] for _ in range(M)]
+    eps = [rng.random() for _ in range(N_IDS)]
+    result = secure_beta_calculation(
+        bits,
+        eps,
+        BasicPolicy(),
+        c=C,
+        rng=random.Random(0),
+        engine="batch",
+        triple_source="factory",
+        offline_producers=2,
+    )
+    model = ConstructionCostModel(M, N_IDS, C, producers=2)
+    lam = round(result.lambda_ * (1 << COIN_BITS))
+    return result, model, lam
+
+
+class TestWordDemand:
+    def test_total_words_matches_consumption(self, factory_run):
+        result, model, lam = factory_run
+        assert result.phases.triple_words_consumed == model.total_words(lam, "batch")
+
+    def test_count_plus_selection_is_total(self, factory_run):
+        _, model, lam = factory_run
+        assert model.total_words(lam, "batch") == model.count_phase_words(
+            "batch"
+        ) + model.selection_phase_words(lam, "batch")
+
+    def test_scalar_demand_at_least_triples_over_64(self, factory_run):
+        _, model, lam = factory_run
+        # Batch pads every stage chunk to whole words per AND; the scalar
+        # engine packs lanes densely, so it can never need more words.
+        assert model.total_words(lam, "scalar") <= model.total_words(lam, "batch")
+
+
+class TestOfflineEstimates:
+    def test_setup_matches_factory_metering(self, factory_run):
+        result, model, _ = factory_run
+        est = model.setup(producers=2)
+        assert result.phases.setup.bits_sent == est.bits_sent
+        assert result.phases.setup.messages == est.messages
+
+    def test_offline_bits_and_messages_exact(self, factory_run):
+        result, model, _ = factory_run
+        produced = result.phases.triple_words_produced
+        est = model.offline(produced)
+        assert result.phases.offline.bits_sent == est.bits_sent
+        assert result.phases.offline.messages == est.messages
+
+    def test_offline_rounds_are_balanced_pool_lower_bound(self, factory_run):
+        result, model, _ = factory_run
+        produced = result.phases.triple_words_produced
+        est = model.offline(produced)
+        # The model assumes a perfectly balanced pool; work-queue skew can
+        # only make the slowest producer run *more* sequential blocks.
+        assert result.phases.offline.rounds >= est.rounds
+
+    def test_offline_matches_prefilled_factory(self):
+        words = 300
+        model = ConstructionCostModel(M, N_IDS, C, producers=2)
+        factory = TripleFactory(
+            parties=C,
+            seed=5,
+            target_words=words,
+            producers=2,
+            capacity_words=words,
+            link_bandwidth_bps=None,
+        ).start()
+        try:
+            factory.join_producers(timeout=60)
+            est = model.offline(words)
+            assert factory.offline_stats.bits_sent == est.bits_sent
+            assert factory.offline_stats.messages == est.messages
+            assert factory.offline_stats.rounds >= est.rounds
+            setup_est = model.setup(producers=2)
+            assert factory.setup_stats.bits_sent == setup_est.bits_sent
+        finally:
+            factory.close()
+
+
+class TestOnlineEstimates:
+    def test_online_matches_measured_engine_stats(self, factory_run):
+        result, model, lam = factory_run
+        count = model.online_count_stats()
+        sel = model.online_selection_stats(lam)
+        assert result.count_result.stats.bits_sent == count.bits_sent
+        assert result.count_result.stats.rounds == count.rounds
+        assert result.count_result.stats.and_gates == count.and_gates
+        assert result.selection_result.stats.bits_sent == sel.bits_sent
+        assert result.selection_result.stats.rounds == sel.rounds
+
+    def test_online_estimate_aggregates_stages(self, factory_run):
+        result, model, lam = factory_run
+        est = model.online(lam)
+        measured = (
+            result.count_result.stats.bits_sent
+            + result.selection_result.stats.bits_sent
+        )
+        assert est.bits_sent == measured
+        assert result.phases.online.bits_sent == measured
+
+
+class TestModelSurface:
+    def test_formulas_are_human_readable(self):
+        model = ConstructionCostModel(M, N_IDS, C)
+        assert "kappa" in model.setup().formula
+        assert "words" in model.offline(100).formula
+        assert "AND layers" in model.online(1).formula
+
+    def test_describe_smoke(self):
+        text = ConstructionCostModel(M, N_IDS, C).describe(lambda_scaled=7)
+        assert "triple demand" in text
+        assert "offline" in text
+        assert str(N_IDS) in text
+
+    def test_bytes_property(self):
+        est = ConstructionCostModel(M, N_IDS, C).setup()
+        assert est.bytes_sent == est.bits_sent / 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstructionCostModel(0, 10, 3)
+        with pytest.raises(ValueError):
+            ConstructionCostModel(4, 10, 1)
+        with pytest.raises(ValueError):
+            ConstructionCostModel(4, 10, 3, lanes=65)

@@ -2,6 +2,7 @@
 
 import random
 
+import numpy as np
 import pytest
 
 from repro.core.policies import (
@@ -145,4 +146,112 @@ class TestAccounting:
         with pytest.raises(ValueError):
             secure_beta_calculation(
                 [[2], [0], [1]], [0.5], BasicPolicy(), c=2, rng=random.Random(1)
+            )
+
+
+class TestTripleSources:
+    """Factory-fed runs must be indistinguishable from dealer-fed runs."""
+
+    def _inputs(self, seed=17, m=10, n=12):
+        rng = random.Random(seed)
+        freqs = [rng.randint(0, m) for _ in range(n)]
+        eps = [rng.random() for _ in range(n)]
+        return provider_bits_for(freqs, m, rng), eps
+
+    @pytest.mark.parametrize("engine", ["mono", "scalar", "batch"])
+    def test_factory_fed_matches_dealer_fed(self, engine):
+        bits, eps = self._inputs()
+        dealer = secure_beta_calculation(
+            bits, eps, BasicPolicy(), c=3, rng=random.Random(2), engine=engine
+        )
+        fed = secure_beta_calculation(
+            bits,
+            eps,
+            BasicPolicy(),
+            c=3,
+            rng=random.Random(2),
+            engine=engine,
+            triple_source="factory",
+            offline_producers=2,
+        )
+        assert np.array_equal(dealer.betas, fed.betas)
+        assert dealer.publish_as_one == fed.publish_as_one
+        assert dealer.lambda_ == fed.lambda_
+        assert dealer.count_result.stats == fed.count_result.stats
+        assert dealer.selection_result.stats == fed.selection_result.stats
+
+    def test_phase_report_populated(self):
+        bits, eps = self._inputs()
+        res = secure_beta_calculation(
+            bits,
+            eps,
+            BasicPolicy(),
+            c=3,
+            rng=random.Random(2),
+            engine="batch",
+            triple_source="factory",
+        )
+        p = res.phases
+        assert p is not None
+        assert p.setup.bits_sent > 0 and p.setup.rounds >= 2
+        assert p.offline.bits_sent > 0
+        assert p.online.bits_sent > 0
+        assert p.online.rounds > 0
+        assert p.triple_words_produced >= p.triple_words_consumed > 0
+        assert p.stall_time_s >= 0.0
+        assert 0.0 <= p.utilization <= 1.0
+        assert p.critical_path_s > 0.0
+
+    def test_dealer_fed_has_no_phase_report(self):
+        bits, eps = self._inputs()
+        res = secure_beta_calculation(
+            bits, eps, BasicPolicy(), c=3, rng=random.Random(2), engine="batch"
+        )
+        assert res.phases is None
+
+    def test_external_prefilled_factory(self):
+        from repro.mpc.offline.factory import TripleFactory
+
+        bits, eps = self._inputs()
+        factory = TripleFactory(
+            parties=3,
+            seed=7,
+            target_words=6000,
+            producers=2,
+            capacity_words=6000,
+            link_bandwidth_bps=None,
+        ).start()
+        try:
+            factory.join_producers(timeout=120)
+            fed = secure_beta_calculation(
+                bits,
+                eps,
+                BasicPolicy(),
+                c=3,
+                rng=random.Random(2),
+                engine="batch",
+                triple_source="factory",
+                factory=factory,
+            )
+        finally:
+            factory.close()
+        dealer = secure_beta_calculation(
+            bits, eps, BasicPolicy(), c=3, rng=random.Random(2), engine="batch"
+        )
+        assert np.array_equal(dealer.betas, fed.betas)
+        assert fed.phases is not None
+
+    def test_validation(self):
+        bits, eps = self._inputs()
+        with pytest.raises(ValueError, match="triple_source"):
+            secure_beta_calculation(
+                bits, eps, BasicPolicy(), c=3, rng=random.Random(1),
+                triple_source="oracle",
+            )
+        with pytest.raises(ValueError, match="requires triple_source"):
+            from repro.mpc.offline.factory import TripleFactory
+
+            f = TripleFactory(parties=3, seed=1, target_words=8)
+            secure_beta_calculation(
+                bits, eps, BasicPolicy(), c=3, rng=random.Random(1), factory=f
             )

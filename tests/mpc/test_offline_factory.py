@@ -1,0 +1,306 @@
+"""Tests for the asynchronous triple factory and its bounded queue."""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.mpc.offline.factory import (
+    FactoryTripleSource,
+    OfflineProducerError,
+    QueueClosed,
+    TripleFactory,
+    TripleQueue,
+)
+from repro.mpc.offline.sources import OfflineExhausted
+
+
+def _block(words, parties=3, fill=1):
+    arr = np.full((words, parties), fill, dtype=np.uint64)
+    return arr, arr.copy(), arr.copy()
+
+
+def _fast_factory(**kwargs):
+    """Factory with the wire model off: tests exercise logic, not timing."""
+    kwargs.setdefault("parties", 3)
+    kwargs.setdefault("seed", 42)
+    kwargs.setdefault("producers", 2)
+    kwargs.setdefault("link_bandwidth_bps", None)
+    return TripleFactory(**kwargs)
+
+
+class TestTripleQueue:
+    def test_put_take_roundtrip(self):
+        q = TripleQueue(capacity_words=64)
+        q.put_block(*_block(8))
+        a, b, c = q.take(8)
+        assert a.shape == (8, 3)
+        assert q.words_taken == 8
+
+    def test_take_spans_blocks(self):
+        q = TripleQueue(capacity_words=64)
+        q.put_block(*_block(4, fill=1))
+        q.put_block(*_block(4, fill=2))
+        a, _, _ = q.take(6)
+        assert list(a[:, 0]) == [1, 1, 1, 1, 2, 2]
+        # The second block's tail is still there.
+        a2, _, _ = q.take(2)
+        assert list(a2[:, 0]) == [2, 2]
+
+    def test_partial_head_tracked(self):
+        q = TripleQueue(capacity_words=64)
+        q.put_block(*_block(8))
+        q.take(3)
+        q.take(5)
+        assert q.depth_words == 0
+
+    def test_watermark_hysteresis(self):
+        q = TripleQueue(capacity_words=8, low_watermark=2)
+        q.put_block(*_block(8))  # exactly at capacity -> draining
+        assert q._draining
+        q.take(5)  # depth 3 > watermark: still draining
+        assert q._draining
+        q.take(1)  # depth 2 == watermark: reopened
+        assert not q._draining
+        assert q.refill_cycles == 1
+
+    def test_starved_take_overrides_watermark(self):
+        q = TripleQueue(capacity_words=8, low_watermark=0)
+        q.put_block(*_block(8))
+        assert q._draining
+        # More than the remaining depth: the take must reopen puts rather
+        # than wait for a drain that can never come.
+        import threading
+
+        def feed():
+            time.sleep(0.05)
+            q.put_block(*_block(4))
+
+        t = threading.Thread(target=feed)
+        t.start()
+        a, _, _ = q.take(12, timeout=5)
+        t.join()
+        assert a.shape[0] == 12
+
+    def test_take_after_finish_raises_exhausted(self):
+        q = TripleQueue(capacity_words=64)
+        q.put_block(*_block(4))
+        q.finish()
+        q.take(4)  # the buffered words still serve
+        with pytest.raises(OfflineExhausted):
+            q.take(1)
+
+    def test_unfinish_rearms(self):
+        q = TripleQueue(capacity_words=64)
+        q.finish()
+        q.unfinish()
+        q.put_block(*_block(2))
+        a, _, _ = q.take(2)
+        assert a.shape[0] == 2
+
+    def test_close_wakes_taker(self):
+        q = TripleQueue(capacity_words=64)
+        import threading
+
+        threading.Timer(0.05, q.close).start()
+        with pytest.raises(QueueClosed):
+            q.take(1, timeout=5)
+
+    def test_fail_poisons_queue(self):
+        q = TripleQueue(capacity_words=64)
+        q.fail(RuntimeError("boom"))
+        with pytest.raises(OfflineProducerError):
+            q.take(1)
+        with pytest.raises(OfflineProducerError):
+            q.put_block(*_block(1))
+
+    def test_take_timeout(self):
+        q = TripleQueue(capacity_words=64)
+        with pytest.raises(Exception, match="timed out"):
+            q.take(1, timeout=0.05)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            TripleQueue(capacity_words=0)
+        with pytest.raises(ValueError):
+            TripleQueue(capacity_words=4, low_watermark=9)
+
+
+class TestTripleFactoryThreads:
+    def test_produces_valid_triples(self):
+        with _fast_factory(target_words=96, block_words=32) as f:
+            a, b, c = f.source().deal_batch(96)
+        ra = np.bitwise_xor.reduce(a, axis=1)
+        rb = np.bitwise_xor.reduce(b, axis=1)
+        rc = np.bitwise_xor.reduce(c, axis=1)
+        assert np.array_equal(rc, ra & rb)
+
+    def test_join_producers_prefills(self):
+        f = _fast_factory(target_words=64, capacity_words=64).start()
+        try:
+            f.join_producers(timeout=30)
+            assert f.words_produced == 64
+            assert f.production_span_s > 0
+        finally:
+            f.close()
+
+    def test_join_requires_capacity(self):
+        f = _fast_factory(target_words=128, capacity_words=64).start()
+        try:
+            with pytest.raises(Exception, match="capacity_words"):
+                f.join_producers()
+        finally:
+            f.close()
+
+    def test_exhaustion_past_quota(self):
+        with _fast_factory(target_words=32) as f:
+            src = f.source()
+            src.deal_batch(32)
+            with pytest.raises(OfflineExhausted):
+                src.deal_batch(1)
+
+    def test_add_quota_on_live_workers(self):
+        with _fast_factory(target_words=32) as f:
+            src = f.source()
+            src.deal_batch(32)
+            f.add_quota(32)
+            a, _, _ = src.deal_batch(32)
+            assert a.shape[0] == 32
+
+    def test_add_quota_before_any_take(self):
+        with _fast_factory(target_words=0) as f:
+            f.add_quota(16)
+            a, _, _ = f.source().deal_batch(16)
+            assert a.shape[0] == 16
+
+    def test_zero_quota_finishes_immediately(self):
+        with _fast_factory(target_words=0) as f:
+            f.join_producers(timeout=10)
+            with pytest.raises(OfflineExhausted):
+                f.source().deal_batch(1)
+
+    def test_setup_and_offline_stats_populate(self):
+        with _fast_factory(target_words=64, producers=2) as f:
+            f.join_producers(timeout=30)
+            assert f.setup_stats.bits_sent > 0
+            assert f.offline_stats.bits_sent > 0
+            # Parallel producers: rounds follow the slowest producer, so
+            # strictly less than the sum over all blocks.
+            total_block_rounds = 2 * len(
+                range(0, 64, f.block_words)
+            ) * f.producers
+            assert 0 < f.offline_stats.rounds < total_block_rounds
+
+    def test_close_is_fast_and_idempotent(self):
+        f = TripleFactory(parties=3, seed=1, target_words=1 << 16, producers=2).start()
+        time.sleep(0.05)  # mid-production, wire waits in flight
+        start = time.perf_counter()
+        f.close()
+        assert time.perf_counter() - start < 1.0
+        f.close()
+
+    def test_deterministic_across_factories(self):
+        with _fast_factory(target_words=64, producers=1) as f1:
+            a1, b1, c1 = f1.source().deal_batch(64)
+        with _fast_factory(target_words=64, producers=1) as f2:
+            a2, b2, c2 = f2.source().deal_batch(64)
+        assert np.array_equal(a1, a2)
+        assert np.array_equal(c1, c2)
+
+    def test_source_requires_started_factory(self):
+        f = _fast_factory(target_words=8)
+        with pytest.raises(Exception, match="not started"):
+            f.source()
+        f.start()
+        f.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _fast_factory(target_words=-1)
+        with pytest.raises(ValueError):
+            _fast_factory(target_words=8, producers=0)
+        with pytest.raises(ValueError):
+            _fast_factory(target_words=8, mode="fiber")
+
+
+class TestTripleFactoryProcesses:
+    def test_produces_valid_triples(self):
+        with _fast_factory(target_words=64, mode="process") as f:
+            a, b, c = f.source().deal_batch(64)
+        rc = np.bitwise_xor.reduce(c, axis=1)
+        ra = np.bitwise_xor.reduce(a, axis=1)
+        rb = np.bitwise_xor.reduce(b, axis=1)
+        assert np.array_equal(rc, ra & rb)
+
+    def test_killed_producer_raises_not_hangs(self):
+        f = TripleFactory(
+            parties=3,
+            seed=1,
+            target_words=1 << 20,  # far more than we will ever produce
+            producers=2,
+            mode="process",
+            link_bandwidth_bps=None,
+        ).start()
+        try:
+            time.sleep(0.2)  # let the workers boot
+            for w in f._workers:
+                os.kill(w.pid, signal.SIGKILL)
+            start = time.perf_counter()
+            with pytest.raises(OfflineProducerError):
+                f.source().deal_batch(1 << 20)
+            assert time.perf_counter() - start < 30
+        finally:
+            f.close()
+
+    def test_crashing_producer_propagates_message(self):
+        f = TripleFactory(
+            parties=3,
+            seed=1,
+            target_words=64,
+            producers=1,
+            mode="process",
+            kappa=128,
+            link_bandwidth_bps=None,
+        ).start()
+        try:
+            # Sabotage: close the work queue under the worker to force an
+            # exception inside _producer_main on some platforms is flaky;
+            # instead verify the error path through the queue directly.
+            f.queue.fail(OfflineProducerError("producer 0 failed: boom"))
+            with pytest.raises(OfflineProducerError, match="boom"):
+                f.source().deal_batch(64)
+        finally:
+            f.close()
+
+
+class TestFactoryTripleSource:
+    def test_scalar_deal_serves_lane_by_lane(self):
+        with _fast_factory(target_words=2) as f:
+            src = f.source()
+            triples = [src.deal() for _ in range(70)]
+        assert src.issued == 70
+        assert src.words_consumed == 2
+        for shares in triples:
+            a = b = c = 0
+            for s in shares:
+                a ^= s.a
+                b ^= s.b
+                c ^= s.c
+            assert c == (a & b)
+
+    def test_partial_lanes_consume_full_word(self):
+        with _fast_factory(target_words=4) as f:
+            src = f.source()
+            a, _, _ = src.deal_batch(2, lanes=3)
+            assert not np.any(a & np.uint64(~0b111 & 0xFFFFFFFFFFFFFFFF))
+            assert src.words_consumed == 2
+            assert src.issued == 6
+
+    def test_stall_time_accumulates(self):
+        with _fast_factory(target_words=32) as f:
+            src = f.source()
+            src.deal_batch(32)
+            assert isinstance(src, FactoryTripleSource)
+            assert src.stall_time_s >= 0.0

@@ -2,9 +2,10 @@
 
 import random
 
+import numpy as np
 import pytest
 
-from repro.mpc.triples import BitTriple, TripleDealer
+from repro.mpc.triples import BitTriple, TripleDealer, unpack_triple_batch
 
 
 class TestBitTriple:
@@ -69,3 +70,104 @@ class TestTripleDealer:
         dealer = TripleDealer(parties=3, rng=random.Random(2))
         for s in dealer.deal():
             assert s.a in (0, 1) and s.b in (0, 1) and s.c in (0, 1)
+
+
+class TestDealBatch:
+    def test_batch_shares_reconstruct_per_lane(self):
+        dealer = TripleDealer(parties=3, rng=random.Random(5))
+        a, b, c = dealer.deal_batch(16)
+        ra = np.bitwise_xor.reduce(a, axis=1)
+        rb = np.bitwise_xor.reduce(b, axis=1)
+        rc = np.bitwise_xor.reduce(c, axis=1)
+        assert np.array_equal(rc, ra & rb)
+        assert dealer.issued == 16 * 64
+
+    @pytest.mark.parametrize("lanes", [1, 5, 33, 63])
+    def test_dead_lanes_masked(self, lanes):
+        """Regression: lanes < 64 must leave no random material in dead
+        bit positions of any share word."""
+        dealer = TripleDealer(parties=3, rng=random.Random(5))
+        a, b, c = dealer.deal_batch(8, lanes=lanes)
+        dead = np.uint64(~((1 << lanes) - 1) & 0xFFFFFFFFFFFFFFFF)
+        for arr in (a, b, c):
+            assert not np.any(arr & dead)
+        assert dealer.issued == 8 * lanes
+        # Live lanes still reconstruct.
+        rc = np.bitwise_xor.reduce(c, axis=1)
+        ra = np.bitwise_xor.reduce(a, axis=1)
+        rb = np.bitwise_xor.reduce(b, axis=1)
+        assert np.array_equal(rc, ra & rb)
+
+    def test_validation(self):
+        dealer = TripleDealer(parties=2, rng=random.Random(1))
+        with pytest.raises(ValueError):
+            dealer.deal_batch(-1)
+        with pytest.raises(ValueError):
+            dealer.deal_batch(1, lanes=0)
+        with pytest.raises(ValueError):
+            dealer.deal_batch(1, lanes=65)
+
+
+class TestUnpackTripleBatch:
+    def test_unpack_is_lane_major(self):
+        """Lane i of word g maps to flat index g*lanes + i."""
+        dealer = TripleDealer(parties=3, rng=random.Random(9))
+        arrays = dealer.deal_batch(4, lanes=8)
+        a, b, c = arrays
+        flat = unpack_triple_batch(arrays, lanes=8)
+        assert len(flat) == 32
+        for g in range(4):
+            for lane in range(8):
+                shares = flat[g * 8 + lane]
+                bit = np.uint64(1 << lane)
+                for p, s in enumerate(shares):
+                    assert s.a == int(bool(a[g, p] & bit))
+                    assert s.b == int(bool(b[g, p] & bit))
+                    assert s.c == int(bool(c[g, p] & bit))
+
+    def test_unpacked_triples_are_valid(self):
+        dealer = TripleDealer(parties=4, rng=random.Random(9))
+        for shares in unpack_triple_batch(dealer.deal_batch(2)):
+            a = b = c = 0
+            for s in shares:
+                a ^= s.a
+                b ^= s.b
+                c ^= s.c
+            assert c == (a & b)
+
+
+class TestDealManyEquivalence:
+    @pytest.mark.parametrize("count", [0, 1, 63, 64, 65, 130])
+    def test_deal_many_routes_through_deal_batch(self, count):
+        """deal_many(count) == unpack(deal_batch(words)) + unpack(partial)."""
+        many = TripleDealer(parties=3, rng=random.Random(77)).deal_many(count)
+
+        batch_dealer = TripleDealer(parties=3, rng=random.Random(77))
+        expected = []
+        words, rem = divmod(count, 64)
+        if words:
+            expected.extend(
+                unpack_triple_batch(batch_dealer.deal_batch(words, lanes=64))
+            )
+        if rem:
+            expected.extend(
+                unpack_triple_batch(batch_dealer.deal_batch(1, lanes=rem), lanes=rem)
+            )
+        assert many == expected
+        assert len(many) == count
+        assert batch_dealer.issued == count
+
+    def test_deal_many_issued_exact(self):
+        dealer = TripleDealer(parties=2, rng=random.Random(3))
+        dealer.deal_many(100)
+        assert dealer.issued == 100
+
+    def test_deal_many_triples_valid(self):
+        dealer = TripleDealer(parties=3, rng=random.Random(4))
+        for shares in dealer.deal_many(70):
+            a = b = c = 0
+            for s in shares:
+                a ^= s.a
+                b ^= s.b
+                c ^= s.c
+            assert c == (a & b)

@@ -360,3 +360,30 @@ class TestSupervisorCLI:
                 proc.communicate()
         assert proc.returncode == 0, out
         assert "restarts=0" in out
+
+
+class TestSecureConstruct:
+    def _run(self, dataset_path, tmp_path, source, name):
+        out = tmp_path / f"{name}.json"
+        assert main([
+            "secure-construct", "--dataset", str(dataset_path),
+            "--output", str(out), "--engine", "batch",
+            "--triple-source", source, "--seed", "5",
+        ]) == 0
+        return json.loads(out.read_text())
+
+    def test_factory_mode_smoke(self, dataset_path, tmp_path, capsys):
+        payload = self._run(dataset_path, tmp_path, "factory", "fac")
+        captured = capsys.readouterr().out
+        assert "per-phase accounting" in captured
+        assert "phases" in payload
+        assert payload["phases"]["offline"]["bits_sent"] > 0
+        assert payload["phases"]["triple_words_consumed"] > 0
+
+    def test_dealer_and_factory_agree(self, dataset_path, tmp_path):
+        dealer = self._run(dataset_path, tmp_path, "dealer", "deal")
+        factory = self._run(dataset_path, tmp_path, "factory", "fac")
+        assert dealer["betas"] == factory["betas"]
+        assert dealer["publish_as_one"] == factory["publish_as_one"]
+        assert dealer["lambda"] == factory["lambda"]
+        assert "phases" not in dealer
