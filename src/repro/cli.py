@@ -366,6 +366,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import PPIServer, ShardSpec
 
     index, epoch = _load_index_arg(args)
+    protocols = {"v1": (1,), "v2": (2,), "both": (1, 2)}[args.protocol]
     server = PPIServer(
         index,
         shard=ShardSpec(args.shard, args.shards),
@@ -374,11 +375,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         snapshot_path=getattr(args, "snapshot", None),
         epoch=epoch,
+        protocols=protocols,
     )
     print(
         f"serving shard {args.shard}/{args.shards} of index "
         f"({index.n_providers} providers, {index.n_owners} owners, "
-        f"epoch {epoch})"
+        f"epoch {epoch}, wire protocol {args.protocol})"
     )
     return _run_node_forever(server)
 
@@ -623,6 +625,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             ),
             cache_size=args.cache_size,
             rng_seed=args.seed,
+            protocol=args.protocol,
         )
         try:
             if args.owners is not None:
@@ -644,8 +647,11 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 requests_per_worker=args.requests,
                 mode=args.mode,
                 think_time_s=args.think_time,
+                batch_size=args.batch_size,
             )
             print(report.format())
+            if client.protocol_downgrades:
+                print(f"protocol downgrades    {client.protocol_downgrades}")
             stats = await client.stats(args.server[0])
             served = stats["counters"].get("queries_served", 0)
             print(f"server[0] queries_served  {served}")
@@ -739,6 +745,8 @@ def _build_parser() -> argparse.ArgumentParser:
     s.add_argument("--shards", type=int, default=1, help="total shard count")
     s.add_argument("--max-inflight", type=int, default=64,
                    help="backpressure bound on concurrently served requests")
+    s.add_argument("--protocol", choices=["v1", "v2", "both"], default="both",
+                   help="accepted wire protocols (sniffed per frame)")
     s.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("provider", help="run one provider's AuthSearch endpoint")
@@ -855,7 +863,12 @@ def _build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--provider", action="append",
                     type=_parse_provider_address, metavar="ID=HOST:PORT",
                     help="provider endpoint address (repeatable; enables search mode)")
-    lg.add_argument("--mode", choices=["query", "search"], default="query")
+    lg.add_argument("--mode", choices=["query", "batch", "search"],
+                    default="query")
+    lg.add_argument("--batch-size", type=int, default=32,
+                    help="owners per query-batch round trip (batch mode)")
+    lg.add_argument("--protocol", choices=["auto", "v1", "v2"], default="auto",
+                    help="wire protocol to speak (auto: v2 with v1 fallback)")
     lg.add_argument("--workers", type=int, default=4)
     lg.add_argument("--requests", type=int, default=50,
                     help="requests per worker")

@@ -18,7 +18,9 @@ constructed :class:`~repro.core.index.PPIIndex` behind real TCP sockets:
   (:mod:`repro.serving.fleet`);
 * :func:`save_snapshot` / :func:`load_snapshot` -- the packed-bits binary
   index format workers boot from (:mod:`repro.serving.snapshot`);
-* :mod:`repro.serving.protocol` -- the length-prefixed JSON wire format.
+* :mod:`repro.serving.protocol` -- the v1 length-prefixed JSON wire format;
+* :mod:`repro.serving.protocol_v2` -- the v2 binary wire format (fixed
+  crc-checked frames, packed payloads, per-frame protocol sniffing).
 
 ``python -m repro serve / provider / loadgen / snapshot / supervisor``
 (or the ``eppi`` console script) exposes the same pieces operationally.
@@ -54,6 +56,13 @@ from repro.serving.protocol import (
     ProtocolError,
     RemoteError,
 )
+from repro.serving.protocol_v2 import (
+    PROTOCOL_V2,
+    DecodeError,
+    Frame,
+    FrameDecoder,
+    PreparedFrameV2,
+)
 from repro.serving.provider import ProviderEndpoint
 from repro.serving.snapshot import (
     SNAPSHOT_FORMAT_V1,
@@ -72,6 +81,7 @@ from repro.serving.snapshot import (
 from repro.serving.server import (
     IndexShardStore,
     PPIServer,
+    ResponseSlab,
     ServingNode,
     ShardSpec,
     WrongShard,
@@ -80,11 +90,15 @@ from repro.serving.server import (
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "PROTOCOL_V2",
     "PROTOCOL_VERSION",
     "ConnectionClosed",
     "ConnectionPool",
     "Counter",
+    "DecodeError",
     "FleetSupervisor",
+    "Frame",
+    "FrameDecoder",
     "FrameTooLarge",
     "Gauge",
     "Histogram",
@@ -94,9 +108,11 @@ __all__ = [
     "LocatorClient",
     "MetricsRegistry",
     "PPIServer",
+    "PreparedFrameV2",
     "ProtocolError",
     "ProviderEndpoint",
     "RemoteError",
+    "ResponseSlab",
     "RetryPolicy",
     "SNAPSHOT_FORMAT_V1",
     "SNAPSHOT_FORMAT_V2",

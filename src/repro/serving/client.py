@@ -55,10 +55,10 @@ from repro.serving.protocol import (
     ProtocolError,
     RemoteError,
     raise_for_response,
-    read_frame,
     request,
     write_frame,
 )
+from repro.serving.protocol_v2 import encode_request_v2, read_any_frame
 from repro.serving.provider import record_from_wire
 from repro.serving.server import shard_of
 
@@ -207,6 +207,15 @@ class LocatorClient:
     is served by ``servers[j % len(servers)]``).  ``providers`` maps
     provider id to that provider's endpoint address; it may cover only the
     providers this searcher can reach.
+
+    ``protocol`` selects the wire protocol: ``"v2"`` (binary frames,
+    strict), ``"v1"`` (length-prefixed JSON), or the default ``"auto"`` --
+    speak v2, and the first time an address answers a v2 request with a v1
+    frame (the signature of a legacy server rejecting the magic as an
+    oversized length) pin that address to v1 and retransmit.  The probe
+    costs one round trip once per v1-only address, never loses a request,
+    and needs no out-of-band version exchange; ``protocol_downgrades``
+    counts the pins.
     """
 
     def __init__(
@@ -218,9 +227,14 @@ class LocatorClient:
         cache_size: int = 1024,
         max_idle_per_host: int = 8,
         rng_seed: int = 0,
+        protocol: str = "auto",
     ):
         if not servers:
             raise ValueError("need at least one server address")
+        if protocol not in ("auto", "v1", "v2"):
+            raise ValueError(
+                f"protocol must be 'auto', 'v1' or 'v2', got {protocol!r}"
+            )
         self.servers = [tuple(a) for a in servers]
         self.providers = {int(k): tuple(v) for k, v in (providers or {}).items()}
         self.name = name
@@ -234,22 +248,62 @@ class LocatorClient:
         #: entries tagged with an older epoch are treated as misses.
         self.fleet_epoch = 0
         self.epoch_invalidations = 0
+        self.protocol = protocol
+        self.protocol_downgrades = 0
+        #: addresses that answered a v2 frame with v1: legacy servers,
+        #: spoken to in v1 from the first downgrade on.
+        self._v1_only: set = set()
         self._rng = random.Random(rng_seed)
         self._request_ids = itertools.count(1)
 
     # -- transport ------------------------------------------------------------
 
-    async def _request_once(self, addr: Address, message: dict) -> dict:
+    async def _request_once(
+        self, addr: Address, message: dict, force_v1: bool = False
+    ) -> dict:
+        use_v2 = (
+            not force_v1 and self.protocol != "v1" and addr not in self._v1_only
+        )
         conn = await self.pool.acquire(addr)
         reader, writer = conn
         try:
-            await write_frame(writer, message)
-            response = await read_frame(reader)
+            if use_v2:
+                writer.write(encode_request_v2(message))
+                await writer.drain()
+            else:
+                await write_frame(writer, message)
+            got_protocol, response = await read_any_frame(reader)
         except BaseException:
             # Includes CancelledError from wait_for timeout: the connection
             # has an orphaned in-flight request, never reuse it.
             self.pool.discard(conn)
             raise
+        refused_v2 = got_protocol == 1 or (
+            response.get("ok") is False
+            and response.get("code") == "protocol-disabled"
+        )
+        if use_v2 and refused_v2:
+            # The address speaks v1 only: either a legacy server that saw
+            # the magic as an oversized v1 length and answered a v1 error,
+            # or a v1-pinned modern server refusing v2 with a typed error.
+            # Pin it and retransmit the same request as v1 -- inside this
+            # attempt, so the downgrade never consumes retry budget.
+            self.pool.discard(conn)
+            if self.protocol == "v2":
+                raise ProtocolError(
+                    f"server at {addr[0]}:{addr[1]} does not speak protocol v2"
+                )
+            self._v1_only.add(addr)
+            self.protocol_downgrades += 1
+            return await self._request_once(addr, message)
+        if response.get("ok") is False and response.get("id") in (None, 0):
+            # A decode-stage error frame (bad crc, refused protocol, ...):
+            # the server failed before it could parse a request id, so the
+            # echo cannot match ours (ids start at 1).  Surface the typed
+            # error instead of retrying an "id mismatch".  The server drops
+            # the connection after such a frame; never pool it.
+            self.pool.discard(conn)
+            return response
         if response.get("id") != message["id"]:
             self.pool.discard(conn)
             raise ProtocolError(
@@ -264,8 +318,16 @@ class LocatorClient:
         Transport-level failures (refused/reset connections, timeouts,
         garbled frames) are retried; application-level errors
         (:class:`RemoteError`) are not -- the service answered.
+
+        In ``auto`` mode, a transport failure on a v2 attempt switches the
+        remaining attempts of this call to v1: a peer so old it predates
+        protocol negotiation may drop the magic without answering, which is
+        indistinguishable from a transport flake -- so the retry budget
+        probes both framings.  The next call starts back at v2 (the pin to
+        v1 happens only on an explicit v1 answer, in ``_request_once``).
         """
         last_exc: Optional[Exception] = None
+        force_v1 = False
         for attempt in range(self.retry.max_retries + 1):
             if attempt:
                 self.retries_total += 1
@@ -273,11 +335,14 @@ class LocatorClient:
             message = request(verb, next(self._request_ids), **fields)
             try:
                 response = await asyncio.wait_for(
-                    self._request_once(addr, message), timeout=self.retry.timeout_s
+                    self._request_once(addr, message, force_v1=force_v1),
+                    timeout=self.retry.timeout_s,
                 )
                 return raise_for_response(response)
             except (OSError, asyncio.TimeoutError, ProtocolError) as exc:
                 last_exc = exc
+                if self.protocol == "auto" and addr not in self._v1_only:
+                    force_v1 = True
         raise TransportError(
             f"{verb} to {addr[0]}:{addr[1]} failed after "
             f"{self.retry.max_retries + 1} attempts: {last_exc}"
@@ -384,33 +449,59 @@ class LocatorClient:
         return list(providers)
 
     async def query_batch(self, owner_ids: list[int]) -> dict[int, list[int]]:
-        """Many ``QueryPPI`` calls, one round trip per shard."""
+        """Many ``QueryPPI`` calls, one round trip per shard.
+
+        The hot loop trusts the codecs: both the v1 JSON parser and the v2
+        binary decoder already yield ``list[int]`` provider lists, so no
+        per-element re-conversion happens here -- at wire-saturating batch
+        rates that pass would dominate the client's CPU.  Only the owner
+        keys are converted (the wire carries them as strings, the v1
+        response-shape contract).
+        """
         results: dict[int, list[int]] = {}
         by_shard: dict[int, list[int]] = {}
-        for oid in owner_ids:
-            cached = self._cache_get(oid)
-            if cached is not None:
-                results[oid] = list(cached)
+        caching = self.cache.capacity > 0
+        n_shards = len(self.servers)
+        if n_shards == 1:
+            # Single-shard fleet: no routing to compute, one chunk.
+            if caching:
+                misses = []
+                for oid in owner_ids:
+                    cached = self._cache_get(oid)
+                    if cached is not None:
+                        results[oid] = list(cached)
+                    else:
+                        misses.append(oid)
             else:
-                by_shard.setdefault(shard_of(oid, len(self.servers)), []).append(oid)
+                misses = list(owner_ids)
+            if misses:
+                by_shard[0] = misses
+        else:
+            for oid in owner_ids:
+                cached = self._cache_get(oid) if caching else None
+                if cached is not None:
+                    results[oid] = list(cached)
+                else:
+                    by_shard.setdefault(shard_of(oid, n_shards), []).append(oid)
 
-        async def _one(owners: list[int]) -> tuple[int, dict[int, list[int]]]:
+        async def _one(owners: list[int]) -> tuple[int, dict]:
             # Routing key: every owner in the chunk lives on the same shard.
             response = await self._query_routed(
                 VERB_QUERY_BATCH, owners[0], owners=owners
             )
-            return self._note_epoch(response), {
-                int(oid): [int(p) for p in providers]
-                for oid, providers in response["results"].items()
-            }
+            return self._note_epoch(response), response["results"]
 
         shard_results = await asyncio.gather(
             *(_one(owners) for owners in by_shard.values())
         )
         for epoch, chunk in shard_results:
             for oid, providers in chunk.items():
-                self.cache.put(oid, (epoch, providers))
-                results[oid] = list(providers)
+                oid = int(oid)
+                if caching:
+                    # The cache owns its own copy; the caller gets the
+                    # decoded list itself (the response dict is dropped).
+                    self.cache.put(oid, (epoch, list(providers)))
+                results[oid] = providers
         return results
 
     # -- phase 2: AuthSearch --------------------------------------------------

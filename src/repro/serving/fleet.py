@@ -52,14 +52,13 @@ from typing import Any, Optional
 
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.protocol import (
-    MAX_FRAME_BYTES,
     VERB_INFO,
     VERB_PING,
     VERB_RELOAD,
     VERB_STATS,
-    ProtocolError,
     raise_for_response,
 )
+from repro.serving.protocol_v2 import encode_request_v2, read_frame_sync
 from repro.serving.server import PPIServer, ShardSpec
 from repro.serving.snapshot import load_serving_state, snapshot_epoch
 
@@ -86,7 +85,11 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
 
 
 def sync_request(
-    addr: tuple, verb: str, timeout_s: float = 1.0, **fields: Any
+    addr: tuple,
+    verb: str,
+    timeout_s: float = 1.0,
+    protocol: str = "v1",
+    **fields: Any,
 ) -> dict[str, Any]:
     """One framed request/response over a fresh blocking socket.
 
@@ -94,18 +97,21 @@ def sync_request(
     event loop; a connect-per-probe keeps the check independent of the
     worker's connection state -- a worker wedged with poisoned connections
     but a live listener still fails the probe via its read timeout.
+
+    ``protocol`` picks the request encoding (``"v1"`` JSON framing or
+    ``"v2"`` binary); the response is protocol-sniffed either way, so the
+    probe reads whatever the server answers in.
     """
     message = {"id": 0, "verb": verb, **fields}
+    if protocol == "v2":
+        wire = encode_request_v2(message)
+    else:
+        body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+        wire = _FRAME_HEADER.pack(len(body)) + body
     with socket.create_connection(tuple(addr), timeout=timeout_s) as sock:
         sock.settimeout(timeout_s)
-        body = json.dumps(message, separators=(",", ":")).encode("utf-8")
-        sock.sendall(_FRAME_HEADER.pack(len(body)) + body)
-        (length,) = _FRAME_HEADER.unpack(_recv_exact(sock, _FRAME_HEADER.size))
-        if length > MAX_FRAME_BYTES:
-            raise ProtocolError(f"peer announced a {length}-byte frame")
-        response = json.loads(_recv_exact(sock, length).decode("utf-8"))
-    if not isinstance(response, dict):
-        raise ProtocolError("frame body must be a JSON object")
+        sock.sendall(wire)
+        _, response = read_frame_sync(lambda n: _recv_exact(sock, n))
     return raise_for_response(response)
 
 
@@ -122,6 +128,7 @@ class WorkerSpec:
     host: str = "127.0.0.1"
     port: int = 0
     max_inflight: int = 64
+    protocols: tuple = (1, 2)
 
 
 def _worker_main(spec: WorkerSpec) -> None:
@@ -135,6 +142,7 @@ def _worker_main(spec: WorkerSpec) -> None:
         max_inflight=spec.max_inflight,
         snapshot_path=spec.snapshot_path,
         epoch=epoch,
+        protocols=spec.protocols,
     )
 
     async def _serve() -> None:
@@ -206,6 +214,7 @@ class FleetSupervisor:
         backoff_max_s: float = 2.0,
         start_timeout_s: float = 30.0,
         mp_start_method: Optional[str] = None,
+        protocols=(1, 2),
     ):
         if n_shards < 1:
             raise ValueError(f"need at least one shard, got {n_shards}")
@@ -216,6 +225,10 @@ class FleetSupervisor:
         self.snapshot_path = snapshot_path
         self.n_shards = n_shards
         self.host = host
+        self.protocols = tuple(sorted(set(protocols)))
+        # Supervisor-to-worker requests must speak a protocol the workers
+        # accept; prefer v1 (maximally debuggable) when both are on.
+        self._sync_protocol = "v1" if 1 in self.protocols else "v2"
         self.health_interval_s = health_interval_s
         self.health_timeout_s = health_timeout_s
         self.unhealthy_after = unhealthy_after
@@ -241,6 +254,7 @@ class FleetSupervisor:
                     host=host,
                     port=ports[i] if ports else _free_port(host),
                     max_inflight=max_inflight,
+                    protocols=self.protocols,
                 )
             )
             for i in range(n_shards)
@@ -398,7 +412,12 @@ class FleetSupervisor:
 
     def _probe(self, worker: _WorkerHandle) -> bool:
         try:
-            sync_request(worker.address, VERB_PING, timeout_s=self.health_timeout_s)
+            sync_request(
+                worker.address,
+                VERB_PING,
+                timeout_s=self.health_timeout_s,
+                protocol=self._sync_protocol,
+            )
             return True
         except Exception:  # noqa: BLE001 -- any probe failure means unhealthy
             return False
@@ -469,6 +488,7 @@ class FleetSupervisor:
                     worker.address,
                     VERB_RELOAD,
                     timeout_s=reload_timeout_s,
+                    protocol=self._sync_protocol,
                     snapshot=snapshot_path,
                 )
             except Exception:  # noqa: BLE001 -- settle loop decides the outcome
@@ -482,7 +502,10 @@ class FleetSupervisor:
                     self.check_once()
                 try:
                     info = sync_request(
-                        worker.address, VERB_INFO, timeout_s=self.health_timeout_s
+                        worker.address,
+                        VERB_INFO,
+                        timeout_s=self.health_timeout_s,
+                        protocol=self._sync_protocol,
                     )
                     if info.get("epoch") == target_epoch:
                         settled = True
@@ -504,22 +527,29 @@ class FleetSupervisor:
 
     def fleet_stats(self) -> dict[str, Any]:
         """Fleet-wide view: supervisor counters, per-worker state + live
-        ``stats`` snapshot, and counters summed across reachable workers."""
+        ``stats`` snapshot + accepted wire protocols, and counters summed
+        across reachable workers."""
         workers: dict[int, dict[str, Any]] = self.worker_states()
         aggregate: dict[str, float] = {}
         for worker in self._workers:
+            shard = worker.spec.shard_id
+            workers[shard]["protocols"] = list(worker.spec.protocols)
             try:
                 snapshot = sync_request(
-                    worker.address, VERB_STATS, timeout_s=self.health_timeout_s
+                    worker.address,
+                    VERB_STATS,
+                    timeout_s=self.health_timeout_s,
+                    protocol=self._sync_protocol,
                 )["stats"]
             except Exception:  # noqa: BLE001 -- stats are best-effort
-                workers[worker.spec.shard_id]["stats"] = None
+                workers[shard]["stats"] = None
                 continue
-            workers[worker.spec.shard_id]["stats"] = snapshot
+            workers[shard]["stats"] = snapshot
             for name, value in snapshot.get("counters", {}).items():
                 aggregate[name] = aggregate.get(name, 0) + value
         return {
             "n_shards": self.n_shards,
+            "protocols": list(self.protocols),
             "supervisor": self.metrics.snapshot(),
             "workers": workers,
             "aggregate_counters": aggregate,

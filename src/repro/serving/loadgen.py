@@ -84,31 +84,48 @@ async def run_load(
     requests_per_worker: int = 50,
     mode: str = "query",
     think_time_s: float = 0.0,
+    batch_size: int = 32,
 ) -> LoadReport:
     """Drive ``n_workers`` closed-loop workers through ``owner_ids``.
 
     Worker ``w`` issues requests for owners ``owner_ids[(w + k*n_workers) %
     len(owner_ids)]`` -- a deterministic round-robin so runs are
-    reproducible.  ``mode`` is ``"query"`` (phase 1 only) or ``"search"``
-    (full two-phase; requires the client to know provider addresses).
+    reproducible.  ``mode`` is ``"query"`` (phase 1 only), ``"batch"``
+    (``query_batch`` of ``batch_size`` owners per round trip; ``total``
+    counts owners resolved, not round trips) or ``"search"`` (full
+    two-phase; requires the client to know provider addresses).
     """
-    if mode not in ("query", "search"):
-        raise ValueError(f"mode must be 'query' or 'search', got {mode!r}")
+    if mode not in ("query", "batch", "search"):
+        raise ValueError(f"mode must be 'query', 'batch' or 'search', got {mode!r}")
     if not owner_ids:
         raise ValueError("need at least one owner id")
     if n_workers < 1 or requests_per_worker < 1:
         raise ValueError("n_workers and requests_per_worker must be >= 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
 
     report = LoadReport(mode=mode, n_workers=n_workers)
 
+    # Batch chunks are rotations of the owner cycle; slicing a tiled copy
+    # replaces batch_size modulo operations per request with one C slice.
+    n_owners = len(owner_ids)
+    tiled = owner_ids * (batch_size // n_owners + 2) if mode == "batch" else []
+
     async def worker(w: int) -> None:
         for k in range(requests_per_worker):
-            owner = owner_ids[(w + k * n_workers) % len(owner_ids)]
             started = time.monotonic()
+            n_done = 1
             try:
                 if mode == "query":
+                    owner = owner_ids[(w + k * n_workers) % n_owners]
                     await client.query(owner)
+                elif mode == "batch":
+                    start = (w + k * n_workers) * batch_size % n_owners
+                    chunk = tiled[start : start + batch_size]
+                    n_done = len(chunk)
+                    await client.query_batch(chunk)
                 else:
+                    owner = owner_ids[(w + k * n_workers) % len(owner_ids)]
                     result = await client.search(owner)
                     report.records_found += len(result.records)
                     report.providers_contacted += result.contacted
@@ -116,7 +133,7 @@ async def run_load(
             except (TransportError, RemoteError):
                 report.errors += 1
             report.latencies_s.append(time.monotonic() - started)
-            report.total += 1
+            report.total += n_done
             if think_time_s > 0:
                 await asyncio.sleep(think_time_s)
 
@@ -133,6 +150,7 @@ def run_load_sync(
     requests_per_worker: int = 50,
     mode: str = "query",
     think_time_s: float = 0.0,
+    batch_size: int = 32,
     report_stats_from: Optional[tuple] = None,
 ) -> LoadReport:
     """Synchronous wrapper: build a client, run the load, tear down.
@@ -153,6 +171,7 @@ def run_load_sync(
                 requests_per_worker=requests_per_worker,
                 mode=mode,
                 think_time_s=think_time_s,
+                batch_size=batch_size,
             )
             if report_stats_from is not None:
                 report.server_stats = await client.stats(report_stats_from)
@@ -181,6 +200,7 @@ def _load_proc_main(payload: dict, barrier, queue) -> None:
             retry=payload["retry"],
             cache_size=payload["cache_size"],
             rng_seed=payload["seed"],
+            protocol=payload.get("protocol", "auto"),
         )
         try:
             report = await run_load(
@@ -190,6 +210,7 @@ def _load_proc_main(payload: dict, barrier, queue) -> None:
                 requests_per_worker=payload["requests_per_worker"],
                 mode=payload["mode"],
                 think_time_s=payload["think_time_s"],
+                batch_size=payload.get("batch_size", 32),
             )
         finally:
             await client.close()
@@ -216,6 +237,8 @@ def run_load_multiprocess(
     retry: RetryPolicy = RetryPolicy(),
     cache_size: int = 0,
     think_time_s: float = 0.0,
+    batch_size: int = 32,
+    protocol: str = "auto",
     mp_start_method: Optional[str] = None,
     join_timeout_s: float = 300.0,
 ) -> LoadReport:
@@ -256,6 +279,8 @@ def run_load_multiprocess(
             "requests_per_worker": requests_per_worker,
             "mode": mode,
             "think_time_s": think_time_s,
+            "batch_size": batch_size,
+            "protocol": protocol,
         }
         proc = ctx.Process(
             target=_load_proc_main, args=(payload, barrier, queue), daemon=True

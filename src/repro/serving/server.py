@@ -41,14 +41,22 @@ from repro.serving.protocol import (
     VERB_QUERY_BATCH,
     VERB_RELOAD,
     VERB_STATS,
-    ConnectionClosed,
     PreparedResponse,
-    ProtocolError,
+    encode_frame,
     error_response,
     ok_response,
     prepare_ok_payload,
-    read_frame,
-    write_frame,
+)
+from repro.serving.protocol_v2 import (
+    PROTOCOL_V2,
+    DecodeError,
+    FrameDecoder,
+    RawReply,
+    batch_response_parts,
+    encode_frame_v2_parts,
+    encode_reply_v2,
+    pack_batch_segment,
+    prepared_response_v2,
 )
 
 #: anything exposing the QueryPPI surface (query/query_many/n_owners/...)
@@ -57,11 +65,27 @@ ServableIndex = Union[PPIIndex, PostingsIndex]
 __all__ = [
     "IndexShardStore",
     "PPIServer",
+    "ResponseSlab",
     "ServingNode",
     "ShardSpec",
     "WrongShard",
     "shard_of",
 ]
+
+#: one socket read per scheduling step; large enough that a pipelined burst
+#: of requests lands in one syscall and is answered with one writev.
+_READ_CHUNK = 256 * 1024
+
+
+def _decode_error_reply(error: DecodeError) -> list:
+    """The typed error frame for a malformed request, spoken in the same
+    protocol the malformed frame arrived in."""
+    if error.protocol == PROTOCOL_V2:
+        return encode_frame_v2_parts(
+            None, 0, {"code": error.code, "error": str(error)},
+            response=True, error=True,
+        )
+    return [encode_frame(error_response(None, error.code, str(error)))]
 
 
 def shard_of(owner_id: int, n_shards: int) -> int:
@@ -143,11 +167,17 @@ class ServingNode:
         host: str = "127.0.0.1",
         port: int = 0,
         max_inflight: int = 64,
+        protocols=(1, 2),
     ):
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         self.host = host
         self.port = port  # rewritten with the bound port after start()
+        self.protocols = frozenset(protocols)
+        if not self.protocols or not self.protocols <= {1, 2}:
+            raise ValueError(
+                f"protocols must be a non-empty subset of {{1, 2}}, got {protocols!r}"
+            )
         self.metrics = MetricsRegistry()
         self._max_inflight = max_inflight
         self._inflight = asyncio.Semaphore(max_inflight)
@@ -210,28 +240,42 @@ class ServingNode:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Decode -> serve -> reply, batched per socket read.
+
+        One ``read()`` may carry many pipelined frames (of either
+        protocol: the decoder sniffs per frame); all their replies go out
+        in a single ``writelines`` + ``drain`` -- one writev instead of a
+        syscall per response.  The first malformed frame gets a typed
+        error in its own protocol, after which the connection closes:
+        framing is byte-positional, so a corrupt frame makes every later
+        stream offset untrustworthy.
+        """
         self.metrics.counter("connections_total").inc()
         self.metrics.gauge("connections_open").inc()
+        decoder = FrameDecoder(protocols=self.protocols)
         try:
             while True:
-                try:
-                    message = await read_frame(reader)
-                except ConnectionClosed:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
                     break
-                except ProtocolError as exc:
-                    # Unparseable bytes: answer once, then drop the
+                out: list = []
+                for frame in decoder.feed(data):
+                    self.metrics.counter(
+                        f"frames_v{frame.protocol}_total"
+                    ).inc()
+                    verb = frame.message.get("verb")
+                    response = await self._serve_one(frame.message, frame.protocol)
+                    out.extend(self._encode_reply(verb, response, frame.protocol))
+                if decoder.error is not None:
+                    # Unparseable bytes: answer once, typed, then drop the
                     # connection -- framing is lost.
                     self.metrics.counter("protocol_errors_total").inc()
-                    await write_frame(
-                        writer, error_response(None, "bad-request", str(exc))
-                    )
-                    break
-                response = await self._serve_one(message)
-                if isinstance(response, PreparedResponse):
-                    writer.write(response.encode())
+                    out.extend(_decode_error_reply(decoder.error))
+                if out:
+                    writer.writelines(out)
                     await writer.drain()
-                else:
-                    await write_frame(writer, response)
+                if decoder.error is not None:
+                    break
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -240,9 +284,17 @@ class ServingNode:
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
-    async def _serve_one(
-        self, message: dict[str, Any]
-    ) -> Union[dict[str, Any], PreparedResponse]:
+    def _encode_reply(self, verb: Any, response: Any, protocol: int) -> list:
+        """Render one reply to wire parts in the request's protocol."""
+        if isinstance(response, RawReply):
+            return response.parts
+        if isinstance(response, PreparedResponse):
+            return [response.encode()]
+        if protocol == PROTOCOL_V2:
+            return encode_reply_v2(verb if isinstance(verb, str) else None, response)
+        return [encode_frame(response)]
+
+    async def _serve_one(self, message: dict[str, Any], protocol: int = 1) -> Any:
         request_id = message.get("id")
         verb = message.get("verb")
         self.metrics.counter("requests_total").inc()
@@ -261,7 +313,7 @@ class ServingNode:
                     return ok_response(request_id, stats=self.metrics.snapshot())
                 if verb == VERB_INFO:
                     return ok_response(request_id, **self.describe())
-                return await self.handle(verb, message, request_id)
+                return await self.handle(verb, message, request_id, protocol)
             except WrongShard as exc:
                 self.metrics.counter("wrong_shard_total").inc()
                 return error_response(
@@ -284,8 +336,8 @@ class ServingNode:
     # -- to override ---------------------------------------------------------
 
     async def handle(
-        self, verb: str, message: dict[str, Any], request_id: Any
-    ) -> Union[dict[str, Any], PreparedResponse]:
+        self, verb: str, message: dict[str, Any], request_id: Any, protocol: int = 1
+    ) -> Any:
         return error_response(request_id, "unknown-verb", f"unknown verb {verb!r}")
 
     def describe(self) -> dict[str, Any]:
@@ -293,7 +345,35 @@ class ServingNode:
             "role": self.role,
             "uptime_s": time.monotonic() - self._started_at if self._started_at else 0.0,
             "max_inflight": self._max_inflight,
+            "protocols": sorted(self.protocols),
         }
+
+
+class ResponseSlab:
+    """Every wire rendering of one owner's ``query`` answer, pre-encoded.
+
+    Rendered once per (owner, epoch) and cached: the v1 JSON payload
+    (request id spliced in per frame), the v2 binary frame (payload + crc
+    shared, a 24-byte header packed per request), and the owner's segment
+    of a v2 binary ``query-batch`` response (concatenated scatter-gather
+    without re-encoding).  ``v2_segment`` is ``None`` when the ids exceed
+    the binary field widths; the batch path then falls back to JSON.
+    """
+
+    __slots__ = ("providers", "v1_payload", "v2_frame", "v2_segment")
+
+    def __init__(self, owner_id: int, providers: list, epoch: int):
+        self.providers = providers
+        self.v1_payload = prepare_ok_payload(
+            owner=owner_id, providers=providers, epoch=epoch
+        )
+        self.v2_frame = prepared_response_v2(
+            VERB_QUERY, {"owner": owner_id, "providers": providers, "epoch": epoch}
+        )
+        try:
+            self.v2_segment = pack_batch_segment(owner_id, providers)
+        except Exception:  # noqa: BLE001 -- ids outside u64/u32: JSON fallback
+            self.v2_segment = None
 
 
 class PPIServer(ServingNode):
@@ -326,8 +406,11 @@ class PPIServer(ServingNode):
         response_cache_size: int = 4096,
         snapshot_path: Optional[str] = None,
         epoch: int = 0,
+        protocols=(1, 2),
     ):
-        super().__init__(host=host, port=port, max_inflight=max_inflight)
+        super().__init__(
+            host=host, port=port, max_inflight=max_inflight, protocols=protocols
+        )
         self.store = IndexShardStore(index, shard)
         self.snapshot_path = snapshot_path
         self.epoch = epoch
@@ -342,31 +425,40 @@ class PPIServer(ServingNode):
     def shard(self) -> ShardSpec:
         return self.store.spec
 
+    def _slab_for(self, owner_id: int) -> ResponseSlab:
+        """The cached renderings for one owner, rendering on miss.
+
+        ``lookup`` raises (wrong shard / unknown owner) before anything is
+        cached, so only valid replies are stored.
+        """
+        slab = self._response_cache.get(owner_id)
+        if slab is None:
+            providers = self.store.lookup(owner_id)
+            slab = ResponseSlab(owner_id, providers, self.epoch)
+            self._response_cache.put(owner_id, slab)
+            self.metrics.counter("response_cache_misses_total").inc()
+        else:
+            self.metrics.counter("response_cache_hits_total").inc()
+        return slab
+
     async def handle(
-        self, verb: str, message: dict[str, Any], request_id: Any
-    ) -> Union[dict[str, Any], PreparedResponse]:
+        self, verb: str, message: dict[str, Any], request_id: Any, protocol: int = 1
+    ) -> Any:
         if verb == VERB_QUERY:
             owner_id = _require_int(message, "owner")
-            payload = self._response_cache.get(owner_id)
-            if payload is None:
-                # lookup raises (wrong shard / unknown owner) before
-                # anything is cached, so only valid replies are stored.
-                providers = self.store.lookup(owner_id)
-                payload = prepare_ok_payload(
-                    owner=owner_id, providers=providers, epoch=self.epoch
-                )
-                self._response_cache.put(owner_id, payload)
-                self.metrics.counter("response_cache_misses_total").inc()
-            else:
-                self.metrics.counter("response_cache_hits_total").inc()
+            slab = self._slab_for(owner_id)
             self.metrics.counter("queries_served").inc()
-            return PreparedResponse(request_id, payload)
+            if protocol == PROTOCOL_V2:
+                return RawReply(slab.v2_frame.encode(request_id))
+            return PreparedResponse(request_id, slab.v1_payload)
         if verb == VERB_QUERY_BATCH:
             owners = message.get("owners")
             if not isinstance(owners, list) or not all(
                 isinstance(o, int) for o in owners
             ):
                 raise ValueError("'owners' must be a list of owner ids")
+            if protocol == PROTOCOL_V2:
+                return self._handle_batch_v2(owners, request_id)
             results = self.store.lookup_batch(owners)
             self.metrics.counter("queries_served").inc(len(owners))
             return ok_response(
@@ -376,7 +468,48 @@ class PPIServer(ServingNode):
             )
         if verb == VERB_RELOAD:
             return await self._handle_reload(message, request_id)
-        return await super().handle(verb, message, request_id)
+        return await super().handle(verb, message, request_id, protocol)
+
+    def _handle_batch_v2(self, owners: list, request_id: Any) -> Any:
+        """A binary ``query-batch`` reply assembled from cached segments.
+
+        No awaits anywhere on this path: the cache reads, any fresh
+        lookups, and the epoch all belong to one event-loop step, so the
+        response is epoch-consistent by construction (the same argument
+        ``_handle_reload`` makes for the swap).
+        """
+        unique = list(dict.fromkeys(owners))
+        slabs: dict[int, ResponseSlab] = {}
+        missing = []
+        for oid in unique:
+            slab = self._response_cache.get(oid)
+            if slab is None:
+                missing.append(oid)
+            else:
+                slabs[oid] = slab
+        if missing:
+            # Validates the whole batch (wrong-shard raises before anything
+            # is cached), then renders each missing owner once.
+            fetched = self.store.lookup_batch(missing)
+            for oid, providers in fetched.items():
+                slab = ResponseSlab(oid, providers, self.epoch)
+                slabs[oid] = slab
+                self._response_cache.put(oid, slab)
+            self.metrics.counter("response_cache_misses_total").inc(len(missing))
+        if len(unique) > len(missing):
+            self.metrics.counter("response_cache_hits_total").inc(
+                len(unique) - len(missing)
+            )
+        self.metrics.counter("queries_served").inc(len(owners))
+        segments = [slabs[oid].v2_segment for oid in unique]
+        if all(segment is not None for segment in segments):
+            return RawReply(batch_response_parts(request_id, self.epoch, segments))
+        # Ids wider than the binary fields: same reply, JSON payload.
+        return ok_response(
+            request_id,
+            results={str(oid): slabs[oid].providers for oid in unique},
+            epoch=self.epoch,
+        )
 
     async def _handle_reload(
         self, message: dict[str, Any], request_id: Any
