@@ -131,6 +131,142 @@ class ConstructionCostModel:
         )
 
     # ------------------------------------------------------------------
+    # Incremental pass: closed-form price of a dirty-set-restricted run.
+    # ------------------------------------------------------------------
+    def incremental_count_stats(self, dirty: tuple[int, ...] | list[int]) -> GMWStats:
+        """Exact GMW stats of ``update_count_below`` over this dirty set.
+
+        Replicates the incremental schedule: one identity-circuit fleet of
+        ``k = |dirty|`` instances, then per reduction tree only the pair
+        circuits on the dirty leaves' root paths (the same parents/odd-carry
+        walk as :func:`~repro.mpc.countbelow._secure_tree_update`), then the
+        single three-root opening round.  Exact against measured stats.
+        """
+        stats = GMWStats(parties=self.c)
+        dirty_ids = sorted(set(int(j) for j in dirty))
+        if not dirty_ids:
+            return stats
+        circuit = build_count_identity_circuit(self.c, self.width, self.high_threshold)
+        per = expected_stats(circuit, self.c, open_outputs=False)
+        self._accumulate(stats, per, len(dirty_ids))
+        widths = []
+        for mode, width0 in (("sum", 1), ("sum", 1), ("max", EPSILON_SCALE_BITS)):
+            levels, w = self._tree_update_walk(dirty_ids, width0, mode)
+            for n_parents, c2 in levels:
+                if n_parents:
+                    per_pair = expected_stats(c2, self.c, open_outputs=False)
+                    self._accumulate(stats, per_pair, n_parents)
+            widths.append(w)
+        account_output_opening(stats, self.c, sum(widths))
+        return stats
+
+    def incremental_selection_stats(
+        self, n_subset: int, lambda_scaled: int
+    ) -> GMWStats:
+        """Exact GMW stats of β-selection restricted to ``n_subset`` identities."""
+        stats = GMWStats(parties=self.c)
+        if n_subset <= 0:
+            return stats
+        circuit = build_selection_identity_circuit(self.c, self.width, lambda_scaled)
+        per = expected_stats(circuit, self.c, open_outputs=True)
+        self._accumulate(stats, per, n_subset)
+        return stats
+
+    def incremental_online(
+        self,
+        dirty: tuple[int, ...] | list[int],
+        n_subset: int,
+        lambda_scaled: int,
+    ) -> CostEstimate:
+        """Wire cost of one incremental pass (dirty count + closure selection)."""
+        count = self.incremental_count_stats(dirty)
+        sel = self.incremental_selection_stats(n_subset, lambda_scaled)
+        return CostEstimate(
+            bits_sent=count.bits_sent + sel.bits_sent,
+            messages=count.messages + sel.messages,
+            rounds=count.rounds + sel.rounds,
+            formula=(
+                f"k({len(set(dirty))}) identity circuits + dirty-root-path "
+                f"pair circuits over 3 trees + one 3-root opening + "
+                f"closure({n_subset}) selection circuits"
+            ),
+        )
+
+    def incremental_count_words(
+        self, dirty: tuple[int, ...] | list[int], engine: str = "batch"
+    ) -> int:
+        """Triple words an incremental CountBelow pass consumes."""
+        dirty_ids = sorted(set(int(j) for j in dirty))
+        if not dirty_ids:
+            return 0
+        circuit = build_count_identity_circuit(self.c, self.width, self.high_threshold)
+        ands = expected_stats(circuit, self.c, open_outputs=False).and_gates
+        k = len(dirty_ids)
+        triples = k * ands
+        batch_words = math.ceil(k / self.lanes) * ands
+        for mode, width0 in (("sum", 1), ("sum", 1), ("max", EPSILON_SCALE_BITS)):
+            levels, _ = self._tree_update_walk(dirty_ids, width0, mode)
+            for n_parents, c2 in levels:
+                if n_parents:
+                    pa = expected_stats(c2, self.c, open_outputs=False).and_gates
+                    triples += n_parents * pa
+                    batch_words += math.ceil(n_parents / self.lanes) * pa
+        if engine == "batch":
+            return batch_words
+        return math.ceil(triples / 64)
+
+    def incremental_selection_words(
+        self, n_subset: int, lambda_scaled: int, engine: str = "batch"
+    ) -> int:
+        """Triple words a subset-restricted selection stage consumes."""
+        if n_subset <= 0:
+            return 0
+        circuit = build_selection_identity_circuit(self.c, self.width, lambda_scaled)
+        ands = expected_stats(circuit, self.c, open_outputs=True).and_gates
+        if engine == "batch":
+            return math.ceil(n_subset / self.lanes) * ands
+        return math.ceil(n_subset * ands / 64)
+
+    def incremental_total_words(
+        self,
+        dirty: tuple[int, ...] | list[int],
+        n_subset: int,
+        lambda_scaled: int,
+        engine: str = "batch",
+    ) -> int:
+        return self.incremental_count_words(dirty, engine) + (
+            self.incremental_selection_words(n_subset, lambda_scaled, engine)
+        )
+
+    def _tree_update_walk(
+        self, dirty: list[int], width0: int, mode: str
+    ) -> tuple[list[tuple[int, object]], int]:
+        """Simulate one tree's dirty-path update; return per-level work.
+
+        Mirrors :func:`~repro.mpc.countbelow._secure_tree_update` exactly:
+        per level the re-evaluated parents are ``{j // 2 for dirty j in a
+        pair}`` and an odd carry propagates for free.  Returns
+        ``([(n_parents, pair_circuit), ...], root_width)``.
+        """
+        n, width = self.n_identities, width0
+        dirty_set = set(dirty)
+        levels: list[tuple[int, object]] = []
+        while n > 1:
+            n_pairs = n // 2
+            parents = {j // 2 for j in dirty_set if j < 2 * n_pairs}
+            carry = bool(n % 2) and (n - 1) in dirty_set
+            circuit = (
+                _pair_sum_circuit(width) if mode == "sum" else _pair_max_circuit(width)
+            )
+            levels.append((len(parents), circuit))
+            dirty_set = set(parents)
+            if carry:
+                dirty_set.add(n_pairs)
+            width = len(circuit.outputs)
+            n = n_pairs + (n % 2)
+        return levels, width
+
+    # ------------------------------------------------------------------
     # Triple demand: how many 64-lane words the engines draw.
     # ------------------------------------------------------------------
     def count_phase_words(self, engine: str = "batch") -> int:

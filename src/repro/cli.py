@@ -364,23 +364,38 @@ def _load_index_arg(args: argparse.Namespace):
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import PPIServer, ShardSpec
+    from repro.serving.eventloop import install_uvloop
 
+    loop_label = "asyncio"
+    if args.uvloop:
+        if install_uvloop():
+            loop_label = "uvloop"
+        else:
+            print("uvloop not installed; falling back to the stdlib loop")
     index, epoch = _load_index_arg(args)
     protocols = {"v1": (1,), "v2": (2,), "both": (1, 2)}[args.protocol]
-    server = PPIServer(
-        index,
-        shard=ShardSpec(args.shard, args.shards),
-        host=args.host,
-        port=args.port,
-        max_inflight=args.max_inflight,
-        snapshot_path=getattr(args, "snapshot", None),
-        epoch=epoch,
-        protocols=protocols,
-    )
+    try:
+        server = PPIServer(
+            index,
+            shard=ShardSpec(args.shard, args.shards),
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            snapshot_path=getattr(args, "snapshot", None),
+            epoch=epoch,
+            protocols=protocols,
+            reuse_port=args.reuse_port,
+        )
+    except ValueError as exc:  # e.g. SO_REUSEPORT unsupported here
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
     print(
         f"serving shard {args.shard}/{args.shards} of index "
         f"({index.n_providers} providers, {index.n_owners} owners, "
-        f"epoch {epoch}, wire protocol {args.protocol})"
+        f"epoch {epoch}, wire protocol {args.protocol}, "
+        f"loop {loop_label}"
+        + (", SO_REUSEPORT" if args.reuse_port else "")
+        + ")"
     )
     return _run_node_forever(server)
 
@@ -507,12 +522,28 @@ def cmd_update(args: argparse.Namespace) -> int:
             print(f"  {key}: {summary[key]}")
         return 0
     # compact
+    from repro.updates import load_segment
+
+    # Drift triple, scanned before the merge consumes the segments --
+    # the same accounting ``Compactor.run_once`` reports, so operators see
+    # what an incremental β refresh would be asked to re-evaluate.
+    ops_applied = 0
+    owners_touched = 0
+    dirty: set = set()
+    for path in args.segment:
+        segment = load_segment(path)
+        ops_applied += segment.n_ops
+        owners_touched += len(segment)
+        dirty.update(segment.owners.tolist())
     summary = compact_snapshot(args.base, args.segment, args.output)
     out = args.output or args.base
     print(f"wrote {out} (epoch {summary['epoch']})")
     print(f"  consumed segments: {len(summary['consumed_segments'])}")
     print(f"  overlaid owners: {summary['overlaid_owners']}")
     print(f"  n_owners: {summary['n_owners']}")
+    print(f"  ops applied: {ops_applied}")
+    print(f"  owners touched: {owners_touched}")
+    print(f"  identities dirtied: {len(dirty)}")
     if args.delete_segments:
         import os
 
@@ -575,25 +606,26 @@ def cmd_supervisor(args: argparse.Namespace) -> int:
     ports = None
     if args.base_port:
         ports = [args.base_port + i for i in range(args.shards)]
-    supervisor = FleetSupervisor(
-        args.snapshot,
-        n_shards=args.shards,
-        host=args.host,
-        ports=ports,
-        max_inflight=args.max_inflight,
-        health_interval_s=args.health_interval,
-        health_timeout_s=args.health_timeout,
-        max_restarts=args.max_restarts,
-    )
+    try:
+        supervisor = _build_supervisor(args, FleetSupervisor, ports)
+    except ValueError as exc:  # e.g. accept_procs without SO_REUSEPORT
+        print(f"supervisor: {exc}", file=sys.stderr)
+        return 2
     try:
         supervisor.start(monitor=True)
     except (OSError, TimeoutError) as exc:
         print(f"supervisor: failed to start fleet: {exc}", file=sys.stderr)
         supervisor.stop()
         return 1
+    # The "listening on" lines come first and stay machine-readable:
+    # harnesses read one line per shard to learn the fleet's addresses.
     for shard_id, addr in enumerate(supervisor.addresses):
         print(f"shard {shard_id}/{args.shards} listening on {addr[0]}:{addr[1]}",
               flush=True)
+    n_procs = args.shards * args.accept_procs
+    print(f"fleet: {args.shards} shard(s) x {args.accept_procs} accept "
+          f"process(es) = {n_procs} worker(s)"
+          + (", uvloop requested" if args.uvloop else ""), flush=True)
     deadline = None
     if args.duration is not None:
         deadline = time.monotonic() + args.duration
@@ -608,6 +640,21 @@ def cmd_supervisor(args: argparse.Namespace) -> int:
     print(f"supervisor: restarts={states.get('restarts_total', 0)} "
           f"health_checks={states.get('health_checks_total', 0)}")
     return 0
+
+
+def _build_supervisor(args: argparse.Namespace, FleetSupervisor, ports):
+    return FleetSupervisor(
+        args.snapshot,
+        n_shards=args.shards,
+        host=args.host,
+        ports=ports,
+        max_inflight=args.max_inflight,
+        health_interval_s=args.health_interval,
+        health_timeout_s=args.health_timeout,
+        max_restarts=args.max_restarts,
+        accept_procs=args.accept_procs,
+        uvloop=args.uvloop,
+    )
 
 
 def cmd_loadgen(args: argparse.Namespace) -> int:
@@ -747,6 +794,12 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="backpressure bound on concurrently served requests")
     s.add_argument("--protocol", choices=["v1", "v2", "both"], default="both",
                    help="accepted wire protocols (sniffed per frame)")
+    s.add_argument("--uvloop", action="store_true",
+                   help="install the uvloop event-loop policy when available "
+                        "(falls back to the stdlib loop otherwise)")
+    s.add_argument("--reuse-port", action="store_true",
+                   help="bind with SO_REUSEPORT so several serve processes "
+                        "can share this port (per-core accept sockets)")
     s.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("provider", help="run one provider's AuthSearch endpoint")
@@ -854,6 +907,12 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="consecutive failed lives before giving a worker up")
     sv.add_argument("--duration", type=float, default=None,
                     help="run for N seconds then exit (default: forever)")
+    sv.add_argument("--accept-procs", type=int, default=1,
+                    help="processes per shard sharing its port via "
+                         "SO_REUSEPORT (per-core accept sockets)")
+    sv.add_argument("--uvloop", action="store_true",
+                    help="workers install the uvloop event-loop policy when "
+                         "available (stdlib loop otherwise)")
     sv.set_defaults(func=cmd_supervisor)
 
     lg = sub.add_parser("loadgen", help="closed-loop load test against a fleet")

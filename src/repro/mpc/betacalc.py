@@ -30,12 +30,15 @@ from repro.core.policies import BetaPolicy, frequency_threshold
 from repro.mpc.countbelow import (
     COIN_BITS,
     CountBelowResult,
+    CountBelowState,
     SelectionResult,
     build_count_circuit,
     build_selection_circuit,
     run_beta_selection,
+    run_beta_selection_subset,
     run_count_below,
     scale_epsilon,
+    update_count_below,
 )
 from repro.mpc.field import Zq, default_modulus_for_sum
 from repro.mpc.gmw import expected_stats
@@ -43,7 +46,15 @@ from repro.mpc.offline.factory import TripleFactory
 from repro.mpc.offline.phases import PhaseReport
 from repro.mpc.secsum import SecSumResult, SecSumShare
 
-__all__ = ["SecureBetaResult", "secure_beta_calculation", "DEFAULT_OFFLINE_SEED"]
+__all__ = [
+    "IncrementalBetaState",
+    "IncrementalPassInfo",
+    "SecureBetaResult",
+    "secure_beta_calculation",
+    "secure_beta_update",
+    "selection_closure",
+    "DEFAULT_OFFLINE_SEED",
+]
 
 # Factory seeding is deliberately *not* drawn from the protocol rng: triple
 # values never influence Beaver outputs, and keeping the offline stream out
@@ -52,6 +63,89 @@ __all__ = ["SecureBetaResult", "secure_beta_calculation", "DEFAULT_OFFLINE_SEED"
 DEFAULT_OFFLINE_SEED = 0x0FF1CE
 
 TRIPLE_SOURCES = ("dealer", "factory")
+
+
+@dataclass
+class IncrementalBetaState:
+    """Everything a construction must hold to be maintained incrementally.
+
+    Captured by ``secure_beta_calculation(..., keep_state=True)`` and
+    consumed (and updated in place) by :func:`secure_beta_update`.  The
+    secret material -- coordinator frequency shares and the CountBelow tree
+    levels -- never leaves the coordinators in a deployment; the public
+    material (λ, selection bits, opened frequencies, β) is exactly what a
+    full run reveals anyway.
+    """
+
+    m: int
+    c: int
+    engine: str
+    policy: BetaPolicy
+    epsilons: list[float]
+    thresholds: list[int]
+    common_sigma_threshold: float
+    high_threshold: int
+    ring: Zq
+    secsum: SecSumResult
+    count_state: CountBelowState
+    coins: np.ndarray  # persisted (n, c*COIN_BITS) decoy-coin matrix
+    lambda_: float
+    publish_as_one: list[int]
+    betas: np.ndarray
+    opened_frequencies: dict[int, int]
+
+    @property
+    def n_identities(self) -> int:
+        return len(self.thresholds)
+
+
+@dataclass
+class IncrementalPassInfo:
+    """Public shape of one incremental pass (for accounting + benchmarks)."""
+
+    dirty: list[int]  # identities whose inputs changed
+    closure: list[int]  # identities securely re-evaluated in selection
+    lambda_before: float
+    lambda_after: float
+    triple_words_provisioned: int = 0
+
+
+def selection_closure(
+    dirty: list[int],
+    publish_as_one: list[int],
+    lambda_scaled_before: int,
+    lambda_scaled_after: int,
+) -> list[int]:
+    """Identities whose selection bit can change under this pass.
+
+    The dirty identities always re-run (their frequency shares moved).  A
+    *clean* identity's circuit ``common_j OR (r_j < λ)`` has both operands
+    frozen except λ, and both disjuncts are monotone in λ, so with the
+    persisted coin ``r_j``:
+
+    * λ unchanged -- no clean bit can move: closure = dirty set only;
+    * λ increased -- a clean 1 stays 1 (whichever disjunct held still
+      holds); only clean 0s (the identities *below* the old rank boundary)
+      can cross ``r_j < λ``;
+    * λ decreased -- a clean 0 stays 0; only clean 1s can lose their coin.
+
+    Everything outside the returned closure provably keeps its previous
+    public bit, which is the dirty-set-closure argument (DESIGN.md §7.10)
+    that makes the incremental pass exact rather than approximate.
+    """
+    dirty_set = set(int(j) for j in dirty)
+    closure = set(dirty_set)
+    if lambda_scaled_after > lambda_scaled_before:
+        closure.update(
+            j for j, bit in enumerate(publish_as_one)
+            if not bit and j not in dirty_set
+        )
+    elif lambda_scaled_after < lambda_scaled_before:
+        closure.update(
+            j for j, bit in enumerate(publish_as_one)
+            if bit and j not in dirty_set
+        )
+    return sorted(closure)
 
 
 @dataclass
@@ -72,6 +166,11 @@ class SecureBetaResult:
     # Per-phase setup/offline/online accounting; populated when triples come
     # from the offline factory, None under the trusted dealer.
     phases: Optional[PhaseReport] = None
+    # Held material for incremental maintenance (``keep_state=True`` full
+    # runs and every :func:`secure_beta_update` result).
+    state: Optional[IncrementalBetaState] = None
+    # Populated only by :func:`secure_beta_update`.
+    incremental: Optional[IncrementalPassInfo] = None
 
     @property
     def total_and_gates(self) -> int:
@@ -152,8 +251,15 @@ def secure_beta_calculation(
     factory: TripleFactory | None = None,
     offline_producers: int = 2,
     offline_seed: int = DEFAULT_OFFLINE_SEED,
+    keep_state: bool = False,
+    coins: Optional[np.ndarray] = None,
 ) -> SecureBetaResult:
     """Run Alg. 1 over ``m`` providers' private bits for ``n`` identities.
+
+    ``coins`` (decomposed engines only) replays an explicit decoy-coin
+    matrix through the selection stage instead of drawing fresh coins from
+    ``rng`` -- the knob that makes a from-scratch run byte-comparable to
+    an incremental :func:`secure_beta_update` chain holding those coins.
 
     ``provider_bits[i][j]`` is provider ``i``'s membership bit for identity
     ``j``.  ``c`` is the collusion-tolerance parameter (number of
@@ -174,6 +280,11 @@ def secure_beta_calculation(
     returning.  Outputs are byte-identical across both sources: triple
     values never leak into Beaver-masked results, and the engines' coin
     streams do not depend on the source.
+
+    ``keep_state=True`` (decomposed engines only) additionally captures the
+    held secret material on ``result.state`` so later churn can be folded
+    in with :func:`secure_beta_update` at cost ``O(k)`` in the dirty count
+    instead of a full rerun.
     """
     m = len(provider_bits)
     if m == 0:
@@ -193,6 +304,8 @@ def secure_beta_calculation(
         )
     if factory is not None and triple_source != "factory":
         raise ValueError("passing a factory requires triple_source='factory'")
+    if keep_state and engine == "mono":
+        raise ValueError("keep_state requires a decomposed engine (scalar/batch)")
 
     ring = Zq(default_modulus_for_sum(m))
     width = (ring.q - 1).bit_length()
@@ -259,6 +372,7 @@ def secure_beta_calculation(
             high_threshold=high_threshold,
             engine=engine,
             triple_source=source,
+            keep_state=keep_state,
         )
 
         # λ is computed from public values only (Eq. 7, net of natural decoys).
@@ -290,6 +404,7 @@ def secure_beta_calculation(
             rng,
             engine=engine,
             triple_source=source,
+            coins=coins,
         )
         online_end = time.perf_counter()
 
@@ -315,6 +430,27 @@ def secure_beta_calculation(
             opened[j] = freq
             betas[j] = policy.beta(freq / m, epsilons[j], m)
 
+    state = None
+    if keep_state:
+        state = IncrementalBetaState(
+            m=m,
+            c=c,
+            engine=engine,
+            policy=policy,
+            epsilons=list(epsilons),
+            thresholds=list(thresholds),
+            common_sigma_threshold=common_sigma_threshold,
+            high_threshold=high_threshold,
+            ring=ring,
+            secsum=sum_result,
+            count_state=count_result.state,
+            coins=selection_result.coins,
+            lambda_=lambda_,
+            publish_as_one=list(selection_result.publish_as_one),
+            betas=betas.copy(),
+            opened_frequencies=dict(opened),
+        )
+
     return SecureBetaResult(
         betas=betas,
         n_common=count_result.n_common,
@@ -328,7 +464,236 @@ def secure_beta_calculation(
         count_result=count_result,
         selection_result=selection_result,
         phases=phases,
+        state=state,
     )
+
+
+def secure_beta_update(
+    state: IncrementalBetaState,
+    provider_bits: list[list[int]],
+    dirty: list[int],
+    rng: random.Random,
+    triple_source: str = "dealer",
+    factory: TripleFactory | None = None,
+    offline_producers: int = 2,
+    offline_seed: int = DEFAULT_OFFLINE_SEED,
+) -> SecureBetaResult:
+    """Fold churn into a held construction at ``O(k)`` secure cost.
+
+    ``state`` is the result of a ``keep_state=True`` full run (or a previous
+    update -- the state threads through); ``provider_bits`` is the providers'
+    *new* full bit matrix and ``dirty`` names the identity columns whose
+    bits may have changed.  The pass re-runs SecSumShare only over the dirty
+    columns (:meth:`~repro.mpc.secsum.SecSumShare.apply_delta`), patches the
+    three CountBelow reduction trees along the dirty root paths
+    (:func:`~repro.mpc.countbelow.update_count_below`), recomputes the
+    public λ, and securely re-evaluates selection for the dirty set plus
+    the λ-drift closure (:func:`selection_closure`) -- every identity
+    outside the closure provably keeps its previous public bit, so the
+    result is *identical* to a from-scratch run over the updated inputs
+    evaluated with the persisted decoy coins.
+
+    ``triple_source="factory"`` provisions the pass λ-exactly: incremental
+    count words plus a nominal dirty-only selection estimate up front, with
+    an ``add_quota`` top-up once λ (and hence the closure) is public.
+    ``state`` is updated in place and re-attached to the returned result, so
+    updates chain.  The returned :class:`SecureBetaResult` carries
+    full-universe outputs (β, selection bits, opened frequencies) plus an
+    :class:`IncrementalPassInfo` describing the pass.
+    """
+    m, c = state.m, state.c
+    engine = state.engine
+    ring = state.ring
+    n_ids = state.n_identities
+    if len(provider_bits) != m:
+        raise ValueError(f"expected bits from {m} providers, got {len(provider_bits)}")
+    for i, row in enumerate(provider_bits):
+        if len(row) != n_ids:
+            raise ValueError(
+                f"provider {i} supplied {len(row)} bits, state covers {n_ids}"
+            )
+    if triple_source not in TRIPLE_SOURCES:
+        raise ValueError(
+            f"unknown triple_source {triple_source!r} (expected one of {TRIPLE_SOURCES})"
+        )
+    if factory is not None and triple_source != "factory":
+        raise ValueError("passing a factory requires triple_source='factory'")
+    dirty_ids = sorted(set(int(j) for j in dirty))
+    if dirty_ids and not 0 <= dirty_ids[0] <= dirty_ids[-1] < n_ids:
+        raise ValueError(f"dirty identity out of range: {dirty_ids}")
+    for i, row in enumerate(provider_bits):
+        for j in dirty_ids:
+            if row[j] not in (0, 1):
+                raise ValueError(f"provider {i} supplied non-bit value {row[j]}")
+
+    call_start = time.perf_counter()
+    lambda_before = state.lambda_
+    lambda_scaled_before = round(lambda_before * (1 << COIN_BITS))
+
+    own_factory = None
+    source = None
+    provisioned = 0
+    if triple_source == "factory" and factory is None:
+        # λ-exact provisioning, incremental flavour: the count-phase demand
+        # is fully determined by the dirty set, and the selection demand by
+        # the closure -- which needs λ.  Nominally the closure is just the
+        # dirty set (λ unmoved); any λ drift widens it, covered by the
+        # add_quota top-up once λ is public.  Production therefore starts
+        # before any online work, exactly as in the full run.
+        count_words = _incremental_count_words(
+            m, n_ids, c, state.common_sigma_threshold, engine, tuple(dirty_ids)
+        )
+        selection_nominal = _incremental_selection_words(
+            m, n_ids, c, state.common_sigma_threshold, engine,
+            len(dirty_ids), lambda_scaled_before,
+        )
+        provisioned = max(1, count_words + selection_nominal)
+        own_factory = TripleFactory(
+            parties=c,
+            seed=offline_seed,
+            target_words=provisioned,
+            producers=offline_producers,
+        ).start()
+        factory = own_factory
+    if triple_source == "factory":
+        source = factory.source()
+
+    try:
+        # Stage 1.1 (delta): re-share only the dirty columns.
+        secsum = SecSumShare(m=m, c=c, ring=ring, rng=rng)
+        sum_result = secsum.apply_delta(state.secsum, provider_bits, dirty_ids)
+
+        # Stage 1.2a (delta): patch the held reduction trees, re-open roots.
+        online_start = time.perf_counter()
+        count_result = update_count_below(
+            state.count_state,
+            sum_result.coordinator_shares,
+            dirty_ids,
+            state.thresholds,
+            state.epsilons,
+            ring,
+            rng,
+            engine=engine,
+            triple_source=source,
+        )
+
+        lambda_ = compute_lambda(
+            count_result.n_common,
+            n_ids,
+            count_result.xi,
+            n_natural_decoys=count_result.n_natural_decoys,
+        )
+        lambda_scaled_after = round(lambda_ * (1 << COIN_BITS))
+
+        # The closure: dirty identities plus the clean identities whose
+        # persisted coin comparison can flip under the λ drift.
+        closure = selection_closure(
+            dirty_ids, state.publish_as_one,
+            lambda_scaled_before, lambda_scaled_after,
+        )
+
+        if own_factory is not None:
+            exact = source.words_consumed + _incremental_selection_words(
+                m, n_ids, c, state.common_sigma_threshold, engine,
+                len(closure), lambda_scaled_after,
+            )
+            if exact > provisioned:
+                own_factory.add_quota(exact - provisioned)
+
+        # Stage 1.2b (delta): selection over the closure, persisted coins.
+        selection_result = run_beta_selection_subset(
+            sum_result.coordinator_shares,
+            state.thresholds,
+            lambda_,
+            ring,
+            rng,
+            closure,
+            state.coins,
+            engine=engine,
+            triple_source=source,
+        )
+        online_end = time.perf_counter()
+
+        phases = None
+        if source is not None:
+            phases = _build_phase_report(
+                factory, source, call_start, online_start, online_end,
+                count_result, selection_result,
+            )
+    finally:
+        if own_factory is not None:
+            own_factory.close()
+
+    # Splice the closure's fresh public bits into the held full-universe
+    # outputs; everything outside the closure keeps its previous bit (the
+    # §7.10 argument) and, being clean, its previous frequency and β.
+    publish = list(state.publish_as_one)
+    betas = state.betas.copy()
+    opened = dict(state.opened_frequencies)
+    for pos, j in enumerate(closure):
+        bit = selection_result.publish_as_one[pos]
+        publish[j] = int(bit)
+        if bit:
+            betas[j] = 1.0
+            opened.pop(j, None)
+        else:
+            freq = sum_result.reconstruct(ring, j)
+            opened[j] = freq
+            betas[j] = state.policy.beta(freq / m, state.epsilons[j], m)
+
+    state.secsum = sum_result
+    state.lambda_ = lambda_
+    state.publish_as_one = publish
+    state.betas = betas.copy()
+    state.opened_frequencies = dict(opened)
+
+    return SecureBetaResult(
+        betas=betas,
+        n_common=count_result.n_common,
+        n_natural_decoys=count_result.n_natural_decoys,
+        xi=count_result.xi,
+        lambda_=lambda_,
+        publish_as_one=publish,
+        opened_frequencies=opened,
+        thresholds=list(state.thresholds),
+        secsum=sum_result,
+        count_result=count_result,
+        selection_result=selection_result,
+        phases=phases,
+        state=state,
+        incremental=IncrementalPassInfo(
+            dirty=dirty_ids,
+            closure=closure,
+            lambda_before=lambda_before,
+            lambda_after=lambda_,
+            triple_words_provisioned=provisioned,
+        ),
+    )
+
+
+@functools.lru_cache(maxsize=256)
+def _incremental_count_words(
+    m: int, n_ids: int, c: int, common_sigma_threshold: float, engine: str,
+    dirty: tuple[int, ...],
+) -> int:
+    from repro.analysis.cost_model import ConstructionCostModel
+
+    model = ConstructionCostModel(
+        m, n_ids, c, common_sigma_threshold=common_sigma_threshold
+    )
+    return model.incremental_count_words(dirty, engine)
+
+
+def _incremental_selection_words(
+    m: int, n_ids: int, c: int, common_sigma_threshold: float, engine: str,
+    n_subset: int, lambda_scaled: int,
+) -> int:
+    from repro.analysis.cost_model import ConstructionCostModel
+
+    model = ConstructionCostModel(
+        m, n_ids, c, common_sigma_threshold=common_sigma_threshold
+    )
+    return model.incremental_selection_words(n_subset, lambda_scaled, engine)
 
 
 def _build_phase_report(

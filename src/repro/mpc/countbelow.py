@@ -77,6 +77,7 @@ from repro.mpc.gmw import (
 
 __all__ = [
     "CountBelowResult",
+    "CountBelowState",
     "SelectionResult",
     "build_count_circuit",
     "build_selection_circuit",
@@ -84,6 +85,8 @@ __all__ = [
     "build_selection_identity_circuit",
     "run_count_below",
     "run_beta_selection",
+    "run_beta_selection_subset",
+    "update_count_below",
     "EPSILON_SCALE_BITS",
     "COIN_BITS",
     "ENGINES",
@@ -98,6 +101,34 @@ ENGINES = ("mono", "scalar", "batch")
 EPSILON_SCALE_BITS = 10
 # Resolution of the Bernoulli(λ) decoy coins.
 COIN_BITS = 16
+
+
+@dataclass
+class CountBelowState:
+    """Held secret material that makes CountBelow incrementally updatable.
+
+    Captured by a ``keep_state=True`` run of the decomposed engines and
+    consumed by :func:`update_count_below`.  Holds, per reduction tree
+    (truly-common sum, natural-decoy sum, gated-ǫ max), *every level's*
+    share array: ``levels[0]`` are the per-identity output shares of the
+    count-identity circuit (the tree leaves) and ``levels[-1]`` is the
+    single-element root.  A delta touching ``k`` leaves then re-evaluates
+    only the ``O(k log n)`` pair circuits on the dirty root paths instead
+    of rebuilding all ``n - 1`` internal nodes, and re-opens only the three
+    roots -- exactly the values a from-scratch run would reveal, so the
+    incremental pass leaks nothing beyond a full one.
+    """
+
+    width: int
+    high_threshold: int
+    n_identities: int
+    truly_levels: list  # list[np.ndarray], each (parties, n_level, w_level)
+    natural_levels: list
+    xi_levels: list
+    # Opened aggregates of the last (full or incremental) evaluation.
+    n_common: int = 0
+    n_natural_decoys: int = 0
+    xi_scaled: int = 0
 
 
 @dataclass
@@ -122,6 +153,9 @@ class CountBelowResult:
     total_gates: Optional[int] = None
     # Per-identity stats of one decomposed instance (None in mono mode).
     stats_per_identity: Optional[GMWStats] = None
+    # Held tree material for incremental maintenance (decomposed engines
+    # with ``keep_state=True`` only).
+    state: Optional[CountBelowState] = None
 
     @property
     def xi(self) -> float:
@@ -145,6 +179,12 @@ class SelectionResult:
     engine: str = "mono"
     total_gates: Optional[int] = None
     stats_per_identity: Optional[GMWStats] = None
+    # The (n, c*COIN_BITS) decoy-coin bit matrix the run evaluated with
+    # (decomposed engines only).  Persisting it is what lets an incremental
+    # re-selection reproduce every clean identity's coin comparison bit-for
+    # -bit -- the sticky-decoy requirement of intersection-closed
+    # republication.
+    coins: Optional[np.ndarray] = None
 
     @property
     def gates_evaluated(self) -> int:
@@ -475,6 +515,7 @@ def _secure_tree_reduce(
     engine: str,
     stats: GMWStats,
     triple_source=None,
+    levels: Optional[list] = None,
 ) -> tuple[np.ndarray, int]:
     """Pairwise sum/max reduction over secret-shared numbers, kept shared.
 
@@ -487,6 +528,9 @@ def _secure_tree_reduce(
 
     Returns the ``(parties, width_final)`` shares of the result plus the
     total non-free gate count; communication is accumulated into ``stats``.
+    When ``levels`` is given, every level's share array (leaves included)
+    is appended to it as an owned copy -- the held material
+    :func:`_secure_tree_update` later patches along dirty root paths.
     """
     if mode not in ("sum", "max"):
         raise ValueError(f"unknown reduction mode {mode!r}")
@@ -495,6 +539,8 @@ def _secure_tree_reduce(
     arr = shares
     gates = 0
     while arr.shape[1] > 1:
+        if levels is not None:
+            levels.append(np.array(arr, dtype=np.uint8, copy=True))
         n, width = arr.shape[1], arr.shape[2]
         circuit = _pair_sum_circuit(width) if mode == "sum" else _pair_max_circuit(width)
         n_pairs = n // 2
@@ -520,7 +566,76 @@ def _secure_tree_reduce(
                 carry = np.concatenate([carry, pad], axis=2)
             out = np.concatenate([out, carry], axis=1)
         arr = out
+    if levels is not None:
+        levels.append(np.array(arr, dtype=np.uint8, copy=True))
     return arr[:, 0, :], gates
+
+
+def _secure_tree_update(
+    levels: list,
+    dirty_leaves: list[int],
+    mode: str,
+    parties: int,
+    rng: random.Random,
+    engine: str,
+    stats: GMWStats,
+    triple_source=None,
+) -> int:
+    """Recompute a held reduction tree along the dirty leaves' root paths.
+
+    ``levels`` is the per-level share-array stack recorded by
+    :func:`_secure_tree_reduce` (leaves first, root last); ``levels[0]``
+    must already hold the *updated* leaf shares at the dirty positions.
+    Level by level, only the pair circuits whose operands contain a dirty
+    element are re-evaluated (one `_run_stage` fleet per level, so batch
+    mode bitslices the dirty pairs), and an odd-carry element propagates by
+    zero-padded copy exactly as in the full reduction.  Values therefore
+    match a from-scratch rebuild bit-for-bit while evaluating
+    ``O(k log n)`` instead of ``n - 1`` pair circuits.
+
+    Returns the non-free gates evaluated; communication accumulates into
+    ``stats``.  The root (``levels[-1]``) is left *shared* -- opening is
+    the caller's single final round, as in the full run.
+    """
+    if mode not in ("sum", "max"):
+        raise ValueError(f"unknown reduction mode {mode!r}")
+    gates = 0
+    dirty = sorted(set(int(j) for j in dirty_leaves))
+    if dirty and not 0 <= dirty[0] <= dirty[-1] < levels[0].shape[1]:
+        raise ValueError(f"dirty leaf out of range: {dirty}")
+    for li in range(len(levels) - 1):
+        arr = levels[li]
+        nxt = levels[li + 1]
+        n, width = arr.shape[1], arr.shape[2]
+        n_pairs = n // 2
+        parents = sorted({j // 2 for j in dirty if j < 2 * n_pairs})
+        carry_dirty = bool(n % 2) and (n - 1) in dirty
+        next_dirty = list(parents)
+        if parents:
+            circuit = (
+                _pair_sum_circuit(width) if mode == "sum" else _pair_max_circuit(width)
+            )
+            idx = np.asarray(parents, dtype=np.int64)
+            left = arr[:, 2 * idx, :]
+            right = arr[:, 2 * idx + 1, :]
+            stage = _run_stage(
+                circuit,
+                parties,
+                rng,
+                engine,
+                shared=np.concatenate([left, right], axis=2),
+                open_outputs=False,
+                triple_source=triple_source,
+            )
+            stats.add(stage.stats)
+            gates += stage.gates
+            nxt[:, idx, :] = stage.shares
+        if carry_dirty:
+            nxt[:, n_pairs, :width] = arr[:, n - 1, :]
+            nxt[:, n_pairs, width:] = 0
+            next_dirty.append(n_pairs)
+        dirty = next_dirty
+    return gates
 
 
 def _open_shared_int(share_bits: np.ndarray) -> int:
@@ -564,6 +679,7 @@ def _run_count_below_staged(
     rng: random.Random,
     engine: str,
     triple_source=None,
+    keep_state: bool = False,
 ) -> CountBelowResult:
     """CountBelow via per-identity circuits + secure reduction trees."""
     c = len(coordinator_shares)
@@ -588,31 +704,167 @@ def _run_count_below_staged(
     totals.add(stage.stats)
     gates = stage.gates
 
+    levels: dict[str, Optional[list]] = {
+        key: [] if keep_state else None for key in ("truly", "natural", "xi")
+    }
     truly_sh, g = _secure_tree_reduce(
-        stage.shares[:, :, 0:1], "sum", c, rng, engine, totals, triple_source
+        stage.shares[:, :, 0:1], "sum", c, rng, engine, totals, triple_source,
+        levels=levels["truly"],
     )
     gates += g
     natural_sh, g = _secure_tree_reduce(
-        stage.shares[:, :, 1:2], "sum", c, rng, engine, totals, triple_source
+        stage.shares[:, :, 1:2], "sum", c, rng, engine, totals, triple_source,
+        levels=levels["natural"],
     )
     gates += g
     xi_sh, g = _secure_tree_reduce(
-        stage.shares[:, :, 2:], "max", c, rng, engine, totals, triple_source
+        stage.shares[:, :, 2:], "max", c, rng, engine, totals, triple_source,
+        levels=levels["xi"],
     )
     gates += g
 
     # Single final opening round: the three aggregates are revealed together.
     n_opened = truly_sh.shape[1] + natural_sh.shape[1] + xi_sh.shape[1]
     account_output_opening(totals, c, n_opened)
+    n_common = _open_shared_int(truly_sh)
+    n_natural = _open_shared_int(natural_sh)
+    xi_scaled = _open_shared_int(xi_sh)
+    state = None
+    if keep_state:
+        state = CountBelowState(
+            width=width,
+            high_threshold=high_threshold,
+            n_identities=n_ids,
+            truly_levels=levels["truly"],
+            natural_levels=levels["natural"],
+            xi_levels=levels["xi"],
+            n_common=n_common,
+            n_natural_decoys=n_natural,
+            xi_scaled=xi_scaled,
+        )
     return CountBelowResult(
-        n_common=_open_shared_int(truly_sh),
-        n_natural_decoys=_open_shared_int(natural_sh),
-        xi_scaled=_open_shared_int(xi_sh),
+        n_common=n_common,
+        n_natural_decoys=n_natural,
+        xi_scaled=xi_scaled,
         stats=totals,
         circuit=circuit,
         engine=engine,
         total_gates=gates,
         stats_per_identity=stage.per_instance,
+        state=state,
+    )
+
+
+def update_count_below(
+    state: CountBelowState,
+    coordinator_shares: list[list[int]],
+    dirty: list[int],
+    thresholds: list[int],
+    epsilons: list[float],
+    ring: Zq,
+    rng: random.Random,
+    engine: str = "batch",
+    triple_source=None,
+) -> CountBelowResult:
+    """Delta-aware CountBelow: secure work restricted to the dirty set.
+
+    ``state`` is the held material of a prior ``keep_state=True`` run;
+    ``coordinator_shares`` are the *updated* full share vectors (clean
+    columns unchanged, dirty columns freshly re-shared via
+    :meth:`~repro.mpc.secsum.SecSumShare.apply_delta`).  The count-identity
+    circuit is re-evaluated only for ``dirty`` identities, the three
+    reduction trees are patched along the dirty root paths
+    (:func:`_secure_tree_update`), and the three roots are re-opened in one
+    final round -- the same public aggregates a full run would reveal.
+
+    ``state`` is updated in place (leaf shares, tree levels, opened
+    aggregates).  An empty dirty set returns the cached aggregates with
+    zero communication.  Requires a decomposed engine.
+    """
+    if engine not in ("scalar", "batch"):
+        raise ValueError(
+            f"incremental CountBelow requires a decomposed engine, got {engine!r}"
+        )
+    c = len(coordinator_shares)
+    n_ids = len(thresholds)
+    if n_ids != state.n_identities:
+        raise ValueError(
+            f"state covers {state.n_identities} identities, inputs {n_ids}"
+        )
+    if len(epsilons) != n_ids:
+        raise ValueError("thresholds/epsilons must align")
+    width = (ring.q - 1).bit_length()
+    if width != state.width:
+        raise ValueError(f"state width {state.width} != ring width {width}")
+    circuit = build_count_identity_circuit(c, width, state.high_threshold)
+    dirty_ids = sorted(set(int(j) for j in dirty))
+    totals = GMWStats(parties=c)
+    if not dirty_ids:
+        return CountBelowResult(
+            n_common=state.n_common,
+            n_natural_decoys=state.n_natural_decoys,
+            xi_scaled=state.xi_scaled,
+            stats=totals,
+            circuit=circuit,
+            engine=engine,
+            total_gates=0,
+            stats_per_identity=expected_stats(circuit, c, open_outputs=False),
+            state=state,
+        )
+    if not 0 <= dirty_ids[0] <= dirty_ids[-1] < n_ids:
+        raise ValueError(f"dirty identity out of range: {dirty_ids}")
+
+    eps_scaled = [scale_epsilon(e) for e in epsilons]
+    sub_shares = [[shares[j] for j in dirty_ids] for shares in coordinator_shares]
+    sub_thresholds = [thresholds[j] for j in dirty_ids]
+    share_mats, t_mat, reach_col = _identity_input_blocks(
+        sub_shares, sub_thresholds, width
+    )
+    eps_mat = ints_to_bit_matrix([eps_scaled[j] for j in dirty_ids], EPSILON_SCALE_BITS)
+    inputs = np.concatenate(share_mats + [t_mat, reach_col, eps_mat], axis=1)
+    stage = _run_stage(
+        circuit,
+        c,
+        rng,
+        engine,
+        plain=inputs,
+        open_outputs=False,
+        triple_source=triple_source,
+    )
+    totals.add(stage.stats)
+    gates = stage.gates
+
+    idx = np.asarray(dirty_ids, dtype=np.int64)
+    state.truly_levels[0][:, idx, :] = stage.shares[:, :, 0:1]
+    state.natural_levels[0][:, idx, :] = stage.shares[:, :, 1:2]
+    state.xi_levels[0][:, idx, :] = stage.shares[:, :, 2:]
+    for levels, mode in (
+        (state.truly_levels, "sum"),
+        (state.natural_levels, "sum"),
+        (state.xi_levels, "max"),
+    ):
+        gates += _secure_tree_update(
+            levels, dirty_ids, mode, c, rng, engine, totals, triple_source
+        )
+
+    truly_sh = state.truly_levels[-1][:, 0, :]
+    natural_sh = state.natural_levels[-1][:, 0, :]
+    xi_sh = state.xi_levels[-1][:, 0, :]
+    n_opened = truly_sh.shape[1] + natural_sh.shape[1] + xi_sh.shape[1]
+    account_output_opening(totals, c, n_opened)
+    state.n_common = _open_shared_int(truly_sh)
+    state.n_natural_decoys = _open_shared_int(natural_sh)
+    state.xi_scaled = _open_shared_int(xi_sh)
+    return CountBelowResult(
+        n_common=state.n_common,
+        n_natural_decoys=state.n_natural_decoys,
+        xi_scaled=state.xi_scaled,
+        stats=totals,
+        circuit=circuit,
+        engine=engine,
+        total_gates=gates,
+        stats_per_identity=stage.per_instance,
+        state=state,
     )
 
 
@@ -624,6 +876,7 @@ def _run_beta_selection_staged(
     rng: random.Random,
     engine: str,
     triple_source=None,
+    coins: Optional[np.ndarray] = None,
 ) -> SelectionResult:
     """β-selection via the per-identity circuit (outputs public, no trees)."""
     c = len(coordinator_shares)
@@ -634,9 +887,19 @@ def _run_beta_selection_staged(
     )
     # Decoy coins: drawn identically for both engines (numpy stream seeded
     # from the protocol rng) so same-seed scalar/batch runs select the same
-    # identities exactly.
-    np_rng = np.random.default_rng(rng.getrandbits(64))
-    coins = np_rng.integers(0, 2, size=(n_ids, c * COIN_BITS), dtype=np.uint8)
+    # identities exactly.  An explicit ``coins`` matrix (a previous run's
+    # persisted draw) replaces the fresh draw -- the replay knob incremental
+    # maintenance and its equivalence tests are built on.
+    if coins is None:
+        np_rng = np.random.default_rng(rng.getrandbits(64))
+        coins = np_rng.integers(0, 2, size=(n_ids, c * COIN_BITS), dtype=np.uint8)
+    else:
+        coins = np.asarray(coins, dtype=np.uint8)
+        if coins.shape != (n_ids, c * COIN_BITS):
+            raise ValueError(
+                f"coins must have shape ({n_ids}, {c * COIN_BITS}), "
+                f"got {coins.shape}"
+            )
     inputs = np.concatenate(share_mats + [coins, t_mat, reach_col], axis=1)
     stage = _run_stage(
         circuit,
@@ -654,6 +917,87 @@ def _run_beta_selection_staged(
         engine=engine,
         total_gates=stage.gates,
         stats_per_identity=stage.per_instance,
+        coins=coins,
+    )
+
+
+def run_beta_selection_subset(
+    coordinator_shares: list[list[int]],
+    thresholds: list[int],
+    lambda_: float,
+    ring: Zq,
+    rng: random.Random,
+    subset: list[int],
+    coins: np.ndarray,
+    engine: str = "batch",
+    triple_source=None,
+) -> SelectionResult:
+    """β-selection evaluated only for the ``subset`` identities.
+
+    The incremental entry point: ``coordinator_shares``/``thresholds``/
+    ``coins`` span the *full* identity universe, ``subset`` names the
+    identities whose selection bit must be (re-)evaluated -- the dirty set
+    plus the λ-drift closure computed by the caller (see
+    :mod:`repro.mpc.betacalc`).  Coins come from the persisted matrix of
+    the prior run, so an untouched identity re-evaluated here reproduces
+    its previous coin comparison exactly.  ``publish_as_one`` is aligned
+    with ``subset`` order.  Requires a decomposed engine.
+    """
+    if engine not in ("scalar", "batch"):
+        raise ValueError(
+            f"incremental selection requires a decomposed engine, got {engine!r}"
+        )
+    c = len(coordinator_shares)
+    n_ids = len(thresholds)
+    width = (ring.q - 1).bit_length()
+    if (1 << width) != ring.q:
+        raise ValueError("selection requires a power-of-two modulus")
+    if not 0.0 <= lambda_ <= 1.0:
+        raise ValueError(f"lambda must be in [0, 1], got {lambda_}")
+    lambda_scaled = round(lambda_ * (1 << COIN_BITS))
+    circuit = build_selection_identity_circuit(c, width, lambda_scaled)
+    subset_ids = sorted(set(int(j) for j in subset))
+    coins = np.asarray(coins, dtype=np.uint8)
+    if coins.shape != (n_ids, c * COIN_BITS):
+        raise ValueError(
+            f"coins must have shape ({n_ids}, {c * COIN_BITS}), got {coins.shape}"
+        )
+    if not subset_ids:
+        return SelectionResult(
+            publish_as_one=[],
+            stats=GMWStats(parties=c),
+            circuit=circuit,
+            engine=engine,
+            total_gates=0,
+            stats_per_identity=expected_stats(circuit, c, open_outputs=True),
+            coins=coins,
+        )
+    if not 0 <= subset_ids[0] <= subset_ids[-1] < n_ids:
+        raise ValueError(f"subset identity out of range: {subset_ids}")
+    sub_shares = [[shares[j] for j in subset_ids] for shares in coordinator_shares]
+    sub_thresholds = [thresholds[j] for j in subset_ids]
+    share_mats, t_mat, reach_col = _identity_input_blocks(
+        sub_shares, sub_thresholds, width
+    )
+    sub_coins = coins[np.asarray(subset_ids, dtype=np.int64)]
+    inputs = np.concatenate(share_mats + [sub_coins, t_mat, reach_col], axis=1)
+    stage = _run_stage(
+        circuit,
+        c,
+        rng,
+        engine,
+        plain=inputs,
+        open_outputs=True,
+        triple_source=triple_source,
+    )
+    return SelectionResult(
+        publish_as_one=[int(b) for b in stage.opened[:, 0]],
+        stats=stage.stats,
+        circuit=circuit,
+        engine=engine,
+        total_gates=stage.gates,
+        stats_per_identity=stage.per_instance,
+        coins=coins,
     )
 
 
@@ -666,6 +1010,7 @@ def run_count_below(
     high_threshold: int | None = None,
     engine: str = "mono",
     triple_source=None,
+    keep_state: bool = False,
 ) -> CountBelowResult:
     """Execute CountBelow under GMW among the ``c`` coordinators.
 
@@ -678,6 +1023,10 @@ def run_count_below(
     ``"mono"`` keeps the original monolithic circuit; ``"scalar"`` and
     ``"batch"`` run the decomposed per-identity formulation, the latter
     bitsliced 64 identities at a time.
+
+    ``keep_state=True`` (decomposed engines only) additionally captures the
+    per-identity output shares and every reduction-tree level on
+    ``result.state``, enabling :func:`update_count_below`.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r} (expected one of {ENGINES})")
@@ -701,7 +1050,10 @@ def run_count_below(
             rng,
             engine,
             triple_source,
+            keep_state=keep_state,
         )
+    if keep_state:
+        raise ValueError("keep_state requires a decomposed engine (scalar/batch)")
     circuit = build_count_circuit(c, thresholds, eps_scaled, width, high_threshold)
     inputs = _flatten_share_inputs(coordinator_shares, n_ids, width)
     protocol = GMWProtocol(circuit, parties=c, rng=rng, triple_source=triple_source)
@@ -727,10 +1079,14 @@ def run_beta_selection(
     rng: random.Random,
     engine: str = "mono",
     triple_source=None,
+    coins: Optional[np.ndarray] = None,
 ) -> SelectionResult:
     """Execute the β-selection circuit under GMW among the coordinators.
 
     ``engine`` and ``triple_source`` as in :func:`run_count_below`.
+    ``coins`` (decomposed engines only) replays an explicit decoy-coin
+    matrix instead of drawing a fresh one -- see
+    :func:`run_beta_selection_subset`.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r} (expected one of {ENGINES})")
@@ -744,8 +1100,11 @@ def run_beta_selection(
     lambda_scaled = round(lambda_ * (1 << COIN_BITS))
     if engine != "mono":
         return _run_beta_selection_staged(
-            coordinator_shares, thresholds, lambda_scaled, width, rng, engine, triple_source
+            coordinator_shares, thresholds, lambda_scaled, width, rng, engine,
+            triple_source, coins=coins,
         )
+    if coins is not None:
+        raise ValueError("explicit coins require a decomposed engine (scalar/batch)")
     circuit = build_selection_circuit(c, thresholds, lambda_scaled, width)
     inputs: list[int] = []
     for k in range(c):

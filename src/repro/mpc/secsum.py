@@ -137,6 +137,65 @@ class SecSumShare:
             coordinator_received=coordinator_received,
         )
 
+    def apply_delta(
+        self,
+        prev: SecSumResult,
+        inputs: list[list[int]],
+        dirty: list[int],
+    ) -> SecSumResult:
+        """Re-share only the *dirty* identity columns; reuse held shares.
+
+        ``prev`` is the result of an earlier :meth:`run` (or an earlier
+        ``apply_delta``) over the same ``m``/``c`` topology.  ``inputs`` is
+        the providers' *new* full input matrix and ``dirty`` names the
+        identity columns whose bits may have changed.  The protocol is
+        re-executed over exactly the dirty sub-matrix -- the same four
+        SecSumShare steps, restricted to ``len(dirty)`` columns, so the
+        secure work (and the wire traffic modelled from it) is
+        ``O(m * |dirty|)`` instead of ``O(m * n)`` -- and the fresh
+        coordinator shares are spliced into a copy of the held vectors.
+
+        Clean columns keep their previous coordinator shares verbatim: an
+        additive sharing does not go stale, so reuse leaks nothing new.
+        Returns a new :class:`SecSumResult` whose per-party transcripts
+        cover only the delta run (what actually crossed the wire).
+        """
+        m, c = self.m, self.c
+        if len(inputs) != m:
+            raise ValueError(f"expected inputs from {m} providers, got {len(inputs)}")
+        if len(prev.coordinator_shares) != c:
+            raise ValueError(
+                f"previous result carries {len(prev.coordinator_shares)} "
+                f"coordinator share vectors, expected {c}"
+            )
+        n_ids = len(inputs[0])
+        for k, shares in enumerate(prev.coordinator_shares):
+            if len(shares) != n_ids:
+                raise ValueError(
+                    f"coordinator {k} held {len(shares)} shares, "
+                    f"inputs cover {n_ids} identities"
+                )
+        dirty_ids = sorted(set(int(j) for j in dirty))
+        if dirty_ids and not 0 <= dirty_ids[0] <= dirty_ids[-1] < n_ids:
+            raise ValueError(f"dirty identity out of range: {dirty_ids}")
+        coordinator_shares = [list(shares) for shares in prev.coordinator_shares]
+        if not dirty_ids:
+            return SecSumResult(
+                coordinator_shares=coordinator_shares,
+                provider_views=[ProviderView(provider=i) for i in range(m)],
+                coordinator_received=[[] for _ in range(c)],
+            )
+        sub_inputs = [[row[j] for j in dirty_ids] for row in inputs]
+        delta = self.run(sub_inputs)
+        for k in range(c):
+            for pos, j in enumerate(dirty_ids):
+                coordinator_shares[k][j] = delta.coordinator_shares[k][pos]
+        return SecSumResult(
+            coordinator_shares=coordinator_shares,
+            provider_views=delta.provider_views,
+            coordinator_received=delta.coordinator_received,
+        )
+
     def _run_scalar(self, inputs: list[list[int]], n_ids: int) -> SecSumResult:
         """Reference implementation (also the big-modulus fallback)."""
         m, c = self.m, self.c

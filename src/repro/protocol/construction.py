@@ -30,7 +30,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.policies import BetaPolicy
-from repro.mpc.betacalc import SecureBetaResult, secure_beta_calculation
+from repro.mpc.betacalc import (
+    IncrementalBetaState,
+    SecureBetaResult,
+    secure_beta_calculation,
+    secure_beta_update,
+)
 from repro.mpc.field import Zq, default_modulus_for_sum
 from repro.mpc.pure import PureMPCResult, run_pure_beta_calculation
 from repro.net.latency import EMULAB_LAN, LatencyModel
@@ -43,6 +48,7 @@ from repro.protocol.secsum_nodes import SHARE_COMPUTE_S, SecSumNode
 __all__ = [
     "DistributedConstructionResult",
     "run_distributed_construction",
+    "run_incremental_construction",
     "run_pure_mpc_simulation",
 ]
 
@@ -159,7 +165,7 @@ class _EPPINode(SecSumNode, _MPCReplayMixin):
 
     # MPC stage finished on this coordinator.
     def _on_replay_done(self) -> None:
-        opened = len(self._driver.result.opened_frequencies)
+        opened = self._driver.open_count
         if self.node_id == 0:
             self._maybe_finalize()
         else:
@@ -172,7 +178,7 @@ class _EPPINode(SecSumNode, _MPCReplayMixin):
             )
 
     def _on_open(self, message: Message) -> None:
-        self.compute(SHARE_COMPUTE_S * len(self._driver.result.opened_frequencies))
+        self.compute(SHARE_COMPUTE_S * self._driver.open_count)
         self._open_reports += 1
         self._maybe_finalize()
 
@@ -183,19 +189,22 @@ class _EPPINode(SecSumNode, _MPCReplayMixin):
     def _finalize(self) -> None:
         # Coordinator 0 evaluates β* in the clear for opened identities and
         # broadcasts the final vector (safe to release, paper Sec. IV-C).
-        betas = self._driver.result.betas
-        self.compute(SHARE_COMPUTE_S * len(betas))
+        # An incremental pass only ships the closure's β entries.
+        n_beta = self._driver.broadcast_count
+        self.compute(SHARE_COMPUTE_S * n_beta)
         for pid in range(self.m):
             if pid != self.node_id:
-                self.send(pid, mk.BETA_BROADCAST, None, BETA_BITS * len(betas))
+                self.send(pid, mk.BETA_BROADCAST, None, BETA_BITS * n_beta)
         self._publish()
 
     def _on_beta(self, message: Message) -> None:
         self._publish()
 
     def _publish(self) -> None:
-        # Phase 2: randomized publication of this provider's row.
-        self.compute(PUBLISH_COMPUTE_S * len(self.inputs))
+        # Phase 2: randomized (re-)publication of this provider's row --
+        # restricted to the changed columns on an incremental pass.
+        count = self._driver.publish_count
+        self.compute(PUBLISH_COMPUTE_S * (len(self.inputs) if count is None else count))
 
 
 class _Driver:
@@ -206,9 +215,21 @@ class _Driver:
         result: SecureBetaResult,
         c: int,
         latency: LatencyModel,
+        open_count: int | None = None,
+        broadcast_count: int | None = None,
+        publish_count: int | None = None,
     ):
         self.result = result
         self.c = c
+        # Full runs open/broadcast/publish the whole universe; an
+        # incremental pass overrides these with closure-sized counts.
+        self.open_count = (
+            len(result.opened_frequencies) if open_count is None else open_count
+        )
+        self.broadcast_count = (
+            len(result.betas) if broadcast_count is None else broadcast_count
+        )
+        self.publish_count = publish_count
         count_stats = result.count_result.stats
         sel_stats = result.selection_result.stats
         self.mpc_rounds = count_stats.rounds + sel_stats.rounds
@@ -286,6 +307,73 @@ def run_distributed_construction(
                 c,
                 ring,
                 provider_bits[i],
+                random.Random(rng.getrandbits(64)),
+                driver=driver,
+            )
+        )
+    metrics = sim.run()
+    return DistributedConstructionResult(
+        betas=result.betas, secure_result=result, metrics=metrics
+    )
+
+
+def run_incremental_construction(
+    state: IncrementalBetaState,
+    provider_bits: list[list[int]],
+    dirty: list[int],
+    rng: random.Random,
+    latency: LatencyModel = EMULAB_LAN,
+    triple_source: str = "dealer",
+    factory=None,
+    offline_producers: int = 2,
+) -> DistributedConstructionResult:
+    """Simulate one delta-aware maintenance pass over a held construction.
+
+    The computational work is :func:`repro.mpc.betacalc.secure_beta_update`
+    (dirty-column SecSumShare, dirty-root-path CountBelow, closure-only
+    selection); its measured stats are then replayed over the simulator
+    exactly as in :func:`run_distributed_construction`, with every
+    universe-sized leg shrunk to its incremental size: providers re-share
+    only the ``|dirty|`` columns in phase 1.1, the σ opening ships only the
+    closure's unselected identities, coordinator 0 broadcasts only the
+    closure's β entries, and phase 2 republishes only the changed columns.
+    The returned β vector (and ``state``) covers the full universe.
+    """
+    m = len(provider_bits)
+    if m != state.m:
+        raise ValueError(f"state covers {state.m} providers, got {m}")
+    result = secure_beta_update(
+        state,
+        provider_bits,
+        dirty,
+        rng,
+        triple_source=triple_source,
+        factory=factory,
+        offline_producers=offline_producers,
+    )
+    info = result.incremental
+    n_reopened = sum(
+        1 for bit in result.selection_result.publish_as_one if not bit
+    )
+    driver = _Driver(
+        result,
+        state.c,
+        latency,
+        open_count=n_reopened,
+        broadcast_count=len(info.closure),
+        publish_count=len(info.closure),
+    )
+
+    sim = Simulator(latency=latency)
+    dirty_ids = info.dirty
+    for i in range(m):
+        sim.add_node(
+            _EPPINode(
+                i,
+                m,
+                state.c,
+                state.ring,
+                [provider_bits[i][j] for j in dirty_ids],
                 random.Random(rng.getrandbits(64)),
                 driver=driver,
             )

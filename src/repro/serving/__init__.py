@@ -34,6 +34,11 @@ from repro.serving.client import (
     SearchReport,
     TransportError,
 )
+from repro.serving.eventloop import (
+    install_uvloop,
+    reuse_port_supported,
+    uvloop_available,
+)
 from repro.serving.fleet import FleetSupervisor, WorkerSpec, sync_request
 from repro.serving.loadgen import (
     LoadReport,
@@ -125,11 +130,13 @@ __all__ = [
     "WorkerSpec",
     "WrongShard",
     "inspect_snapshot",
+    "install_uvloop",
     "load_postings",
     "load_serving_index",
     "load_serving_state",
     "load_snapshot",
     "percentile",
+    "reuse_port_supported",
     "run_load",
     "run_load_multiprocess",
     "run_load_sync",
@@ -138,4 +145,5 @@ __all__ = [
     "snapshot_epoch",
     "snapshot_version",
     "sync_request",
+    "uvloop_available",
 ]

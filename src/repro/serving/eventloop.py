@@ -1,0 +1,54 @@
+"""Optional event-loop acceleration: uvloop, behind an import gate.
+
+uvloop (a libuv-backed drop-in ``asyncio`` policy) roughly halves the
+per-request scheduling overhead of the serving hot path, but it is an
+optional native dependency that many deployment images (including this
+repo's CI) do not carry.  Every entry point therefore asks for it through
+:func:`install_uvloop`, which degrades to the stdlib loop instead of
+failing -- ``eppi serve --uvloop`` on a box without uvloop still serves,
+it just says so.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+__all__ = ["install_uvloop", "reuse_port_supported", "uvloop_available"]
+
+
+def uvloop_available() -> bool:
+    """True when the optional uvloop package is importable."""
+    try:
+        import uvloop  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def install_uvloop(strict: bool = False) -> bool:
+    """Make uvloop the process-wide event-loop policy, if importable.
+
+    Returns True when uvloop is now the policy, False when the stdlib
+    loop remains (uvloop missing and ``strict`` unset).  Idempotent --
+    installing an already-installed policy is a no-op.  With ``strict``
+    the ImportError propagates, for operators who would rather fail a
+    deploy than silently serve slow.
+    """
+    try:
+        import uvloop
+    except ImportError:
+        if strict:
+            raise
+        return False
+    if not isinstance(
+        asyncio.get_event_loop_policy(), uvloop.EventLoopPolicy
+    ):
+        asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    return True
+
+
+def reuse_port_supported() -> bool:
+    """True when this platform can share one listening port across
+    processes (``SO_REUSEPORT`` -- Linux and the BSDs, not Windows)."""
+    return hasattr(socket, "SO_REUSEPORT")

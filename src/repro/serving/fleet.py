@@ -50,6 +50,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro.serving.eventloop import install_uvloop, reuse_port_supported
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.protocol import (
     VERB_INFO,
@@ -120,7 +121,15 @@ def sync_request(
 
 @dataclass(frozen=True)
 class WorkerSpec:
-    """Everything a worker process needs to host its shard (picklable)."""
+    """Everything a worker process needs to host its shard (picklable).
+
+    With ``reuse_port`` several processes carrying the *same* shard bind
+    the same ``(host, port)`` via ``SO_REUSEPORT`` and the kernel spreads
+    accepted connections across them -- the per-core accept pattern
+    (``replica`` tells them apart supervisor-side).  ``uvloop`` asks the
+    worker to install the uvloop event-loop policy, falling back silently
+    to the stdlib loop when the package is absent.
+    """
 
     shard_id: int
     n_shards: int
@@ -129,10 +138,15 @@ class WorkerSpec:
     port: int = 0
     max_inflight: int = 64
     protocols: tuple = (1, 2)
+    replica: int = 0
+    reuse_port: bool = False
+    uvloop: bool = False
 
 
 def _worker_main(spec: WorkerSpec) -> None:
     """Entry point of one shard process: load snapshot, serve until SIGTERM."""
+    if spec.uvloop:
+        install_uvloop()  # graceful: stdlib loop when uvloop is absent
     index, epoch = load_serving_state(spec.snapshot_path)
     server = PPIServer(
         index,
@@ -143,6 +157,7 @@ def _worker_main(spec: WorkerSpec) -> None:
         snapshot_path=spec.snapshot_path,
         epoch=epoch,
         protocols=spec.protocols,
+        reuse_port=spec.reuse_port,
     )
 
     async def _serve() -> None:
@@ -215,6 +230,8 @@ class FleetSupervisor:
         start_timeout_s: float = 30.0,
         mp_start_method: Optional[str] = None,
         protocols=(1, 2),
+        accept_procs: int = 1,
+        uvloop: bool = False,
     ):
         if n_shards < 1:
             raise ValueError(f"need at least one shard, got {n_shards}")
@@ -222,8 +239,17 @@ class FleetSupervisor:
             raise ValueError(f"{n_shards} shards but {len(ports)} ports")
         if unhealthy_after < 1 or max_restarts < 0:
             raise ValueError("unhealthy_after must be >= 1, max_restarts >= 0")
+        if accept_procs < 1:
+            raise ValueError(f"accept_procs must be >= 1, got {accept_procs}")
+        if accept_procs > 1 and not reuse_port_supported():
+            raise ValueError(
+                "accept_procs > 1 needs SO_REUSEPORT, which this platform "
+                "does not support"
+            )
         self.snapshot_path = snapshot_path
         self.n_shards = n_shards
+        self.accept_procs = accept_procs
+        self.uvloop = uvloop
         self.host = host
         self.protocols = tuple(sorted(set(protocols)))
         # Supervisor-to-worker requests must speak a protocol the workers
@@ -245,6 +271,12 @@ class FleetSupervisor:
             # Restart latency is a recovery-time budget: preload the heavy
             # imports once so a respawned worker is a cheap fork + bind.
             self._ctx.set_forkserver_preload(["repro.serving.fleet"])
+        # One handle per (shard, replica).  With accept_procs > 1, a
+        # shard's replicas share its port via SO_REUSEPORT -- the kernel
+        # load-balances accepted connections across their listeners.
+        shard_ports = [
+            ports[i] if ports else _free_port(host) for i in range(n_shards)
+        ]
         self._workers = [
             _WorkerHandle(
                 WorkerSpec(
@@ -252,12 +284,16 @@ class FleetSupervisor:
                     n_shards=n_shards,
                     snapshot_path=snapshot_path,
                     host=host,
-                    port=ports[i] if ports else _free_port(host),
+                    port=shard_ports[i],
                     max_inflight=max_inflight,
                     protocols=self.protocols,
+                    replica=r,
+                    reuse_port=accept_procs > 1,
+                    uvloop=uvloop,
                 )
             )
             for i in range(n_shards)
+            for r in range(accept_procs)
         ]
         self._monitor_thread: Optional[threading.Thread] = None
         self._stop_event = threading.Event()
@@ -268,18 +304,25 @@ class FleetSupervisor:
     @property
     def addresses(self) -> list:
         """One ``(host, port)`` per shard, in shard order -- stable across
-        restarts, directly usable as ``LocatorClient(servers=...)``."""
-        return [w.address for w in self._workers]
+        restarts, directly usable as ``LocatorClient(servers=...)``.
+        Replicas of a shard share its address, so the list stays one entry
+        per shard regardless of ``accept_procs``."""
+        return [w.address for w in self._workers if w.spec.replica == 0]
 
     def worker_states(self) -> dict[int, dict[str, Any]]:
+        """Per-process states, keyed by flat worker index.  With the
+        default ``accept_procs=1`` the index *is* the shard id; replicated
+        fleets tell processes apart via the ``shard``/``replica`` fields."""
         return {
-            w.spec.shard_id: {
+            k: {
                 "state": w.state,
                 "pid": w.pid,
                 "restarts": w.restarts,
                 "address": list(w.address),
+                "shard": w.spec.shard_id,
+                "replica": w.spec.replica,
             }
-            for w in self._workers
+            for k, w in enumerate(self._workers)
         }
 
     # -- lifecycle ------------------------------------------------------------
@@ -474,25 +517,43 @@ class FleetSupervisor:
         target_epoch = snapshot_epoch(snapshot_path)
         monitor_running = self._monitor_thread is not None
         events: list = []
-        for worker in self._workers:
-            shard = worker.spec.shard_id
+        for shard in range(self.n_shards):
+            replicas = [w for w in self._workers if w.spec.shard_id == shard]
             with self._lock:
-                worker.spec = dataclasses.replace(
-                    worker.spec, snapshot_path=snapshot_path
-                )
-            if worker.state == "failed":
+                for worker in replicas:
+                    worker.spec = dataclasses.replace(
+                        worker.spec, snapshot_path=snapshot_path
+                    )
+            live = [w for w in replicas if w.state != "failed"]
+            if not live:
                 events.append(("rollout-skipped-failed", shard))
                 continue
-            try:
-                sync_request(
-                    worker.address,
-                    VERB_RELOAD,
-                    timeout_s=reload_timeout_s,
-                    protocol=self._sync_protocol,
-                    snapshot=snapshot_path,
-                )
-            except Exception:  # noqa: BLE001 -- settle loop decides the outcome
-                events.append(("reload-request-failed", shard))
+            if self.accept_procs == 1:
+                # Single listener: in-place hot swap over the reload verb.
+                try:
+                    sync_request(
+                        live[0].address,
+                        VERB_RELOAD,
+                        timeout_s=reload_timeout_s,
+                        protocol=self._sync_protocol,
+                        snapshot=snapshot_path,
+                    )
+                except Exception:  # noqa: BLE001 -- settle loop decides
+                    events.append(("reload-request-failed", shard))
+            else:
+                # Replicated shard: a reload sent to the shared port lands
+                # on whichever replica the kernel picks, so targeted hot
+                # swaps are impossible.  Replace replicas one at a time
+                # instead -- a fresh process boots *on the new snapshot* by
+                # construction, and the siblings keep the port served while
+                # it does.
+                for worker in live:
+                    with self._lock:
+                        self._kill(worker)
+                        self._spawn(worker, time.monotonic())
+                    events.append(
+                        ("replica-replaced", (shard, worker.spec.replica))
+                    )
             deadline = time.monotonic() + settle_timeout_s
             settled = False
             while time.monotonic() < deadline:
@@ -502,12 +563,14 @@ class FleetSupervisor:
                     self.check_once()
                 try:
                     info = sync_request(
-                        worker.address,
+                        live[0].address,
                         VERB_INFO,
                         timeout_s=self.health_timeout_s,
                         protocol=self._sync_protocol,
                     )
-                    if info.get("epoch") == target_epoch:
+                    if info.get("epoch") == target_epoch and all(
+                        w.alive for w in live
+                    ):
                         settled = True
                         break
                 except Exception:  # noqa: BLE001 -- worker mid-restart: keep waiting
@@ -528,12 +591,22 @@ class FleetSupervisor:
     def fleet_stats(self) -> dict[str, Any]:
         """Fleet-wide view: supervisor counters, per-worker state + live
         ``stats`` snapshot + accepted wire protocols, and counters summed
-        across reachable workers."""
+        across reachable workers.
+
+        One ``stats`` probe per *shard address*: a replicated shard's port
+        is kernel-balanced, so a probe answers from whichever replica the
+        kernel picks -- probing per process would double-count some
+        replicas and miss others.  With ``accept_procs > 1`` the per-shard
+        snapshot is therefore one replica's sample, and the aggregate is a
+        lower bound rather than an exact tally.
+        """
         workers: dict[int, dict[str, Any]] = self.worker_states()
         aggregate: dict[str, float] = {}
-        for worker in self._workers:
-            shard = worker.spec.shard_id
-            workers[shard]["protocols"] = list(worker.spec.protocols)
+        for k, worker in enumerate(self._workers):
+            workers[k]["protocols"] = list(worker.spec.protocols)
+            if worker.spec.replica != 0:
+                workers[k]["stats"] = None
+                continue
             try:
                 snapshot = sync_request(
                     worker.address,
@@ -542,13 +615,14 @@ class FleetSupervisor:
                     protocol=self._sync_protocol,
                 )["stats"]
             except Exception:  # noqa: BLE001 -- stats are best-effort
-                workers[shard]["stats"] = None
+                workers[k]["stats"] = None
                 continue
-            workers[shard]["stats"] = snapshot
+            workers[k]["stats"] = snapshot
             for name, value in snapshot.get("counters", {}).items():
                 aggregate[name] = aggregate.get(name, 0) + value
         return {
             "n_shards": self.n_shards,
+            "accept_procs": self.accept_procs,
             "protocols": list(self.protocols),
             "supervisor": self.metrics.snapshot(),
             "workers": workers,

@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.errors import ModelError
 from repro.core.index import PPIIndex
 from repro.core.postings import PostingsIndex
+from repro.serving.eventloop import reuse_port_supported
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.protocol import (
     VERB_INFO,
@@ -168,11 +169,18 @@ class ServingNode:
         port: int = 0,
         max_inflight: int = 64,
         protocols=(1, 2),
+        reuse_port: bool = False,
     ):
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        if reuse_port and not reuse_port_supported():
+            raise ValueError(
+                "reuse_port requested but SO_REUSEPORT is not supported "
+                "on this platform"
+            )
         self.host = host
         self.port = port  # rewritten with the bound port after start()
+        self.reuse_port = reuse_port
         self.protocols = frozenset(protocols)
         if not self.protocols or not self.protocols <= {1, 2}:
             raise ValueError(
@@ -198,8 +206,15 @@ class ServingNode:
     async def start(self) -> "ServingNode":
         if self._server is not None:
             raise RuntimeError(f"{self.role} already started")
+        # With reuse_port, N processes bind the *same* (host, port) and the
+        # kernel load-balances accepted connections across their listeners
+        # -- the per-core accept pattern FleetSupervisor(accept_procs=N)
+        # builds on.  A lone reuse_port listener behaves like a normal one.
         self._server = await asyncio.start_server(
-            self._on_connection, self.host, self.port
+            self._on_connection,
+            self.host,
+            self.port,
+            reuse_port=self.reuse_port or None,
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.monotonic()
@@ -346,6 +361,7 @@ class ServingNode:
             "uptime_s": time.monotonic() - self._started_at if self._started_at else 0.0,
             "max_inflight": self._max_inflight,
             "protocols": sorted(self.protocols),
+            "reuse_port": self.reuse_port,
         }
 
 
@@ -407,9 +423,14 @@ class PPIServer(ServingNode):
         snapshot_path: Optional[str] = None,
         epoch: int = 0,
         protocols=(1, 2),
+        reuse_port: bool = False,
     ):
         super().__init__(
-            host=host, port=port, max_inflight=max_inflight, protocols=protocols
+            host=host,
+            port=port,
+            max_inflight=max_inflight,
+            protocols=protocols,
+            reuse_port=reuse_port,
         )
         self.store = IndexShardStore(index, shard)
         self.snapshot_path = snapshot_path

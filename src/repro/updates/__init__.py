@@ -21,7 +21,7 @@ epoch-tagged caches) lives in :mod:`repro.serving`; ``docs/PROTOCOL.md``
 and DESIGN.md §7.8 describe the end-to-end update path.
 """
 
-from repro.updates.compactor import Compactor, compact_snapshot
+from repro.updates.compactor import CompactionStats, Compactor, compact_snapshot
 from repro.updates.deltalog import (
     OP_FLIP,
     OP_REMOVE,
@@ -32,6 +32,7 @@ from repro.updates.deltalog import (
 )
 from repro.updates.diff import diff_snapshots
 from repro.updates.noise import StickyOwnerStream
+from repro.updates.refresh import BetaRefresher, RefreshOutcome
 from repro.updates.segments import (
     SEGMENT_FORMAT_VERSION,
     OverlayIndex,
@@ -42,6 +43,8 @@ from repro.updates.segments import (
 )
 
 __all__ = [
+    "BetaRefresher",
+    "CompactionStats",
     "Compactor",
     "DeltaLog",
     "DeltaLogError",
@@ -50,6 +53,7 @@ __all__ = [
     "OP_UPSERT",
     "OverlayIndex",
     "OwnerDelta",
+    "RefreshOutcome",
     "SEGMENT_FORMAT_VERSION",
     "Segment",
     "SegmentError",

@@ -24,7 +24,8 @@ from __future__ import annotations
 import glob
 import os
 import threading
-from typing import Any, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
 
 from repro.serving.snapshot import (
     load_postings,
@@ -33,7 +34,60 @@ from repro.serving.snapshot import (
 )
 from repro.updates.segments import OverlayIndex, SegmentError, load_segment
 
-__all__ = ["Compactor", "compact_snapshot"]
+__all__ = ["CompactionStats", "Compactor", "compact_snapshot"]
+
+
+@dataclass
+class CompactionStats:
+    """Structured outcome of one compaction round.
+
+    The drift triple -- ``ops_applied`` (delta-log records folded),
+    ``owners_touched`` (overlay entries across segments, with multiplicity),
+    ``identities_dirtied`` (distinct owners, i.e. the dirty set an
+    incremental β refresh re-evaluates, listed in ``dirty_owners``) -- is
+    what :class:`~repro.updates.refresh.BetaRefresher` consumes to decide
+    when privacy maintenance must run.  ``per_owner`` maps each dirty owner
+    to its drift detail.  Supports ``stats["epoch"]``-style access for
+    callers written against the old summary-dict return shape.
+    """
+
+    epoch: int
+    base_epoch: int
+    n_segments: int
+    ops_applied: int
+    owners_touched: int
+    identities_dirtied: int
+    dirty_owners: list[int]
+    tombstones: int
+    consumed_segments: list[str]
+    per_owner: dict[int, dict[str, Any]] = field(default_factory=dict)
+    snapshot: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        merged = dict(self.snapshot)
+        merged.update(
+            epoch=self.epoch,
+            base_epoch=self.base_epoch,
+            n_segments=self.n_segments,
+            ops_applied=self.ops_applied,
+            owners_touched=self.owners_touched,
+            identities_dirtied=self.identities_dirtied,
+            dirty_owners=list(self.dirty_owners),
+            tombstones=self.tombstones,
+            consumed_segments=list(self.consumed_segments),
+        )
+        return merged
+
+    # Dict-compatible reads (the pre-drift-stats return type was a dict).
+    def __getitem__(self, key: str) -> Any:
+        merged = self.as_dict()
+        return merged[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        try:
+            return self[key]
+        except KeyError:
+            return default
 
 
 def compact_snapshot(
@@ -87,6 +141,7 @@ class Compactor:
         min_segments: int = 1,
         interval_s: float = 1.0,
         pattern: str = "*.seg.npz",
+        on_compaction: Optional[Callable[["CompactionStats"], Any]] = None,
     ):
         if min_segments < 1:
             raise ValueError("min_segments must be >= 1")
@@ -97,8 +152,12 @@ class Compactor:
         self.min_segments = min_segments
         self.interval_s = interval_s
         self.pattern = pattern
+        # Called with the round's CompactionStats after every successful
+        # compaction -- the drift hook an incremental β refresher latches
+        # onto (see :mod:`repro.updates.refresh`).
+        self.on_compaction = on_compaction
         self.compactions = 0
-        self.last_summary: Optional[dict[str, Any]] = None
+        self.last_summary: Optional[CompactionStats] = None
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
 
@@ -106,18 +165,52 @@ class Compactor:
         """Sealed segments waiting to be folded in, oldest first."""
         return sorted(glob.glob(os.path.join(self.segment_dir, self.pattern)))
 
-    def run_once(self) -> Optional[dict[str, Any]]:
-        """One compaction round; returns the summary, or ``None`` when the
-        backlog is below ``min_segments``."""
+    def run_once(self) -> Optional[CompactionStats]:
+        """One compaction round; returns the round's drift stats, or
+        ``None`` when the backlog is below ``min_segments``."""
         pending = self.pending()
         if len(pending) < self.min_segments:
             return None
+        # Drift accounting reads the segments before the merge consumes
+        # them; segment files only hold the *changed* owners, so this scan
+        # is O(churn), not O(index).
+        ops_applied = 0
+        owners_touched = 0
+        tombstones = 0
+        per_owner: dict[int, dict[str, Any]] = {}
+        for path in pending:
+            segment = load_segment(path)
+            ops_applied += segment.n_ops
+            owners_touched += len(segment)
+            tombstones += int(segment.tombstones.sum())
+            for k, owner in enumerate(segment.owners.tolist()):
+                drift = per_owner.setdefault(
+                    owner, {"segments": 0, "removed": False, "beta": 0.0}
+                )
+                drift["segments"] += 1  # later segments win, like the merge
+                drift["removed"] = bool(segment.tombstones[k])
+                drift["beta"] = float(segment.betas[k])
         summary = compact_snapshot(self.base_path, pending)
         for path in pending:
             os.unlink(path)
+        stats = CompactionStats(
+            epoch=int(summary["epoch"]),
+            base_epoch=int(summary["epoch"]) - 1,
+            n_segments=len(pending),
+            ops_applied=ops_applied,
+            owners_touched=owners_touched,
+            identities_dirtied=len(per_owner),
+            dirty_owners=sorted(per_owner),
+            tombstones=tombstones,
+            consumed_segments=list(pending),
+            per_owner=per_owner,
+            snapshot=summary,
+        )
         self.compactions += 1
-        self.last_summary = summary
-        return summary
+        self.last_summary = stats
+        if self.on_compaction is not None:
+            self.on_compaction(stats)
+        return stats
 
     # -- background thread ----------------------------------------------------
 

@@ -125,6 +125,10 @@ def seal_segment(log: DeltaLog, path: str, base_epoch: int) -> dict[str, Any]:
         "tombstones": tombstones,
         "betas": betas,
         "owner_names": np.array(names, dtype=np.str_),
+        # Log records folded into this segment -- drift accounting for the
+        # compactor.  Optional (outside the checksum) so segments sealed by
+        # older writers still load; readers default it to n_entries.
+        "n_ops": np.array([len(log)], dtype=np.uint64),
     }
     tmp_path = f"{path}.tmp.{os.getpid()}"
     try:
@@ -139,6 +143,7 @@ def seal_segment(log: DeltaLog, path: str, base_epoch: int) -> dict[str, Any]:
         "n_entries": int(owners.size),
         "n_providers": log.n_providers,
         "base_epoch": base_epoch,
+        "n_ops": len(log),
         "tombstones": int(tombstones.sum()),
         "published_positives": int(indices.size),
         "file_bytes": os.path.getsize(path),
@@ -159,6 +164,7 @@ class Segment:
         base_epoch: int,
         owner_names: Optional[Sequence[str]] = None,
         path: Optional[str] = None,
+        n_ops: Optional[int] = None,
     ):
         self.owners = owners
         self.indptr = indptr
@@ -169,6 +175,9 @@ class Segment:
         self.base_epoch = int(base_epoch)
         self.owner_names = list(owner_names) if owner_names is not None else None
         self.path = path
+        # Log records folded into this segment; older segment files don't
+        # record it, where one-op-per-changed-owner is the best lower bound.
+        self.n_ops = int(n_ops) if n_ops is not None else int(owners.size)
         self._slot = {int(o): k for k, o in enumerate(owners.tolist())}
 
     def __len__(self) -> int:
@@ -225,6 +234,7 @@ def load_segment(path: str) -> Segment:
             if "owner_names" in archive
             else None
         )
+        n_ops = int(archive["n_ops"][0]) if "n_ops" in archive else None
     checksum = _segment_checksum(owners, indptr, indices, tombstones, betas)
     if checksum != int(meta[4]):
         raise SegmentError(f"segment {path!r} failed its checksum")
@@ -249,6 +259,7 @@ def load_segment(path: str) -> Segment:
         int(meta[3]),
         owner_names=names,
         path=path,
+        n_ops=n_ops,
     )
 
 

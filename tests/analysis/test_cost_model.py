@@ -12,7 +12,7 @@ import pytest
 
 from repro.analysis.cost_model import ConstructionCostModel
 from repro.core.policies import BasicPolicy
-from repro.mpc.betacalc import secure_beta_calculation
+from repro.mpc.betacalc import secure_beta_calculation, secure_beta_update
 from repro.mpc.countbelow import COIN_BITS
 from repro.mpc.offline.factory import TripleFactory
 
@@ -125,6 +125,91 @@ class TestOnlineEstimates:
         )
         assert est.bits_sent == measured
         assert result.phases.online.bits_sent == measured
+
+
+class TestIncrementalEstimates:
+    """The closed form prices a real ``secure_beta_update`` pass exactly."""
+
+    @pytest.fixture(scope="class")
+    def update_run(self):
+        rng = random.Random(5)
+        bits = [[rng.randint(0, 1) for _ in range(N_IDS)] for _ in range(M)]
+        eps = [rng.random() for _ in range(N_IDS)]
+        held = secure_beta_calculation(
+            bits,
+            eps,
+            BasicPolicy(),
+            c=C,
+            rng=random.Random(1),
+            engine="batch",
+            keep_state=True,
+        )
+        dirty = [3, 7, 20, 41]
+        for j in dirty:
+            bits[0][j] ^= 1
+        result = secure_beta_update(
+            held.state,
+            bits,
+            dirty,
+            random.Random(2),
+            triple_source="factory",
+            offline_producers=2,
+        )
+        model = ConstructionCostModel(M, N_IDS, C, producers=2)
+        lam = round(result.lambda_ * (1 << COIN_BITS))
+        return result, model, lam
+
+    def test_count_stats_exact(self, update_run):
+        result, model, _ = update_run
+        predicted = model.incremental_count_stats(result.incremental.dirty)
+        measured = result.count_result.stats
+        for field in ("and_gates", "bits_sent", "messages", "rounds"):
+            assert getattr(predicted, field) == getattr(measured, field), field
+
+    def test_selection_stats_exact(self, update_run):
+        result, model, lam = update_run
+        predicted = model.incremental_selection_stats(
+            len(result.incremental.closure), lam
+        )
+        measured = result.selection_result.stats
+        for field in ("and_gates", "bits_sent", "rounds"):
+            assert getattr(predicted, field) == getattr(measured, field), field
+
+    def test_incremental_online_aggregates(self, update_run):
+        result, model, lam = update_run
+        est = model.incremental_online(
+            result.incremental.dirty, len(result.incremental.closure), lam
+        )
+        assert est.bits_sent == (
+            result.count_result.stats.bits_sent
+            + result.selection_result.stats.bits_sent
+        )
+        assert "closure" in est.formula
+
+    def test_words_match_factory_consumption(self, update_run):
+        result, model, lam = update_run
+        words = model.incremental_total_words(
+            result.incremental.dirty,
+            len(result.incremental.closure),
+            lam,
+            "batch",
+        )
+        assert result.phases.triple_words_consumed == words
+        assert result.incremental.triple_words_provisioned >= 1
+
+    def test_incremental_never_exceeds_the_full_run(self, update_run):
+        result, model, lam = update_run
+        inc = model.incremental_online(
+            result.incremental.dirty, len(result.incremental.closure), lam
+        )
+        full = model.online(lam)
+        assert inc.bits_sent < full.bits_sent
+
+    def test_empty_dirty_set_prices_to_zero(self):
+        model = ConstructionCostModel(M, N_IDS, C)
+        assert model.incremental_count_stats([]).and_gates == 0
+        assert model.incremental_count_words([], "batch") == 0
+        assert model.incremental_selection_words(0, 100, "batch") == 0
 
 
 class TestModelSurface:

@@ -1,0 +1,160 @@
+"""Optional uvloop gating and SO_REUSEPORT accept sharing.
+
+uvloop is an optional native dependency the test image may or may not
+carry, so both sides of the gate are exercised: the graceful-fallback path
+directly (when absent), and the install path through a stub policy module.
+The reuse-port tests bind two real servers to one (host, port) and check
+both answer -- the kernel-level accept sharding the replicated fleet
+builds on.
+"""
+
+import asyncio
+import socket
+import sys
+import types
+
+import pytest
+
+from repro.serving import (
+    PPIServer,
+    install_uvloop,
+    reuse_port_supported,
+    uvloop_available,
+)
+from repro.serving.client import LocatorClient, RetryPolicy
+from repro.serving.fleet import FleetSupervisor
+
+FAST_RETRY = RetryPolicy(max_retries=0, timeout_s=0.5)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestUvloopGate:
+    def test_available_matches_a_direct_import(self):
+        try:
+            import uvloop  # noqa: F401
+
+            importable = True
+        except ImportError:
+            importable = False
+        assert uvloop_available() is importable
+
+    def test_graceful_fallback_when_missing(self):
+        if uvloop_available():
+            pytest.skip("uvloop installed; fallback path not reachable")
+        assert install_uvloop() is False
+        with pytest.raises(ImportError):
+            install_uvloop(strict=True)
+
+    def test_install_sets_the_policy_and_is_idempotent(self, monkeypatch):
+        class StubPolicy(asyncio.DefaultEventLoopPolicy):
+            pass
+
+        stub = types.ModuleType("uvloop")
+        stub.EventLoopPolicy = StubPolicy
+        monkeypatch.setitem(sys.modules, "uvloop", stub)
+        old_policy = asyncio.get_event_loop_policy()
+        try:
+            assert uvloop_available() is True
+            assert install_uvloop() is True
+            policy = asyncio.get_event_loop_policy()
+            assert isinstance(policy, StubPolicy)
+            assert install_uvloop() is True  # no-op, same policy object
+            assert asyncio.get_event_loop_policy() is policy
+        finally:
+            asyncio.set_event_loop_policy(old_policy)
+
+    def test_reuse_port_supported_matches_the_platform(self):
+        assert reuse_port_supported() is hasattr(socket, "SO_REUSEPORT")
+
+
+class TestReusePortListeners:
+    def test_rejected_where_unsupported(self, monkeypatch, served_network):
+        _, index = served_network
+        monkeypatch.setattr(
+            "repro.serving.server.reuse_port_supported", lambda: False
+        )
+        with pytest.raises(ValueError, match="SO_REUSEPORT"):
+            PPIServer(index, reuse_port=True)
+
+    @pytest.mark.skipif(
+        not reuse_port_supported(), reason="platform lacks SO_REUSEPORT"
+    )
+    def test_two_servers_share_one_port(self, served_network):
+        _, index = served_network
+
+        async def main():
+            first = await PPIServer(index, reuse_port=True).start()
+            host, port = first.address
+            assert first.describe()["reuse_port"] is True
+            second = await PPIServer(
+                index, host=host, port=port, reuse_port=True
+            ).start()
+            assert second.address == first.address
+            client = LocatorClient(
+                [first.address], retry=FAST_RETRY, cache_size=0
+            )
+            try:
+                # The kernel load-balances accepts between the two
+                # listeners; every query answers correctly either way.
+                for owner in range(index.n_owners):
+                    assert await client.query(owner) == index.query(owner)
+            finally:
+                await client.close()
+                await second.stop()
+                await first.stop()
+
+        run(main())
+
+    def test_plain_server_still_refuses_a_taken_port(self, served_network):
+        _, index = served_network
+
+        async def main():
+            first = await PPIServer(index).start()
+            host, port = first.address
+            try:
+                with pytest.raises(OSError):
+                    await PPIServer(index, host=host, port=port).start()
+            finally:
+                await first.stop()
+
+        run(main())
+
+
+class TestFleetAcceptProcs:
+    def test_accept_procs_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="accept_procs"):
+            FleetSupervisor(str(tmp_path / "s.npz"), 1, accept_procs=0)
+
+    def test_accept_procs_need_reuseport_support(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            "repro.serving.fleet.reuse_port_supported", lambda: False
+        )
+        with pytest.raises(ValueError, match="SO_REUSEPORT"):
+            FleetSupervisor(str(tmp_path / "s.npz"), 1, accept_procs=2)
+
+    def test_worker_plan_replicates_each_shard(self, tmp_path):
+        supervisor = FleetSupervisor(
+            str(tmp_path / "s.npz"), 2, accept_procs=3
+        )
+        specs = [w.spec for w in supervisor._workers]
+        assert len(specs) == 6
+        assert [(s.shard_id, s.replica) for s in specs] == [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2),
+        ]
+        assert all(s.reuse_port for s in specs)
+        # Replicas of one shard share its port; addresses list one each.
+        by_shard = {}
+        for s in specs:
+            by_shard.setdefault(s.shard_id, set()).add(s.port)
+        assert all(len(ports) == 1 for ports in by_shard.values())
+        assert len(supervisor.addresses) == 2
+
+    def test_single_accept_proc_keeps_plain_listeners(self, tmp_path):
+        supervisor = FleetSupervisor(str(tmp_path / "s.npz"), 2)
+        specs = [w.spec for w in supervisor._workers]
+        assert len(specs) == 2
+        assert not any(s.reuse_port for s in specs)
+        assert not any(s.uvloop for s in specs)

@@ -208,6 +208,10 @@ class TestUpdateCLI:
         ]) == 0
         out = capsys.readouterr().out
         assert "epoch 1" in out
+        # The drift triple an incremental β refresh consumes is surfaced.
+        assert "ops applied: 3" in out
+        assert "owners touched: 2" in out
+        assert "identities dirtied: 2" in out
         assert not segment.exists()
 
         assert main([

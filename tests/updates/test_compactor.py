@@ -146,6 +146,76 @@ class TestCompactorLoop:
             Compactor("b", "d", interval_s=0.0)
 
 
+class TestDriftStats:
+    """``run_once`` reports the per-owner drift an incremental β refresh
+    consumes, without re-reading anything but the segments themselves."""
+
+    def test_run_once_returns_the_drift_triple(self, tmp_path):
+        base_path = make_base(tmp_path)
+        log_path = str(tmp_path / "drift.log")
+        with DeltaLog.create(log_path, N_PROVIDERS, noise_key=KEY) as log:
+            log.upsert(2, [1, 4], beta=0.5)
+            log.upsert(2, [1, 4, 6], beta=0.75)  # same owner, two ops
+            log.remove(5)
+        seal_segment(log, str(tmp_path / "0001.seg.npz"), base_epoch=0)
+        stats = Compactor(base_path, str(tmp_path), min_segments=1).run_once()
+        assert stats.ops_applied == 3
+        assert stats.owners_touched == 2  # net overlay entries
+        assert stats.identities_dirtied == 2
+        assert stats.dirty_owners == [2, 5]
+        assert stats.tombstones == 1
+        assert stats.n_segments == 1
+        assert stats.per_owner[2] == {
+            "segments": 1,
+            "removed": False,
+            "beta": 0.75,
+        }
+        assert stats.per_owner[5]["removed"] is True
+
+    def test_later_segments_win_in_per_owner_detail(self, tmp_path):
+        base_path = make_base(tmp_path)
+        make_segment(tmp_path, "0001", owner=2)  # upsert beta=0.5 + remove 5
+        log_path = str(tmp_path / "later.log")
+        with DeltaLog.create(log_path, N_PROVIDERS, noise_key=KEY) as log:
+            log.upsert(2, [0], beta=0.25)
+        seal_segment(log, str(tmp_path / "0002.seg.npz"), base_epoch=0)
+        stats = Compactor(base_path, str(tmp_path), min_segments=2).run_once()
+        assert stats.identities_dirtied == 2
+        assert stats.per_owner[2] == {
+            "segments": 2,
+            "removed": False,
+            "beta": 0.25,
+        }
+
+    def test_dict_compatible_reads_and_as_dict(self, tmp_path):
+        base_path = make_base(tmp_path)
+        make_segment(tmp_path, "0001")
+        stats = Compactor(base_path, str(tmp_path), min_segments=1).run_once()
+        assert stats["epoch"] == 1  # old summary-dict call sites still work
+        assert stats["ops_applied"] == stats.ops_applied
+        assert stats.get("no-such-key", 42) == 42
+        merged = stats.as_dict()
+        assert merged["dirty_owners"] == stats.dirty_owners
+        assert merged["epoch"] == 1
+
+    def test_on_compaction_hook_sees_every_round(self, tmp_path):
+        base_path = make_base(tmp_path)
+        seen = []
+        compactor = Compactor(
+            base_path, str(tmp_path), min_segments=1,
+            on_compaction=seen.append,
+        )
+        assert compactor.run_once() is None  # below threshold: no callback
+        assert seen == []
+        make_segment(tmp_path, "0001")
+        stats = compactor.run_once()
+        make_segment(tmp_path, "0002", base_epoch=1, owner=9)
+        compactor.run_once()
+        assert [s.epoch for s in seen] == [1, 2]
+        assert seen[0] is stats
+        assert seen[1].dirty_owners == [5, 9]
+
+
 class TestCrashAtomicity:
     def test_sigkill_before_replace_is_invisible(self, tmp_path):
         """Kill a real compactor staged right before ``os.replace``."""
