@@ -554,14 +554,20 @@ def cmd_update(args: argparse.Namespace) -> int:
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
-    """Client-driven rolling reload across explicitly-listed shards.
+    """Client-driven fleet operations against explicitly-listed servers.
 
-    The in-process :meth:`FleetSupervisor.rollout` does this for a fleet it
-    owns; this command is the remote-operator form -- it speaks the same
-    ``reload`` verb to each listed server in shard order, waiting for each
-    to settle on the snapshot's epoch before touching the next.
+    ``rollout``: the in-process :meth:`FleetSupervisor.rollout` does this
+    for a fleet it owns; this command is the remote-operator form -- it
+    speaks the same ``reload`` verb to each listed server in shard order,
+    waiting for each to settle on the snapshot's epoch before touching the
+    next.  ``promote``: sends ``repl-promote`` to a replica server, which
+    detaches from its leader, folds every pending segment, and answers as
+    a primary from then on.
     """
     import time
+
+    if args.fleet_command == "promote":
+        return _cmd_fleet_promote(args)
 
     from repro.serving.fleet import sync_request
     from repro.serving.protocol import VERB_INFO, VERB_RELOAD
@@ -598,6 +604,134 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_promote(args: argparse.Namespace) -> int:
+    from repro.replication import VERB_REPL_PROMOTE
+    from repro.serving.fleet import sync_request
+
+    addr = args.server
+    try:
+        status = sync_request(addr, VERB_REPL_PROMOTE, timeout_s=args.timeout)
+    except Exception as exc:  # noqa: BLE001 -- operator-facing one-shot
+        print(f"promote: {addr[0]}:{addr[1]}: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"promoted {addr[0]}:{addr[1]}: role={status.get('role')} "
+        f"epoch={status.get('epoch')} detached={status.get('detached')} "
+        f"compactions={status.get('compactions')}"
+    )
+    return 0
+
+
+def cmd_replica(args: argparse.Namespace) -> int:
+    """Geo-replicated read tier: leader stream, follower serve, status."""
+    if args.replica_command == "status":
+        from repro.replication import VERB_REPL_STATUS
+        from repro.serving.fleet import sync_request
+
+        try:
+            status = sync_request(
+                args.server, VERB_REPL_STATUS, timeout_s=args.timeout
+            )
+        except Exception as exc:  # noqa: BLE001 -- operator-facing one-shot
+            print(
+                f"replica status: {args.server[0]}:{args.server[1]}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        for key in (
+            "role", "leader", "epoch", "leader_epoch", "epochs_behind",
+            "overlay_depth", "segments_fetched", "bytes_fetched",
+            "compactions", "swaps", "detached",
+        ):
+            print(f"{key:18} {status.get(key)}")
+        return 0
+    if args.replica_command == "stream":
+        from repro.replication import SegmentStreamer
+
+        streamer = SegmentStreamer(
+            args.snapshot,
+            args.segment_dir,
+            archive_dir=args.archive_dir,
+            host=args.host,
+            port=args.port,
+            chunk_bytes=args.chunk_bytes,
+            retain_epochs=args.retain_epochs,
+        )
+        print(
+            f"streaming epoch {streamer.epoch()} "
+            f"({len(streamer.manifest())} retained segment(s))"
+        )
+        return _run_node_forever(streamer)
+    return _cmd_replica_serve(args)
+
+
+def _cmd_replica_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.replication import ReplicaApplier, ReplicaServer, ReplicationError
+    from repro.serving import ShardSpec
+
+    applier = ReplicaApplier(
+        args.leader,
+        args.base,
+        segment_dir=args.segment_dir,
+        compact_threshold=args.compact_threshold,
+    )
+
+    async def _main() -> int:
+        server = ReplicaServer(
+            applier,
+            shard=ShardSpec(args.shard, args.shards),
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+        )
+        await server.start()
+        print(f"{server.role} listening on {server.host}:{server.port}", flush=True)
+        print(
+            f"replica: epoch {applier.epoch}, leader "
+            f"{applier.leader[0]}:{applier.leader[1]}, poll {args.poll}s",
+            flush=True,
+        )
+        serve = asyncio.create_task(server.serve_forever())
+        tail = asyncio.create_task(applier.run(interval_s=args.poll))
+        rc = 0
+        try:
+            done, _ = await asyncio.wait(
+                {serve, tail}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if tail in done and serve not in done and tail.exception() is None:
+                # Detached (promoted over the wire): keep serving as primary.
+                await serve
+            for task in done:
+                exc = task.exception()
+                if isinstance(exc, ReplicationError):
+                    print(f"replica: {exc}", file=sys.stderr)
+                    rc = 1
+                elif exc is not None:
+                    raise exc
+        except asyncio.CancelledError:
+            pass
+        finally:
+            for task in (serve, tail):
+                task.cancel()
+            await server.stop()
+            await applier.close()
+        return rc
+
+    try:
+        return asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("\nreplica: shutting down")
+        return 0
+    except OSError as exc:
+        print(
+            f"replica: cannot listen on {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+
+
 def cmd_supervisor(args: argparse.Namespace) -> int:
     import time
 
@@ -622,9 +756,17 @@ def cmd_supervisor(args: argparse.Namespace) -> int:
     for shard_id, addr in enumerate(supervisor.addresses):
         print(f"shard {shard_id}/{args.shards} listening on {addr[0]}:{addr[1]}",
               flush=True)
-    n_procs = args.shards * args.accept_procs
+    if args.read_replicas:
+        for shard_id, addrs in enumerate(supervisor.replica_sets):
+            for r, addr in enumerate(addrs[1:], start=1):
+                print(f"replica {shard_id}.{r} listening on "
+                      f"{addr[0]}:{addr[1]}", flush=True)
+    for shard_id, epoch in sorted(supervisor.fleet_stats()["epochs"].items()):
+        print(f"shard {shard_id} epoch {epoch}", flush=True)
+    n_procs = args.shards * (args.accept_procs + args.read_replicas)
     print(f"fleet: {args.shards} shard(s) x {args.accept_procs} accept "
-          f"process(es) = {n_procs} worker(s)"
+          f"process(es) + {args.read_replicas} read replica(s)/shard "
+          f"= {n_procs} worker(s)"
           + (", uvloop requested" if args.uvloop else ""), flush=True)
     deadline = None
     if args.duration is not None:
@@ -638,7 +780,8 @@ def cmd_supervisor(args: argparse.Namespace) -> int:
         supervisor.stop()
     states = supervisor.metrics.snapshot()["counters"]
     print(f"supervisor: restarts={states.get('restarts_total', 0)} "
-          f"health_checks={states.get('health_checks_total', 0)}")
+          f"health_checks={states.get('health_checks_total', 0)} "
+          f"promotions={states.get('promotions_total', 0)}")
     return 0
 
 
@@ -654,6 +797,7 @@ def _build_supervisor(args: argparse.Namespace, FleetSupervisor, ports):
         max_restarts=args.max_restarts,
         accept_procs=args.accept_procs,
         uvloop=args.uvloop,
+        read_replicas=args.read_replicas,
     )
 
 
@@ -695,6 +839,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 mode=args.mode,
                 think_time_s=args.think_time,
                 batch_size=args.batch_size,
+                zipf_a=args.zipf_a,
+                seed=args.seed,
             )
             print(report.format())
             if client.protocol_downgrades:
@@ -888,6 +1034,64 @@ def _build_parser() -> argparse.ArgumentParser:
     flr.add_argument("--settle-timeout", type=float, default=30.0,
                      help="seconds to wait for each shard to reach the epoch")
     flr.set_defaults(func=cmd_fleet)
+    flp = fl_sub.add_parser(
+        "promote",
+        help="promote a replica server: detach from its leader, fold "
+             "pending segments, answer as a primary",
+    )
+    flp.add_argument("--server", type=_parse_address, required=True,
+                     metavar="HOST:PORT", help="replica server to promote")
+    flp.add_argument("--timeout", type=float, default=60.0,
+                     help="promotion compacts pending segments; allow for it")
+    flp.set_defaults(func=cmd_fleet)
+
+    rp = sub.add_parser(
+        "replica",
+        help="geo-replicated read tier: stream segments, tail a leader, "
+             "inspect convergence",
+    )
+    rp_sub = rp.add_subparsers(dest="replica_command", required=True)
+    rps = rp_sub.add_parser(
+        "stream", help="leader side: archive + serve sealed segments"
+    )
+    rps.add_argument("--snapshot", required=True,
+                     help="the leader's published snapshot (defines the epoch)")
+    rps.add_argument("--segment-dir", required=True,
+                     help="directory where sealed segments land")
+    rps.add_argument("--archive-dir", default=None,
+                     help="archive directory (default: <segment-dir>/repl-archive)")
+    rps.add_argument("--host", default="127.0.0.1")
+    rps.add_argument("--port", type=int, default=0)
+    rps.add_argument("--chunk-bytes", type=int, default=4 * 2**20,
+                     help="max segment bytes per repl-segment response")
+    rps.add_argument("--retain-epochs", type=int, default=None,
+                     help="drop archived segments this many epochs behind "
+                          "the leader (default: keep everything)")
+    rps.set_defaults(func=cmd_replica)
+    rpv = rp_sub.add_parser(
+        "serve", help="follower side: tail the leader, overlay, compact, serve"
+    )
+    rpv.add_argument("--leader", type=_parse_address, required=True,
+                     metavar="HOST:PORT", help="the leader's segment streamer")
+    rpv.add_argument("--base", required=True,
+                     help="local base snapshot (the one-time initial seed)")
+    rpv.add_argument("--segment-dir", default=None,
+                     help="local segment directory (default: <base>.segments)")
+    rpv.add_argument("--host", default="127.0.0.1")
+    rpv.add_argument("--port", type=int, default=0)
+    rpv.add_argument("--shard", type=int, default=0)
+    rpv.add_argument("--shards", type=int, default=1)
+    rpv.add_argument("--max-inflight", type=int, default=64)
+    rpv.add_argument("--poll", type=float, default=0.5,
+                     help="seconds between leader polls")
+    rpv.add_argument("--compact-threshold", type=int, default=4,
+                     help="completed segments that trigger local compaction")
+    rpv.set_defaults(func=cmd_replica)
+    rpt = rp_sub.add_parser("status", help="a replica's convergence state")
+    rpt.add_argument("--server", type=_parse_address, required=True,
+                     metavar="HOST:PORT")
+    rpt.add_argument("--timeout", type=float, default=5.0)
+    rpt.set_defaults(func=cmd_replica)
 
     sv = sub.add_parser(
         "supervisor",
@@ -913,6 +1117,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--uvloop", action="store_true",
                     help="workers install the uvloop event-loop policy when "
                          "available (stdlib loop otherwise)")
+    sv.add_argument("--read-replicas", type=int, default=0,
+                    help="extra read-tier workers per shard, each on its own "
+                         "port; a live one is promoted if a primary fails")
     sv.set_defaults(func=cmd_supervisor)
 
     lg = sub.add_parser("loadgen", help="closed-loop load test against a fleet")
@@ -938,7 +1145,11 @@ def _build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--timeout", type=float, default=2.0)
     lg.add_argument("--max-retries", type=int, default=3)
     lg.add_argument("--cache-size", type=int, default=1024)
-    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--seed", type=int, default=0,
+                    help="seeds both the client rng and the zipf schedule")
+    lg.add_argument("--zipf-a", type=float, default=0.0,
+                    help="Zipf exponent for hot-key skew (0 = uniform "
+                         "round-robin); draws are reproducible under --seed")
     lg.set_defaults(func=cmd_loadgen)
     return parser
 

@@ -40,6 +40,7 @@ import asyncio
 import itertools
 import random
 import time
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -203,10 +204,20 @@ class SearchReport:
 class LocatorClient:
     """A searcher: pooled, retrying, caching client of the serving fleet.
 
-    ``servers`` lists one address per shard, *in shard order* (owner ``j``
-    is served by ``servers[j % len(servers)]``).  ``providers`` maps
-    provider id to that provider's endpoint address; it may cover only the
-    providers this searcher can reach.
+    ``servers`` lists one entry per shard, *in shard order* (owner ``j``
+    is served by shard ``j % len(servers)``).  An entry is either one
+    address or a *replica set* -- a list of addresses all hosting that
+    shard (a geo-replicated read tier).  Within a set the client routes by
+    rendezvous (highest-random-weight) hashing on the owner id: stable
+    per-owner affinity, and a failed replica redistributes only its own
+    owners.  Read-your-epoch consistency across replicas rides the same
+    ``fleet_epoch`` high-water mark that guards the cache: a replica whose
+    last-seen epoch lags the mark is skipped, and a response carrying an
+    older epoch is *rejected* and retried on the next replica -- a client
+    that has seen epoch ``E`` never reads pre-``E`` state, even while
+    followers are still catching up.  ``providers`` maps provider id to
+    that provider's endpoint address; it may cover only the providers this
+    searcher can reach.
 
     ``protocol`` selects the wire protocol: ``"v2"`` (binary frames,
     strict), ``"v1"`` (length-prefixed JSON), or the default ``"auto"`` --
@@ -235,7 +246,9 @@ class LocatorClient:
             raise ValueError(
                 f"protocol must be 'auto', 'v1' or 'v2', got {protocol!r}"
             )
-        self.servers = [tuple(a) for a in servers]
+        #: one replica set per shard; a bare address is a singleton set
+        self.replica_sets = [self._as_replica_set(e) for e in servers]
+        self.servers = [rs[0] for rs in self.replica_sets]
         self.providers = {int(k): tuple(v) for k, v in (providers or {}).items()}
         self.name = name
         self.retry = retry
@@ -248,6 +261,9 @@ class LocatorClient:
         #: entries tagged with an older epoch are treated as misses.
         self.fleet_epoch = 0
         self.epoch_invalidations = 0
+        #: last epoch each address answered with (read-your-epoch routing)
+        self.addr_epochs: dict[Address, int] = {}
+        self.stale_replica_skips = 0
         self.protocol = protocol
         self.protocol_downgrades = 0
         #: addresses that answered a v2 frame with v1: legacy servers,
@@ -255,6 +271,16 @@ class LocatorClient:
         self._v1_only: set = set()
         self._rng = random.Random(rng_seed)
         self._request_ids = itertools.count(1)
+
+    @staticmethod
+    def _as_replica_set(entry) -> list[Address]:
+        """Normalize one ``servers`` entry: address or list of addresses."""
+        entry = list(entry)
+        if not entry:
+            raise ValueError("a replica set must hold at least one address")
+        if isinstance(entry[0], (list, tuple)):
+            return [tuple(a) for a in entry]
+        return [tuple(entry)]
 
     # -- transport ------------------------------------------------------------
 
@@ -338,7 +364,13 @@ class LocatorClient:
                     self._request_once(addr, message, force_v1=force_v1),
                     timeout=self.retry.timeout_s,
                 )
-                return raise_for_response(response)
+                result = raise_for_response(response)
+                epoch = result.get("epoch")
+                if isinstance(epoch, int) and not isinstance(epoch, bool):
+                    # Latest observation wins: this is what read-your-epoch
+                    # replica selection consults, not a high-water mark.
+                    self.addr_epochs[addr] = epoch
+                return result
             except (OSError, asyncio.TimeoutError, ProtocolError) as exc:
                 last_exc = exc
                 if self.protocol == "auto" and addr not in self._v1_only:
@@ -351,7 +383,72 @@ class LocatorClient:
     # -- phase 1: QueryPPI ----------------------------------------------------
 
     def server_for(self, owner_id: int) -> Address:
-        return self.servers[shard_of(owner_id, len(self.servers))]
+        shard = shard_of(owner_id, len(self.replica_sets))
+        return self._pick_replica(owner_id, self.replica_sets[shard])
+
+    def _replica_order(self, owner_id: int, replicas: list[Address]) -> list[Address]:
+        """Rendezvous order: every client ranks ``(replica, owner)`` pairs
+        by the same keyless hash, so an owner maps to the same replica
+        fleet-wide, and removing a replica moves only that replica's
+        owners (the consistent-hashing property)."""
+        if len(replicas) == 1:
+            return list(replicas)
+        return sorted(
+            replicas,
+            key=lambda a: zlib.crc32(f"{a[0]}:{a[1]}|{owner_id}".encode()),
+            reverse=True,
+        )
+
+    def _caught_up(self, addr: Address) -> bool:
+        """Never seen, or last answered at/past the client's high-water."""
+        return self.addr_epochs.get(addr, self.fleet_epoch) >= self.fleet_epoch
+
+    def _pick_replica(self, owner_id: int, replicas: list[Address]) -> Address:
+        order = self._replica_order(owner_id, replicas)
+        for addr in order:
+            if self._caught_up(addr):
+                return addr
+        return order[0]
+
+    async def _call_shard(
+        self, shard: int, owner_key: int, verb: str, **fields: Any
+    ) -> dict:
+        """One query verb against a shard's replica set, read-your-epoch.
+
+        Replicas are tried in rendezvous order, caught-up ones first.  A
+        response carrying an epoch older than ``fleet_epoch`` is rejected
+        (the replica is still catching up -- serving it would time-travel a
+        client that already saw newer state) and the next replica is tried;
+        a replica that is down fails over the same way.  ``RemoteError``
+        propagates: the service answered, and ``wrong-shard`` recovery
+        belongs to the caller.
+        """
+        order = self._replica_order(owner_key, self.replica_sets[shard])
+        candidates = [a for a in order if self._caught_up(a)]
+        candidates += [a for a in order if a not in candidates]
+        last_exc: Optional[Exception] = None
+        for addr in candidates:
+            try:
+                response = await self.call(addr, verb, **fields)
+            except TransportError as exc:
+                last_exc = exc
+                continue
+            epoch = response.get("epoch")
+            if (
+                len(order) > 1
+                and isinstance(epoch, int)
+                and not isinstance(epoch, bool)
+                and epoch < self.fleet_epoch
+            ):
+                self.stale_replica_skips += 1
+                continue
+            return response
+        if last_exc is not None:
+            raise last_exc
+        raise TransportError(
+            f"no replica of shard {shard} has caught up to epoch "
+            f"{self.fleet_epoch}"
+        )
 
     @staticmethod
     def _wrong_shard_target(exc: RemoteError, n_servers: int) -> Optional[int]:
@@ -373,27 +470,28 @@ class LocatorClient:
         consistent; otherwise the table is left untouched and the caller
         falls back to the shard named in the error.
         """
-        # Snapshot the table: a concurrent refresh may replace self.servers
+        # Snapshot the table: a concurrent refresh may replace the sets
         # between the gather and the zip, and pairing fresh infos with a
         # reordered list would corrupt the table back.
-        servers = list(self.servers)
+        known = list(dict.fromkeys(a for rs in self.replica_sets for a in rs))
         infos = await asyncio.gather(
-            *(self.info(addr) for addr in servers), return_exceptions=True
+            *(self.info(addr) for addr in known), return_exceptions=True
         )
-        by_shard: dict[int, Address] = {}
+        by_shard: dict[int, list[Address]] = {}
         n_shards: Optional[int] = None
-        for addr, info in zip(servers, infos):
+        for addr, info in zip(known, infos):
             if isinstance(info, BaseException) or not isinstance(info, dict):
-                continue
+                continue  # down mid-refresh: its shard's survivors carry on
             shard_id, n = info.get("shard_id"), info.get("n_shards")
             if not isinstance(shard_id, int) or not isinstance(n, int):
                 continue
             n_shards = n if n_shards is None else n_shards
-            if n == n_shards and shard_id not in by_shard:
-                by_shard[shard_id] = addr
-        if n_shards != len(servers) or set(by_shard) != set(range(n_shards or 0)):
-            return False
-        self.servers = [by_shard[i] for i in range(n_shards)]
+            if n == n_shards and addr not in by_shard.get(shard_id, []):
+                by_shard.setdefault(shard_id, []).append(addr)
+        if n_shards is None or set(by_shard) != set(range(n_shards)):
+            return False  # a shard has no live server: keep the old table
+        self.replica_sets = [by_shard[i] for i in range(n_shards)]
+        self.servers = [rs[0] for rs in self.replica_sets]
         self.routing_refreshes += 1
         return True
 
@@ -402,19 +500,21 @@ class LocatorClient:
 
         On a ``wrong-shard`` answer, refresh the routing table from the
         fleet and retry once against the shard the error named -- after a
-        successful refresh ``servers[shard]`` *is* that shard's address, and
-        without one the named index into the existing list is still the
+        successful refresh that shard's replica set *is* authoritative, and
+        without one the named index into the existing table is still the
         server's best hint.
         """
+        home = shard_of(owner_key, len(self.replica_sets))
         try:
-            return await self.call(self.server_for(owner_key), verb, **fields)
+            return await self._call_shard(home, owner_key, verb, **fields)
         except RemoteError as exc:
-            shard = self._wrong_shard_target(exc, len(self.servers))
+            shard = self._wrong_shard_target(exc, len(self.replica_sets))
             if shard is None:
                 raise
             self.wrong_shard_reroutes += 1
             await self.refresh_routing()
-            return await self.call(self.servers[shard], verb, **fields)
+            shard = min(shard, len(self.replica_sets) - 1)
+            return await self._call_shard(shard, owner_key, verb, **fields)
 
     def _note_epoch(self, response: dict) -> int:
         """Track the fleet's publication epoch; bumping it invalidates

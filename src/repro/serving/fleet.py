@@ -28,7 +28,13 @@ The :class:`FleetSupervisor` is the operational parent:
   ``failed`` and left down (its shard answers connection-refused, the rest
   of the fleet keeps serving);
 * **fleet metrics** -- :meth:`fleet_stats` merges every worker's ``stats``
-  snapshot with the supervisor's own counters (restarts, health checks).
+  snapshot with the supervisor's own counters (restarts, health checks)
+  and surfaces each shard's serving ``epoch``;
+* **read replicas & promotion** -- ``read_replicas`` extra workers per
+  shard on their own ports (the read tier ``repro.replication`` feeds);
+  :meth:`promote` -- run automatically when a primary is given up on --
+  swaps a live replica into the primary slot so ``addresses`` keeps
+  pointing at a serving process.
 
 Worker processes are started via a ``forkserver``/``spawn``
 :mod:`multiprocessing` context (never plain ``fork``): restarts happen on
@@ -129,6 +135,12 @@ class WorkerSpec:
     (``replica`` tells them apart supervisor-side).  ``uvloop`` asks the
     worker to install the uvloop event-loop policy, falling back silently
     to the stdlib loop when the package is absent.
+
+    ``role`` separates the accept pattern from the read tier: ``primary``
+    workers are the shard's canonical serving slot (one address per shard,
+    shared by the accept group), ``replica`` workers carry the same shard
+    on their *own* port and exist to absorb reads and to be promoted when
+    the primary is given up on.
     """
 
     shard_id: int
@@ -141,6 +153,7 @@ class WorkerSpec:
     replica: int = 0
     reuse_port: bool = False
     uvloop: bool = False
+    role: str = "primary"
 
 
 def _worker_main(spec: WorkerSpec) -> None:
@@ -232,11 +245,20 @@ class FleetSupervisor:
         protocols=(1, 2),
         accept_procs: int = 1,
         uvloop: bool = False,
+        read_replicas: int = 0,
+        replica_ports: Optional[list] = None,
     ):
         if n_shards < 1:
             raise ValueError(f"need at least one shard, got {n_shards}")
         if ports is not None and len(ports) != n_shards:
             raise ValueError(f"{n_shards} shards but {len(ports)} ports")
+        if read_replicas < 0:
+            raise ValueError(f"read_replicas must be >= 0, got {read_replicas}")
+        if replica_ports is not None and len(replica_ports) != n_shards * read_replicas:
+            raise ValueError(
+                f"{n_shards * read_replicas} read replicas but "
+                f"{len(replica_ports)} replica ports"
+            )
         if unhealthy_after < 1 or max_restarts < 0:
             raise ValueError("unhealthy_after must be >= 1, max_restarts >= 0")
         if accept_procs < 1:
@@ -249,6 +271,7 @@ class FleetSupervisor:
         self.snapshot_path = snapshot_path
         self.n_shards = n_shards
         self.accept_procs = accept_procs
+        self.read_replicas = read_replicas
         self.uvloop = uvloop
         self.host = host
         self.protocols = tuple(sorted(set(protocols)))
@@ -295,6 +318,31 @@ class FleetSupervisor:
             for i in range(n_shards)
             for r in range(accept_procs)
         ]
+        # Read replicas carry the same shard on their *own* port -- they
+        # are the geo-read tier, not the accept group, so no SO_REUSEPORT.
+        self._workers += [
+            _WorkerHandle(
+                WorkerSpec(
+                    shard_id=i,
+                    n_shards=n_shards,
+                    snapshot_path=snapshot_path,
+                    host=host,
+                    port=(
+                        replica_ports[i * read_replicas + r]
+                        if replica_ports
+                        else _free_port(host)
+                    ),
+                    max_inflight=max_inflight,
+                    protocols=self.protocols,
+                    replica=accept_procs + r,
+                    reuse_port=False,
+                    uvloop=uvloop,
+                    role="replica",
+                )
+            )
+            for i in range(n_shards)
+            for r in range(read_replicas)
+        ]
         self._monitor_thread: Optional[threading.Thread] = None
         self._stop_event = threading.Event()
         self._lock = threading.Lock()  # check_once vs. stop/start
@@ -303,16 +351,41 @@ class FleetSupervisor:
 
     @property
     def addresses(self) -> list:
-        """One ``(host, port)`` per shard, in shard order -- stable across
-        restarts, directly usable as ``LocatorClient(servers=...)``.
-        Replicas of a shard share its address, so the list stays one entry
-        per shard regardless of ``accept_procs``."""
-        return [w.address for w in self._workers if w.spec.replica == 0]
+        """One ``(host, port)`` per shard, in shard order -- the *current
+        primary's* address, directly usable as ``LocatorClient(servers=...)``.
+        Accept-group siblings of a shard share its address, so the list
+        stays one entry per shard regardless of ``accept_procs``; after a
+        promotion the entry points at the promoted read replica."""
+        return [self._primary(shard).address for shard in range(self.n_shards)]
+
+    @property
+    def replica_sets(self) -> list:
+        """Per shard: the primary address followed by every read-replica
+        address, in shard order -- the ``LocatorClient(servers=...)`` shape
+        for replica-aware routing (the client rendezvous-hashes within each
+        set and fails over on connection errors)."""
+        out = []
+        for shard in range(self.n_shards):
+            addrs = [self._primary(shard).address]
+            addrs += [
+                w.address
+                for w in self._workers
+                if w.spec.shard_id == shard and w.spec.role == "replica"
+            ]
+            out.append(addrs)
+        return out
+
+    def _primary(self, shard: int) -> _WorkerHandle:
+        for worker in self._workers:
+            if worker.spec.shard_id == shard and worker.spec.role == "primary":
+                return worker
+        raise ValueError(f"no such shard: {shard}")
 
     def worker_states(self) -> dict[int, dict[str, Any]]:
         """Per-process states, keyed by flat worker index.  With the
         default ``accept_procs=1`` the index *is* the shard id; replicated
-        fleets tell processes apart via the ``shard``/``replica`` fields."""
+        fleets tell processes apart via the ``shard``/``replica``/``role``
+        fields."""
         return {
             k: {
                 "state": w.state,
@@ -321,6 +394,7 @@ class FleetSupervisor:
                 "address": list(w.address),
                 "shard": w.spec.shard_id,
                 "replica": w.spec.replica,
+                "role": w.spec.role,
             }
             for k, w in enumerate(self._workers)
         }
@@ -485,13 +559,61 @@ class FleetSupervisor:
         if worker.backoff_level > self.max_restarts:
             worker.state = "failed"
             self.metrics.counter("workers_given_up").inc()
-            return [("gave-up", worker.spec.shard_id)]
+            events = [("gave-up", worker.spec.shard_id)]
+            # A failed *primary* takes its shard's canonical address down
+            # with it; if a read replica is standing by, promote it so
+            # ``addresses`` keeps pointing at a live server.
+            if worker.spec.role == "primary" and self.accept_procs == 1:
+                try:
+                    events.append(self._promote_locked(worker.spec.shard_id))
+                except (ValueError, RuntimeError):
+                    pass  # no promotable replica: the shard stays down
+            return events
         delay = min(
             self.backoff_max_s, self.backoff_base_s * 2 ** (worker.backoff_level - 1)
         )
         worker.next_start_at = now + delay
         worker.state = "waiting-restart"
         return []
+
+    # -- failover promotion ---------------------------------------------------
+
+    def promote(self, shard_id: int, replica: Optional[int] = None) -> tuple:
+        """Swap a read replica into shard ``shard_id``'s primary slot.
+
+        The promoted worker keeps its own port; ``addresses`` /
+        ``replica_sets`` re-point at it, and the demoted ex-primary (alive
+        or not) becomes a read replica.  ``replica`` pins the choice;
+        otherwise the lowest-numbered healthy replica wins (falling back to
+        any live one).  Runs automatically when a primary is given up on.
+        Returns the ``("promoted", (shard, replica))`` event.
+        """
+        with self._lock:
+            return self._promote_locked(shard_id, replica)
+
+    def _promote_locked(self, shard_id: int, replica: Optional[int] = None) -> tuple:
+        if self.accept_procs != 1:
+            raise ValueError(
+                "promotion needs accept_procs=1: an accept group shares one "
+                "port, so there is no single primary slot to swap"
+            )
+        primary = self._primary(shard_id)
+        candidates = [
+            w
+            for w in self._workers
+            if w.spec.shard_id == shard_id and w.spec.role == "replica"
+        ]
+        if replica is not None:
+            candidates = [w for w in candidates if w.spec.replica == replica]
+        healthy = [w for w in candidates if w.state == "healthy"]
+        pool = healthy or [w for w in candidates if w.alive]
+        if not pool:
+            raise RuntimeError(f"shard {shard_id} has no live replica to promote")
+        chosen = min(pool, key=lambda w: w.spec.replica)
+        primary.spec = dataclasses.replace(primary.spec, role="replica")
+        chosen.spec = dataclasses.replace(chosen.spec, role="primary")
+        self.metrics.counter("promotions_total").inc()
+        return ("promoted", (shard_id, chosen.spec.replica))
 
     # -- rolling reload -------------------------------------------------------
 
@@ -528,18 +650,23 @@ class FleetSupervisor:
             if not live:
                 events.append(("rollout-skipped-failed", shard))
                 continue
+            # Read replicas listen on their own ports, so the shard may
+            # span several distinct addresses even with accept_procs=1.
+            live_addrs = list(dict.fromkeys(w.address for w in live))
             if self.accept_procs == 1:
-                # Single listener: in-place hot swap over the reload verb.
-                try:
-                    sync_request(
-                        live[0].address,
-                        VERB_RELOAD,
-                        timeout_s=reload_timeout_s,
-                        protocol=self._sync_protocol,
-                        snapshot=snapshot_path,
-                    )
-                except Exception:  # noqa: BLE001 -- settle loop decides
-                    events.append(("reload-request-failed", shard))
+                # One listener per address: in-place hot swaps over the
+                # reload verb, primary first, then each read replica.
+                for addr in live_addrs:
+                    try:
+                        sync_request(
+                            addr,
+                            VERB_RELOAD,
+                            timeout_s=reload_timeout_s,
+                            protocol=self._sync_protocol,
+                            snapshot=snapshot_path,
+                        )
+                    except Exception:  # noqa: BLE001 -- settle loop decides
+                        events.append(("reload-request-failed", shard))
             else:
                 # Replicated shard: a reload sent to the shared port lands
                 # on whichever replica the kernel picks, so targeted hot
@@ -562,15 +689,16 @@ class FleetSupervisor:
                     # killed mid-rollout is restarted (on the new snapshot).
                     self.check_once()
                 try:
-                    info = sync_request(
-                        live[0].address,
-                        VERB_INFO,
-                        timeout_s=self.health_timeout_s,
-                        protocol=self._sync_protocol,
-                    )
-                    if info.get("epoch") == target_epoch and all(
-                        w.alive for w in live
-                    ):
+                    if all(
+                        sync_request(
+                            addr,
+                            VERB_INFO,
+                            timeout_s=self.health_timeout_s,
+                            protocol=self._sync_protocol,
+                        ).get("epoch")
+                        == target_epoch
+                        for addr in live_addrs
+                    ) and all(w.alive for w in live):
                         settled = True
                         break
                 except Exception:  # noqa: BLE001 -- worker mid-restart: keep waiting
@@ -593,18 +721,33 @@ class FleetSupervisor:
         ``stats`` snapshot + accepted wire protocols, and counters summed
         across reachable workers.
 
-        One ``stats`` probe per *shard address*: a replicated shard's port
-        is kernel-balanced, so a probe answers from whichever replica the
-        kernel picks -- probing per process would double-count some
-        replicas and miss others.  With ``accept_procs > 1`` the per-shard
-        snapshot is therefore one replica's sample, and the aggregate is a
-        lower bound rather than an exact tally.
+        One ``stats`` probe per *listening address*: the primary slot of
+        each shard (an accept group's port is kernel-balanced, so a probe
+        answers from whichever sibling the kernel picks -- probing per
+        process would double-count some and miss others) plus every read
+        replica, which listens on its own port.  With ``accept_procs > 1``
+        the per-shard snapshot is therefore one sibling's sample, and the
+        aggregate is a lower bound rather than an exact tally.
+
+        Each probed worker's serving ``epoch`` (the ``epoch`` gauge every
+        server maintains) is lifted into the per-worker dict, and the
+        primaries' epochs are collected into a top-level ``epochs`` map
+        keyed by shard -- the fleet-wide view a rollout or a replication
+        catch-up is trying to converge.
         """
         workers: dict[int, dict[str, Any]] = self.worker_states()
         aggregate: dict[str, float] = {}
+        epochs: dict[int, Optional[int]] = {i: None for i in range(self.n_shards)}
+        probed = {
+            k
+            for k, w in enumerate(self._workers)
+            if w.spec.role == "replica"
+            or w is self._primary(w.spec.shard_id)
+        }
         for k, worker in enumerate(self._workers):
             workers[k]["protocols"] = list(worker.spec.protocols)
-            if worker.spec.replica != 0:
+            workers[k]["epoch"] = None
+            if k not in probed:
                 workers[k]["stats"] = None
                 continue
             try:
@@ -618,13 +761,20 @@ class FleetSupervisor:
                 workers[k]["stats"] = None
                 continue
             workers[k]["stats"] = snapshot
+            epoch = snapshot.get("gauges", {}).get("epoch")
+            if epoch is not None:
+                workers[k]["epoch"] = int(epoch)
+                if worker.spec.role == "primary":
+                    epochs[worker.spec.shard_id] = int(epoch)
             for name, value in snapshot.get("counters", {}).items():
                 aggregate[name] = aggregate.get(name, 0) + value
         return {
             "n_shards": self.n_shards,
             "accept_procs": self.accept_procs,
+            "read_replicas": self.read_replicas,
             "protocols": list(self.protocols),
             "supervisor": self.metrics.snapshot(),
             "workers": workers,
             "aggregate_counters": aggregate,
+            "epochs": epochs,
         }

@@ -7,6 +7,12 @@ artifacts.  Per-request wall-clock latencies feed a percentile report
 (p50/p95/p99), plus QPS and error rate -- the serving counterpart of the
 simulator's :func:`repro.service.run_concurrent_searchers` prediction, which
 ``benchmarks/bench_serving_throughput.py`` compares against.
+
+Traffic shape is uniform round-robin by default; ``zipf_a > 0`` switches to
+Zipf-distributed hot keys (rank ``i`` of ``owner_ids`` drawn with weight
+``1/(i+1)**zipf_a``), seeded per ``(seed, worker)`` so a skewed run is
+exactly reproducible -- the access pattern replica caches and the
+replication bench care about.
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ import multiprocessing
 import time
 from dataclasses import dataclass, field
 from typing import Optional
+
+import numpy as np
 
 from repro.serving.client import LocatorClient, RetryPolicy, TransportError
 from repro.serving.metrics import percentile
@@ -85,15 +93,21 @@ async def run_load(
     mode: str = "query",
     think_time_s: float = 0.0,
     batch_size: int = 32,
+    zipf_a: float = 0.0,
+    seed: int = 0,
 ) -> LoadReport:
     """Drive ``n_workers`` closed-loop workers through ``owner_ids``.
 
     Worker ``w`` issues requests for owners ``owner_ids[(w + k*n_workers) %
     len(owner_ids)]`` -- a deterministic round-robin so runs are
-    reproducible.  ``mode`` is ``"query"`` (phase 1 only), ``"batch"``
-    (``query_batch`` of ``batch_size`` owners per round trip; ``total``
-    counts owners resolved, not round trips) or ``"search"`` (full
-    two-phase; requires the client to know provider addresses).
+    reproducible.  ``zipf_a > 0`` replaces the round-robin with Zipf-skewed
+    draws over the same id list (rank ``i`` weighted ``1/(i+1)**zipf_a``,
+    so the *front* of ``owner_ids`` is hot); each worker pre-draws its
+    whole schedule from ``default_rng((seed, w))``, keeping skewed runs as
+    reproducible as uniform ones.  ``mode`` is ``"query"`` (phase 1 only),
+    ``"batch"`` (``query_batch`` of ``batch_size`` owners per round trip;
+    ``total`` counts owners resolved, not round trips) or ``"search"``
+    (full two-phase; requires the client to know provider addresses).
     """
     if mode not in ("query", "batch", "search"):
         raise ValueError(f"mode must be 'query', 'batch' or 'search', got {mode!r}")
@@ -103,6 +117,8 @@ async def run_load(
         raise ValueError("n_workers and requests_per_worker must be >= 1")
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
+    if zipf_a < 0:
+        raise ValueError(f"zipf_a must be >= 0 (0 disables skew), got {zipf_a}")
 
     report = LoadReport(mode=mode, n_workers=n_workers)
 
@@ -111,21 +127,43 @@ async def run_load(
     n_owners = len(owner_ids)
     tiled = owner_ids * (batch_size // n_owners + 2) if mode == "batch" else []
 
+    schedules: list = []
+    if zipf_a > 0:
+        weights = (1.0 / np.arange(1, n_owners + 1) ** zipf_a)
+        probs = weights / weights.sum()
+        per_worker = requests_per_worker * (batch_size if mode == "batch" else 1)
+        schedules = [
+            np.random.default_rng((seed, w)).choice(
+                n_owners, size=per_worker, p=probs
+            )
+            for w in range(n_workers)
+        ]
+
     async def worker(w: int) -> None:
         for k in range(requests_per_worker):
             started = time.monotonic()
             n_done = 1
             try:
                 if mode == "query":
-                    owner = owner_ids[(w + k * n_workers) % n_owners]
+                    if schedules:
+                        owner = owner_ids[schedules[w][k]]
+                    else:
+                        owner = owner_ids[(w + k * n_workers) % n_owners]
                     await client.query(owner)
                 elif mode == "batch":
-                    start = (w + k * n_workers) * batch_size % n_owners
-                    chunk = tiled[start : start + batch_size]
+                    if schedules:
+                        idx = schedules[w][k * batch_size : (k + 1) * batch_size]
+                        chunk = [owner_ids[i] for i in idx]
+                    else:
+                        start = (w + k * n_workers) * batch_size % n_owners
+                        chunk = tiled[start : start + batch_size]
                     n_done = len(chunk)
                     await client.query_batch(chunk)
                 else:
-                    owner = owner_ids[(w + k * n_workers) % len(owner_ids)]
+                    if schedules:
+                        owner = owner_ids[schedules[w][k]]
+                    else:
+                        owner = owner_ids[(w + k * n_workers) % len(owner_ids)]
                     result = await client.search(owner)
                     report.records_found += len(result.records)
                     report.providers_contacted += result.contacted
@@ -152,6 +190,8 @@ def run_load_sync(
     think_time_s: float = 0.0,
     batch_size: int = 32,
     report_stats_from: Optional[tuple] = None,
+    zipf_a: float = 0.0,
+    seed: int = 0,
 ) -> LoadReport:
     """Synchronous wrapper: build a client, run the load, tear down.
 
@@ -172,6 +212,8 @@ def run_load_sync(
                 mode=mode,
                 think_time_s=think_time_s,
                 batch_size=batch_size,
+                zipf_a=zipf_a,
+                seed=seed,
             )
             if report_stats_from is not None:
                 report.server_stats = await client.stats(report_stats_from)
@@ -211,6 +253,8 @@ def _load_proc_main(payload: dict, barrier, queue) -> None:
                 mode=payload["mode"],
                 think_time_s=payload["think_time_s"],
                 batch_size=payload.get("batch_size", 32),
+                zipf_a=payload.get("zipf_a", 0.0),
+                seed=payload.get("zipf_seed", 0),
             )
         finally:
             await client.close()
@@ -241,6 +285,8 @@ def run_load_multiprocess(
     protocol: str = "auto",
     mp_start_method: Optional[str] = None,
     join_timeout_s: float = 300.0,
+    zipf_a: float = 0.0,
+    seed: int = 0,
 ) -> LoadReport:
     """Closed-loop load from ``n_procs`` OS processes (own loops, own GILs).
 
@@ -281,6 +327,11 @@ def run_load_multiprocess(
             "think_time_s": think_time_s,
             "batch_size": batch_size,
             "protocol": protocol,
+            "zipf_a": zipf_a,
+            # Distinct per-process seeds: worker streams are keyed
+            # (seed, w), so shifting the seed by p de-correlates processes
+            # while keeping the whole fan-out a pure function of ``seed``.
+            "zipf_seed": seed + p,
         }
         proc = ctx.Process(
             target=_load_proc_main, args=(payload, barrier, queue), daemon=True

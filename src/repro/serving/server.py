@@ -548,29 +548,11 @@ class PPIServer(ServingNode):
         path = message.get("snapshot", self.snapshot_path)
         if not isinstance(path, str) or not path:
             raise ValueError("no snapshot path to reload from")
-        from repro.serving.client import LRUCache
         from repro.serving.snapshot import load_serving_state
 
         loop = asyncio.get_running_loop()
         index, epoch = await loop.run_in_executor(None, load_serving_state, path)
-        if epoch < self.epoch:
-            if isinstance(index, PostingsIndex):
-                index.release()
-            raise ValueError(
-                f"snapshot epoch {epoch} is older than serving epoch {self.epoch}"
-            )
-        # -- atomic swap: no awaits from here to the return -------------------
-        old = self.store.index
-        self.store.index = index
-        self.epoch = epoch
-        self.snapshot_path = path
-        self._response_cache = type(self._response_cache)(
-            self._response_cache.capacity
-        )
-        if isinstance(old, PostingsIndex) and old is not index:
-            old.release()  # close the previous snapshot's mmap/fd now
-        self.metrics.counter("reloads_total").inc()
-        self.metrics.gauge("epoch").set(epoch)
+        self.swap_index(index, epoch, snapshot_path=path)
         return ok_response(
             request_id,
             epoch=epoch,
@@ -578,6 +560,41 @@ class PPIServer(ServingNode):
             n_providers=index.n_providers,
             snapshot=path,
         )
+
+    def swap_index(
+        self,
+        index: ServableIndex,
+        epoch: int,
+        snapshot_path: Optional[str] = None,
+    ) -> None:
+        """Atomically swap the served index, epoch and response cache.
+
+        This is the swap half of ``reload``, exposed so a replication
+        applier can install an :class:`~repro.updates.segments.OverlayIndex`
+        (same epoch, fresher overlays) or a locally-compacted snapshot
+        without going over the wire.  Refuses to move the epoch backwards;
+        equal epochs are fine (that is how overlay installs work).  No
+        awaits: callers on the event loop get the same epoch-consistency
+        argument as ``reload`` itself.
+        """
+        if epoch < self.epoch:
+            if isinstance(index, PostingsIndex):
+                index.release()
+            raise ValueError(
+                f"snapshot epoch {epoch} is older than serving epoch {self.epoch}"
+            )
+        old = self.store.index
+        self.store.index = index
+        self.epoch = epoch
+        if snapshot_path is not None:
+            self.snapshot_path = snapshot_path
+        self._response_cache = type(self._response_cache)(
+            self._response_cache.capacity
+        )
+        if isinstance(old, PostingsIndex) and old is not index:
+            old.release()  # close the previous snapshot's mmap/fd now
+        self.metrics.counter("reloads_total").inc()
+        self.metrics.gauge("epoch").set(epoch)
 
     def describe(self) -> dict[str, Any]:
         base = super().describe()

@@ -103,6 +103,8 @@ class DeltaLog:
         self.repaired_bytes = 0  # torn tail dropped by the last open
         self._state: dict[int, OwnerDelta] = {}
         self._n_records = 0
+        self._data_start = 0  # byte offset of the first record
+        self._end_offset = 0  # byte offset one past the last good record
         self._file: Optional[Any] = None
 
     # -- construction ---------------------------------------------------------
@@ -130,6 +132,8 @@ class DeltaLog:
         with open(path, "xb") as f:
             f.write(MAGIC + _U32.pack(len(header)) + header)
         log = cls(path, n_providers, noise_key, _internal=True)
+        log._data_start = len(MAGIC) + _U32.size + len(header)
+        log._end_offset = log._data_start
         return log
 
     @classmethod
@@ -173,6 +177,8 @@ class DeltaLog:
         if log.repaired_bytes and repair:
             with open(path, "r+b") as f:
                 f.truncate(good_end)
+        log._data_start = data_start
+        log._end_offset = good_end
         return log
 
     @staticmethod
@@ -262,6 +268,7 @@ class DeltaLog:
         self._file.flush()
         self._apply(record)
         self._n_records += 1
+        self._end_offset += _RECORD_HEADER.size + len(body)
         return record["seq"]
 
     def _validate(self, record: dict[str, Any]) -> None:
@@ -339,15 +346,50 @@ class DeltaLog:
 
     def records(self) -> Iterator[dict[str, Any]]:
         """Re-scan the file record by record (crc-verified)."""
-        _, data_start = self._read_header(self.path)
+        for record, _ in self.records_from(self.data_offset()):
+            yield record
+
+    def data_offset(self) -> int:
+        """Byte offset of the first record (just past the header)."""
+        if not self._data_start:
+            _, self._data_start = self._read_header(self.path)
+        return self._data_start
+
+    @property
+    def end_offset(self) -> int:
+        """Byte offset one past the last good record -- the resume cursor."""
+        return self._end_offset
+
+    def records_from(
+        self, offset: int
+    ) -> Iterator[tuple[dict[str, Any], int]]:
+        """Crc-verified scan from byte ``offset``, as ``(record, next_offset)``.
+
+        The cursor contract for tailing readers (segment streamers): persist
+        ``next_offset`` after consuming a record and pass it back later to
+        resume without rereading the log from the top.  Valid offsets are
+        :meth:`data_offset` or any ``next_offset`` this method yielded; an
+        offset landing mid-record fails the crc check and raises.
+        """
+        data_start = self.data_offset()
+        if not data_start <= offset <= self._end_offset:
+            raise DeltaLogError(
+                f"offset {offset} outside the record region "
+                f"[{data_start}, {self._end_offset}] of {self.path!r}"
+            )
         with open(self.path, "rb") as f:
-            f.seek(data_start)
-            for _ in range(self._n_records):
-                length, crc = _RECORD_HEADER.unpack(f.read(_RECORD_HEADER.size))
+            f.seek(offset)
+            while f.tell() < self._end_offset:
+                head = f.read(_RECORD_HEADER.size)
+                if len(head) < _RECORD_HEADER.size:
+                    raise DeltaLogError(
+                        f"{self.path!r} corrupted under our feet"
+                    )
+                length, crc = _RECORD_HEADER.unpack(head)
                 body = f.read(length)
                 if len(body) < length or zlib.crc32(body) != crc:
                     raise DeltaLogError(f"{self.path!r} corrupted under our feet")
-                yield json.loads(body.decode("utf-8"))
+                yield json.loads(body.decode("utf-8")), f.tell()
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -1,0 +1,55 @@
+"""WAN cost-model tests: transfer pricing and strategy comparison."""
+
+import pytest
+
+from repro.net.latency import LatencyModel
+from repro.replication import ReplicationCostModel
+
+FLAT = LatencyModel(base_latency_s=0.1, bandwidth_bps=1e6)
+
+
+class TestTransfer:
+    def test_one_transfer_pays_latency_once(self):
+        cost = ReplicationCostModel(FLAT).transfer(1000)
+        # 8000 payload bits / 1e6 bps + one 0.1 s propagation (+ header bits)
+        assert cost.n_bytes == 1000
+        assert cost.n_transfers == 1
+        assert cost.seconds == pytest.approx(0.1 + 8000 / 1e6, rel=0.05)
+
+    def test_chunked_transfer_pays_latency_per_chunk(self):
+        model = ReplicationCostModel(FLAT)
+        whole = model.transfer(10_000, n_transfers=1)
+        chunked = model.transfer(10_000, n_transfers=5)
+        assert chunked.seconds == pytest.approx(
+            whole.seconds + 4 * FLAT.base_latency_s
+        )
+
+    def test_invalid_transfers_rejected(self):
+        model = ReplicationCostModel(FLAT)
+        with pytest.raises(ValueError):
+            model.transfer(-1)
+        with pytest.raises(ValueError):
+            model.transfer(10, n_transfers=0)
+
+    def test_default_profile_is_wan(self):
+        from repro.net.latency import WAN
+
+        assert ReplicationCostModel().latency is WAN
+
+
+class TestCompare:
+    def test_delta_streaming_beats_snapshot_shipping(self):
+        model = ReplicationCostModel(FLAT)
+        report = model.compare(10_000_000, [4_000, 6_000])
+        assert report["snapshot_bytes"] == 10_000_000
+        assert report["delta_bytes"] == 10_000
+        assert report["bytes_ratio"] == pytest.approx(1000.0)
+        assert report["snapshot_seconds"] > report["delta_seconds"]
+        assert report["seconds_ratio"] > 1.0
+
+    def test_empty_delta_stream_is_one_free_poll(self):
+        model = ReplicationCostModel(FLAT)
+        stream = model.delta_stream([])
+        assert stream.n_bytes == 0
+        assert stream.n_transfers == 1
+        assert stream.seconds > 0  # the poll still pays propagation

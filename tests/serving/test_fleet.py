@@ -436,3 +436,65 @@ class TestRollout:
             # Both shards keep serving the old epoch.
             for addr in fleet.addresses:
                 assert sync_request(addr, VERB_INFO)["epoch"] == 0
+
+
+class TestReadReplicas:
+    def test_replica_sets_epochs_and_manual_promotion(self, snapshot_path):
+        from repro.serving.snapshot import snapshot_epoch
+
+        index = fleet_index()
+        base_epoch = snapshot_epoch(snapshot_path)
+        with make_supervisor(snapshot_path, n_shards=2, read_replicas=1) as fleet:
+            fleet.start(monitor=False)
+            sets = fleet.replica_sets
+            assert len(sets) == 2 and all(len(rs) == 2 for rs in sets)
+            assert [rs[0] for rs in sets] == fleet.addresses
+            roles = [w["role"] for w in fleet.worker_states().values()]
+            assert sorted(roles) == ["primary", "primary", "replica", "replica"]
+            stats = fleet.fleet_stats()
+            assert stats["read_replicas"] == 1
+            assert stats["epochs"] == {0: base_epoch, 1: base_epoch}
+            probed = [w for w in stats["workers"].values() if w["stats"]]
+            assert all(w["epoch"] == base_epoch for w in probed)
+            # Replicas answer the same rows as their primaries.
+            for owner_id in range(N_OWNERS):
+                replica_addr = sets[owner_id % 2][1]
+                response = sync_request(replica_addr, VERB_QUERY, owner=owner_id)
+                assert response["providers"] == index.query(owner_id)
+
+            old_primary = fleet.addresses[0]
+            old_replica = sets[0][1]
+            kind, detail = fleet.promote(0)
+            assert kind == "promoted" and detail[0] == 0
+            assert fleet.addresses[0] == old_replica
+            assert fleet.replica_sets[0] == [old_replica, old_primary]
+            # The promoted worker serves shard 0's owners.
+            response = sync_request(fleet.addresses[0], VERB_QUERY, owner=0)
+            assert response["providers"] == index.query(0)
+
+    def test_gave_up_primary_auto_promotes_a_replica(self, snapshot_path):
+        index = fleet_index()
+        with make_supervisor(
+            snapshot_path, n_shards=1, read_replicas=1, max_restarts=0
+        ) as fleet:
+            fleet.start(monitor=False)
+            doomed = fleet.addresses[0]
+            states = fleet.worker_states()
+            pid = next(
+                w["pid"] for w in states.values() if w["role"] == "primary"
+            )
+            os.kill(pid, signal.SIGKILL)
+            seen = []
+
+            def promoted():
+                seen.extend(fleet.check_once())
+                return any(e[0] == "promoted" for e in seen)
+
+            wait_until(promoted, deadline_s=10.0, what="automatic promotion")
+            assert ("gave-up", 0) in seen
+            assert fleet.addresses[0] != doomed
+            for owner_id in range(N_OWNERS):
+                response = sync_request(
+                    fleet.addresses[0], VERB_QUERY, owner=owner_id
+                )
+                assert response["providers"] == index.query(owner_id)

@@ -165,3 +165,75 @@ class TestRunLoadSync:
         finally:
             done.set()
             thread.join(timeout=10.0)
+
+
+class RecordingClient:
+    """Duck-typed client that records the owner ids it was asked for."""
+
+    def __init__(self):
+        self.owners = []
+
+    async def query(self, owner_id):
+        self.owners.append(owner_id)
+        return [0]
+
+    async def query_batch(self, owner_ids):
+        self.owners.extend(owner_ids)
+        return {o: [0] for o in owner_ids}
+
+
+class TestZipfSchedule:
+    IDS = list(range(20))
+
+    def drive(self, zipf_a, seed, **kwargs):
+        client = RecordingClient()
+        kwargs.setdefault("n_workers", 3)
+        kwargs.setdefault("requests_per_worker", 30)
+        report = run(
+            run_load(client, self.IDS, zipf_a=zipf_a, seed=seed, **kwargs)
+        )
+        return client.owners, report
+
+    def test_same_seed_replays_the_same_schedule(self):
+        first, _ = self.drive(zipf_a=1.2, seed=7)
+        second, _ = self.drive(zipf_a=1.2, seed=7)
+        assert first == second
+        assert len(first) == 90
+
+    def test_different_seeds_draw_different_schedules(self):
+        first, _ = self.drive(zipf_a=1.2, seed=7)
+        second, _ = self.drive(zipf_a=1.2, seed=8)
+        assert first != second
+
+    def test_front_of_the_id_list_is_hot(self):
+        ids = list(range(100, 120))  # rank order, not id order, decides heat
+        client = RecordingClient()
+        run(
+            run_load(
+                client, ids,
+                n_workers=4, requests_per_worker=100,
+                zipf_a=1.5, seed=3,
+            )
+        )
+        counts = {o: client.owners.count(o) for o in ids}
+        assert counts[ids[0]] > counts[ids[-1]] * 5
+        assert counts[ids[0]] > counts[ids[10]]
+
+    def test_zero_skew_keeps_the_uniform_round_robin(self):
+        owners, _ = self.drive(zipf_a=0.0, seed=7, n_workers=2,
+                               requests_per_worker=20)
+        assert all(owners.count(o) == 2 for o in self.IDS)
+
+    def test_batch_mode_draws_batches_from_the_schedule(self):
+        owners, report = self.drive(
+            zipf_a=1.1, seed=1,
+            n_workers=2, requests_per_worker=5,
+            mode="batch", batch_size=4,
+        )
+        assert report.total == 2 * 5 * 4
+        assert len(owners) == report.total
+        assert set(owners) <= set(self.IDS)
+
+    def test_negative_skew_is_rejected(self):
+        with pytest.raises(ValueError, match="zipf_a"):
+            run(run_load(RecordingClient(), self.IDS, zipf_a=-0.5))

@@ -185,3 +185,49 @@ class TestCrashRecovery:
             log.upsert(1, [0], beta=0.5)
             log.sync()
         assert len(DeltaLog.open(log_path)) == 1
+
+
+class TestByteCursor:
+    def test_records_from_resumes_at_any_yielded_offset(self, log_path):
+        with DeltaLog.create(log_path, N_PROVIDERS, noise_key=b"k" * 16) as log:
+            log.upsert(1, [0, 2], beta=0.5)
+            log.upsert(2, [1], beta=0.5)
+            log.remove(1)
+        log = DeltaLog.open(log_path)
+        walked = list(log.records_from(log.data_offset()))
+        assert [r for r, _ in walked] == list(log.records())
+        assert len(walked) == 3
+        assert walked[-1][1] == log.end_offset
+        # Every yielded next_offset is a valid resume cursor: the tail
+        # from it is exactly the records not yet consumed.
+        offsets = [log.data_offset()] + [pos for _, pos in walked]
+        for skip, start in enumerate(offsets):
+            assert list(log.records_from(start)) == walked[skip:]
+        assert list(log.records_from(log.end_offset)) == []
+
+    def test_offsets_outside_the_record_region_are_rejected(self, log_path):
+        with DeltaLog.create(log_path, N_PROVIDERS) as log:
+            log.upsert(1, [0], beta=0.5)
+        log = DeltaLog.open(log_path)
+        with pytest.raises(DeltaLogError, match="outside the record region"):
+            list(log.records_from(0))  # inside the header
+        with pytest.raises(DeltaLogError, match="outside the record region"):
+            list(log.records_from(log.end_offset + 1))
+
+    def test_mid_record_offset_fails_the_crc_not_the_reader(self, log_path):
+        with DeltaLog.create(log_path, N_PROVIDERS) as log:
+            log.upsert(1, [0], beta=0.5)
+            log.upsert(2, [1], beta=0.5)
+        log = DeltaLog.open(log_path)
+        with pytest.raises(DeltaLogError, match="corrupted"):
+            list(log.records_from(log.data_offset() + 1))
+
+    def test_cursor_survives_reopen_and_append(self, log_path):
+        with DeltaLog.create(log_path, N_PROVIDERS) as log:
+            log.upsert(1, [0], beta=0.5)
+            cursor = log.end_offset
+        with DeltaLog.open(log_path) as log:
+            log.upsert(2, [1], beta=0.5)
+        tail = list(DeltaLog.open(log_path).records_from(cursor))
+        assert len(tail) == 1
+        assert tail[0][0]["owner"] == 2
