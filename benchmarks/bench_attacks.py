@@ -1,0 +1,174 @@
+"""Privacy degradation under longitudinal attack, over real sockets.
+
+The red-team lab's headline claim, turned into a CI-gated benchmark: an
+adversary who records a live fleet's responses across republication epochs
+and intersects them must gain **nothing** against sticky-coin publication,
+while the naive fresh-coin baseline degrades monotonically as its β^k
+noise dies off.  Every number here comes from real campaigns -- each
+(churn, mode) cell publishes its epochs as v3 snapshots, boots a
+:class:`FleetSupervisor`, rolls it epoch to epoch, and harvests the
+adversary's observations over TCP.
+
+Asserted, per churn level (0.1% / 1% / 10% of owners moving per epoch):
+
+1. **Sticky is flat**: stable-owner intersection success drifts by at
+   most ``MAX_STICKY_DELTA`` across >= 5 observed epochs, and the
+   epoch-diff attacker finds zero false-churn owners -- every bit it
+   reads is churn the owner actually made.
+2. **Naive degrades**: the same curve climbs monotonically and ends at
+   least ``MIN_NAIVE_DEGRADATION`` above where it started.
+3. **Sticky never loses**: its final success stays at or below naive's.
+4. **Tiers order**: the relaxed-ε tier ends above the strict-ε tier in
+   final attack success -- the personalized-privacy contract, measured.
+
+Emits ``benchmarks/results/BENCH_attacks.json``.  Quick mode for the CI
+smoke job: ``ATTACKS_BENCH_QUICK=1`` shrinks owners and cover load but
+still runs every (churn, mode) campaign against a live fleet for 5 epochs.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.analysis.reporting import format_table
+from repro.redteam import Scenario, run_scenario
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+QUICK = os.environ.get("ATTACKS_BENCH_QUICK") == "1"
+
+PROVIDERS = 24
+OWNERS = 48 if QUICK else 150
+EPOCHS = 5 if QUICK else 7
+CHURN_LEVELS = [0.001, 0.01, 0.1]
+WORKERS = 2
+REQUESTS = 5 if QUICK else 20
+
+MAX_STICKY_DELTA = 0.02  # stable-owner drift budget across the campaign
+MIN_NAIVE_DEGRADATION = 0.10  # fresh coins must leak at least this much
+MONOTONE_TOLERANCE = 1e-6
+
+
+def _campaign(churn: float, sticky: bool, workdir: pathlib.Path) -> dict:
+    scenario = Scenario(
+        n_providers=PROVIDERS,
+        n_owners=OWNERS,
+        epochs=EPOCHS,
+        churn=churn,
+        sticky=sticky,
+        seed=7,
+        workers=WORKERS,
+        requests_per_worker=REQUESTS,
+        linkage_targets=0,  # linkage is orthogonal to the churn sweep
+    )
+    outcome = run_scenario(scenario, str(workdir))
+    report = outcome.report
+    return {
+        "epochs_observed": len(report.epochs),
+        "stable_curve": [
+            round(row["stable_confidence"], 6)
+            for row in report.degradation_curve
+        ],
+        "degradation": round(report.degradation_delta, 6),
+        "final_confidence": round(report.final_confidence, 6),
+        "per_tier_success": {
+            tier: round(v, 6) for tier, v in report.per_tier_success.items()
+        },
+        "diff_precision": round(report.diff["precision"], 6),
+        "false_churn_owners": len(report.diff["false_churn_owners"]),
+        "anonymity_mean": report.anonymity_sets.get("mean", 0.0),
+        "observations": report.n_observations,
+    }
+
+
+def test_longitudinal_degradation(benchmark, report, tmp_path):
+    def run():
+        rows = []
+        for churn in CHURN_LEVELS:
+            cell = {"churn": churn}
+            for mode, sticky in (("sticky", True), ("naive", False)):
+                workdir = tmp_path / f"{mode}_{churn:g}"
+                workdir.mkdir()
+                cell[mode] = _campaign(churn, sticky, workdir)
+            rows.append(cell)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report(
+        f"Longitudinal intersection attack vs republication policy, "
+        f"{EPOCHS} epochs over a live fleet{' (quick)' if QUICK else ''}",
+        format_table(
+            ["churn", "mode", "stable start", "stable end", "degradation",
+             "diff precision", "false churn"],
+            [
+                [
+                    f"{row['churn']:.1%}",
+                    mode,
+                    row[mode]["stable_curve"][0],
+                    row[mode]["stable_curve"][-1],
+                    row[mode]["degradation"],
+                    row[mode]["diff_precision"],
+                    row[mode]["false_churn_owners"],
+                ]
+                for row in rows
+                for mode in ("sticky", "naive")
+            ],
+        ),
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": "redteam_attacks",
+        "quick_mode": QUICK,
+        "providers": PROVIDERS,
+        "owners": OWNERS,
+        "epochs": EPOCHS,
+        "churn_levels": CHURN_LEVELS,
+        "max_sticky_delta": MAX_STICKY_DELTA,
+        "min_naive_degradation": MIN_NAIVE_DEGRADATION,
+        "rows": rows,
+    }
+    (RESULTS_DIR / "BENCH_attacks.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    for row in rows:
+        churn = row["churn"]
+        sticky, naive = row["sticky"], row["naive"]
+        assert sticky["epochs_observed"] >= 5
+        assert naive["epochs_observed"] >= 5
+
+        # 1. Sticky republication is intersection-closed: the stable-owner
+        #    curve is flat and the diff attacker never sees phantom churn.
+        assert abs(sticky["degradation"]) <= MAX_STICKY_DELTA, (
+            f"sticky drifted {sticky['degradation']:+.3f} at {churn:.1%} "
+            f"churn (budget {MAX_STICKY_DELTA})"
+        )
+        assert sticky["false_churn_owners"] == 0, (
+            f"sticky leaked {sticky['false_churn_owners']} false-churn "
+            f"owners at {churn:.1%}"
+        )
+        assert sticky["diff_precision"] == 1.0
+
+        # 2. Fresh coins leak: monotone climb, material total degradation.
+        curve = naive["stable_curve"]
+        for earlier, later in zip(curve, curve[1:]):
+            assert later >= earlier - MONOTONE_TOLERANCE, (
+                f"naive curve not monotone at {churn:.1%}: {curve}"
+            )
+        assert naive["degradation"] >= MIN_NAIVE_DEGRADATION, (
+            f"naive degraded only {naive['degradation']:+.3f} at "
+            f"{churn:.1%} (floor {MIN_NAIVE_DEGRADATION})"
+        )
+
+        # 3. Sticky never ends worse than naive.
+        assert curve[-1] >= sticky["stable_curve"][-1]
+
+        # 4. Personalized privacy orders the tiers under sticky coins:
+        #    more decoys (strict ε) means lower final attack success than
+        #    fewer (relaxed ε).  Naive is exempt -- its tiers all converge
+        #    to ~1.0 once the noise is stripped, which is the very failure
+        #    assertion 2 measures.
+        tiers = sticky["per_tier_success"]
+        assert tiers["strict"] <= tiers["relaxed"], tiers

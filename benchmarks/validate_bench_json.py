@@ -170,7 +170,41 @@ def validate_replication(data: dict) -> str:
     )
 
 
+def validate_attacks(data: dict) -> str:
+    assert data["benchmark"] == "redteam_attacks"
+    assert data["epochs"] >= 5
+    assert [r["churn"] for r in data["rows"]] == data["churn_levels"]
+    max_delta = data["max_sticky_delta"]
+    floor = data["min_naive_degradation"]
+    for row in data["rows"]:
+        sticky, naive = row["sticky"], row["naive"]
+        for cell in (sticky, naive):
+            assert cell["epochs_observed"] >= 5
+            assert cell["observations"] > 0
+            assert len(cell["stable_curve"]) == cell["epochs_observed"]
+        # Sticky is flat and diff-precise; naive climbs monotonically and
+        # ends materially worse -- the benchmark's reason to exist.
+        assert abs(sticky["degradation"]) <= max_delta, row["churn"]
+        assert sticky["false_churn_owners"] == 0
+        assert sticky["diff_precision"] == 1.0
+        curve = naive["stable_curve"]
+        assert all(b >= a - 1e-6 for a, b in zip(curve, curve[1:]))
+        assert naive["degradation"] >= floor, (row["churn"], naive)
+        assert curve[-1] >= sticky["stable_curve"][-1]
+        # Tier ordering only holds while noise survives, i.e. under sticky
+        # coins; naive's tiers all converge to ~1.0 once stripped.
+        tiers = sticky["per_tier_success"]
+        assert tiers["strict"] <= tiers["relaxed"], tiers
+    worst = max(r["naive"]["degradation"] for r in data["rows"])
+    flattest = max(abs(r["sticky"]["degradation"]) for r in data["rows"])
+    return (
+        f"sticky drift <= {flattest:+.3f}, naive degradation up to "
+        f"{worst:+.3f} over {data['epochs']} epochs (floor {floor})"
+    )
+
+
 CHECKS = {
+    "attacks": ("BENCH_attacks.json", validate_attacks),
     "mpc": ("BENCH_mpc.json", validate_mpc),
     "replication": ("BENCH_replication.json", validate_replication),
     "index": ("BENCH_index.json", validate_index),

@@ -27,7 +27,12 @@ Gives the library a usable operational surface:
 * ``update``    -- live-update tooling: init/append a delta log, seal it
   into a segment (``apply``), compact segments into a fresh epoch;
 * ``fleet``     -- fleet operations against running servers, e.g.
-  ``fleet rollout`` for a rolling hot-swap onto a new snapshot.
+  ``fleet rollout`` for a rolling hot-swap onto a new snapshot;
+* ``redteam``   -- the adversarial lab: ``run`` a full observation
+  campaign against a self-booted live fleet (epochs, churn, sticky or
+  naive republication, traffic shapes, reload storms), ``replay`` the
+  attackers over a recorded observation log, ``report`` a saved privacy
+  report.
 
 All randomness is seedable for reproducible pipelines.  Installed as the
 ``eppi`` console script (``pip install -e .``), or run as ``python -m repro``.
@@ -37,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 from typing import Optional, Sequence
@@ -831,6 +837,9 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
+            tier_of = None
+            if args.tiers:
+                tier_of = {j: f"tier-{j % args.tiers}" for j in owner_ids}
             report = await run_load(
                 client,
                 owner_ids,
@@ -841,6 +850,9 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 batch_size=args.batch_size,
                 zipf_a=args.zipf_a,
                 seed=args.seed,
+                shape=args.shape,
+                shape_period=args.shape_period,
+                tier_of=tier_of,
             )
             print(report.format())
             if client.protocol_downgrades:
@@ -853,6 +865,83 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             await client.close()
 
     return asyncio.run(_main())
+
+
+def cmd_redteam(args: argparse.Namespace) -> int:
+    from repro.redteam import (
+        ObservationLog,
+        PrivacyReport,
+        Scenario,
+        ScenarioRunner,
+        load_truth_payload,
+        run_attacks,
+        truth_payload,
+    )
+
+    if args.redteam_command == "run":
+        os.makedirs(args.out, exist_ok=True)
+        snapshot_dir = os.path.join(args.out, "snapshots")
+        os.makedirs(snapshot_dir, exist_ok=True)
+        observation_path = os.path.join(args.out, "observations.obs")
+        if os.path.exists(observation_path):
+            os.unlink(observation_path)  # each run is a fresh campaign
+        scenario = Scenario(
+            n_providers=args.providers,
+            n_owners=args.owners,
+            epochs=args.epochs,
+            churn=args.churn,
+            sticky=not args.naive,
+            seed=args.seed,
+            n_shards=args.shards,
+            workers=args.workers,
+            requests_per_worker=args.requests,
+            shape=args.shape,
+            think_time_s=args.think_time,
+            shape_period=args.shape_period,
+            zipf_a=args.zipf_a,
+            reload_storm=args.reload_storm,
+            linkage_targets=args.linkage_targets,
+        )
+        outcome = ScenarioRunner(
+            scenario, snapshot_dir, observation_path
+        ).run()
+        with open(os.path.join(args.out, "truth.json"), "w") as fh:
+            json.dump(truth_payload(outcome), fh, indent=2)
+        with open(os.path.join(args.out, "report.json"), "w") as fh:
+            fh.write(outcome.report.to_json())
+        print(outcome.report.format())
+        for epoch, load in enumerate(outcome.load_reports):
+            p = load.latency_percentiles_ms()
+            print(
+                f"load epoch {epoch}: {load.total} requests, "
+                f"{load.qps:.0f} req/s, p99 {p['p99']:.2f} ms"
+            )
+        print(f"artifacts in {args.out}")
+        return 0
+
+    if args.redteam_command == "replay":
+        with open(args.truth) as fh:
+            truth_by_epoch, tier_map, mode = load_truth_payload(json.load(fh))
+        log = ObservationLog(args.observations)
+        try:
+            report = run_attacks(
+                log,
+                truth_by_epoch,
+                tier_map,
+                mode,
+                linkage_targets=args.linkage_targets,
+            )
+        finally:
+            log.close()
+        print(report.format())
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                fh.write(report.to_json())
+        return 0
+
+    with open(args.report) as fh:
+        print(PrivacyReport.from_dict(json.load(fh)).format())
+    return 0
 
 
 # -- parser ------------------------------------------------------------------
@@ -1150,6 +1239,71 @@ def _build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--zipf-a", type=float, default=0.0,
                     help="Zipf exponent for hot-key skew (0 = uniform "
                          "round-robin); draws are reproducible under --seed")
+    lg.add_argument("--shape", choices=["uniform", "diurnal", "burst"],
+                    default="uniform",
+                    help="arrival shape: steady, sinusoidal day/night, or "
+                         "on/off bursts (shaped runs need --think-time > 0)")
+    lg.add_argument("--shape-period", type=int, default=32,
+                    help="requests per shape cycle (diurnal/burst)")
+    lg.add_argument("--tiers", type=int, default=0,
+                    help="partition owners into N privacy tiers (owner mod N) "
+                         "and report per-tier latency percentiles")
+
+    rt = sub.add_parser(
+        "redteam",
+        help="adversarial lab: attack a live fleet across epochs",
+    )
+    rt_sub = rt.add_subparsers(dest="redteam_command", required=True)
+
+    rr = rt_sub.add_parser(
+        "run",
+        help="run a full observation campaign against a self-booted fleet",
+    )
+    rr.add_argument("--out", required=True,
+                    help="output directory for observations.obs, truth.json, "
+                         "report.json and the per-epoch snapshots")
+    rr.add_argument("--providers", type=int, default=32)
+    rr.add_argument("--owners", type=int, default=120)
+    rr.add_argument("--epochs", type=int, default=5)
+    rr.add_argument("--churn", type=float, default=0.01,
+                    help="fraction of owners whose truth moves per epoch")
+    rr.add_argument("--naive", action="store_true",
+                    help="fresh-coin republication baseline (default: sticky)")
+    rr.add_argument("--seed", type=int, default=0)
+    rr.add_argument("--shards", type=int, default=1)
+    rr.add_argument("--workers", type=int, default=2,
+                    help="cover-load workers")
+    rr.add_argument("--requests", type=int, default=20,
+                    help="cover-load requests per worker per epoch")
+    rr.add_argument("--shape", choices=["uniform", "diurnal", "burst"],
+                    default="uniform", help="cover-load arrival shape")
+    rr.add_argument("--shape-period", type=int, default=16)
+    rr.add_argument("--think-time", type=float, default=0.0)
+    rr.add_argument("--zipf-a", type=float, default=0.0)
+    rr.add_argument("--reload-storm", action="store_true",
+                    help="harvest and load *during* each rolling reload")
+    rr.add_argument("--linkage-targets", type=int, default=8,
+                    help="quasi-identifier records for the linkage attacker "
+                         "(0 disables)")
+    rr.set_defaults(func=cmd_redteam)
+
+    rp = rt_sub.add_parser(
+        "replay",
+        help="re-run the attackers over a recorded observation log",
+    )
+    rp.add_argument("--observations", required=True,
+                    help="observation log written by `redteam run`")
+    rp.add_argument("--truth", required=True,
+                    help="truth.json written by `redteam run`")
+    rp.add_argument("--linkage-targets", type=int, default=8)
+    rp.add_argument("--json", dest="json_out", default=None,
+                    help="also write the recomputed report here")
+    rp.set_defaults(func=cmd_redteam)
+
+    rq = rt_sub.add_parser("report", help="pretty-print a saved privacy report")
+    rq.add_argument("--report", required=True, help="report.json path")
+    rq.set_defaults(func=cmd_redteam)
+
     lg.set_defaults(func=cmd_loadgen)
     return parser
 

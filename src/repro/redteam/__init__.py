@@ -1,0 +1,78 @@
+"""Red-team attack lab: longitudinal adversaries against the live fleet.
+
+The attacks in :mod:`repro.attacks` grade a *static* published matrix; this
+package grades the *served system* -- epochs, sticky republication, rolling
+reloads, replicas -- by actually attacking it over real sockets:
+
+* :class:`ObservationLog` / :class:`LiveObserver` -- the adversary's
+  substrate: crash-safe, epoch-tagged records of live query responses
+  (:mod:`repro.redteam.observations`);
+* :class:`LongitudinalIntersectionAttacker`, :class:`EpochDiffAttacker`,
+  :class:`LinkageAttacker` -- adversaries layered on the log, from pure
+  response history up to PPRL-style quasi-identifier composition
+  (:mod:`repro.redteam.attackers`);
+* :class:`Scenario` / :class:`ScenarioRunner` -- campaigns that publish
+  epochs, roll a real :class:`~repro.serving.fleet.FleetSupervisor`, drive
+  shaped cover load, and harvest observations, including flash-crowd
+  attacks *during* the rolling reload (:mod:`repro.redteam.scenario`);
+* :class:`PrivacyReport` -- the deliverable: degradation-vs-epoch curve,
+  per-ε-tier attack success, anonymity-set distribution
+  (:mod:`repro.redteam.report`).
+
+``eppi redteam run|replay|report`` exposes the lab operationally;
+``benchmarks/bench_attacks.py`` turns its headline claim -- sticky
+republication holds intersection-attack success flat while fresh coins
+degrade monotonically -- into a CI-gated benchmark.
+"""
+
+from repro.redteam.attackers import (
+    EpochDiffAttacker,
+    EpochDiffResult,
+    LinkageAttacker,
+    LinkageResult,
+    LongitudinalIntersectionAttacker,
+    LongitudinalResult,
+    stable_owners,
+)
+from repro.redteam.observations import (
+    LiveObserver,
+    Observation,
+    ObservationLog,
+    ObservationLogError,
+)
+from repro.redteam.report import PrivacyReport
+from repro.redteam.scenario import (
+    EPSILON_TIERS,
+    Scenario,
+    ScenarioOutcome,
+    ScenarioRunner,
+    load_truth_payload,
+    run_attacks,
+    run_scenario,
+    synthetic_directory,
+    truth_payload,
+)
+
+__all__ = [
+    "EPSILON_TIERS",
+    "EpochDiffAttacker",
+    "EpochDiffResult",
+    "LinkageAttacker",
+    "LinkageResult",
+    "LiveObserver",
+    "LongitudinalIntersectionAttacker",
+    "LongitudinalResult",
+    "Observation",
+    "ObservationLog",
+    "ObservationLogError",
+    "PrivacyReport",
+    "Scenario",
+    "ScenarioOutcome",
+    "ScenarioRunner",
+    "load_truth_payload",
+    "run_attacks",
+    "run_scenario",
+    "stable_owners",
+    "synthetic_directory",
+    "truth_payload",
+]

@@ -1,0 +1,341 @@
+"""Longitudinal adversaries over an :class:`ObservationLog`.
+
+The static attacks in :mod:`repro.attacks` see one published matrix; the
+attackers here see what a real adversary sees -- a *history* of responses
+from the live fleet, collected across epochs, republications and rolling
+reloads.  Three adversaries, in increasing order of outside knowledge:
+
+* :class:`LongitudinalIntersectionAttacker` -- pure response history.  The
+  serving-side version of the multi-version intersection attack
+  (:func:`repro.attacks.intersection.intersection_attack`): intersect an
+  owner's observed provider sets across epochs and claim membership against
+  the survivors.  Sticky republication (PR 5/8) must pin its confidence to
+  the first epoch's noise floor; fresh-coin republication lets it climb as
+  β^k noise dies off.
+* :class:`EpochDiffAttacker` -- response history, read differentially.
+  Diffs consecutive epochs per owner to isolate *churned* identities.
+  Under sticky coins every diffed bit is a true change the owner actually
+  made (precision 1, by design -- the log only discloses real churn);
+  fresh coins make noise flap, flooding the diff with false churn.
+* :class:`LinkageAttacker` -- response history plus an external
+  quasi-identifier corpus.  A PPRL-style composition attack (Vatsalan et
+  al.'s taxonomy): Bloom-encode the attacker's dirty records and a leaked
+  subscriber directory with :mod:`repro.linkage`, link them with the
+  weighted-Dice matcher, then spend the linked owner ids on membership
+  claims against the observed candidate sets.
+
+Every attacker scores itself against ground truth the caller supplies --
+the attacks never peek at truth to *act*, only to grade the outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.linkage import BloomEncoder, MatchDecision, RecordMatcher
+from repro.redteam.observations import ObservationLog
+
+__all__ = [
+    "EpochDiffAttacker",
+    "EpochDiffResult",
+    "LinkageAttacker",
+    "LinkageResult",
+    "LongitudinalIntersectionAttacker",
+    "LongitudinalResult",
+]
+
+
+def _confidence(true_set: frozenset, survivors: frozenset) -> float:
+    """Success probability of one membership claim against ``survivors``."""
+    if not survivors:
+        return 0.0
+    return len(true_set & survivors) / len(survivors)
+
+
+def stable_owners(truth_by_epoch: Mapping[int, Mapping[int, set]]) -> set:
+    """Owners whose true provider set never changed across the history.
+
+    These are the longitudinal analogue of the paper's common identities:
+    the owners for whom *any* confidence drift over epochs is pure noise
+    leakage, never legitimate disclosure of churn.
+    """
+    epochs = sorted(truth_by_epoch)
+    if not epochs:
+        return set()
+    first = truth_by_epoch[epochs[0]]
+    out = set()
+    for owner, providers in first.items():
+        reference = frozenset(providers)
+        if all(
+            frozenset(truth_by_epoch[e].get(owner, ())) == reference
+            for e in epochs[1:]
+        ):
+            out.add(owner)
+    return out
+
+
+# -- intersection across epochs ------------------------------------------------
+
+
+@dataclass
+class LongitudinalResult:
+    """Outcome of intersecting observed response sets across epochs."""
+
+    epochs_used: list  # epochs whose observations fed the intersection
+    survivors: dict  # owner -> frozenset of providers surviving every epoch
+    confidences: dict  # owner -> membership-claim success vs truth
+    anonymity_sizes: dict  # owner -> |survivors| (the attacker's view)
+
+    @property
+    def mean_confidence(self) -> float:
+        scored = [c for o, c in self.confidences.items() if self.survivors[o]]
+        return sum(scored) / len(scored) if scored else 0.0
+
+    def mean_confidence_over(self, owners) -> float:
+        scored = [
+            self.confidences[o]
+            for o in owners
+            if o in self.confidences and self.survivors.get(o)
+        ]
+        return sum(scored) / len(scored) if scored else 0.0
+
+    @property
+    def mean_anonymity(self) -> float:
+        sizes = list(self.anonymity_sizes.values())
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+
+class LongitudinalIntersectionAttacker:
+    """Intersect each owner's observed provider sets across epochs."""
+
+    def __init__(self, log: ObservationLog):
+        self.log = log
+
+    def survivors(self, upto_epoch: Optional[int] = None) -> dict:
+        """``owner -> frozenset`` of providers present in *every* observed
+        epoch (``<= upto_epoch`` when given).  Owners observed once simply
+        keep that single response set -- the attack degrades gracefully to
+        the static one."""
+        out: dict[int, frozenset] = {}
+        for owner, per_epoch in self.log.by_owner().items():
+            sets = [
+                providers
+                for epoch, providers in sorted(per_epoch.items())
+                if upto_epoch is None or epoch <= upto_epoch
+            ]
+            if not sets:
+                continue
+            surviving = frozenset(sets[0])
+            for s in sets[1:]:
+                surviving &= s
+            out[owner] = surviving
+        return out
+
+    def attack(
+        self,
+        truth: Mapping[int, Sequence[int]],
+        upto_epoch: Optional[int] = None,
+    ) -> LongitudinalResult:
+        """Full attack + scoring against ``truth`` (owner -> true ids)."""
+        survivors = self.survivors(upto_epoch)
+        epochs = [
+            e
+            for e in self.log.epochs()
+            if upto_epoch is None or e <= upto_epoch
+        ]
+        confidences = {
+            owner: _confidence(frozenset(truth.get(owner, ())), surviving)
+            for owner, surviving in survivors.items()
+        }
+        return LongitudinalResult(
+            epochs_used=epochs,
+            survivors=survivors,
+            confidences=confidences,
+            anonymity_sizes={o: len(s) for o, s in survivors.items()},
+        )
+
+    def degradation_curve(
+        self, truth_by_epoch: Mapping[int, Mapping[int, set]]
+    ) -> list:
+        """Attack success after each successive epoch of observation.
+
+        One row per observed epoch ``e``: the attack run over everything
+        observed up to ``e``, scored against the truth *at* ``e``.
+        ``stable_confidence`` restricts scoring to owners whose truth never
+        changed -- the paper's flat-vs-degrading privacy signal, clean of
+        legitimate churn disclosure.
+        """
+        stable = stable_owners(truth_by_epoch)
+        curve = []
+        for k, epoch in enumerate(self.log.epochs()):
+            truth = truth_by_epoch.get(epoch, {})
+            result = self.attack(truth, upto_epoch=epoch)
+            curve.append(
+                {
+                    "epoch": epoch,
+                    "versions": k + 1,
+                    "mean_confidence": result.mean_confidence,
+                    "stable_confidence": result.mean_confidence_over(stable),
+                    "mean_anonymity": result.mean_anonymity,
+                }
+            )
+        return curve
+
+
+# -- differential reads --------------------------------------------------------
+
+
+@dataclass
+class EpochDiffResult:
+    """Outcome of diffing consecutive epochs to isolate churned owners."""
+
+    pairs: int  # consecutive (epoch, epoch') observation pairs diffed
+    claimed_bits: int  # provider bits the attacker claims changed
+    true_bits: int  # claimed bits that are genuine truth changes
+    churned_owners: list  # owners flagged as churned (any nonempty diff)
+    false_churn_owners: list  # flagged owners whose truth never moved
+
+    @property
+    def precision(self) -> float:
+        """Fraction of claimed changes that are real.  An attacker who
+        claims nothing is never wrong (vacuous 1.0) -- exactly the sticky
+        no-churn outcome."""
+        if self.claimed_bits == 0:
+            return 1.0
+        return self.true_bits / self.claimed_bits
+
+
+class EpochDiffAttacker:
+    """Diff each owner's responses across consecutive observed epochs."""
+
+    def __init__(self, log: ObservationLog):
+        self.log = log
+
+    def attack(
+        self, truth_by_epoch: Mapping[int, Mapping[int, set]]
+    ) -> EpochDiffResult:
+        pairs = 0
+        claimed = 0
+        true_changed = 0
+        flagged = set()
+        truly_churned = set()
+        for owner, per_epoch in self.log.by_owner().items():
+            epochs = sorted(per_epoch)
+            for prev, cur in zip(epochs, epochs[1:]):
+                observed_diff = per_epoch[prev] ^ per_epoch[cur]
+                pairs += 1
+                claimed += len(observed_diff)
+                if observed_diff:
+                    flagged.add(owner)
+                if prev not in truth_by_epoch or cur not in truth_by_epoch:
+                    continue  # unscoreable pair: no ground truth at hand
+                true_diff = frozenset(
+                    truth_by_epoch[prev].get(owner, ())
+                ) ^ frozenset(truth_by_epoch[cur].get(owner, ()))
+                true_changed += len(observed_diff & true_diff)
+                if true_diff:
+                    truly_churned.add(owner)
+        return EpochDiffResult(
+            pairs=pairs,
+            claimed_bits=claimed,
+            true_bits=true_changed,
+            churned_owners=sorted(flagged),
+            false_churn_owners=sorted(flagged - truly_churned),
+        )
+
+
+# -- quasi-identifier linkage --------------------------------------------------
+
+
+@dataclass
+class LinkageResult:
+    """Outcome of linking external records to owners, then claiming."""
+
+    links: dict  # target index -> owner id the attacker linked it to
+    scores: dict = field(default_factory=dict)  # target index -> match score
+    n_targets: int = 0
+    linkage_precision: float = 0.0  # linked targets pointing at the right owner
+    membership_confidence: float = 0.0  # claim success on linked owners
+
+    @property
+    def linked(self) -> int:
+        return len(self.links)
+
+
+class LinkageAttacker:
+    """Bloom-encoded quasi-identifier linkage feeding membership claims.
+
+    The attacker holds ``targets`` (its own dirty records: typos, nickname
+    variants) and a leaked ``directory`` (owner id -> demographic fields),
+    both encodable under a shared linkage ``key`` -- the insider scenario
+    the Bloom keying defends against outsiders but not key holders.  Each
+    target is matched against the whole directory; a ``MATCH`` decision
+    links it, and the linked owner's *latest observed* provider set becomes
+    the claim surface.
+    """
+
+    def __init__(
+        self,
+        log: ObservationLog,
+        encoder: Optional[BloomEncoder] = None,
+        matcher: Optional[RecordMatcher] = None,
+    ):
+        self.log = log
+        self.encoder = encoder or BloomEncoder(size=512, hashes=8, key=b"redteam")
+        self.matcher = matcher or RecordMatcher()
+
+    def _latest_sets(self) -> dict:
+        out = {}
+        for owner, per_epoch in self.log.by_owner().items():
+            out[owner] = per_epoch[max(per_epoch)]
+        return out
+
+    def attack(
+        self,
+        targets: Sequence[Mapping[str, str]],
+        directory: Mapping[int, Mapping[str, str]],
+        truth: Optional[Mapping[int, Sequence[int]]] = None,
+        true_owners: Optional[Sequence[Optional[int]]] = None,
+    ) -> LinkageResult:
+        encoded_dir = {
+            owner: self.encoder.encode_record(dict(fields))
+            for owner, fields in directory.items()
+        }
+        links: dict[int, int] = {}
+        scores: dict[int, float] = {}
+        for idx, target in enumerate(targets):
+            encoded = self.encoder.encode_record(dict(target))
+            best_owner, best = None, None
+            for owner, candidate in encoded_dir.items():
+                result = self.matcher.compare(encoded, candidate)
+                if best is None or result.score > best.score:
+                    best_owner, best = owner, result
+            if best is not None and best.decision is MatchDecision.MATCH:
+                links[idx] = best_owner
+                scores[idx] = best.score
+
+        precision = 0.0
+        if links and true_owners is not None:
+            correct = sum(
+                1 for idx, owner in links.items() if true_owners[idx] == owner
+            )
+            precision = correct / len(links)
+
+        confidence = 0.0
+        if links and truth is not None:
+            latest = self._latest_sets()
+            scored = [
+                _confidence(frozenset(truth.get(owner, ())), latest[owner])
+                for owner in links.values()
+                if owner in latest
+            ]
+            confidence = sum(scored) / len(scored) if scored else 0.0
+
+        return LinkageResult(
+            links=links,
+            scores=scores,
+            n_targets=len(targets),
+            linkage_precision=precision,
+            membership_confidence=confidence,
+        )

@@ -1,0 +1,141 @@
+"""The red-team lab's deliverable: a privacy report for a served index.
+
+Where :class:`~repro.serving.loadgen.LoadReport` answers "how fast", a
+:class:`PrivacyReport` answers "how much did the adversary learn":
+
+* the **degradation curve** -- longitudinal intersection-attack success
+  after each successive epoch of observation.  The headline claim of the
+  sticky-republication design is that this curve is *flat* for owners whose
+  truth never changed; the fresh-coin baseline climbs monotonically as
+  β^k noise dies off;
+* **per-ε-tier success** -- attack success grouped by privacy tier, so the
+  personalized-privacy contract (stricter ε => more decoys => lower attack
+  success) is measurable per tier, not as one blended number;
+* the **anonymity-set distribution** -- sizes of the surviving candidate
+  sets the adversary is left to claim against;
+* **epoch-diff** and optional **linkage** attack outcomes.
+
+The report is plain data: JSON round-trips losslessly, so ``eppi redteam
+run`` can write it and ``eppi redteam report`` can pretty-print it later.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+__all__ = ["PrivacyReport"]
+
+
+@dataclass
+class PrivacyReport:
+    """Aggregate adversarial outcome of one observation campaign."""
+
+    mode: str  # "sticky" or "naive" republication
+    epochs: list  # distinct epochs observed
+    observed_owners: int = 0
+    n_observations: int = 0
+    #: per-epoch intersection-attack rows (see
+    #: :meth:`LongitudinalIntersectionAttacker.degradation_curve`)
+    degradation_curve: list = field(default_factory=list)
+    #: tier -> mean intersection-attack confidence at the final epoch
+    per_tier_success: dict = field(default_factory=dict)
+    #: summary stats over final-epoch anonymity-set sizes
+    anonymity_sets: dict = field(default_factory=dict)
+    #: epoch-diff attack summary
+    diff: dict = field(default_factory=dict)
+    #: optional linkage attack summary
+    linkage: Optional[dict] = None
+
+    @property
+    def final_confidence(self) -> float:
+        if not self.degradation_curve:
+            return 0.0
+        return float(self.degradation_curve[-1]["mean_confidence"])
+
+    @property
+    def degradation_delta(self) -> float:
+        """Stable-owner attack-success drift, first epoch to last.
+
+        Zero (to the noise floor) is the sticky guarantee; positive means
+        republication leaks -- every republished version hands the
+        intersection attacker fresh noise to strip.
+        """
+        if len(self.degradation_curve) < 2:
+            return 0.0
+        return float(
+            self.degradation_curve[-1]["stable_confidence"]
+            - self.degradation_curve[0]["stable_confidence"]
+        )
+
+    @staticmethod
+    def summarize_anonymity(sizes) -> dict:
+        sizes = sorted(int(s) for s in sizes)
+        if not sizes:
+            return {"min": 0, "median": 0.0, "mean": 0.0, "max": 0}
+        return {
+            "min": sizes[0],
+            "median": float(statistics.median(sizes)),
+            "mean": float(statistics.fmean(sizes)),
+            "max": sizes[-1],
+        }
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PrivacyReport":
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PrivacyReport":
+        return cls.from_dict(json.loads(text))
+
+    # -- display --------------------------------------------------------------
+
+    def format(self) -> str:
+        lines = [
+            f"republication   {self.mode}",
+            f"epochs observed {len(self.epochs)} ({self.epochs})",
+            f"owners observed {self.observed_owners}",
+            f"observations    {self.n_observations}",
+        ]
+        for row in self.degradation_curve:
+            lines.append(
+                f"  epoch {row['epoch']:>3}  versions {row['versions']:>2}  "
+                f"success {row['mean_confidence']:.3f}  "
+                f"stable {row['stable_confidence']:.3f}  "
+                f"anonymity {row['mean_anonymity']:.1f}"
+            )
+        lines.append(f"degradation     {self.degradation_delta:+.3f} (stable owners)")
+        for tier in sorted(self.per_tier_success):
+            lines.append(
+                f"tier {tier:<10} success {self.per_tier_success[tier]:.3f}"
+            )
+        if self.anonymity_sets:
+            a = self.anonymity_sets
+            lines.append(
+                f"anonymity sets  min {a['min']}  median {a['median']:.1f}  "
+                f"mean {a['mean']:.1f}  max {a['max']}"
+            )
+        if self.diff:
+            lines.append(
+                f"epoch diff      {self.diff['claimed_bits']} bits claimed, "
+                f"precision {self.diff['precision']:.3f}, "
+                f"{len(self.diff['false_churn_owners'])} false-churn owners"
+            )
+        if self.linkage:
+            lines.append(
+                f"linkage         {self.linkage['linked']}/"
+                f"{self.linkage['n_targets']} linked, "
+                f"precision {self.linkage['linkage_precision']:.3f}, "
+                f"claim success {self.linkage['membership_confidence']:.3f}"
+            )
+        return "\n".join(lines)

@@ -13,15 +13,30 @@ Zipf-distributed hot keys (rank ``i`` of ``owner_ids`` drawn with weight
 ``1/(i+1)**zipf_a``), seeded per ``(seed, worker)`` so a skewed run is
 exactly reproducible -- the access pattern replica caches and the
 replication bench care about.
+
+``shape`` modulates the *arrival rate* on top of the key distribution:
+``"diurnal"`` scales each worker's inter-request pause by a sine over the
+request index (a compressed day/night cycle), ``"burst"`` fires the first
+quarter of every period back-to-back and doubles the pause in the lull (a
+flash crowd followed by quiet).  Both are deterministic in ``(seed,
+worker)`` -- each worker gets a seeded phase offset, so shaped runs replay
+exactly like uniform ones.
+
+When a ``tier_of`` owner->tier map is supplied, per-request latencies are
+additionally bucketed by the tier of the owner served, giving the per-ε-tier
+SLO breakdown (``LoadReport.tier_latency_percentiles_ms``) that the
+personalized-privacy story needs: strict-ε owners carry more decoys, and
+their latency budget must be observable separately.
 """
 
 from __future__ import annotations
 
 import asyncio
+import math
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Mapping, Optional
 
 import numpy as np
 
@@ -29,7 +44,43 @@ from repro.serving.client import LocatorClient, RetryPolicy, TransportError
 from repro.serving.metrics import percentile
 from repro.serving.protocol import RemoteError
 
-__all__ = ["LoadReport", "run_load", "run_load_multiprocess", "run_load_sync"]
+__all__ = [
+    "LoadReport",
+    "TRAFFIC_SHAPES",
+    "run_load",
+    "run_load_multiprocess",
+    "run_load_sync",
+    "shape_pause_s",
+]
+
+TRAFFIC_SHAPES = ("uniform", "diurnal", "burst")
+
+#: burst shape: fraction of each period fired back-to-back
+_BURST_DUTY = 0.25
+
+
+def shape_pause_s(
+    shape: str, k: int, think_time_s: float, period: int, phase: int = 0
+) -> float:
+    """Inter-request pause for request ``k`` of a shaped schedule.
+
+    ``"uniform"`` is the flat closed-loop pause.  ``"diurnal"`` scales it by
+    ``1 + sin(2π (k + phase) / period)`` -- arrival rate swings through a
+    full day/night cycle every ``period`` requests.  ``"burst"`` fires the
+    first ``_BURST_DUTY`` of each period with no pause at all and doubles
+    the pause for the rest.  Pure function of its arguments, so schedules
+    replay exactly.
+    """
+    if shape == "uniform":
+        return think_time_s
+    pos = (k + phase) % period
+    if shape == "diurnal":
+        return think_time_s * (1.0 + math.sin(2.0 * math.pi * pos / period))
+    if shape == "burst":
+        return 0.0 if pos < period * _BURST_DUTY else 2.0 * think_time_s
+    raise ValueError(
+        f"shape must be one of {TRAFFIC_SHAPES}, got {shape!r}"
+    )
 
 
 @dataclass
@@ -48,6 +99,9 @@ class LoadReport:
     providers_failed: int = 0
     #: optional post-run ``stats`` snapshot from the server under test
     server_stats: Optional[dict] = None
+    #: populated when ``run_load`` is given a ``tier_of`` map: per-tier
+    #: latency samples for the per-ε-tier SLO breakdown
+    tier_latencies_s: dict = field(default_factory=dict)
 
     @property
     def qps(self) -> float:
@@ -62,6 +116,18 @@ class LoadReport:
         return {
             f"p{q:g}": percentile(ordered, q) * 1e3 for q in (50.0, 95.0, 99.0)
         }
+
+    def tier_latency_percentiles_ms(self) -> dict[str, dict[str, float]]:
+        """Percentiles keyed by owner tier (empty without a tier map)."""
+        out: dict[str, dict[str, float]] = {}
+        for tier in sorted(self.tier_latencies_s):
+            ordered = sorted(self.tier_latencies_s[tier])
+            out[tier] = {
+                f"p{q:g}": percentile(ordered, q) * 1e3
+                for q in (50.0, 95.0, 99.0)
+            }
+            out[tier]["requests"] = float(len(ordered))
+        return out
 
     def format(self) -> str:
         pct = self.latency_percentiles_ms()
@@ -82,6 +148,12 @@ class LoadReport:
                 f"contacted      {self.providers_contacted}",
                 f"failed         {self.providers_failed}",
             ]
+        for tier, tier_pct in self.tier_latency_percentiles_ms().items():
+            lines.append(
+                f"tier {tier:<10} n={int(tier_pct['requests'])} "
+                f"p50 {tier_pct['p50']:.2f} ms  p95 {tier_pct['p95']:.2f} ms  "
+                f"p99 {tier_pct['p99']:.2f} ms"
+            )
         return "\n".join(lines)
 
 
@@ -95,6 +167,9 @@ async def run_load(
     batch_size: int = 32,
     zipf_a: float = 0.0,
     seed: int = 0,
+    shape: str = "uniform",
+    shape_period: int = 32,
+    tier_of: Optional[Mapping[int, str]] = None,
 ) -> LoadReport:
     """Drive ``n_workers`` closed-loop workers through ``owner_ids``.
 
@@ -108,6 +183,13 @@ async def run_load(
     ``"batch"`` (``query_batch`` of ``batch_size`` owners per round trip;
     ``total`` counts owners resolved, not round trips) or ``"search"``
     (full two-phase; requires the client to know provider addresses).
+
+    ``shape`` modulates arrival rate via :func:`shape_pause_s`; shaped runs
+    need ``think_time_s > 0`` (there is no pause to modulate otherwise) and
+    each worker's phase offset is drawn from ``default_rng((seed, w, 1))``,
+    so the whole shaped schedule is a pure function of ``seed``.  A
+    ``tier_of`` owner->tier map buckets latencies per tier (batch-mode
+    samples count once per distinct tier in the chunk).
     """
     if mode not in ("query", "batch", "search"):
         raise ValueError(f"mode must be 'query', 'batch' or 'search', got {mode!r}")
@@ -119,8 +201,25 @@ async def run_load(
         raise ValueError("batch_size must be >= 1")
     if zipf_a < 0:
         raise ValueError(f"zipf_a must be >= 0 (0 disables skew), got {zipf_a}")
+    if shape not in TRAFFIC_SHAPES:
+        raise ValueError(f"shape must be one of {TRAFFIC_SHAPES}, got {shape!r}")
+    if shape != "uniform" and think_time_s <= 0:
+        raise ValueError(f"shape {shape!r} needs think_time_s > 0 to modulate")
+    if shape_period < 2:
+        raise ValueError(f"shape_period must be >= 2, got {shape_period}")
 
     report = LoadReport(mode=mode, n_workers=n_workers)
+    phases = [
+        int(np.random.default_rng((seed, w, 1)).integers(0, shape_period))
+        for w in range(n_workers)
+    ]
+
+    def note_tier(owners, latency_s: float) -> None:
+        if tier_of is None:
+            return
+        tiers = {tier_of[o] for o in owners if o in tier_of}
+        for tier in tiers:
+            report.tier_latencies_s.setdefault(tier, []).append(latency_s)
 
     # Batch chunks are rotations of the owner cycle; slicing a tiled copy
     # replaces batch_size modulo operations per request with one C slice.
@@ -143,12 +242,14 @@ async def run_load(
         for k in range(requests_per_worker):
             started = time.monotonic()
             n_done = 1
+            served: list = []
             try:
                 if mode == "query":
                     if schedules:
                         owner = owner_ids[schedules[w][k]]
                     else:
                         owner = owner_ids[(w + k * n_workers) % n_owners]
+                    served = [owner]
                     await client.query(owner)
                 elif mode == "batch":
                     if schedules:
@@ -158,22 +259,27 @@ async def run_load(
                         start = (w + k * n_workers) * batch_size % n_owners
                         chunk = tiled[start : start + batch_size]
                     n_done = len(chunk)
+                    served = chunk
                     await client.query_batch(chunk)
                 else:
                     if schedules:
                         owner = owner_ids[schedules[w][k]]
                     else:
                         owner = owner_ids[(w + k * n_workers) % len(owner_ids)]
+                    served = [owner]
                     result = await client.search(owner)
                     report.records_found += len(result.records)
                     report.providers_contacted += result.contacted
                     report.providers_failed += len(result.failed_providers)
             except (TransportError, RemoteError):
                 report.errors += 1
-            report.latencies_s.append(time.monotonic() - started)
+            latency_s = time.monotonic() - started
+            report.latencies_s.append(latency_s)
+            note_tier(served, latency_s)
             report.total += n_done
-            if think_time_s > 0:
-                await asyncio.sleep(think_time_s)
+            pause = shape_pause_s(shape, k, think_time_s, shape_period, phases[w])
+            if pause > 0:
+                await asyncio.sleep(pause)
 
     started = time.monotonic()
     await asyncio.gather(*(worker(w) for w in range(n_workers)))
@@ -192,6 +298,9 @@ def run_load_sync(
     report_stats_from: Optional[tuple] = None,
     zipf_a: float = 0.0,
     seed: int = 0,
+    shape: str = "uniform",
+    shape_period: int = 32,
+    tier_of: Optional[Mapping[int, str]] = None,
 ) -> LoadReport:
     """Synchronous wrapper: build a client, run the load, tear down.
 
@@ -214,6 +323,9 @@ def run_load_sync(
                 batch_size=batch_size,
                 zipf_a=zipf_a,
                 seed=seed,
+                shape=shape,
+                shape_period=shape_period,
+                tier_of=tier_of,
             )
             if report_stats_from is not None:
                 report.server_stats = await client.stats(report_stats_from)
@@ -255,6 +367,9 @@ def _load_proc_main(payload: dict, barrier, queue) -> None:
                 batch_size=payload.get("batch_size", 32),
                 zipf_a=payload.get("zipf_a", 0.0),
                 seed=payload.get("zipf_seed", 0),
+                shape=payload.get("shape", "uniform"),
+                shape_period=payload.get("shape_period", 32),
+                tier_of=payload.get("tier_of"),
             )
         finally:
             await client.close()
@@ -265,6 +380,7 @@ def _load_proc_main(payload: dict, barrier, queue) -> None:
             "records_found": report.records_found,
             "providers_contacted": report.providers_contacted,
             "providers_failed": report.providers_failed,
+            "tier_latencies_s": report.tier_latencies_s,
         }
 
     queue.put(asyncio.run(_main()))
@@ -287,6 +403,9 @@ def run_load_multiprocess(
     join_timeout_s: float = 300.0,
     zipf_a: float = 0.0,
     seed: int = 0,
+    shape: str = "uniform",
+    shape_period: int = 32,
+    tier_of: Optional[Mapping[int, str]] = None,
 ) -> LoadReport:
     """Closed-loop load from ``n_procs`` OS processes (own loops, own GILs).
 
@@ -332,6 +451,9 @@ def run_load_multiprocess(
             # (seed, w), so shifting the seed by p de-correlates processes
             # while keeping the whole fan-out a pure function of ``seed``.
             "zipf_seed": seed + p,
+            "shape": shape,
+            "shape_period": shape_period,
+            "tier_of": dict(tier_of) if tier_of else None,
         }
         proc = ctx.Process(
             target=_load_proc_main, args=(payload, barrier, queue), daemon=True
@@ -360,4 +482,6 @@ def run_load_multiprocess(
         report.records_found += result["records_found"]
         report.providers_contacted += result["providers_contacted"]
         report.providers_failed += result["providers_failed"]
+        for tier, samples in result.get("tier_latencies_s", {}).items():
+            report.tier_latencies_s.setdefault(tier, []).extend(samples)
     return report

@@ -1,0 +1,116 @@
+"""Property: over-the-wire intersection equals the keyed-noise floor.
+
+For sticky publication the noise set ``N(owner)`` is a pure function of the
+owner and the key -- never of the epoch.  So for ANY churn history
+``T_0, T_1, ..., T_k`` of an owner's true provider sets, the adversary who
+harvests every republished row **over real sockets** and intersects them
+must land exactly on
+
+    ∩_e (T_e ∪ N)  ==  N ∪ ∩_e T_e
+
+-- the keyed-noise floor.  Nothing more (sticky coins never flap, so no
+noise bit ever dies) and nothing less (recall: true and noise bits always
+survive every version they appear in).  Hypothesis drives arbitrary churn
+histories through a live :class:`PPIServer`, epoch by epoch, and checks
+the identity per owner on what actually came back over TCP.
+"""
+
+import asyncio
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.postings import PostingsIndex
+from repro.redteam import LongitudinalIntersectionAttacker
+from repro.redteam.observations import LiveObserver, ObservationLog
+from repro.serving.client import LocatorClient, RetryPolicy
+from repro.serving.server import PPIServer
+from repro.updates.noise import StickyOwnerStream
+
+N_PROVIDERS = 10
+BETAS = [0.1, 0.3, 0.5]
+
+
+@st.composite
+def churn_histories(draw):
+    n_owners = draw(st.integers(min_value=1, max_value=3))
+    epochs = draw(st.integers(min_value=2, max_value=4))
+    key = draw(st.binary(min_size=1, max_size=8))
+    betas = [
+        draw(st.sampled_from(BETAS)) for _ in range(n_owners)
+    ]
+    history = [
+        [
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=N_PROVIDERS - 1),
+                    max_size=4,
+                )
+            )
+            for _ in range(n_owners)
+        ]
+        for _ in range(epochs)
+    ]
+    return key, betas, history
+
+
+def publish_epoch(stream, betas, truth):
+    dense = np.zeros((N_PROVIDERS, len(truth)), dtype=np.uint8)
+    for owner, true in enumerate(truth):
+        row = stream.publish_row(
+            owner, sorted(true), betas[owner], N_PROVIDERS
+        )
+        dense[row, owner] = 1
+    return dense
+
+
+async def harvest_campaign(stream, betas, history):
+    """Serve every epoch of the history for real; return the wire log."""
+    log = ObservationLog()
+    server = await PPIServer(
+        PostingsIndex.from_dense(publish_epoch(stream, betas, history[0]))
+    ).start()
+    client = LocatorClient(
+        servers=[server.address],
+        cache_size=0,
+        retry=RetryPolicy(max_retries=2, timeout_s=5.0),
+    )
+    observer = LiveObserver(client, log)
+    try:
+        await observer.harvest(range(len(history[0])))
+        for epoch, truth in enumerate(history[1:], start=1):
+            server.swap_index(
+                PostingsIndex.from_dense(publish_epoch(stream, betas, truth)),
+                epoch=epoch,
+            )
+            await observer.harvest(range(len(truth)))
+    finally:
+        await client.close()
+        await server.stop()
+    return log
+
+
+@given(churn_histories())
+@settings(max_examples=12, deadline=None)
+def test_wire_intersection_is_the_keyed_noise_floor(case):
+    key, betas, history = case
+    stream = StickyOwnerStream(key)
+    log = asyncio.run(harvest_campaign(stream, betas, history))
+
+    assert log.epochs() == list(range(len(history)))
+    survivors = LongitudinalIntersectionAttacker(log).survivors()
+    for owner, beta in enumerate(betas):
+        noise = {
+            int(p)
+            for p in np.nonzero(
+                stream.coins(owner, N_PROVIDERS) < beta
+            )[0]
+        }
+        truth_floor = set.intersection(
+            *(set(truth[owner]) for truth in history)
+        )
+        assert survivors[owner] == frozenset(noise | truth_floor), (
+            f"owner {owner}: wire intersection diverged from the "
+            f"keyed-noise floor under history {history}"
+        )

@@ -1,0 +1,164 @@
+"""Longitudinal attackers over synthetic observation histories."""
+
+import pytest
+
+from repro.redteam import (
+    EpochDiffAttacker,
+    LinkageAttacker,
+    LongitudinalIntersectionAttacker,
+    stable_owners,
+    synthetic_directory,
+)
+from repro.redteam.observations import ObservationLog
+
+
+def log_of(history):
+    """history: {epoch: {owner: providers}} -> in-memory log."""
+    log = ObservationLog()
+    for epoch in sorted(history):
+        for owner, providers in history[epoch].items():
+            log.append(epoch, owner, providers)
+    return log
+
+
+class TestStableOwners:
+    def test_partitions_churned_from_stable(self):
+        truth = {
+            0: {1: {2, 3}, 2: {5}},
+            1: {1: {2, 3}, 2: {6}},
+        }
+        assert stable_owners(truth) == {1}
+
+    def test_empty_history(self):
+        assert stable_owners({}) == set()
+
+
+class TestLongitudinalIntersection:
+    def test_survivors_intersect_across_epochs(self):
+        log = log_of({
+            0: {7: [1, 2, 3, 4]},
+            1: {7: [2, 3, 4]},
+            2: {7: [2, 4, 9]},
+        })
+        attacker = LongitudinalIntersectionAttacker(log)
+        assert attacker.survivors()[7] == frozenset({2, 4})
+        # upto_epoch replays the attacker's knowledge at that point in time
+        assert attacker.survivors(upto_epoch=1)[7] == frozenset({2, 3, 4})
+
+    def test_confidence_is_claim_success_probability(self):
+        log = log_of({0: {1: [2, 3, 4, 5]}})
+        result = LongitudinalIntersectionAttacker(log).attack({1: {2, 3}})
+        assert result.confidences[1] == pytest.approx(0.5)
+        assert result.anonymity_sizes[1] == 4
+        assert result.mean_confidence == pytest.approx(0.5)
+
+    def test_sticky_history_gives_flat_curve(self):
+        row = [1, 5, 8, 9]
+        truth_by_epoch = {e: {0: {1, 5}} for e in range(4)}
+        log = log_of({e: {0: row} for e in range(4)})
+        curve = LongitudinalIntersectionAttacker(log).degradation_curve(
+            truth_by_epoch
+        )
+        assert [r["versions"] for r in curve] == [1, 2, 3, 4]
+        stable = [r["stable_confidence"] for r in curve]
+        assert stable == [pytest.approx(0.5)] * 4
+
+    def test_fresh_noise_history_degrades(self):
+        # noise flaps epoch to epoch; only the truth {1} survives them all
+        log = log_of({
+            0: {0: [1, 2, 3]},
+            1: {0: [1, 4, 5]},
+            2: {0: [1, 6]},
+        })
+        truth_by_epoch = {e: {0: {1}} for e in range(3)}
+        curve = LongitudinalIntersectionAttacker(log).degradation_curve(
+            truth_by_epoch
+        )
+        stable = [r["stable_confidence"] for r in curve]
+        assert stable[0] == pytest.approx(1 / 3)
+        assert stable[-1] == pytest.approx(1.0)
+        assert stable == sorted(stable)  # monotone climb
+
+    def test_empty_log(self):
+        result = LongitudinalIntersectionAttacker(ObservationLog()).attack({})
+        assert result.survivors == {}
+        assert result.mean_confidence == 0.0
+
+
+class TestEpochDiff:
+    def test_sticky_no_churn_claims_nothing(self):
+        log = log_of({e: {0: [1, 2], 1: [4]} for e in range(3)})
+        truth = {e: {0: {1}, 1: {4}} for e in range(3)}
+        result = EpochDiffAttacker(log).attack(truth)
+        assert result.pairs == 4
+        assert result.claimed_bits == 0
+        assert result.precision == 1.0  # vacuous: claimed nothing
+        assert result.churned_owners == []
+
+    def test_real_churn_is_read_exactly(self):
+        log = log_of({
+            0: {0: [1, 2], 1: [7]},
+            1: {0: [1, 3], 1: [7]},
+        })
+        truth = {
+            0: {0: {1, 2}, 1: {7}},
+            1: {0: {1, 3}, 1: {7}},
+        }
+        result = EpochDiffAttacker(log).attack(truth)
+        assert result.claimed_bits == 2  # provider 2 left, provider 3 joined
+        assert result.true_bits == 2
+        assert result.precision == 1.0
+        assert result.churned_owners == [0]
+        assert result.false_churn_owners == []
+
+    def test_flapping_noise_floods_the_diff(self):
+        log = log_of({
+            0: {0: [1, 2]},
+            1: {0: [1, 5]},
+        })
+        truth = {e: {0: {1}} for e in range(2)}
+        result = EpochDiffAttacker(log).attack(truth)
+        assert result.claimed_bits == 2
+        assert result.true_bits == 0
+        assert result.precision == 0.0
+        assert result.false_churn_owners == [0]
+
+
+class TestLinkage:
+    def test_dirty_records_link_and_claim(self):
+        owners = [0, 1, 2, 3]
+        log = log_of({0: {o: [o, o + 10] for o in owners}})
+        directory = synthetic_directory(owners)
+        # the attacker's own copies: a truncation typo on the first name
+        targets = []
+        for o in owners[:2]:
+            fields = dict(directory[o])
+            fields["first_name"] = fields["first_name"][:-1]
+            targets.append(fields)
+        truth = {o: {o} for o in owners}
+        result = LinkageAttacker(log).attack(
+            targets, directory, truth=truth, true_owners=owners[:2]
+        )
+        assert result.n_targets == 2
+        assert result.linked == 2
+        assert result.links == {0: 0, 1: 1}
+        assert result.linkage_precision == 1.0
+        # each linked owner's latest set has 2 candidates, 1 true
+        assert result.membership_confidence == pytest.approx(0.5)
+
+    def test_unrelated_records_do_not_link(self):
+        owners = [0, 1]
+        log = log_of({0: {o: [o] for o in owners}})
+        directory = synthetic_directory(owners)
+        stranger = {
+            "first_name": "zzzzz",
+            "last_name": "qqqqq",
+            "date_of_birth": "1900-01-01",
+            "city": "nowhere",
+        }
+        result = LinkageAttacker(log).attack([stranger], directory)
+        assert result.linked == 0
+        assert result.membership_confidence == 0.0
+
+    def test_directory_is_deterministic(self):
+        assert synthetic_directory(range(5)) == synthetic_directory(range(5))

@@ -1,0 +1,141 @@
+"""Observation log: framing, crash recovery, and live harvesting."""
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.postings import PostingsIndex
+from repro.redteam.observations import (
+    LiveObserver,
+    Observation,
+    ObservationLog,
+    ObservationLogError,
+)
+from repro.serving.client import LocatorClient, RetryPolicy
+from repro.serving.server import PPIServer
+
+
+class TestObservationLog:
+    def test_in_memory_append_and_views(self):
+        log = ObservationLog()
+        log.append(0, 7, [3, 1, 2])
+        log.append(1, 7, [1, 2])
+        log.append(0, 9, [5])
+        assert log.n_records == 3
+        assert log.epochs() == [0, 1]
+        assert log.owners() == [7, 9]
+        by_owner = log.by_owner()
+        assert by_owner[7][0] == frozenset({1, 2, 3})
+        assert by_owner[7][1] == frozenset({1, 2})
+        assert by_owner[9] == {0: frozenset({5})}
+
+    def test_records_are_normalized(self):
+        log = ObservationLog()
+        log.append(2, 1, (np.int64(4), 0, 4))
+        record = log.observations[-1]
+        assert isinstance(record, Observation)
+        assert record.providers == frozenset({0, 4})
+        assert all(isinstance(p, int) for p in record.providers)
+
+    def test_newest_observation_wins_within_epoch(self):
+        log = ObservationLog()
+        log.append(0, 1, [1, 2])
+        log.append(0, 1, [2])
+        assert log.by_owner()[1][0] == frozenset({2})
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "campaign.obs"
+        with ObservationLog(str(path)) as log:
+            log.append(0, 3, [1, 9])
+            log.append(4, 3, [9])
+        reopened = ObservationLog(str(path))
+        assert reopened.n_records == 2
+        assert reopened.by_owner()[3] == {
+            0: frozenset({1, 9}),
+            4: frozenset({9}),
+        }
+        reopened.close()
+
+    def test_reopen_appends(self, tmp_path):
+        path = tmp_path / "campaign.obs"
+        with ObservationLog(str(path)) as log:
+            log.append(0, 1, [2])
+        with ObservationLog(str(path)) as log:
+            log.append(1, 1, [2, 3])
+            assert log.n_records == 2
+        final = ObservationLog(str(path))
+        assert final.epochs() == [0, 1]
+        final.close()
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        path = tmp_path / "campaign.obs"
+        with ObservationLog(str(path)) as log:
+            log.append(0, 1, [2])
+            log.append(1, 1, [2, 5])
+        intact = path.stat().st_size
+        with open(path, "ab") as fh:  # a crash mid-append: half a header
+            fh.write(struct.pack(">I", 999))
+        repaired = ObservationLog(str(path))
+        assert repaired.repaired_bytes > 0
+        assert repaired.n_records == 2
+        repaired.append(2, 1, [5])
+        repaired.close()
+        assert path.stat().st_size > intact
+        clean = ObservationLog(str(path))
+        assert clean.repaired_bytes == 0
+        assert clean.n_records == 3
+        clean.close()
+
+    def test_corrupt_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.obs"
+        path.write_bytes(b"NOTANOBSLOG0000")
+        with pytest.raises(ObservationLogError):
+            ObservationLog(str(path))
+
+    def test_rejects_negative_ids(self):
+        log = ObservationLog()
+        with pytest.raises(ObservationLogError):
+            log.append(-1, 0, [1])
+        with pytest.raises(ObservationLogError):
+            log.append(0, -2, [1])
+
+
+class TestLiveObserver:
+    def test_harvest_records_served_epochs(self):
+        dense = np.zeros((8, 4), dtype=np.uint8)
+        dense[1, 0] = dense[3, 0] = 1
+        dense[2, 1] = 1
+        next_dense = dense.copy()
+        next_dense[5, 1] = 1
+
+        async def body():
+            server = await PPIServer(
+                PostingsIndex.from_dense(dense)
+            ).start()
+            client = LocatorClient(
+                servers=[server.address],
+                cache_size=0,
+                retry=RetryPolicy(max_retries=2, timeout_s=2.0),
+            )
+            log = ObservationLog()
+            observer = LiveObserver(client, log)
+            try:
+                assert await observer.harvest(range(4)) == 4
+                server.swap_index(
+                    PostingsIndex.from_dense(next_dense), epoch=1
+                )
+                assert await observer.harvest(range(4)) == 4
+            finally:
+                await client.close()
+                await server.stop()
+            return log
+
+        log = asyncio.run(body())
+        assert log.epochs() == [0, 1]
+        per_epoch = log.by_owner()[1]
+        assert per_epoch[0] == frozenset({2})
+        assert per_epoch[1] == frozenset({2, 5})
+        # epoch tags come from the wire, one response per owner per epoch
+        assert log.n_records == 8

